@@ -1,0 +1,96 @@
+//! Central finite-difference gradient checking.
+//!
+//! Used throughout the workspace tests to validate both AD engines, and in
+//! the Navier–Stokes experiments as the paper's footnote-11 baseline
+//! ("classical Finite Differences was efficient in providing accurate
+//! gradients for our Navier–Stokes problem at a reduced memory cost").
+
+/// Central finite-difference gradient of a scalar function of `x`.
+///
+/// `h` is the absolute step (scaled per-coordinate by `1 + |x_i|`).
+pub fn fd_gradient(f: impl Fn(&[f64]) -> f64, x: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let hi = h * (1.0 + x[i].abs());
+        let orig = xp[i];
+        xp[i] = orig + hi;
+        let fp = f(&xp);
+        xp[i] = orig - hi;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * hi);
+    }
+    g
+}
+
+/// Directional derivative of `f` at `x` along `dir` by central differences.
+pub fn fd_directional(f: impl Fn(&[f64]) -> f64, x: &[f64], dir: &[f64], h: f64) -> f64 {
+    assert_eq!(x.len(), dir.len());
+    let step = |s: f64| -> Vec<f64> {
+        x.iter()
+            .zip(dir)
+            .map(|(&xi, &di)| xi + s * di)
+            .collect()
+    };
+    (f(&step(h)) - f(&step(-h))) / (2.0 * h)
+}
+
+/// Relative error between an analytic gradient and its FD estimate:
+/// `‖g − g_fd‖₂ / max(1, ‖g_fd‖₂)`.
+pub fn rel_error(g: &[f64], g_fd: &[f64]) -> f64 {
+    assert_eq!(g.len(), g_fd.len());
+    let mut diff = 0.0;
+    let mut norm = 0.0;
+    for (a, b) in g.iter().zip(g_fd) {
+        diff += (a - b) * (a - b);
+        norm += b * b;
+    }
+    diff.sqrt() / norm.sqrt().max(1.0)
+}
+
+/// Asserts that `g` matches the FD gradient of `f` at `x` to within `tol`
+/// relative error. Panics with a diagnostic otherwise.
+pub fn assert_grad_close(f: impl Fn(&[f64]) -> f64, x: &[f64], g: &[f64], tol: f64) {
+    let fd = fd_gradient(&f, x, 1e-6);
+    let err = rel_error(g, &fd);
+    assert!(
+        err <= tol,
+        "gradient check failed: rel error {err:.3e} > tol {tol:.1e}\n  ad: {g:?}\n  fd: {fd:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_gradient_of_quadratic_is_exact_enough() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+        let g = fd_gradient(f, &[2.0, -1.0], 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-7);
+        assert!((g[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fd_directional_matches_dot_with_gradient() {
+        let f = |x: &[f64]| (x[0] * x[1]).sin();
+        let x = [0.5, 1.2];
+        let dir = [0.3, -0.7];
+        let g = fd_gradient(f, &x, 1e-6);
+        let d = fd_directional(f, &x, &dir, 1e-6);
+        let expect = g[0] * dir[0] + g[1] * dir[1];
+        assert!((d - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        assert_eq!(rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn assert_grad_close_panics_on_wrong_gradient() {
+        assert_grad_close(|x| x[0] * x[0], &[1.0], &[5.0], 1e-6);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # meshfree-autodiff
+//!
+//! The automatic-differentiation engine of the workspace — the substitute for
+//! JAX in the paper's Python stack. Three complementary pieces:
+//!
+//! 1. **Forward mode** ([`Dual`], [`Dual2`]): scalar dual numbers carrying
+//!    first (and second) derivatives. These auto-derive the differential
+//!    operators `∂x`, `∂y`, `∇²` of any radial basis function `φ(r)` written
+//!    generically over the [`Scalar`] trait — exactly the role `jax.grad`
+//!    plays in Updec's operator definitions, letting users "effortlessly
+//!    choose or design new functions φ".
+//! 2. **Scalar reverse mode** ([`stape::STape`], [`stape::Var`]): a classic
+//!    Wengert-list tape with operator overloading, used for small expression
+//!    graphs and as a cross-check oracle for the tensor engine.
+//! 3. **Tensor reverse mode** ([`tape::Tape`], [`tape::TVar`]): the engine
+//!    behind differentiable programming (DP) and the PINNs. Whole-array
+//!    nodes (matmul, elementwise maps, reductions, concatenation) plus a
+//!    **differentiable linear solve** whose forward pass caches an LU
+//!    factorization and whose backward pass runs the adjoint solves
+//!    `b̄ = A⁻ᵀ x̄`, `Ā = −b̄ x̄ᵀ` — the same custom VJP JAX registers for
+//!    `jnp.linalg.solve`, and the key to differentiating *through* a PDE
+//!    solver (discretise-then-optimise).
+//!
+//! [`gradcheck`] provides central-finite-difference verification used
+//! pervasively in the tests.
+
+pub mod dual;
+pub mod gradcheck;
+pub mod scalar;
+pub mod stape;
+pub mod tape;
+pub mod tensor;
+
+pub use dual::{derivative, derivative2, Dual, Dual2};
+pub use scalar::Scalar;
+pub use stape::{STape, Var};
+pub use tape::{Tape, TVar};
+pub use tensor::Tensor;

@@ -1,0 +1,136 @@
+//! The [`Scalar`] abstraction: write a formula once, evaluate it with plain
+//! `f64`, forward-mode duals, or reverse-mode tape variables.
+//!
+//! RBF kernels, analytic solutions and PDE residuals in this workspace are
+//! written generically over `Scalar`, which is what makes "define φ once,
+//! get ∂φ/∂x and ∇²φ for free" possible (§2.4 of the paper).
+
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A differentiable scalar number type.
+///
+/// The trait deliberately mirrors the small set of elementary operations the
+/// paper's kernels and PDE residuals need; every operation must have a smooth
+/// derivative wherever the workspace evaluates it.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Lifts a constant.
+    fn from_f64(v: f64) -> Self;
+    /// The primal (undifferentiated) value.
+    fn value(&self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Absolute value (non-smooth at 0; callers must avoid differentiating
+    /// across the kink).
+    fn abs(self) -> Self;
+
+    /// Squared value, provided for readability.
+    fn sq(self) -> Self {
+        self * self
+    }
+    /// Reciprocal.
+    fn recip(self) -> Self {
+        Self::from_f64(1.0) / self
+    }
+    /// Hyperbolic secant, used by the Laplace analytic minimiser.
+    fn sech(self) -> Self {
+        let e = self.exp();
+        let em = (-self).exp();
+        Self::from_f64(2.0) / (e + em)
+    }
+    /// Hyperbolic sine.
+    fn sinh(self) -> Self {
+        let e = self.exp();
+        let em = (-self).exp();
+        (e - em) * Self::from_f64(0.5)
+    }
+    /// Hyperbolic cosine.
+    fn cosh(self) -> Self {
+        let e = self.exp();
+        let em = (-self).exp();
+        (e + em) * Self::from_f64(0.5)
+    }
+}
+
+impl Scalar for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn value(&self) -> f64 {
+        *self
+    }
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    fn sin(self) -> Self {
+        f64::sin(self)
+    }
+    fn cos(self) -> Self {
+        f64::cos(self)
+    }
+    fn tanh(self) -> Self {
+        f64::tanh(self)
+    }
+    fn powi(self, n: i32) -> Self {
+        f64::powi(self, n)
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A polynomial-ish generic function used to check that generic code
+    /// evaluates identically through the trait and natively.
+    fn poly<S: Scalar>(x: S) -> S {
+        x.sq() * S::from_f64(3.0) + x.sin() * x.exp() - x.tanh()
+    }
+
+    #[test]
+    fn f64_impl_matches_std() {
+        let x = 0.7f64;
+        let via_trait = poly(x);
+        let direct = 3.0 * x * x + x.sin() * x.exp() - x.tanh();
+        assert!((via_trait - direct).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hyperbolic_helpers() {
+        let x = 0.3f64;
+        assert!((Scalar::sech(x) - 1.0 / x.cosh()).abs() < 1e-14);
+        assert!((Scalar::sinh(x) - x.sinh()).abs() < 1e-14);
+        assert!((Scalar::cosh(x) - x.cosh()).abs() < 1e-14);
+        assert!((Scalar::recip(x) - 1.0 / x).abs() < 1e-15);
+        assert!((Scalar::sq(x) - x * x).abs() < 1e-15);
+    }
+}

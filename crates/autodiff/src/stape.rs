@@ -1,0 +1,419 @@
+//! Scalar reverse-mode AD: a classic Wengert-list tape with operator
+//! overloading.
+//!
+//! This is the "textbook backpropagation" engine. The heavy lifting in the
+//! workspace is done by the tensor tape ([`crate::tape`]), but the scalar
+//! tape is used for small expression graphs, pedagogy (the `custom_kernel`
+//! example), and as an independent oracle in cross-checking tests.
+
+use crate::scalar::Scalar;
+use std::cell::RefCell;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+const CONST_IDX: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct SNode {
+    parents: [usize; 2],
+    partials: [f64; 2],
+}
+
+/// A scalar gradient tape.
+///
+/// Variables are created with [`STape::var`]; arithmetic on [`Var`] records
+/// nodes; [`STape::grad`] runs the reverse sweep from a scalar output.
+#[derive(Debug, Default)]
+pub struct STape {
+    nodes: RefCell<Vec<SNode>>,
+}
+
+impl STape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        STape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers a new differentiation variable with the given value.
+    pub fn var(&self, value: f64) -> Var<'_> {
+        let idx = self.push(SNode {
+            parents: [CONST_IDX, CONST_IDX],
+            partials: [0.0, 0.0],
+        });
+        Var {
+            tape: Some(self),
+            idx,
+            val: value,
+        }
+    }
+
+    /// Records an n-ary custom node: `value` with `∂value/∂parentᵢ`
+    /// given by `partials[i]`. Internally expands into binary chains.
+    pub fn custom(&self, value: f64, parents: &[Var<'_>], partials: &[f64]) -> Var<'_> {
+        assert_eq!(parents.len(), partials.len(), "custom: arity mismatch");
+        // Fold into a chain of binary accumulation nodes so the fixed-arity
+        // node representation stays simple.
+        let mut acc_idx = CONST_IDX;
+        for (p, &w) in parents.iter().zip(partials) {
+            if p.idx == CONST_IDX {
+                continue;
+            }
+            acc_idx = self.push(SNode {
+                parents: [p.idx, acc_idx],
+                partials: [w, 1.0],
+            });
+        }
+        if acc_idx == CONST_IDX {
+            return Var {
+                tape: Some(self),
+                idx: self.push(SNode {
+                    parents: [CONST_IDX, CONST_IDX],
+                    partials: [0.0, 0.0],
+                }),
+                val: value,
+            };
+        }
+        Var {
+            tape: Some(self),
+            idx: acc_idx,
+            val: value,
+        }
+    }
+
+    fn push(&self, node: SNode) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        nodes.len() - 1
+    }
+
+    /// Reverse sweep from `output`; returns the adjoint of every node.
+    /// Use [`Grads::wrt`] to read the gradient for a particular variable.
+    pub fn grad(&self, output: Var<'_>) -> Grads {
+        let nodes = self.nodes.borrow();
+        let mut adj = vec![0.0; nodes.len()];
+        if output.idx != CONST_IDX {
+            adj[output.idx] = 1.0;
+            for i in (0..=output.idx).rev() {
+                let a = adj[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let n = &nodes[i];
+                for k in 0..2 {
+                    if n.parents[k] != CONST_IDX {
+                        adj[n.parents[k]] += n.partials[k] * a;
+                    }
+                }
+            }
+        }
+        Grads { adj }
+    }
+
+    /// Clears all recorded nodes (for reuse across iterations).
+    pub fn clear(&self) {
+        self.nodes.borrow_mut().clear();
+    }
+}
+
+/// Adjoints produced by [`STape::grad`].
+#[derive(Debug, Clone)]
+pub struct Grads {
+    adj: Vec<f64>,
+}
+
+impl Grads {
+    /// Gradient of the output with respect to `v` (0 for constants).
+    pub fn wrt(&self, v: Var<'_>) -> f64 {
+        if v.idx == CONST_IDX {
+            0.0
+        } else {
+            self.adj[v.idx]
+        }
+    }
+}
+
+/// A scalar tape variable (or an untracked constant).
+///
+/// `Var` is `Copy`; arithmetic records onto the tape referenced by either
+/// operand. Constants (created via [`Scalar::from_f64`]) carry no tape and
+/// produce no gradient.
+#[derive(Debug, Clone, Copy)]
+pub struct Var<'t> {
+    tape: Option<&'t STape>,
+    idx: usize,
+    val: f64,
+}
+
+impl<'t> Var<'t> {
+    /// The primal value.
+    pub fn val(&self) -> f64 {
+        self.val
+    }
+
+    fn tape_of(a: Var<'t>, b: Var<'t>) -> Option<&'t STape> {
+        a.tape.or(b.tape)
+    }
+
+    fn binary(a: Var<'t>, b: Var<'t>, val: f64, da: f64, db: f64) -> Var<'t> {
+        match Self::tape_of(a, b) {
+            None => Var {
+                tape: None,
+                idx: CONST_IDX,
+                val,
+            },
+            Some(t) => {
+                let idx = t.push(SNode {
+                    parents: [a.idx, b.idx],
+                    partials: [da, db],
+                });
+                Var {
+                    tape: Some(t),
+                    idx,
+                    val,
+                }
+            }
+        }
+    }
+
+    fn unary(a: Var<'t>, val: f64, da: f64) -> Var<'t> {
+        match a.tape {
+            None => Var {
+                tape: None,
+                idx: CONST_IDX,
+                val,
+            },
+            Some(t) => {
+                let idx = t.push(SNode {
+                    parents: [a.idx, CONST_IDX],
+                    partials: [da, 0.0],
+                });
+                Var {
+                    tape: Some(t),
+                    idx,
+                    val,
+                }
+            }
+        }
+    }
+}
+
+impl<'t> Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, o: Self) -> Self {
+        Var::binary(self, o, self.val + o.val, 1.0, 1.0)
+    }
+}
+impl<'t> Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, o: Self) -> Self {
+        Var::binary(self, o, self.val - o.val, 1.0, -1.0)
+    }
+}
+impl<'t> Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, o: Self) -> Self {
+        Var::binary(self, o, self.val * o.val, o.val, self.val)
+    }
+}
+impl<'t> Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, o: Self) -> Self {
+        Var::binary(
+            self,
+            o,
+            self.val / o.val,
+            1.0 / o.val,
+            -self.val / (o.val * o.val),
+        )
+    }
+}
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Self {
+        Var::unary(self, -self.val, -1.0)
+    }
+}
+
+impl<'t> Scalar for Var<'t> {
+    fn from_f64(v: f64) -> Self {
+        Var {
+            tape: None,
+            idx: CONST_IDX,
+            val: v,
+        }
+    }
+    fn value(&self) -> f64 {
+        self.val
+    }
+    fn sqrt(self) -> Self {
+        let s = self.val.sqrt();
+        Var::unary(self, s, 0.5 / s)
+    }
+    fn exp(self) -> Self {
+        let e = self.val.exp();
+        Var::unary(self, e, e)
+    }
+    fn ln(self) -> Self {
+        Var::unary(self, self.val.ln(), 1.0 / self.val)
+    }
+    fn sin(self) -> Self {
+        Var::unary(self, self.val.sin(), self.val.cos())
+    }
+    fn cos(self) -> Self {
+        Var::unary(self, self.val.cos(), -self.val.sin())
+    }
+    fn tanh(self) -> Self {
+        let t = self.val.tanh();
+        Var::unary(self, t, 1.0 - t * t)
+    }
+    fn powi(self, n: i32) -> Self {
+        Var::unary(
+            self,
+            self.val.powi(n),
+            n as f64 * self.val.powi(n - 1),
+        )
+    }
+    fn abs(self) -> Self {
+        Var::unary(self, self.val.abs(), self.val.signum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::fd_gradient;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grad_of_product() {
+        let t = STape::new();
+        let x = t.var(3.0);
+        let y = t.var(4.0);
+        let z = x * y + x;
+        assert_eq!(z.val(), 15.0);
+        let g = t.grad(z);
+        assert_eq!(g.wrt(x), 5.0); // y + 1
+        assert_eq!(g.wrt(y), 3.0); // x
+    }
+
+    #[test]
+    fn grad_with_constants() {
+        let t = STape::new();
+        let x = t.var(2.0);
+        let c = Var::from_f64(10.0);
+        let z = x * c + c;
+        assert_eq!(z.val(), 30.0);
+        let g = t.grad(z);
+        assert_eq!(g.wrt(x), 10.0);
+        assert_eq!(g.wrt(c), 0.0);
+    }
+
+    #[test]
+    fn grad_of_elementary_chain() {
+        // f(x) = tanh(sin(x) * exp(x)); checked against finite differences.
+        let f64_f = |x: f64| (x.sin() * x.exp()).tanh();
+        let x0 = 0.4;
+        let t = STape::new();
+        let x = t.var(x0);
+        let z = (x.sin() * x.exp()).tanh();
+        assert!((z.val() - f64_f(x0)).abs() < 1e-14);
+        let g = t.grad(z);
+        let fd = fd_gradient(|v| f64_f(v[0]), &[x0], 1e-6);
+        assert!((g.wrt(x) - fd[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_reused_subexpression() {
+        // z = (x + y)^2 uses the sum twice via Mul's two parents.
+        let t = STape::new();
+        let x = t.var(1.5);
+        let y = t.var(-0.5);
+        let s = x + y;
+        let z = s * s;
+        let g = t.grad(z);
+        assert!((g.wrt(x) - 2.0).abs() < 1e-14);
+        assert!((g.wrt(y) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn custom_nary_node() {
+        let t = STape::new();
+        let a = t.var(1.0);
+        let b = t.var(2.0);
+        let c = t.var(3.0);
+        // f(a, b, c) = a + 2b + 3c as a single custom node.
+        let f = t.custom(a.val() + 2.0 * b.val() + 3.0 * c.val(), &[a, b, c], &[1.0, 2.0, 3.0]);
+        let z = f * f;
+        let g = t.grad(z);
+        let fv = 14.0;
+        assert!((g.wrt(a) - 2.0 * fv).abs() < 1e-12);
+        assert!((g.wrt(b) - 4.0 * fv).abs() < 1e-12);
+        assert!((g.wrt(c) - 6.0 * fv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = STape::new();
+        let _ = t.var(1.0);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn generic_function_through_scalar_trait() {
+        fn rosenbrock<S: Scalar>(x: S, y: S) -> S {
+            let one = S::from_f64(1.0);
+            let hundred = S::from_f64(100.0);
+            (one - x).sq() + hundred * (y - x.sq()).sq()
+        }
+        let t = STape::new();
+        let x = t.var(0.3);
+        let y = t.var(0.7);
+        let z = rosenbrock(x, y);
+        let g = t.grad(z);
+        let fd = fd_gradient(|v| rosenbrock(v[0], v[1]), &[0.3, 0.7], 1e-6);
+        assert!((g.wrt(x) - fd[0]).abs() < 1e-4 * (1.0 + fd[0].abs()));
+        assert!((g.wrt(y) - fd[1]).abs() < 1e-4 * (1.0 + fd[1].abs()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_grad_matches_fd(x0 in 0.2f64..1.5, y0 in 0.2f64..1.5) {
+            let f = |x: f64, y: f64| (x * y).sin() + (x / y).exp() - (x + y).ln();
+            let t = STape::new();
+            let x = t.var(x0);
+            let y = t.var(y0);
+            let z = (x * y).sin() + (x / y).exp() - (x + y).ln();
+            prop_assert!((z.val() - f(x0, y0)).abs() < 1e-12);
+            let g = t.grad(z);
+            let fd = fd_gradient(|v| f(v[0], v[1]), &[x0, y0], 1e-6);
+            prop_assert!((g.wrt(x) - fd[0]).abs() < 1e-4 * (1.0 + fd[0].abs()));
+            prop_assert!((g.wrt(y) - fd[1]).abs() < 1e-4 * (1.0 + fd[1].abs()));
+        }
+
+        #[test]
+        fn prop_linearity_of_grad(a in -3.0f64..3.0, b in -3.0f64..3.0, x0 in 0.5f64..2.0) {
+            // d/dx [a f + b g] = a f' + b g'
+            let t = STape::new();
+            let x = t.var(x0);
+            let f = x.sin();
+            let g1 = x.exp();
+            let combo = Var::from_f64(a) * f + Var::from_f64(b) * g1;
+            let gr = t.grad(combo);
+            let expect = a * x0.cos() + b * x0.exp();
+            prop_assert!((gr.wrt(x) - expect).abs() < 1e-10 * (1.0 + expect.abs()));
+        }
+    }
+}

@@ -1,0 +1,1199 @@
+//! Tensor-level reverse-mode automatic differentiation.
+//!
+//! This is the engine behind the paper's differentiable-programming (DP)
+//! results: the *discretise-then-optimise* gradients come from recording
+//! whole-array operations (assembly, linear solves, quadratures) on a tape
+//! and running one reverse sweep. The pivotal primitive is the
+//! differentiable linear solve:
+//!
+//! * forward: `x = A⁻¹ b`, caching the LU factorization of `A`;
+//! * backward: `s = A⁻ᵀ x̄` (one transpose-solve with the *cached* factors),
+//!   then `b̄ += s` and, when `A` is itself on the tape, `Ā += −s xᵀ`.
+//!
+//! This mirrors the custom VJP JAX registers for `jnp.linalg.solve` and is
+//! why DP "produces the most accurate gradients" (paper §4): the reverse
+//! sweep is the exact adjoint of the discrete forward solver, with no
+//! separately-discretised adjoint PDE to drift out of sync.
+
+use crate::tensor::{self, Tensor};
+use linalg::{DMat, LinalgError, Lu};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Operations recorded on the tape. Parent node indices are embedded in the
+/// variants; `Rc` payloads are constants captured at record time.
+#[derive(Clone)]
+enum Op {
+    /// Leaf (input or constant-as-variable).
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    /// Elementwise product.
+    Mul(usize, usize),
+    /// Elementwise quotient.
+    Div(usize, usize),
+    Neg(usize),
+    /// Multiplication by a scalar constant.
+    Scale(usize, f64),
+    /// Elementwise addition of a constant tensor (the constant is not needed
+    /// in the backward pass, so it is not retained).
+    AddConst(usize),
+    /// Elementwise product with a constant tensor.
+    MulConst(usize, Arc<Tensor>),
+    /// `A B`, both variable.
+    MatMul(usize, usize),
+    /// `C B`, left factor constant.
+    MatMulConstL(Arc<Tensor>, usize),
+    /// `A C`, right factor constant.
+    MatMulConstR(usize, Arc<Tensor>),
+    Transpose(usize),
+    /// Sum of all entries, producing `1 × 1`.
+    Sum(usize),
+    /// Mean of all entries, producing `1 × 1`.
+    Mean(usize),
+    /// Sum of squared entries, producing `1 × 1`.
+    SumSq(usize),
+    /// Frobenius inner product of two variables, producing `1 × 1`.
+    Dot(usize, usize),
+    /// Frobenius inner product with a constant, producing `1 × 1`.
+    DotConst(usize, Arc<Tensor>),
+    Tanh(usize),
+    Sin(usize),
+    Cos(usize),
+    Exp(usize),
+    Sqrt(usize),
+    Powi(usize, i32),
+    /// Contiguous row slice `[r0, r0+rows)`.
+    SliceRows {
+        parent: usize,
+        r0: usize,
+        rows: usize,
+    },
+    /// Row gather by index list.
+    Gather {
+        parent: usize,
+        idx: Arc<Vec<usize>>,
+    },
+    /// Vertical concatenation of the parents.
+    ConcatRows(Vec<usize>),
+    /// `diag(s) · C` with `C` constant and `s` a variable column.
+    RowScaleConst {
+        mat: Arc<Tensor>,
+        scale: usize,
+    },
+    /// `X + 1·r` broadcasting a `1 × n` row over an `m × n` matrix.
+    BroadcastAddRow(usize, usize),
+    /// `x = A⁻¹ b` with a constant, pre-factored `A`.
+    SolveConst {
+        lu: Arc<Lu>,
+        b: usize,
+    },
+    /// `x = A⁻¹ b` with a variable `A` (factored at record time).
+    Solve {
+        a: usize,
+        b: usize,
+        lu: Arc<Lu>,
+    },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A reverse-mode tensor tape.
+///
+/// Typical use builds a fresh tape per optimization iteration, records the
+/// forward computation through [`TVar`] methods, calls [`Tape::backward`] on
+/// the scalar objective, then drops the tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// A variable on a [`Tape`] (a cheap copyable handle).
+#[derive(Clone, Copy)]
+pub struct TVar<'t> {
+    tape: &'t Tape,
+    idx: usize,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes held by node values and cached factorizations.
+    ///
+    /// This is the quantity behind the paper's Table 3 memory discussion: DP
+    /// memory grows with every recorded solve (each caches an `n²` LU),
+    /// super-linearly in the number of Navier–Stokes refinement steps `k`.
+    pub fn memory_bytes(&self) -> usize {
+        let nodes = self.nodes.borrow();
+        // Shared factorizations (one Arc<Lu> reused by many solves, e.g. a
+        // time-stepping loop with a constant operator) are counted once.
+        let mut seen: Vec<*const Lu> = Vec::new();
+        nodes
+            .iter()
+            .map(|n| {
+                let mut b = tensor::numel(&n.value) * 8;
+                match &n.op {
+                    Op::Solve { lu, .. } | Op::SolveConst { lu, .. } => {
+                        let p = Arc::as_ptr(lu);
+                        if !seen.contains(&p) {
+                            seen.push(p);
+                            b += lu.dim() * lu.dim() * 8;
+                        }
+                    }
+                    _ => {}
+                }
+                b
+            })
+            .sum()
+    }
+
+    /// Registers a leaf variable.
+    pub fn var(&self, value: Tensor) -> TVar<'_> {
+        TVar {
+            tape: self,
+            idx: self.push(Op::Leaf, value),
+        }
+    }
+
+    /// Registers an `n × 1` leaf from a slice.
+    pub fn var_col(&self, v: &[f64]) -> TVar<'_> {
+        self.var(tensor::col(v))
+    }
+
+    /// Registers a `1 × 1` leaf.
+    pub fn var_scalar(&self, v: f64) -> TVar<'_> {
+        self.var(tensor::scalar(v))
+    }
+
+    fn push(&self, op: Op, value: Tensor) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { op, value });
+        nodes.len() - 1
+    }
+
+    fn value_of(&self, idx: usize) -> Tensor {
+        self.nodes.borrow()[idx].value.clone()
+    }
+
+    fn shape_of(&self, idx: usize) -> (usize, usize) {
+        self.nodes.borrow()[idx].value.shape()
+    }
+
+    /// Differentiable linear solve with a constant, pre-factored matrix.
+    ///
+    /// Sharing one `Arc<Lu>` across iterations is the "factor once, solve
+    /// many" fast path the Laplace problem exploits (its collocation matrix
+    /// does not depend on the control).
+    pub fn solve_const<'t>(&'t self, lu: &Arc<Lu>, b: TVar<'t>) -> Result<TVar<'t>, LinalgError> {
+        let bv = tensor::to_dvec(&b.value());
+        let x = lu.solve(&bv)?;
+        Ok(TVar {
+            tape: self,
+            idx: self.push(
+                Op::SolveConst {
+                    lu: Arc::clone(lu),
+                    b: b.idx,
+                },
+                tensor::from_dvec(&x),
+            ),
+        })
+    }
+
+    /// Differentiable linear solve `x = A⁻¹ b` with `A` on the tape.
+    ///
+    /// Factors `A`'s current value (cached for the backward pass) — the
+    /// memory cost of DP through an iterative PDE solver comes from here.
+    pub fn solve<'t>(&'t self, a: TVar<'t>, b: TVar<'t>) -> Result<TVar<'t>, LinalgError> {
+        let av = a.value();
+        let lu = Arc::new(Lu::factor(&av)?);
+        let bv = tensor::to_dvec(&b.value());
+        let x = lu.solve(&bv)?;
+        Ok(TVar {
+            tape: self,
+            idx: self.push(
+                Op::Solve {
+                    a: a.idx,
+                    b: b.idx,
+                    lu,
+                },
+                tensor::from_dvec(&x),
+            ),
+        })
+    }
+
+    /// Differentiable linear solves sharing **one** factorization of a
+    /// variable matrix: `xᵢ = A⁻¹ bᵢ`. The Navier–Stokes momentum step uses
+    /// this — the `u` and `v` components share their system matrix and only
+    /// differ in boundary data, so factoring once halves the dominant cost.
+    pub fn solve_shared<'t>(
+        &'t self,
+        a: TVar<'t>,
+        bs: &[TVar<'t>],
+    ) -> Result<Vec<TVar<'t>>, LinalgError> {
+        let av = a.value();
+        let lu = Arc::new(Lu::factor(&av)?);
+        let mut out = Vec::with_capacity(bs.len());
+        for b in bs {
+            let bv = tensor::to_dvec(&b.value());
+            let x = lu.solve(&bv)?;
+            out.push(TVar {
+                tape: self,
+                idx: self.push(
+                    Op::Solve {
+                        a: a.idx,
+                        b: b.idx,
+                        lu: Arc::clone(&lu),
+                    },
+                    tensor::from_dvec(&x),
+                ),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Vertically concatenates variables.
+    pub fn concat_rows<'t>(&'t self, parts: &[TVar<'t>]) -> TVar<'t> {
+        assert!(!parts.is_empty(), "concat_rows: empty input");
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = tensor::vstack(&refs);
+        TVar {
+            tape: self,
+            idx: self.push(Op::ConcatRows(parts.iter().map(|p| p.idx).collect()), value),
+        }
+    }
+
+    /// Reverse sweep from a `1 × 1` output. Returns per-node adjoints.
+    pub fn backward(&self, output: TVar<'_>) -> TGrads {
+        let nodes = self.nodes.borrow();
+        assert_eq!(
+            nodes[output.idx].value.shape(),
+            (1, 1),
+            "backward: output must be scalar (1 x 1)"
+        );
+        let mut adj: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        adj[output.idx] = Some(tensor::scalar(1.0));
+
+        // Helper: accumulate `delta` into `adj[i]`.
+        fn acc(adj: &mut [Option<Tensor>], i: usize, delta: Tensor) {
+            match &mut adj[i] {
+                Some(t) => t.axpy_mat(1.0, &delta),
+                slot @ None => *slot = Some(delta),
+            }
+        }
+
+        for i in (0..=output.idx).rev() {
+            let Some(g) = adj[i].clone() else { continue };
+            let node = &nodes[i];
+            match &node.op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    acc(&mut adj, *a, g.clone());
+                    acc(&mut adj, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut adj, *a, g.clone());
+                    acc(&mut adj, *b, &g * -1.0);
+                }
+                Op::Mul(a, b) => {
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    acc(&mut adj, *a, tensor::ew_mul(&g, bv));
+                    acc(&mut adj, *b, tensor::ew_mul(&g, av));
+                }
+                Op::Div(a, b) => {
+                    let bv = &nodes[*b].value;
+                    let y = &node.value;
+                    acc(&mut adj, *a, tensor::ew_div(&g, bv));
+                    let gb = tensor::ew_div(&tensor::ew_mul(&g, y), bv);
+                    acc(&mut adj, *b, &gb * -1.0);
+                }
+                Op::Neg(a) => acc(&mut adj, *a, &g * -1.0),
+                Op::Scale(a, c) => acc(&mut adj, *a, &g * *c),
+                Op::AddConst(a) => acc(&mut adj, *a, g),
+                Op::MulConst(a, c) => acc(&mut adj, *a, tensor::ew_mul(&g, c)),
+                Op::MatMul(a, b) => {
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    acc(&mut adj, *a, g.matmul(&bv.transpose()).unwrap());
+                    acc(&mut adj, *b, av.transpose().matmul(&g).unwrap());
+                }
+                Op::MatMulConstL(c, b) => {
+                    acc(&mut adj, *b, c.transpose().matmul(&g).unwrap());
+                }
+                Op::MatMulConstR(a, c) => {
+                    acc(&mut adj, *a, g.matmul(&c.transpose()).unwrap());
+                }
+                Op::Transpose(a) => acc(&mut adj, *a, g.transpose()),
+                Op::Sum(a) => {
+                    let (r, c) = nodes[*a].value.shape();
+                    acc(&mut adj, *a, DMat::from_fn(r, c, |_, _| g[(0, 0)]));
+                }
+                Op::Mean(a) => {
+                    let (r, c) = nodes[*a].value.shape();
+                    let s = g[(0, 0)] / (r * c) as f64;
+                    acc(&mut adj, *a, DMat::from_fn(r, c, |_, _| s));
+                }
+                Op::SumSq(a) => {
+                    let av = &nodes[*a].value;
+                    acc(&mut adj, *a, av.map(|x| 2.0 * g[(0, 0)] * x));
+                }
+                Op::Dot(a, b) => {
+                    let av = &nodes[*a].value;
+                    let bv = &nodes[*b].value;
+                    acc(&mut adj, *a, bv * g[(0, 0)]);
+                    acc(&mut adj, *b, av * g[(0, 0)]);
+                }
+                Op::DotConst(a, c) => {
+                    acc(&mut adj, *a, c.as_ref() * g[(0, 0)]);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    acc(&mut adj, *a, tensor::ew_mul(&g, &y.map(|t| 1.0 - t * t)));
+                }
+                Op::Sin(a) => {
+                    let av = &nodes[*a].value;
+                    acc(&mut adj, *a, tensor::ew_mul(&g, &av.map(f64::cos)));
+                }
+                Op::Cos(a) => {
+                    let av = &nodes[*a].value;
+                    acc(&mut adj, *a, tensor::ew_mul(&g, &av.map(|x| -x.sin())));
+                }
+                Op::Exp(a) => {
+                    let y = &node.value;
+                    acc(&mut adj, *a, tensor::ew_mul(&g, y));
+                }
+                Op::Sqrt(a) => {
+                    let y = &node.value;
+                    acc(&mut adj, *a, tensor::ew_mul(&g, &y.map(|s| 0.5 / s)));
+                }
+                Op::Powi(a, n) => {
+                    let av = &nodes[*a].value;
+                    let nf = *n as f64;
+                    acc(
+                        &mut adj,
+                        *a,
+                        tensor::ew_mul(&g, &av.map(|x| nf * x.powi(n - 1))),
+                    );
+                }
+                Op::SliceRows { parent, r0, rows } => {
+                    let (pr, pc) = nodes[*parent].value.shape();
+                    let mut d = DMat::zeros(pr, pc);
+                    d.set_block(*r0, 0, &g);
+                    let _ = rows;
+                    acc(&mut adj, *parent, d);
+                }
+                Op::Gather { parent, idx } => {
+                    let (pr, pc) = nodes[*parent].value.shape();
+                    let mut d = DMat::zeros(pr, pc);
+                    for (gi, &pi) in idx.iter().enumerate() {
+                        for j in 0..pc {
+                            d[(pi, j)] += g[(gi, j)];
+                        }
+                    }
+                    acc(&mut adj, *parent, d);
+                }
+                Op::ConcatRows(parents) => {
+                    let mut r0 = 0;
+                    for &p in parents {
+                        let (pr, pc) = nodes[p].value.shape();
+                        acc(&mut adj, p, g.block(r0, 0, pr, pc));
+                        r0 += pr;
+                    }
+                }
+                Op::RowScaleConst { mat, scale } => {
+                    // y = diag(s) C: s̄ᵢ = Σⱼ ḡᵢⱼ Cᵢⱼ.
+                    let n = nodes[*scale].value.nrows();
+                    let mut d = DMat::zeros(n, 1);
+                    for r in 0..n {
+                        let mut s = 0.0;
+                        for (gv, cv) in g.row(r).iter().zip(mat.row(r)) {
+                            s += gv * cv;
+                        }
+                        d[(r, 0)] = s;
+                    }
+                    acc(&mut adj, *scale, d);
+                }
+                Op::BroadcastAddRow(x, r) => {
+                    acc(&mut adj, *x, g.clone());
+                    acc(&mut adj, *r, tensor::sum_rows(&g));
+                }
+                Op::SolveConst { lu, b } => {
+                    let gb = lu
+                        .solve_transpose(&tensor::to_dvec(&g))
+                        .expect("solve_const backward");
+                    acc(&mut adj, *b, tensor::from_dvec(&gb));
+                }
+                Op::Solve { a, b, lu } => {
+                    let s = lu
+                        .solve_transpose(&tensor::to_dvec(&g))
+                        .expect("solve backward");
+                    let st = tensor::from_dvec(&s);
+                    acc(&mut adj, *b, st.clone());
+                    // Ā = −s xᵀ.
+                    let x = tensor::to_dvec(&node.value);
+                    let ga = DMat::from_fn(s.len(), x.len(), |i, j| -s[i] * x[j]);
+                    acc(&mut adj, *a, ga);
+                }
+            }
+        }
+        TGrads { adj }
+    }
+}
+
+/// Adjoints produced by [`Tape::backward`].
+pub struct TGrads {
+    adj: Vec<Option<Tensor>>,
+}
+
+impl TGrads {
+    /// Gradient with respect to `v`, or a zero tensor of `v`'s shape if the
+    /// output did not depend on it.
+    pub fn wrt(&self, v: TVar<'_>) -> Tensor {
+        match &self.adj[v.idx] {
+            Some(t) => t.clone(),
+            None => {
+                let (r, c) = v.tape.shape_of(v.idx);
+                DMat::zeros(r, c)
+            }
+        }
+    }
+}
+
+macro_rules! unary_op {
+    ($name:ident, $variant:ident, $fwd:expr) => {
+        /// Elementwise operation recorded on the tape.
+        pub fn $name(self) -> TVar<'t> {
+            let v = self.value();
+            #[allow(clippy::redundant_closure_call)]
+            let out = ($fwd)(&v);
+            TVar {
+                tape: self.tape,
+                idx: self.tape.push(Op::$variant(self.idx), out),
+            }
+        }
+    };
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div/neg are the tape's op-recording API
+impl<'t> TVar<'t> {
+    /// The current (primal) value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.idx)
+    }
+
+    /// `(rows, cols)` of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.shape_of(self.idx)
+    }
+
+    /// The value of a `1 × 1` variable.
+    pub fn scalar_value(&self) -> f64 {
+        let v = self.value();
+        assert_eq!(v.shape(), (1, 1), "scalar_value: not 1 x 1");
+        v[(0, 0)]
+    }
+
+    fn binary(self, o: TVar<'t>, op: Op, value: Tensor) -> TVar<'t> {
+        debug_assert!(std::ptr::eq(self.tape, o.tape), "variables from different tapes");
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(op, value),
+        }
+    }
+
+    /// Elementwise addition.
+    pub fn add(self, o: TVar<'t>) -> TVar<'t> {
+        let v = &self.value() + &o.value();
+        self.binary(o, Op::Add(self.idx, o.idx), v)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(self, o: TVar<'t>) -> TVar<'t> {
+        let v = &self.value() - &o.value();
+        self.binary(o, Op::Sub(self.idx, o.idx), v)
+    }
+
+    /// Elementwise product.
+    pub fn mul(self, o: TVar<'t>) -> TVar<'t> {
+        let v = tensor::ew_mul(&self.value(), &o.value());
+        self.binary(o, Op::Mul(self.idx, o.idx), v)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(self, o: TVar<'t>) -> TVar<'t> {
+        let v = tensor::ew_div(&self.value(), &o.value());
+        self.binary(o, Op::Div(self.idx, o.idx), v)
+    }
+
+    /// Negation.
+    pub fn neg(self) -> TVar<'t> {
+        let v = &self.value() * -1.0;
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::Neg(self.idx), v),
+        }
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(self, c: f64) -> TVar<'t> {
+        let v = &self.value() * c;
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::Scale(self.idx, c), v),
+        }
+    }
+
+    /// Elementwise addition of a constant tensor.
+    pub fn add_const(self, c: &Tensor) -> TVar<'t> {
+        let v = &self.value() + c;
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::AddConst(self.idx), v),
+        }
+    }
+
+    /// Elementwise product with a constant tensor.
+    pub fn mul_const(self, c: &Tensor) -> TVar<'t> {
+        let v = tensor::ew_mul(&self.value(), c);
+        TVar {
+            tape: self.tape,
+            idx: self
+                .tape
+                .push(Op::MulConst(self.idx, Arc::new(c.clone())), v),
+        }
+    }
+
+    /// Matrix product with another variable.
+    pub fn matmul(self, o: TVar<'t>) -> TVar<'t> {
+        let v = self.value().matmul(&o.value()).expect("matmul shape");
+        self.binary(o, Op::MatMul(self.idx, o.idx), v)
+    }
+
+    /// `C · self` with a constant left factor.
+    pub fn matmul_const_l(self, c: &Arc<Tensor>) -> TVar<'t> {
+        let v = c.matmul(&self.value()).expect("matmul_const_l shape");
+        TVar {
+            tape: self.tape,
+            idx: self
+                .tape
+                .push(Op::MatMulConstL(Arc::clone(c), self.idx), v),
+        }
+    }
+
+    /// `self · C` with a constant right factor.
+    pub fn matmul_const_r(self, c: &Arc<Tensor>) -> TVar<'t> {
+        let v = self.value().matmul(c).expect("matmul_const_r shape");
+        TVar {
+            tape: self.tape,
+            idx: self
+                .tape
+                .push(Op::MatMulConstR(self.idx, Arc::clone(c)), v),
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(self) -> TVar<'t> {
+        let v = self.value().transpose();
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::Transpose(self.idx), v),
+        }
+    }
+
+    /// Sum of all entries (`1 × 1`).
+    pub fn sum(self) -> TVar<'t> {
+        let v = tensor::scalar(self.value().as_slice().iter().sum());
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::Sum(self.idx), v),
+        }
+    }
+
+    /// Mean of all entries (`1 × 1`).
+    pub fn mean(self) -> TVar<'t> {
+        let val = self.value();
+        let n = tensor::numel(&val) as f64;
+        let v = tensor::scalar(val.as_slice().iter().sum::<f64>() / n);
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::Mean(self.idx), v),
+        }
+    }
+
+    /// Sum of squares (`1 × 1`).
+    pub fn sum_sq(self) -> TVar<'t> {
+        let v = tensor::scalar(self.value().as_slice().iter().map(|x| x * x).sum());
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::SumSq(self.idx), v),
+        }
+    }
+
+    /// Frobenius inner product with another variable (`1 × 1`).
+    pub fn dot(self, o: TVar<'t>) -> TVar<'t> {
+        let a = self.value();
+        let b = o.value();
+        assert_eq!(a.shape(), b.shape(), "dot: shape mismatch");
+        let v = tensor::scalar(
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| x * y)
+                .sum(),
+        );
+        self.binary(o, Op::Dot(self.idx, o.idx), v)
+    }
+
+    /// Frobenius inner product with a constant tensor (`1 × 1`), e.g. a
+    /// quadrature-weight vector.
+    pub fn dot_const(self, c: &Tensor) -> TVar<'t> {
+        let a = self.value();
+        assert_eq!(a.shape(), c.shape(), "dot_const: shape mismatch");
+        let v = tensor::scalar(
+            a.as_slice()
+                .iter()
+                .zip(c.as_slice())
+                .map(|(x, y)| x * y)
+                .sum(),
+        );
+        TVar {
+            tape: self.tape,
+            idx: self
+                .tape
+                .push(Op::DotConst(self.idx, Arc::new(c.clone())), v),
+        }
+    }
+
+    unary_op!(tanh, Tanh, |v: &Tensor| v.map(f64::tanh));
+    unary_op!(sin, Sin, |v: &Tensor| v.map(f64::sin));
+    unary_op!(cos, Cos, |v: &Tensor| v.map(f64::cos));
+    unary_op!(exp, Exp, |v: &Tensor| v.map(f64::exp));
+    unary_op!(sqrt, Sqrt, |v: &Tensor| v.map(f64::sqrt));
+
+    /// Elementwise integer power.
+    pub fn powi(self, n: i32) -> TVar<'t> {
+        let v = self.value().map(|x| x.powi(n));
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(Op::Powi(self.idx, n), v),
+        }
+    }
+
+    /// Squares every entry (sugar for `powi(2)`).
+    pub fn sq(self) -> TVar<'t> {
+        self.powi(2)
+    }
+
+    /// Contiguous row slice `[r0, r0 + rows)`.
+    pub fn slice_rows(self, r0: usize, rows: usize) -> TVar<'t> {
+        let val = self.value();
+        let v = val.block(r0, 0, rows, val.ncols());
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(
+                Op::SliceRows {
+                    parent: self.idx,
+                    r0,
+                    rows,
+                },
+                v,
+            ),
+        }
+    }
+
+    /// Row gather by an index list (scatter-add on the way back).
+    pub fn gather_rows(self, idx: &[usize]) -> TVar<'t> {
+        let val = self.value();
+        let v = DMat::from_fn(idx.len(), val.ncols(), |i, j| val[(idx[i], j)]);
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(
+                Op::Gather {
+                    parent: self.idx,
+                    idx: Arc::new(idx.to_vec()),
+                },
+                v,
+            ),
+        }
+    }
+
+    /// `diag(self) · C` with `C` a constant matrix and `self` an `n × 1`
+    /// column. This is how state-dependent operators (e.g. the advection
+    /// term `u·∂x`) enter the differentiable assembly.
+    pub fn row_scale_const(self, c: &Arc<Tensor>) -> TVar<'t> {
+        let s = self.value();
+        assert_eq!(s.ncols(), 1, "row_scale_const: scale must be a column");
+        assert_eq!(s.nrows(), c.nrows(), "row_scale_const: row mismatch");
+        let scol: Vec<f64> = s.as_slice().to_vec();
+        let v = c.scale_rows(&scol);
+        TVar {
+            tape: self.tape,
+            idx: self.tape.push(
+                Op::RowScaleConst {
+                    mat: Arc::clone(c),
+                    scale: self.idx,
+                },
+                v,
+            ),
+        }
+    }
+
+    /// Adds a `1 × n` row variable to every row of this `m × n` variable.
+    pub fn broadcast_add_row(self, r: TVar<'t>) -> TVar<'t> {
+        let v = tensor::broadcast_add_row(&self.value(), &r.value());
+        self.binary(r, Op::BroadcastAddRow(self.idx, r.idx), v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{fd_gradient, rel_error};
+    use linalg::DVec;
+
+    #[test]
+    fn add_mul_grads() {
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0]);
+        let b = t.var_col(&[3.0, 4.0]);
+        let y = a.mul(b).add(a).sum(); // Σ (a*b + a)
+        assert_eq!(y.scalar_value(), 3.0 + 8.0 + 1.0 + 2.0);
+        let g = t.backward(y);
+        assert_eq!(g.wrt(a).as_slice(), &[4.0, 5.0]); // b + 1
+        assert_eq!(g.wrt(b).as_slice(), &[1.0, 2.0]); // a
+    }
+
+    #[test]
+    fn div_grad_matches_fd() {
+        let x0 = [1.3, 0.7, 2.1];
+        let f = |x: &[f64]| {
+            let t = Tape::new();
+            let a = t.var_col(x);
+            let b = t.var_col(&[2.0, 3.0, 4.0]);
+            a.div(b).sum_sq().scalar_value()
+        };
+        let fd = fd_gradient(f, &x0, 1e-6);
+        let t = Tape::new();
+        let a = t.var_col(&x0);
+        let b = t.var_col(&[2.0, 3.0, 4.0]);
+        let y = a.div(b).sum_sq();
+        let g = t.backward(y);
+        let ga: Vec<f64> = g.wrt(a).as_slice().to_vec();
+        assert!(rel_error(&ga, &fd) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_grad_matches_fd() {
+        // J = sum((A x)^2) wrt x, with both A and x variables.
+        let a0 = [1.0, 2.0, -1.0, 0.5];
+        let x0 = [0.3, -0.8];
+        let f = |x: &[f64]| {
+            let t = Tape::new();
+            let a = t.var(DMat::from_vec(2, 2, a0.to_vec()));
+            let xv = t.var_col(x);
+            a.matmul(xv).sum_sq().scalar_value()
+        };
+        let fd = fd_gradient(f, &x0, 1e-6);
+        let t = Tape::new();
+        let a = t.var(DMat::from_vec(2, 2, a0.to_vec()));
+        let xv = t.var_col(&x0);
+        let y = a.matmul(xv).sum_sq();
+        let g = t.backward(y);
+        let gx: Vec<f64> = g.wrt(xv).as_slice().to_vec();
+        assert!(rel_error(&gx, &fd) < 1e-6);
+
+        // Also check the gradient wrt A by FD over its entries.
+        let fa = |av: &[f64]| {
+            let t = Tape::new();
+            let a = t.var(DMat::from_vec(2, 2, av.to_vec()));
+            let xv = t.var_col(&x0);
+            a.matmul(xv).sum_sq().scalar_value()
+        };
+        let fda = fd_gradient(fa, &a0, 1e-6);
+        let ga: Vec<f64> = g.wrt(a).as_slice().to_vec();
+        assert!(rel_error(&ga, &fda) < 1e-6);
+    }
+
+    #[test]
+    fn elementwise_transcendental_grads() {
+        let x0 = [0.4, 1.1, -0.6];
+        for which in 0..5 {
+            let f = move |x: &[f64]| {
+                let t = Tape::new();
+                let a = t.var_col(x);
+                let y = match which {
+                    0 => a.tanh(),
+                    1 => a.sin(),
+                    2 => a.cos(),
+                    3 => a.exp(),
+                    _ => a.sq(),
+                };
+                y.sum().scalar_value()
+            };
+            let fd = fd_gradient(f, &x0, 1e-6);
+            let t = Tape::new();
+            let a = t.var_col(&x0);
+            let y = match which {
+                0 => a.tanh(),
+                1 => a.sin(),
+                2 => a.cos(),
+                3 => a.exp(),
+                _ => a.sq(),
+            };
+            let out = y.sum();
+            let g = t.backward(out);
+            let ga: Vec<f64> = g.wrt(a).as_slice().to_vec();
+            assert!(
+                rel_error(&ga, &fd) < 1e-6,
+                "op {which}: ad {ga:?} vs fd {fd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_grad() {
+        let t = Tape::new();
+        let a = t.var_col(&[4.0, 9.0]);
+        let y = a.sqrt().sum();
+        let g = t.backward(y);
+        assert!((g.wrt(a)[(0, 0)] - 0.25).abs() < 1e-12);
+        assert!((g.wrt(a)[(1, 0)] - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reductions_mean_dot() {
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 3.0]);
+        let m = a.mean();
+        assert_eq!(m.scalar_value(), 2.0);
+        let g = t.backward(m);
+        assert_eq!(g.wrt(a).as_slice(), &[0.5, 0.5]);
+
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0]);
+        let b = t.var_col(&[5.0, 7.0]);
+        let d = a.dot(b);
+        assert_eq!(d.scalar_value(), 19.0);
+        let g = t.backward(d);
+        assert_eq!(g.wrt(a).as_slice(), &[5.0, 7.0]);
+        assert_eq!(g.wrt(b).as_slice(), &[1.0, 2.0]);
+
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0]);
+        let w = tensor::col(&[0.5, 0.25]);
+        let d = a.sq().dot_const(&w); // 0.5*1 + 0.25*4
+        assert_eq!(d.scalar_value(), 1.5);
+        let g = t.backward(d);
+        assert_eq!(g.wrt(a).as_slice(), &[1.0, 1.0]); // 2*x*w
+    }
+
+    #[test]
+    fn slice_gather_concat_grads() {
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0, 3.0, 4.0]);
+        let s = a.slice_rows(1, 2); // [2, 3]
+        assert_eq!(s.value().as_slice(), &[2.0, 3.0]);
+        let y = s.sum_sq();
+        let g = t.backward(y);
+        assert_eq!(g.wrt(a).as_slice(), &[0.0, 4.0, 6.0, 0.0]);
+
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0, 3.0]);
+        let gth = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(gth.value().as_slice(), &[3.0, 1.0, 3.0]);
+        let y = gth.sum();
+        let g = t.backward(y);
+        assert_eq!(g.wrt(a).as_slice(), &[1.0, 0.0, 2.0]);
+
+        let t = Tape::new();
+        let a = t.var_col(&[1.0]);
+        let b = t.var_col(&[2.0, 3.0]);
+        let cat = t.concat_rows(&[a, b]);
+        assert_eq!(cat.value().as_slice(), &[1.0, 2.0, 3.0]);
+        let y = cat.mul(cat).sum();
+        let g = t.backward(y);
+        assert_eq!(g.wrt(a).as_slice(), &[2.0]);
+        assert_eq!(g.wrt(b).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn row_scale_const_grad_matches_fd() {
+        let c = Arc::new(DMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let s0 = [0.5, -1.5];
+        let f = |s: &[f64]| {
+            let t = Tape::new();
+            let sv = t.var_col(s);
+            sv.row_scale_const(&c).sum_sq().scalar_value()
+        };
+        let fd = fd_gradient(f, &s0, 1e-6);
+        let t = Tape::new();
+        let sv = t.var_col(&s0);
+        let y = sv.row_scale_const(&c).sum_sq();
+        let g = t.backward(y);
+        let gs: Vec<f64> = g.wrt(sv).as_slice().to_vec();
+        assert!(rel_error(&gs, &fd) < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_add_row_grad() {
+        let t = Tape::new();
+        let x = t.var(DMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
+        let r = t.var(tensor::row(&[10.0, 20.0]));
+        let y = x.broadcast_add_row(r).sum_sq();
+        let g = t.backward(y);
+        // d/dr = sum over rows of 2*(x+r)
+        let gr = g.wrt(r);
+        assert_eq!(gr.as_slice(), &[2.0 * (11.0 + 13.0), 2.0 * (22.0 + 24.0)]);
+        let gx = g.wrt(x);
+        assert_eq!(gx.as_slice(), &[22.0, 44.0, 26.0, 48.0]);
+    }
+
+    #[test]
+    fn solve_const_grad_is_transpose_solve() {
+        // x = A^{-1} b, J = sum(x). dJ/db = A^{-T} 1.
+        let a = DMat::from_rows(&[vec![4.0, 1.0], vec![2.0, 3.0]]);
+        let lu = Arc::new(Lu::factor(&a).unwrap());
+        let t = Tape::new();
+        let b = t.var_col(&[1.0, 2.0]);
+        let x = t.solve_const(&lu, b).unwrap();
+        let j = x.sum();
+        let g = t.backward(j);
+        let expect = lu.solve_transpose(&DVec(vec![1.0, 1.0])).unwrap();
+        let gb = g.wrt(b);
+        assert!((gb[(0, 0)] - expect[0]).abs() < 1e-12);
+        assert!((gb[(1, 0)] - expect[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_variable_matrix_grad_matches_fd() {
+        // J(s) = ||A(s)^{-1} b||^2 with A(s) = A0 + diag(s) C.
+        let a0 = DMat::from_rows(&[vec![5.0, 1.0], vec![1.0, 4.0]]);
+        let c = Arc::new(DMat::from_rows(&[vec![1.0, 0.5], vec![-0.5, 1.0]]));
+        let b0 = [1.0, -2.0];
+        let s0 = [0.3, -0.2];
+        let f = |s: &[f64]| {
+            let t = Tape::new();
+            let sv = t.var_col(s);
+            let a = sv.row_scale_const(&c).add_const(&a0);
+            let b = t.var_col(&b0);
+            t.solve(a, b).unwrap().sum_sq().scalar_value()
+        };
+        let fd = fd_gradient(f, &s0, 1e-6);
+        let t = Tape::new();
+        let sv = t.var_col(&s0);
+        let a = sv.row_scale_const(&c).add_const(&a0);
+        let b = t.var_col(&b0);
+        let j = t.solve(a, b).unwrap().sum_sq();
+        let g = t.backward(j);
+        let gs: Vec<f64> = g.wrt(sv).as_slice().to_vec();
+        assert!(
+            rel_error(&gs, &fd) < 1e-5,
+            "ad {gs:?} vs fd {fd:?}"
+        );
+    }
+
+    #[test]
+    fn solve_grad_wrt_rhs_matches_fd() {
+        let a0 = DMat::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let b0 = [0.7, -0.4];
+        let f = |b: &[f64]| {
+            let t = Tape::new();
+            let av = t.var(a0.clone());
+            let bv = t.var_col(b);
+            t.solve(av, bv).unwrap().sum_sq().scalar_value()
+        };
+        let fd = fd_gradient(f, &b0, 1e-6);
+        let t = Tape::new();
+        let av = t.var(a0.clone());
+        let bv = t.var_col(&b0);
+        let j = t.solve(av, bv).unwrap().sum_sq();
+        let g = t.backward(j);
+        let gb: Vec<f64> = g.wrt(bv).as_slice().to_vec();
+        assert!(rel_error(&gb, &fd) < 1e-6);
+    }
+
+    #[test]
+    fn chained_solves_differentiate_through_iteration() {
+        // Two chained solves: x1 = A^{-1} b, x2 = A^{-1} (x1 * x1); J = Σ x2².
+        // This is a miniature of the Navier–Stokes fixed-point refinement.
+        let a0 = DMat::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let b0 = [1.0, 2.0];
+        let f = |b: &[f64]| {
+            let t = Tape::new();
+            let lu = Arc::new(Lu::factor(&a0).unwrap());
+            let bv = t.var_col(b);
+            let x1 = t.solve_const(&lu, bv).unwrap();
+            let x2 = t.solve_const(&lu, x1.mul(x1)).unwrap();
+            x2.sum_sq().scalar_value()
+        };
+        let fd = fd_gradient(f, &b0, 1e-6);
+        let t = Tape::new();
+        let lu = Arc::new(Lu::factor(&a0).unwrap());
+        let bv = t.var_col(&b0);
+        let x1 = t.solve_const(&lu, bv).unwrap();
+        let x2 = t.solve_const(&lu, x1.mul(x1)).unwrap();
+        let j = x2.sum_sq();
+        let g = t.backward(j);
+        let gb: Vec<f64> = g.wrt(bv).as_slice().to_vec();
+        assert!(rel_error(&gb, &fd) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_const_sides() {
+        let c = Arc::new(DMat::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]));
+        let t = Tape::new();
+        let x = t.var_col(&[1.0, 1.0]);
+        let y = x.matmul_const_l(&c).sum(); // Σ C x = (1+2) + (0+1)
+        assert_eq!(y.scalar_value(), 4.0);
+        let g = t.backward(y);
+        assert_eq!(g.wrt(x).as_slice(), &[1.0, 3.0]); // C^T 1
+
+        let t = Tape::new();
+        let x = t.var(tensor::row(&[1.0, 1.0]));
+        let y = x.matmul_const_r(&c).sum();
+        assert_eq!(y.scalar_value(), 4.0);
+        let g = t.backward(y);
+        assert_eq!(g.wrt(x).as_slice(), &[3.0, 1.0]); // 1^T C^T
+    }
+
+    #[test]
+    fn transpose_and_scale_grads() {
+        let t = Tape::new();
+        let x = t.var(DMat::from_rows(&[vec![1.0, 2.0]]));
+        let y = x.transpose().scale(3.0).sum_sq();
+        let g = t.backward(y);
+        assert_eq!(g.wrt(x).as_slice(), &[18.0, 36.0]); // 2*9*x
+    }
+
+    #[test]
+    fn memory_accounting_counts_solve_factors() {
+        let a = DMat::eye(8);
+        let t = Tape::new();
+        let before = t.memory_bytes();
+        let b = t.var_col(&[1.0; 8]);
+        let av = t.var(a);
+        let _x = t.solve(av, b).unwrap();
+        let after = t.memory_bytes();
+        // At least the 8x8 LU cache plus the node values.
+        assert!(after - before >= 8 * 8 * 8);
+    }
+
+    #[test]
+    fn grad_of_unused_leaf_is_zero() {
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0]);
+        let b = t.var_col(&[3.0]);
+        let y = a.sum();
+        let g = t.backward(y);
+        assert_eq!(g.wrt(b).as_slice(), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward: output must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let t = Tape::new();
+        let a = t.var_col(&[1.0, 2.0]);
+        let _ = t.backward(a);
+    }
+
+    mod random_programs {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Interprets a list of opcodes as a straight-line tensor program
+        /// over the input, then reduces to a scalar. Every op keeps values
+        /// in a numerically tame range.
+        fn run_program(ops: &[u8], x: &[f64]) -> f64 {
+            let t = Tape::new();
+            let v = t.var_col(x);
+            build(&t, v, ops).scalar_value()
+        }
+
+        fn build<'t>(_t: &'t Tape, x: TVar<'t>, ops: &[u8]) -> TVar<'t> {
+            let mut cur = x;
+            let mut prev = x;
+            for &op in ops {
+                let next = match op % 8 {
+                    0 => cur.tanh(),
+                    1 => cur.sin(),
+                    2 => cur.scale(0.7),
+                    3 => cur.add(prev),
+                    4 => cur.mul(prev).scale(0.5),
+                    5 => cur.neg(),
+                    6 => cur.cos(),
+                    _ => cur.sub(prev.scale(0.3)),
+                };
+                prev = cur;
+                cur = next;
+            }
+            cur.sum_sq()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+
+            /// Reverse-mode gradients of arbitrary op chains match central
+            /// finite differences — the tape has no op-specific blind spots.
+            #[test]
+            fn prop_random_chain_gradients_match_fd(
+                ops in proptest::collection::vec(0u8..8, 1..12),
+                x in proptest::collection::vec(-1.2f64..1.2, 2..5),
+            ) {
+                let t = Tape::new();
+                let v = t.var_col(&x);
+                let out = build(&t, v, &ops);
+                let g = t.backward(out).wrt(v);
+                let g_vec: Vec<f64> = g.as_slice().to_vec();
+                let fd = crate::gradcheck::fd_gradient(
+                    |xx| run_program(&ops, xx),
+                    &x,
+                    1e-6,
+                );
+                let err = crate::gradcheck::rel_error(&g_vec, &fd);
+                prop_assert!(err < 1e-4, "ops {ops:?}: rel err {err:.3e}");
+            }
+
+            /// Gradients are linear in the output seed: grad of 3·f equals
+            /// 3x grad of f, coordinate by coordinate.
+            #[test]
+            fn prop_grad_scales_with_output(
+                ops in proptest::collection::vec(0u8..8, 1..10),
+                x in proptest::collection::vec(-1.0f64..1.0, 2..4),
+            ) {
+                let t1 = Tape::new();
+                let v1 = t1.var_col(&x);
+                let o1 = build(&t1, v1, &ops);
+                let g1 = t1.backward(o1).wrt(v1);
+
+                let t2 = Tape::new();
+                let v2 = t2.var_col(&x);
+                let o2 = build(&t2, v2, &ops).scale(3.0);
+                let g2 = t2.backward(o2).wrt(v2);
+                for i in 0..x.len() {
+                    prop_assert!(
+                        (3.0 * g1[(i, 0)] - g2[(i, 0)]).abs()
+                            < 1e-10 * (1.0 + g2[(i, 0)].abs())
+                    );
+                }
+            }
+        }
+    }
+
+}

@@ -1,0 +1,162 @@
+//! Tensor storage for the tensor tape.
+//!
+//! A `Tensor` in this workspace is simply a dense matrix ([`linalg::DMat`]);
+//! column vectors are `n × 1`. This module adds the handful of elementwise
+//! and broadcasting helpers the tape's forward and backward passes need that
+//! are not general-purpose enough to live in `meshfree-linalg`.
+
+use linalg::{DMat, DVec};
+
+/// Dense tensor — an alias for [`linalg::DMat`]; vectors are `n × 1`.
+pub type Tensor = DMat;
+
+/// Wraps a `DVec` as an `n × 1` tensor.
+pub fn from_dvec(v: &DVec) -> Tensor {
+    DMat::from_vec(v.len(), 1, v.as_slice().to_vec())
+}
+
+/// Builds an `n × 1` tensor from a slice.
+pub fn col(v: &[f64]) -> Tensor {
+    DMat::from_vec(v.len(), 1, v.to_vec())
+}
+
+/// Builds a `1 × n` tensor from a slice.
+pub fn row(v: &[f64]) -> Tensor {
+    DMat::from_vec(1, v.len(), v.to_vec())
+}
+
+/// A `1 × 1` tensor.
+pub fn scalar(v: f64) -> Tensor {
+    DMat::from_vec(1, 1, vec![v])
+}
+
+/// Extracts a column tensor back into a `DVec`. Panics if not `n × 1`.
+pub fn to_dvec(t: &Tensor) -> DVec {
+    assert_eq!(t.ncols(), 1, "to_dvec: tensor is not a column");
+    DVec(t.as_slice().to_vec())
+}
+
+/// Elementwise product.
+pub fn ew_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "ew_mul: shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .collect();
+    DMat::from_vec(a.nrows(), a.ncols(), data)
+}
+
+/// Elementwise quotient.
+pub fn ew_div(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "ew_div: shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x / y)
+        .collect();
+    DMat::from_vec(a.nrows(), a.ncols(), data)
+}
+
+/// `X + 1·rowᵀ`: adds `row` (a `1 × n` tensor) to every row of `x` (`m × n`).
+pub fn broadcast_add_row(x: &Tensor, row: &Tensor) -> Tensor {
+    assert_eq!(row.nrows(), 1, "broadcast_add_row: row must be 1 x n");
+    assert_eq!(x.ncols(), row.ncols(), "broadcast_add_row: width mismatch");
+    let mut out = x.clone();
+    for i in 0..x.nrows() {
+        for (o, r) in out.row_mut(i).iter_mut().zip(row.row(0)) {
+            *o += r;
+        }
+    }
+    out
+}
+
+/// Sums the rows of `x` into a `1 × n` tensor (the adjoint of a row
+/// broadcast).
+pub fn sum_rows(x: &Tensor) -> Tensor {
+    let mut out = DMat::zeros(1, x.ncols());
+    for i in 0..x.nrows() {
+        for (o, v) in out.row_mut(0).iter_mut().zip(x.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Vertically stacks tensors (all must share a column count).
+pub fn vstack(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "vstack: empty input");
+    let cols = parts[0].ncols();
+    let rows: usize = parts.iter().map(|p| p.nrows()).sum();
+    let mut out = DMat::zeros(rows, cols);
+    let mut r0 = 0;
+    for p in parts {
+        assert_eq!(p.ncols(), cols, "vstack: column mismatch");
+        out.set_block(r0, 0, p);
+        r0 += p.nrows();
+    }
+    out
+}
+
+/// Total number of scalar elements.
+pub fn numel(t: &Tensor) -> usize {
+    t.nrows() * t.ncols()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_roundtrip() {
+        let v = DVec(vec![1.0, 2.0, 3.0]);
+        let t = from_dvec(&v);
+        assert_eq!(t.shape(), (3, 1));
+        assert_eq!(to_dvec(&t).as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(col(&[1.0, 2.0]).shape(), (2, 1));
+        assert_eq!(row(&[1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(scalar(5.0)[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = col(&[2.0, 3.0]);
+        let b = col(&[4.0, 5.0]);
+        assert_eq!(ew_mul(&a, &b).as_slice(), &[8.0, 15.0]);
+        assert_eq!(ew_div(&b, &a).as_slice(), &[2.0, 5.0 / 3.0]);
+    }
+
+    #[test]
+    fn broadcast_and_its_adjoint() {
+        let x = DMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let r = row(&[10.0, 20.0]);
+        let y = broadcast_add_row(&x, &r);
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        // Adjoint: sum over rows.
+        let s = sum_rows(&x);
+        assert_eq!(s.as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn vstack_blocks() {
+        let a = col(&[1.0, 2.0]);
+        let b = col(&[3.0]);
+        let v = vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 1));
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vstack: column mismatch")]
+    fn vstack_rejects_ragged() {
+        let a = col(&[1.0]);
+        let b = row(&[1.0, 2.0]);
+        vstack(&[&a, &b]);
+    }
+}

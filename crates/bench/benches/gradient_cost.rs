@@ -1,0 +1,36 @@
+//! Criterion benches for one gradient evaluation per method on the Laplace
+//! problem — the per-iteration costs whose totals appear in Table 3.
+//!
+//! Expected shape: DP ≈ DAL (both are ~two linear solves against the cached
+//! factorization), FD ≈ `n_c ×` a forward solve (central differences need
+//! `2 n_c` solves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::DVec;
+use pde::LaplaceControlProblem;
+use std::hint::black_box;
+
+fn bench_laplace_gradients(c: &mut Criterion) {
+    let mut g = c.benchmark_group("laplace_gradient");
+    g.sample_size(20);
+    for &nx in &[12usize, 20] {
+        let p = LaplaceControlProblem::new(nx).unwrap();
+        let ctrl = DVec::from_fn(p.n_controls(), |i| 0.1 * (i as f64).sin());
+        g.bench_with_input(BenchmarkId::new("dp", nx), &p, |b, p| {
+            b.iter(|| p.cost_and_grad_dp(black_box(&ctrl)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("dal", nx), &p, |b, p| {
+            b.iter(|| p.cost_and_grad_dal(black_box(&ctrl)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("fd", nx), &p, |b, p| {
+            b.iter(|| p.cost_and_grad_fd(black_box(&ctrl), 1e-6).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("cost_only", nx), &p, |b, p| {
+            b.iter(|| p.cost(black_box(&ctrl)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_laplace_gradients);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benches for one Navier–Stokes Picard refinement — plain
+//! (forward only) versus taped (DP records the solve for the reverse
+//! sweep) — and the full DP gradient at several refinement counts.
+//!
+//! Expected shape: taped ≈ plain per refinement (the LU dominates; the tape
+//! adds bookkeeping, not flops), while *memory* grows with `k` (see
+//! `ablations refinements` for the memory series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use control::ns::initial_control;
+use geometry::generators::ChannelConfig;
+use pde::ns_dp::NsDp;
+use pde::{NsConfig, NsSolver};
+use std::hint::black_box;
+
+fn solver(h: f64) -> NsSolver {
+    NsSolver::new(NsConfig {
+        channel: ChannelConfig {
+            h,
+            ..Default::default()
+        },
+        re: 50.0,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ns_refinement");
+    g.sample_size(10);
+    for &h in &[0.16f64, 0.12] {
+        let s = solver(h);
+        let ctrl = initial_control(&s);
+        let state = s.initial_state(&ctrl);
+        g.bench_with_input(
+            BenchmarkId::new("plain", format!("{}nodes", s.nodes().len())),
+            &s,
+            |b, s| b.iter(|| s.refine(black_box(&state), &ctrl).unwrap()),
+        );
+        let dp = NsDp::new(&s);
+        g.bench_with_input(
+            BenchmarkId::new("taped_k1", format!("{}nodes", s.nodes().len())),
+            &dp,
+            |b, dp| b.iter(|| dp.cost_and_grad(black_box(&ctrl), 1, None).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dp_vs_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ns_dp_gradient_vs_k");
+    g.sample_size(10);
+    let s = solver(0.16);
+    let dp = NsDp::new(&s);
+    let ctrl = initial_control(&s);
+    for &k in &[1usize, 3, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| dp.cost_and_grad(black_box(&ctrl), k, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_refinement, bench_dp_vs_k);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for one PINN training epoch (forward Taylor pass +
+//! reverse sweep + Adam step) at a few network/batch sizes — the unit cost
+//! behind the paper's 20 k- and 100 k-epoch totals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use control::pinn::{LaplacePinn, PinnConfig};
+use control::pinn_ns::{NsPinn, NsPinnConfig};
+
+fn bench_laplace_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pinn_laplace_epoch");
+    g.sample_size(10);
+    for &(width, batch) in &[(16usize, 128usize), (30, 400)] {
+        let cfg = PinnConfig {
+            hidden: vec![width, width, width],
+            n_interior: batch,
+            n_boundary: batch / 8,
+            ..Default::default()
+        };
+        let mut pinn = LaplacePinn::new(cfg);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}w_{batch}b")),
+            &(),
+            |b, _| b.iter(|| pinn.train(1.0, 1, true)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_ns_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pinn_ns_epoch");
+    g.sample_size(10);
+    for &(width, batch) in &[(16usize, 128usize), (32, 400)] {
+        let cfg = NsPinnConfig {
+            hidden: vec![width, width, width],
+            n_interior: batch,
+            n_boundary: batch / 12,
+            ..Default::default()
+        };
+        let mut pinn = NsPinn::new(cfg);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}w_{batch}b")),
+            &(),
+            |b, _| b.iter(|| pinn.train(1.0, 1, true)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_laplace_epoch, bench_ns_epoch);
+criterion_main!(benches);

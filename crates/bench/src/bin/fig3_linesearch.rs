@@ -1,0 +1,72 @@
+//! Regenerates figures 3c–3e: the PINN two-step ω line search on the
+//! Laplace problem.
+//!
+//! The paper tries 11 values of ω from 1e−3 to 1e7 and reports ω* = 1e−1 as
+//! the most balanced. This harness reproduces the sweep at reduced epoch
+//! counts and prints, per ω: the step-1 losses (fig 3c/3d) and the step-2
+//! retrained-solution `J` used for selection (fig 3e).
+//!
+//! Usage: `fig3_linesearch [epochs1] [epochs2] [n_omegas]`
+//! (defaults 4000, 2500, 11).
+
+use bench::write_csv;
+use control::pinn::{line_search_laplace_with_referee, PinnConfig};
+use pde::LaplaceControlProblem;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epochs1: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let epochs2: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2500);
+    let n_omegas: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(11);
+    // The paper's range: 1e-3 … 1e7 in decades.
+    let omegas: Vec<f64> = (0..n_omegas).map(|k| 10f64.powi(k as i32 - 3)).collect();
+    println!(
+        "== fig 3c-3e (PINN ω line search): {} ω values, epochs {epochs1}/{epochs2} ==\n",
+        omegas.len()
+    );
+
+    let cfg = PinnConfig {
+        hidden: vec![30, 30, 30], // Table 1: 3 x 30
+        control_hidden: vec![20, 20],
+        epochs_step1: epochs1,
+        epochs_step2: epochs2,
+        n_interior: 600,
+        n_boundary: 48,
+        ..Default::default()
+    };
+    let referee = LaplaceControlProblem::new(24).expect("referee problem");
+    let ls = line_search_laplace_with_referee(&cfg, &omegas, Some(&referee));
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "omega", "L_pde (s1)", "J (s1)", "L_pde (s2)", "J (s2)", "J (solver)"
+    );
+    let mut rows = Vec::new();
+    for r in &ls.results {
+        let js = r.j_solver.unwrap_or(f64::NAN);
+        println!(
+            "{:>10.1e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e}",
+            r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2, js
+        );
+        rows.push(vec![r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2, js]);
+    }
+    let best = &ls.results[ls.best];
+    println!(
+        "\nselected ω* = {:.1e} with J = {:.3e}   (paper: ω* = 1e-1, final PINN J = 1.6e-2)",
+        best.omega, best.j_step2
+    );
+    let p = write_csv(
+        "results/fig3cde_linesearch.csv",
+        &["omega", "l_pde_s1", "j_s1", "l_pde_s2", "j_s2", "j_solver"],
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {p}");
+
+    // Winner's control profile, for overlay on fig 3a.
+    let xs: Vec<f64> = (0..41).map(|i| i as f64 / 40.0).collect();
+    let c = ls.winner.control_values(&xs);
+    let rows_c: Vec<Vec<f64>> = xs.iter().zip(c.iter()).map(|(&x, &v)| vec![x, v]).collect();
+    let p = write_csv("results/fig3a_pinn_control.csv", &["x", "c_pinn"], &rows_c).expect("csv");
+    println!("wrote {p}");
+}

@@ -1,0 +1,53 @@
+//! The Navier–Stokes ω line search (paper §3.2: "The line search strategy
+//! explored 9 values for ω from 1e−3 to 1e5, settling on ω* = 1").
+//!
+//! Usage: `fig4_linesearch [epochs1] [epochs2] [n_omegas]`
+//! (defaults 2500, 1200, 9).
+
+use bench::write_csv;
+use control::pinn_ns::{line_search_ns, NsPinnConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epochs1: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2500);
+    let epochs2: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1200);
+    let n_omegas: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(9);
+    // The paper's NS range: 1e-3 … 1e5 in decades.
+    let omegas: Vec<f64> = (0..n_omegas).map(|k| 10f64.powi(k as i32 - 3)).collect();
+    println!(
+        "== NS ω line search: {} ω values, epochs {epochs1}/{epochs2} ==",
+        omegas.len()
+    );
+    println!("(paper: 9 values 1e-3…1e5, winner ω* = 1)\n");
+
+    let cfg = NsPinnConfig {
+        epochs_step1: epochs1,
+        epochs_step2: epochs2,
+        ..Default::default()
+    };
+    let ls = line_search_ns(&cfg, &omegas);
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "omega", "L_pde (s1)", "J (s1)", "L_pde (s2)", "J (s2)"
+    );
+    let mut rows = Vec::new();
+    for r in &ls.results {
+        println!(
+            "{:>10.1e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e}",
+            r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2
+        );
+        rows.push(vec![r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2]);
+    }
+    println!(
+        "\nselected ω* = {:.1e} with J = {:.3e}",
+        ls.results[ls.best].omega, ls.results[ls.best].j_step2
+    );
+    let p = write_csv(
+        "results/fig4_linesearch.csv",
+        &["omega", "l_pde_s1", "j_s1", "l_pde_s2", "j_s2"],
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {p}");
+}

@@ -1,0 +1,59 @@
+//! Output helpers for the experiment harnesses: aligned console series and
+//! CSV files under `results/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Prints a labelled numeric series as an aligned table.
+pub fn print_series(title: &str, headers: &[&str], rows: &[Vec<f64>]) {
+    println!("# {title}");
+    let mut line = String::new();
+    for h in headers {
+        line.push_str(&format!("{h:>16} "));
+    }
+    println!("{line}");
+    for row in rows {
+        let mut line = String::new();
+        for v in row {
+            line.push_str(&format!("{v:>16.6e} "));
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+/// Writes a CSV file (creating parent directories), returning the path.
+pub fn write_csv(path: &str, headers: &[&str], rows: &[Vec<f64>]) -> std::io::Result<String> {
+    if let Some(dir) = Path::new(path).parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+        writeln!(f, "{}", cells.join(","))?;
+    }
+    Ok(path.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = std::env::temp_dir().join("meshfree_bench_test.csv");
+        let p = path.to_str().unwrap();
+        write_csv(p, &["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn print_series_does_not_panic() {
+        print_series("demo", &["x", "y"], &[vec![0.0, 1.0]]);
+    }
+}

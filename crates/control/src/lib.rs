@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # meshfree-control
+//!
+//! The paper's contribution layer: the three optimal-control strategies —
+//! **DAL** (direct-adjoint looping), **DP** (differentiable programming) and
+//! **PINN** (physics-informed neural networks with the two-step ω line
+//! search) — driven over the Laplace and Navier–Stokes substrates from
+//! `meshfree-pde`, with Adam and the paper's learning-rate schedule from
+//! `meshfree-opt`, plus the instrumentation (wall time, peak-allocation
+//! tracking, convergence histories) behind the Table 3 reproduction.
+//!
+//! Experiment configurations mirror the paper's Tables 1 and 2; every
+//! driver returns a [`metrics::RunReport`] with the full convergence
+//! history so the bench binaries can regenerate each figure.
+
+pub mod api;
+pub mod laplace;
+pub mod metrics;
+pub mod ns;
+pub mod pinn;
+pub mod validate;
+pub mod pinn_ns;
+
+pub use metrics::{ConvergenceHistory, RunReport};

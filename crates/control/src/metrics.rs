@@ -1,0 +1,223 @@
+//! Instrumentation: wall timers, allocation tracking and run reports.
+//!
+//! The paper's Table 3 reports wall time and *peak memory* per method. Peak
+//! RSS is hard to measure portably from inside the process, so the bench
+//! binaries install [`TrackingAllocator`] as the global allocator and read
+//! [`peak_allocated_bytes`]; library code additionally reports the
+//! tape-resident bytes from `autodiff::Tape::memory_bytes` where relevant.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// A counting wrapper around the system allocator.
+///
+/// Install in a binary with:
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: meshfree_control::metrics::TrackingAllocator =
+///     meshfree_control::metrics::TrackingAllocator;
+/// ```
+pub struct TrackingAllocator;
+
+// SAFETY: delegates directly to `System`; the atomic bookkeeping has no
+// effect on the returned memory.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// Currently live tracked bytes (0 unless [`TrackingAllocator`] is
+/// installed).
+pub fn live_allocated_bytes() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of tracked bytes since process start (or the last
+/// [`reset_peak`]).
+pub fn peak_allocated_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live value, so a following measurement
+/// captures only the next phase.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// One row of a convergence history.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryEntry {
+    /// Iteration (or epoch) index.
+    pub iter: usize,
+    /// Cost objective `J`.
+    pub cost: f64,
+    /// Gradient (or loss-gradient) infinity norm.
+    pub grad_norm: f64,
+    /// Seconds since the run started.
+    pub elapsed_s: f64,
+}
+
+/// A recorded optimization trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceHistory {
+    /// Entries in iteration order.
+    pub entries: Vec<HistoryEntry>,
+}
+
+impl ConvergenceHistory {
+    /// Appends an entry.
+    pub fn push(&mut self, iter: usize, cost: f64, grad_norm: f64, elapsed_s: f64) {
+        self.entries.push(HistoryEntry {
+            iter,
+            cost,
+            grad_norm,
+            elapsed_s,
+        });
+    }
+
+    /// The final cost, or NaN for an empty history.
+    pub fn final_cost(&self) -> f64 {
+        self.entries.last().map_or(f64::NAN, |e| e.cost)
+    }
+
+    /// The best (lowest) cost seen.
+    pub fn best_cost(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.cost)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders as CSV (`iter,cost,grad_norm,elapsed_s`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("iter,cost,grad_norm,elapsed_s\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{:.6e},{:.6e},{:.3}\n",
+                e.iter, e.cost, e.grad_norm, e.elapsed_s
+            ));
+        }
+        out
+    }
+}
+
+/// Summary of one method × problem run — one Table 3 cell group.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Method name (`"DAL"`, `"PINN"`, `"DP"`, `"FD"`).
+    pub method: &'static str,
+    /// Problem name (`"laplace"`, `"navier-stokes"`).
+    pub problem: &'static str,
+    /// Iterations / epochs performed.
+    pub iterations: usize,
+    /// Final cost objective.
+    pub final_cost: f64,
+    /// Wall time in seconds.
+    pub wall_s: f64,
+    /// Peak memory estimate in bytes (tape-resident or allocator peak,
+    /// whichever the driver could observe).
+    pub peak_bytes: usize,
+    /// Full convergence history.
+    pub history: ConvergenceHistory,
+}
+
+impl RunReport {
+    /// One formatted summary line (Table 3 style).
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:14} {:6} iters={:<7} J={:<10.3e} time={:<8.2}s peak_mem={:.1} MB",
+            self.problem,
+            self.method,
+            self.iterations,
+            self.final_cost,
+            self.wall_s,
+            self.peak_bytes as f64 / 1e6
+        )
+    }
+}
+
+/// A simple wall-clock timer.
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Starts timing.
+    pub fn start() -> Timer {
+        Timer(Instant::now())
+    }
+    /// Elapsed seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_accumulates_and_reports() {
+        let mut h = ConvergenceHistory::default();
+        assert!(h.final_cost().is_nan());
+        h.push(0, 1.0, 0.5, 0.0);
+        h.push(1, 0.1, 0.2, 0.1);
+        h.push(2, 0.3, 0.1, 0.2);
+        assert_eq!(h.final_cost(), 0.3);
+        assert_eq!(h.best_cost(), 0.1);
+        let csv = h.to_csv();
+        assert!(csv.starts_with("iter,cost"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn report_row_contains_key_fields() {
+        let r = RunReport {
+            method: "DP",
+            problem: "laplace",
+            iterations: 500,
+            final_cost: 2.2e-9,
+            wall_s: 1.65,
+            peak_bytes: 20_200_000,
+            history: ConvergenceHistory::default(),
+        };
+        let row = r.summary_row();
+        assert!(row.contains("DP"));
+        assert!(row.contains("laplace"));
+        assert!(row.contains("500"));
+    }
+
+    #[test]
+    fn timer_measures_time() {
+        let t = Timer::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(t.elapsed_s() >= 0.004);
+    }
+
+    #[test]
+    fn allocation_counters_are_monotone_peak() {
+        // Without the tracking allocator installed these are zero; with it
+        // (bench binaries) they move. Either way peak >= live.
+        assert!(peak_allocated_bytes() >= live_allocated_bytes() || live_allocated_bytes() == 0);
+        reset_peak();
+        assert_eq!(peak_allocated_bytes(), live_allocated_bytes());
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-method validation: score any method's output with the *same*
+//! referee.
+//!
+//! The paper's comparisons hinge on two different notions of quality that
+//! its fig. 1 caption pits against each other: how low the cost `J` is, and
+//! how faithful the fields are to first principles. This module formalises
+//! both so every method — including the PINN, whose internal losses are not
+//! comparable across methods — is scored identically:
+//!
+//! * [`validate_laplace_control`] re-solves the PDE with the candidate
+//!   control on the RBF substrate and reports the *solver-side* cost.
+//! * [`validate_ns_fields`] evaluates candidate `(u, v, p)` fields in the
+//!   discrete momentum/continuity residuals (what `fig1_flowfields` prints).
+
+use linalg::{DVec, LinalgError};
+use pde::{LaplaceControlProblem, NsSolver, NsState};
+
+/// Verdict for a candidate Laplace control.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceVerdict {
+    /// Cost when the control is re-solved on the RBF substrate.
+    pub j_solver: f64,
+    /// Cost of the zero control, for context.
+    pub j_zero: f64,
+    /// `j_solver / j_zero` — below 1 means the control genuinely helps.
+    pub improvement: f64,
+}
+
+/// Re-solves the Laplace problem with `c` and scores it.
+pub fn validate_laplace_control(
+    problem: &LaplaceControlProblem,
+    c: &DVec,
+) -> Result<LaplaceVerdict, LinalgError> {
+    let j_solver = problem.cost(c)?;
+    let j_zero = problem.cost(&DVec::zeros(problem.n_controls()))?;
+    Ok(LaplaceVerdict {
+        j_solver,
+        j_zero,
+        improvement: j_solver / j_zero.max(1e-300),
+    })
+}
+
+/// Verdict for candidate Navier–Stokes fields.
+#[derive(Debug, Clone, Copy)]
+pub struct NsVerdict {
+    /// Outflow-tracking cost of the fields.
+    pub j: f64,
+    /// RMS of the discrete momentum residual at interior nodes.
+    pub momentum_rms: f64,
+    /// RMS of the discrete divergence at interior nodes.
+    pub divergence_rms: f64,
+}
+
+/// Scores arbitrary nodal fields (e.g. a PINN's) against the discrete
+/// equations and the cost — the "expense of first principles" check.
+pub fn validate_ns_fields(solver: &NsSolver, state: &NsState, c: &DVec) -> NsVerdict {
+    NsVerdict {
+        j: solver.cost(state),
+        momentum_rms: solver.momentum_residual(state, c),
+        divergence_rms: solver.divergence_norm(state),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ns::initial_control;
+    use geometry::generators::ChannelConfig;
+    use pde::{analytic, NsConfig};
+
+    #[test]
+    fn good_laplace_control_scores_well_and_zero_scores_one() {
+        let p = LaplaceControlProblem::new(14).unwrap();
+        let c_star =
+            DVec::from_fn(p.n_controls(), |i| analytic::series_c_star(p.control_x()[i]));
+        let v = validate_laplace_control(&p, &c_star).unwrap();
+        assert!(v.improvement < 0.6, "series minimiser scored {}", v.improvement);
+        let v0 = validate_laplace_control(&p, &DVec::zeros(p.n_controls())).unwrap();
+        assert!((v0.improvement - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn garbage_control_scores_badly() {
+        let p = LaplaceControlProblem::new(12).unwrap();
+        let junk = DVec::from_fn(p.n_controls(), |i| if i % 2 == 0 { 3.0 } else { -3.0 });
+        let v = validate_laplace_control(&p, &junk).unwrap();
+        assert!(v.improvement > 2.0, "junk scored {}", v.improvement);
+    }
+
+    #[test]
+    fn solver_solution_passes_first_principles_pinn_style_fields_fail() {
+        let s = NsSolver::new(NsConfig {
+            channel: ChannelConfig {
+                h: 0.16,
+                ..Default::default()
+            },
+            re: 30.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let c = initial_control(&s);
+        let st = s.solve(&c, 12, None).unwrap();
+        let good = validate_ns_fields(&s, &st, &c);
+        assert!(good.momentum_rms < 1e-6, "momentum {}", good.momentum_rms);
+        assert!(good.divergence_rms < 1e-8);
+        // A surrogate-like field: right outflow, wrong physics inside.
+        let n = s.nodes().len();
+        let fake = NsState {
+            u: DVec::from_fn(n, |i| {
+                let p = s.nodes().point(i);
+                4.0 * p.y * (1.0 - p.y) * (1.0 + 0.3 * (7.0 * p.x).sin())
+            }),
+            v: DVec::zeros(n),
+            p: DVec::zeros(n),
+        };
+        let bad = validate_ns_fields(&s, &fake, &c);
+        assert!(
+            bad.momentum_rms > 100.0 * good.momentum_rms.max(1e-12),
+            "fake fields passed first principles: {} vs {}",
+            bad.momentum_rms,
+            good.momentum_rms
+        );
+    }
+}

@@ -1,0 +1,526 @@
+//! Node-cloud generators: grids, Halton sequences, variable-density
+//! dart-throwing, and the channel-with-slots domain.
+//!
+//! The channel generator is this workspace's substitute for the paper's GMSH
+//! mesh ("we meshed the domain with GMSH, from which we extracted 1385
+//! scattered and disconnected nodes"): an RBF method only consumes node
+//! positions, so we reproduce the *distribution* — uniform boundary nodes
+//! and scattered interior nodes, refined near the walls ("the benefits of
+//! mesh refinement near free surfaces").
+
+use crate::nodes::{NodeKind, NodeSet, RawNode};
+use crate::point::Point2;
+
+/// Classification returned for a boundary point: kind, segment tag and
+/// outward normal.
+pub type BoundaryClass = (NodeKind, usize, Point2);
+
+/// Van der Corput radical inverse in the given base.
+pub fn radical_inverse(mut n: usize, base: usize) -> f64 {
+    let inv = 1.0 / base as f64;
+    let mut result = 0.0;
+    let mut frac = inv;
+    while n > 0 {
+        result += (n % base) as f64 * frac;
+        n /= base;
+        frac *= inv;
+    }
+    result
+}
+
+/// First `n` points of the 2-D Halton sequence (bases 2 and 3), skipping a
+/// short warm-up prefix for better uniformity.
+pub fn halton2(n: usize) -> Vec<Point2> {
+    const SKIP: usize = 20;
+    (0..n)
+        .map(|i| {
+            Point2::new(
+                radical_inverse(i + SKIP, 2),
+                radical_inverse(i + SKIP, 3),
+            )
+        })
+        .collect()
+}
+
+/// Regular `nx × ny` grid on the unit square, classified by `classify` on
+/// the boundary (interior points are classified automatically).
+pub fn unit_square_grid(
+    nx: usize,
+    ny: usize,
+    classify: impl Fn(Point2) -> BoundaryClass,
+) -> NodeSet {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2 points per side");
+    let mut raw = Vec::with_capacity(nx * ny);
+    for i in 0..nx {
+        for j in 0..ny {
+            let p = Point2::new(i as f64 / (nx - 1) as f64, j as f64 / (ny - 1) as f64);
+            let on_boundary = i == 0 || j == 0 || i == nx - 1 || j == ny - 1;
+            if on_boundary {
+                let (kind, tag, normal) = classify(p);
+                raw.push(RawNode {
+                    p,
+                    kind,
+                    tag,
+                    normal: Some(normal),
+                });
+            } else {
+                raw.push(RawNode {
+                    p,
+                    kind: NodeKind::Interior,
+                    tag: 0,
+                    normal: None,
+                });
+            }
+        }
+    }
+    NodeSet::from_unordered(raw)
+}
+
+/// Scattered unit-square cloud: Halton interior points (kept away from the
+/// boundary by half a spacing) plus uniformly spaced boundary points.
+pub fn unit_square_scattered(
+    n_interior: usize,
+    n_per_side: usize,
+    classify: impl Fn(Point2) -> BoundaryClass,
+) -> NodeSet {
+    assert!(n_per_side >= 2);
+    let margin = 0.5 / n_per_side as f64;
+    let mut raw: Vec<RawNode> = halton2(4 * n_interior)
+        .into_iter()
+        .filter(|p| {
+            p.x > margin && p.x < 1.0 - margin && p.y > margin && p.y < 1.0 - margin
+        })
+        .take(n_interior)
+        .map(|p| RawNode {
+            p,
+            kind: NodeKind::Interior,
+            tag: 0,
+            normal: None,
+        })
+        .collect();
+    let h = 1.0 / (n_per_side - 1) as f64;
+    let mut push_boundary = |p: Point2| {
+        let (kind, tag, normal) = classify(p);
+        raw.push(RawNode {
+            p,
+            kind,
+            tag,
+            normal: Some(normal),
+        });
+    };
+    for i in 0..n_per_side {
+        let t = i as f64 * h;
+        push_boundary(Point2::new(t, 0.0));
+        push_boundary(Point2::new(t, 1.0));
+        if i > 0 && i < n_per_side - 1 {
+            push_boundary(Point2::new(0.0, t));
+            push_boundary(Point2::new(1.0, t));
+        }
+    }
+    NodeSet::from_unordered(raw)
+}
+
+/// Deterministic variable-density dart throwing in a rectangle.
+///
+/// Candidates come from a Halton sequence; a candidate is accepted when no
+/// previously accepted point lies within `radius(p)`. A background grid at
+/// the minimum radius makes acceptance checks O(1).
+pub fn dart_throwing(
+    lo: Point2,
+    hi: Point2,
+    radius: impl Fn(Point2) -> f64,
+    candidates: usize,
+) -> Vec<Point2> {
+    let w = hi.x - lo.x;
+    let h = hi.y - lo.y;
+    assert!(w > 0.0 && h > 0.0, "degenerate rectangle");
+    // Probe the radius field to size the acceleration grid.
+    let mut rmin = f64::INFINITY;
+    for p in halton2(64) {
+        rmin = rmin.min(radius(Point2::new(lo.x + p.x * w, lo.y + p.y * h)));
+    }
+    let rmin = rmin.max(1e-9);
+    let cell = rmin / 2f64.sqrt();
+    let gx = (w / cell).ceil() as usize + 1;
+    let gy = (h / cell).ceil() as usize + 1;
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); gx * gy];
+    let mut accepted: Vec<Point2> = Vec::new();
+    let cell_of = |p: Point2| -> (usize, usize) {
+        (
+            (((p.x - lo.x) / cell) as usize).min(gx - 1),
+            (((p.y - lo.y) / cell) as usize).min(gy - 1),
+        )
+    };
+    for q in halton2(candidates) {
+        let p = Point2::new(lo.x + q.x * w, lo.y + q.y * h);
+        let r = radius(p);
+        let (ci, cj) = cell_of(p);
+        let reach = (r / cell).ceil() as usize + 1;
+        let mut ok = true;
+        'scan: for di in ci.saturating_sub(reach)..=(ci + reach).min(gx - 1) {
+            for dj in cj.saturating_sub(reach)..=(cj + reach).min(gy - 1) {
+                for &k in &grid[di * gy + dj] {
+                    if accepted[k].dist(&p) < r {
+                        ok = false;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        if ok {
+            grid[ci * gy + cj].push(accepted.len());
+            accepted.push(p);
+        }
+    }
+    accepted
+}
+
+/// Generates an L-shaped domain cloud — the unit square minus its upper-
+/// right quadrant — with uniformly spaced boundary nodes and scattered
+/// interior nodes. The re-entrant corner is the classic "complex geometry"
+/// stressor that motivates mesh-free methods (paper §1: "mesh-free methods
+/// … are therefore attractive when the geometry is complex").
+///
+/// All boundary nodes are Dirichlet with tag 1; interior spacing `h`.
+pub fn l_shape_cloud(h: f64) -> NodeSet {
+    let mut raw: Vec<RawNode> = Vec::new();
+    let nb = (1.0 / h).round() as usize + 1;
+    let t = |i: usize| i as f64 / (nb - 1) as f64;
+    let mut push = |p: Point2, normal: Point2| {
+        raw.push(RawNode {
+            p,
+            kind: NodeKind::Dirichlet,
+            tag: 1,
+            normal: Some(normal),
+        });
+    };
+    for i in 0..nb {
+        let s = t(i);
+        // Bottom (full) and left (full).
+        push(Point2::new(s, 0.0), Point2::new(0.0, -1.0));
+        if i > 0 && i < nb - 1 {
+            push(Point2::new(0.0, s), Point2::new(-1.0, 0.0));
+        }
+        // Top edge of the lower-left part: y = 1 for x in [0, 0.5].
+        if s <= 0.5 {
+            push(Point2::new(s, 1.0), Point2::new(0.0, 1.0));
+            // Right edge of the lower part: x = 1 for y in [0, 0.5].
+            push(Point2::new(1.0, s), Point2::new(1.0, 0.0));
+        }
+        // The two re-entrant edges: x = 0.5 for y in [0.5, 1] and
+        // y = 0.5 for x in [0.5, 1].
+        if (0.5..1.0).contains(&s) {
+            push(Point2::new(0.5, s), Point2::new(1.0, 0.0));
+            push(Point2::new(s, 0.5), Point2::new(0.0, 1.0));
+        }
+    }
+    // Deduplicate corner repeats.
+    raw.sort_by(|a, b| (a.p.x, a.p.y).partial_cmp(&(b.p.x, b.p.y)).unwrap());
+    raw.dedup_by(|a, b| a.p.dist(&b.p) < 1e-12);
+    // Scattered interior.
+    let margin = 0.5 * h;
+    for p in dart_throwing(
+        Point2::new(margin, margin),
+        Point2::new(1.0 - margin, 1.0 - margin),
+        |_| h,
+        (40.0 / (h * h)) as usize,
+    ) {
+        // Inside the L with at least `margin` clearance from the two
+        // re-entrant edges: strictly left of x = 0.5 or strictly below
+        // y = 0.5 (by `margin`); the outer walls are handled by the dart
+        // rectangle above.
+        if p.x <= 0.5 - margin || p.y <= 0.5 - margin {
+            raw.push(RawNode {
+                p,
+                kind: NodeKind::Interior,
+                tag: 0,
+                normal: None,
+            });
+        }
+    }
+    NodeSet::from_unordered(raw)
+}
+
+/// Configuration of the channel domain used by the Navier–Stokes experiment
+/// (fig. 4a of the paper): inflow at `x = 0`, outflow at `x = Lx`, solid
+/// walls top and bottom, a blowing slot on the bottom wall and a suction
+/// slot on the top wall around the channel mid-point.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Channel length.
+    pub lx: f64,
+    /// Channel height.
+    pub ly: f64,
+    /// Target interior node spacing.
+    pub h: f64,
+    /// Blowing slot `[x0, x1]` on the bottom wall.
+    pub blow: (f64, f64),
+    /// Suction slot `[x0, x1]` on the top wall.
+    pub suction: (f64, f64),
+    /// Refinement factor near walls (`< 1` clusters nodes towards walls).
+    pub wall_refine: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            lx: 1.5,
+            ly: 1.0,
+            h: 0.08,
+            blow: (0.6, 0.9),
+            suction: (0.6, 0.9),
+            wall_refine: 0.7,
+        }
+    }
+}
+
+/// Boundary tags for the channel domain.
+pub mod channel_tags {
+    /// Inflow boundary `Γ_i` (x = 0) — carries the control.
+    pub const INFLOW: usize = 1;
+    /// Outflow boundary `Γ_o` (x = Lx).
+    pub const OUTFLOW: usize = 2;
+    /// Solid walls `Γ_w`.
+    pub const WALL: usize = 3;
+    /// Blowing slot `Γ_b` on the bottom wall.
+    pub const BLOW: usize = 4;
+    /// Suction slot `Γ_s` on the top wall.
+    pub const SUCTION: usize = 5;
+}
+
+/// Generates the channel node cloud: uniformly spaced boundary nodes
+/// (classified per [`channel_tags`]) and scattered interior nodes with wall
+/// refinement. All boundary nodes are created as Dirichlet; solvers that
+/// need Neumann outflow conditions re-classify by tag.
+pub fn channel_cloud(cfg: &ChannelConfig) -> NodeSet {
+    let mut raw: Vec<RawNode> = Vec::new();
+    let nbx = (cfg.lx / cfg.h).round() as usize + 1;
+    let nby = (cfg.ly / cfg.h).round() as usize + 1;
+
+    // Bottom and top walls (including corners).
+    for i in 0..nbx {
+        let x = cfg.lx * i as f64 / (nbx - 1) as f64;
+        let bottom_tag = if x > cfg.blow.0 && x < cfg.blow.1 {
+            channel_tags::BLOW
+        } else {
+            channel_tags::WALL
+        };
+        raw.push(RawNode {
+            p: Point2::new(x, 0.0),
+            kind: NodeKind::Dirichlet,
+            tag: bottom_tag,
+            normal: Some(Point2::new(0.0, -1.0)),
+        });
+        let top_tag = if x > cfg.suction.0 && x < cfg.suction.1 {
+            channel_tags::SUCTION
+        } else {
+            channel_tags::WALL
+        };
+        raw.push(RawNode {
+            p: Point2::new(x, cfg.ly),
+            kind: NodeKind::Dirichlet,
+            tag: top_tag,
+            normal: Some(Point2::new(0.0, 1.0)),
+        });
+    }
+    // Inflow and outflow (excluding corners already placed).
+    for j in 1..nby - 1 {
+        let y = cfg.ly * j as f64 / (nby - 1) as f64;
+        raw.push(RawNode {
+            p: Point2::new(0.0, y),
+            kind: NodeKind::Dirichlet,
+            tag: channel_tags::INFLOW,
+            normal: Some(Point2::new(-1.0, 0.0)),
+        });
+        raw.push(RawNode {
+            p: Point2::new(cfg.lx, y),
+            kind: NodeKind::Neumann,
+            tag: channel_tags::OUTFLOW,
+            normal: Some(Point2::new(1.0, 0.0)),
+        });
+    }
+    // Interior: variable-density dart throwing, refined near walls, kept
+    // half a spacing away from all boundaries.
+    let margin = 0.5 * cfg.h;
+    let radius = |p: Point2| -> f64 {
+        let wall_dist = p.y.min(cfg.ly - p.y);
+        let t = (wall_dist / (3.0 * cfg.h)).min(1.0);
+        cfg.h * (cfg.wall_refine + (1.0 - cfg.wall_refine) * t)
+    };
+    let interior = dart_throwing(
+        Point2::new(margin, margin),
+        Point2::new(cfg.lx - margin, cfg.ly - margin),
+        radius,
+        (20.0 * cfg.lx * cfg.ly / (cfg.h * cfg.h)) as usize,
+    );
+    for p in interior {
+        raw.push(RawNode {
+            p,
+            kind: NodeKind::Interior,
+            tag: 0,
+            normal: None,
+        });
+    }
+    NodeSet::from_unordered(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplace_classifier(p: Point2) -> BoundaryClass {
+        // All Dirichlet; tags 1..4 for bottom/top/left/right.
+        if p.y == 0.0 {
+            (NodeKind::Dirichlet, 1, Point2::new(0.0, -1.0))
+        } else if p.y == 1.0 {
+            (NodeKind::Dirichlet, 2, Point2::new(0.0, 1.0))
+        } else if p.x == 0.0 {
+            (NodeKind::Dirichlet, 3, Point2::new(-1.0, 0.0))
+        } else {
+            (NodeKind::Dirichlet, 4, Point2::new(1.0, 0.0))
+        }
+    }
+
+    #[test]
+    fn halton_points_in_unit_square_and_spread() {
+        let pts = halton2(256);
+        assert_eq!(pts.len(), 256);
+        for p in &pts {
+            assert!(p.x >= 0.0 && p.x < 1.0 && p.y >= 0.0 && p.y < 1.0);
+        }
+        // Low-discrepancy: each quadrant should hold roughly a quarter.
+        let q1 = pts.iter().filter(|p| p.x < 0.5 && p.y < 0.5).count();
+        assert!((40..=90).contains(&q1), "quadrant count {q1}");
+    }
+
+    #[test]
+    fn radical_inverse_known_values() {
+        assert!((radical_inverse(1, 2) - 0.5).abs() < 1e-15);
+        assert!((radical_inverse(2, 2) - 0.25).abs() < 1e-15);
+        assert!((radical_inverse(3, 2) - 0.75).abs() < 1e-15);
+        assert!((radical_inverse(1, 3) - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grid_counts_and_classification() {
+        let ns = unit_square_grid(5, 5, laplace_classifier);
+        assert_eq!(ns.len(), 25);
+        assert_eq!(ns.n_interior(), 9);
+        assert_eq!(ns.n_dirichlet(), 16);
+        // Top wall (tag 2) holds 5 nodes including corners.
+        assert_eq!(ns.indices_with_tag(2).len(), 5);
+    }
+
+    #[test]
+    fn scattered_cloud_counts() {
+        let ns = unit_square_scattered(100, 11, laplace_classifier);
+        assert_eq!(ns.n_interior(), 100);
+        assert_eq!(ns.n_dirichlet(), 2 * 11 + 2 * 9);
+        // Interior points stay inside the margin.
+        for i in ns.interior_range() {
+            let p = ns.point(i);
+            assert!(p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0);
+        }
+    }
+
+    #[test]
+    fn dart_throwing_respects_min_distance() {
+        let pts = dart_throwing(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            |_| 0.1,
+            4000,
+        );
+        assert!(pts.len() > 40, "only {} points accepted", pts.len());
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                assert!(
+                    pts[i].dist(&pts[j]) >= 0.1 - 1e-12,
+                    "points {i},{j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l_shape_cloud_has_no_nodes_in_the_cut_quadrant() {
+        let ns = l_shape_cloud(0.1);
+        assert!(ns.len() > 60, "cloud too small: {}", ns.len());
+        assert!(ns.n_interior() > 20);
+        for i in 0..ns.len() {
+            let p = ns.point(i);
+            assert!(
+                !(p.x > 0.5 + 1e-9 && p.y > 0.5 + 1e-9),
+                "node {i} at {p:?} lies in the cut quadrant"
+            );
+        }
+        // The re-entrant corner itself is on the boundary.
+        let has_corner = (0..ns.len()).any(|i| ns.point(i).dist(&Point2::new(0.5, 0.5)) < 1e-9);
+        assert!(has_corner, "missing the re-entrant corner node");
+        // No duplicate nodes.
+        assert!(ns.min_separation() > 1e-6);
+    }
+
+    #[test]
+    fn channel_cloud_structure() {
+        let cfg = ChannelConfig::default();
+        let ns = channel_cloud(&cfg);
+        assert!(ns.len() > 100, "cloud too small: {}", ns.len());
+        assert!(ns.n_interior() > 50);
+        // All five boundary tags are present.
+        for tag in [
+            channel_tags::INFLOW,
+            channel_tags::OUTFLOW,
+            channel_tags::WALL,
+            channel_tags::BLOW,
+            channel_tags::SUCTION,
+        ] {
+            assert!(
+                !ns.indices_with_tag(tag).is_empty(),
+                "missing boundary tag {tag}"
+            );
+        }
+        // Outflow nodes are Neumann; everything else on the boundary is
+        // Dirichlet.
+        for i in ns.boundary_indices() {
+            if ns.tag(i) == channel_tags::OUTFLOW {
+                assert_eq!(ns.kind(i), NodeKind::Neumann);
+            } else {
+                assert_eq!(ns.kind(i), NodeKind::Dirichlet);
+            }
+        }
+        // Bounding box matches the domain.
+        let (lo, hi) = ns.bounding_box();
+        assert!(lo.x.abs() < 1e-12 && lo.y.abs() < 1e-12);
+        assert!((hi.x - cfg.lx).abs() < 1e-12 && (hi.y - cfg.ly).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_cloud_wall_refinement_clusters_nodes() {
+        let cfg = ChannelConfig {
+            wall_refine: 0.5,
+            ..Default::default()
+        };
+        let ns = channel_cloud(&cfg);
+        // Count interior nodes near walls vs mid-channel band of same height.
+        let band = 0.15;
+        let near: usize = ns
+            .interior_range()
+            .filter(|&i| {
+                let y = ns.point(i).y;
+                y < band || y > cfg.ly - band
+            })
+            .count();
+        let mid: usize = ns
+            .interior_range()
+            .filter(|&i| {
+                let y = ns.point(i).y;
+                (y - cfg.ly / 2.0).abs() < band
+            })
+            .count();
+        assert!(
+            near as f64 > 1.1 * mid as f64,
+            "refinement not visible: near={near}, mid={mid}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Plain-text I/O for node clouds (CSV), for plotting and for exchanging
+//! clouds with external meshers — the seam where a real GMSH mesh could be
+//! substituted back in for our generator.
+
+use crate::nodes::{NodeKind, NodeSet, RawNode};
+use crate::point::Point2;
+use std::fmt::Write as _;
+
+/// Serialises a node set as CSV with header
+/// `x,y,kind,tag,nx,ny` (kind: 0 = interior, 1 = Dirichlet, 2 = Neumann,
+/// 3 = Robin; normals are 0 for interior nodes).
+pub fn to_csv(nodes: &NodeSet) -> String {
+    let mut out = String::from("x,y,kind,tag,nx,ny\n");
+    for i in 0..nodes.len() {
+        let p = nodes.point(i);
+        let kind = match nodes.kind(i) {
+            NodeKind::Interior => 0,
+            NodeKind::Dirichlet => 1,
+            NodeKind::Neumann => 2,
+            NodeKind::Robin => 3,
+        };
+        let n = nodes.normal(i).unwrap_or(Point2::new(0.0, 0.0));
+        let _ = writeln!(
+            out,
+            "{:.12e},{:.12e},{},{},{:.12e},{:.12e}",
+            p.x,
+            p.y,
+            kind,
+            nodes.tag(i),
+            n.x,
+            n.y
+        );
+    }
+    out
+}
+
+/// Parses the CSV format written by [`to_csv`], rebuilding the classified,
+/// reordered node set. Returns a human-readable error on malformed input.
+pub fn from_csv(text: &str) -> Result<NodeSet, String> {
+    let mut raw = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 {
+            if !line.starts_with("x,y,kind") {
+                return Err(format!("unexpected header: {line:?}"));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != 6 {
+            return Err(format!("line {}: expected 6 cells, got {}", lineno + 1, cells.len()));
+        }
+        let num = |k: usize| -> Result<f64, String> {
+            cells[k]
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+        };
+        let kind = match cells[2].trim() {
+            "0" => NodeKind::Interior,
+            "1" => NodeKind::Dirichlet,
+            "2" => NodeKind::Neumann,
+            "3" => NodeKind::Robin,
+            other => return Err(format!("line {}: bad kind {other:?}", lineno + 1)),
+        };
+        let tag: usize = cells[3]
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let p = Point2::new(num(0)?, num(1)?);
+        let normal = if kind == NodeKind::Interior {
+            None
+        } else {
+            Some(Point2::new(num(4)?, num(5)?))
+        };
+        raw.push(RawNode {
+            p,
+            kind,
+            tag,
+            normal,
+        });
+    }
+    Ok(NodeSet::from_unordered(raw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{channel_cloud, ChannelConfig};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ns = channel_cloud(&ChannelConfig {
+            h: 0.2,
+            ..Default::default()
+        });
+        let text = to_csv(&ns);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.len(), ns.len());
+        assert_eq!(back.n_interior(), ns.n_interior());
+        assert_eq!(back.n_dirichlet(), ns.n_dirichlet());
+        assert_eq!(back.n_neumann(), ns.n_neumann());
+        for i in 0..ns.len() {
+            assert!(ns.point(i).dist(&back.point(i)) < 1e-10);
+            assert_eq!(ns.kind(i), back.kind(i));
+            assert_eq!(ns.tag(i), back.tag(i));
+        }
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert!(from_csv("a,b,c\n").is_err());
+    }
+
+    #[test]
+    fn bad_kind_is_rejected() {
+        let text = "x,y,kind,tag,nx,ny\n0,0,9,0,0,0\n";
+        let err = from_csv(text).unwrap_err();
+        assert!(err.contains("bad kind"));
+    }
+
+    #[test]
+    fn ragged_line_is_rejected() {
+        let text = "x,y,kind,tag,nx,ny\n0,0,0\n";
+        assert!(from_csv(text).unwrap_err().contains("expected 6 cells"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "x,y,kind,tag,nx,ny\n0,0,0,0,0,0\n\n1,1,1,5,0,1\n";
+        let ns = from_csv(text).unwrap();
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns.indices_with_tag(5).len(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # meshfree-geometry
+//!
+//! Point clouds and "mesh-free meshing" for the RBF solver:
+//!
+//! * [`Point2`] — 2-D points with distance helpers.
+//! * [`NodeSet`] — a classified, *ordered* point cloud. The paper's boundary
+//!   handling hinges on node ordering ("first the internal nodes, then
+//!   Dirichlet nodes, then Neumann nodes, and finally Robin nodes");
+//!   [`NodeSet::from_unordered`] enforces that invariant.
+//! * [`generators`] — structured grids, Halton sequences, Poisson-disk
+//!   sampling, and the channel-with-slots domain used by the Navier–Stokes
+//!   experiment. This module is the substitute for the paper's GMSH mesh:
+//!   only node *positions* matter to an RBF method, and the generator
+//!   reproduces the boundary clustering a GMSH mesh would provide.
+//! * [`KdTree`] — k-nearest-neighbour queries for RBF-FD stencils.
+//! * [`quadrature`] — trapezoid weights along boundary segments, used to
+//!   discretise the cost functionals `J`.
+
+pub mod generators;
+pub mod io;
+pub mod kdtree;
+pub mod nodes;
+pub mod point;
+pub mod quadrature;
+
+pub use kdtree::KdTree;
+pub use nodes::{NodeKind, NodeSet, RawNode};
+pub use point::Point2;

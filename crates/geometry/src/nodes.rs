@@ -1,0 +1,296 @@
+//! Classified, ordered node sets.
+//!
+//! The paper (§2.1): "Our implementation accounts for all three major
+//! boundary conditions in the literature by careful (re)ordering of the
+//! nodes: first the Nᵢ internal nodes, then N_d Dirichlet nodes, then N_n
+//! Neumann nodes, and finally N_r Robin nodes." [`NodeSet`] enforces exactly
+//! that ordering, which later lets the collocation assembly and the
+//! differentiable-programming boundary slices work on contiguous row ranges.
+
+use crate::point::Point2;
+use std::ops::Range;
+
+/// Classification of a node, mirroring eq. (1) of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeKind {
+    /// Interior node: the PDE residual is collocated here.
+    Interior,
+    /// Dirichlet boundary node: `u = q_d`.
+    Dirichlet,
+    /// Neumann boundary node: `∂u/∂n = q_n`.
+    Neumann,
+    /// Robin boundary node: `∂u/∂n + β u = q_r`.
+    Robin,
+}
+
+/// A single classified node prior to ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct RawNode {
+    /// Position.
+    pub p: Point2,
+    /// Boundary-condition classification.
+    pub kind: NodeKind,
+    /// Caller-defined boundary segment tag (0 conventionally = interior).
+    pub tag: usize,
+    /// Outward unit normal for boundary nodes (`None` for interior).
+    pub normal: Option<Point2>,
+}
+
+/// An ordered point cloud with boundary classification.
+///
+/// Invariant: node indices `0..n_interior` are interior, followed by the
+/// Dirichlet, Neumann and Robin blocks, in that order.
+#[derive(Debug, Clone)]
+pub struct NodeSet {
+    points: Vec<Point2>,
+    kinds: Vec<NodeKind>,
+    tags: Vec<usize>,
+    normals: Vec<Option<Point2>>,
+    n_interior: usize,
+    n_dirichlet: usize,
+    n_neumann: usize,
+    n_robin: usize,
+}
+
+impl NodeSet {
+    /// Builds a `NodeSet` from unordered raw nodes, applying the paper's
+    /// interior → Dirichlet → Neumann → Robin reordering (stable within each
+    /// class).
+    pub fn from_unordered(mut raw: Vec<RawNode>) -> NodeSet {
+        raw.sort_by_key(|n| n.kind);
+        let count = |k: NodeKind| raw.iter().filter(|n| n.kind == k).count();
+        let n_interior = count(NodeKind::Interior);
+        let n_dirichlet = count(NodeKind::Dirichlet);
+        let n_neumann = count(NodeKind::Neumann);
+        let n_robin = count(NodeKind::Robin);
+        for n in &raw {
+            if n.kind != NodeKind::Interior {
+                assert!(
+                    n.normal.is_some(),
+                    "boundary node at ({}, {}) is missing its outward normal",
+                    n.p.x,
+                    n.p.y
+                );
+            }
+        }
+        NodeSet {
+            points: raw.iter().map(|n| n.p).collect(),
+            kinds: raw.iter().map(|n| n.kind).collect(),
+            tags: raw.iter().map(|n| n.tag).collect(),
+            normals: raw.iter().map(|n| n.normal).collect(),
+            n_interior,
+            n_dirichlet,
+            n_neumann,
+            n_robin,
+        }
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points, in storage order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Position of node `i`.
+    pub fn point(&self, i: usize) -> Point2 {
+        self.points[i]
+    }
+
+    /// Classification of node `i`.
+    pub fn kind(&self, i: usize) -> NodeKind {
+        self.kinds[i]
+    }
+
+    /// Boundary tag of node `i`.
+    pub fn tag(&self, i: usize) -> usize {
+        self.tags[i]
+    }
+
+    /// Outward normal of node `i` (boundary nodes only).
+    pub fn normal(&self, i: usize) -> Option<Point2> {
+        self.normals[i]
+    }
+
+    /// Number of interior nodes.
+    pub fn n_interior(&self) -> usize {
+        self.n_interior
+    }
+
+    /// Number of Dirichlet nodes.
+    pub fn n_dirichlet(&self) -> usize {
+        self.n_dirichlet
+    }
+
+    /// Number of Neumann nodes.
+    pub fn n_neumann(&self) -> usize {
+        self.n_neumann
+    }
+
+    /// Number of Robin nodes.
+    pub fn n_robin(&self) -> usize {
+        self.n_robin
+    }
+
+    /// Index range of the interior block.
+    pub fn interior_range(&self) -> Range<usize> {
+        0..self.n_interior
+    }
+
+    /// Index range of the Dirichlet block.
+    pub fn dirichlet_range(&self) -> Range<usize> {
+        self.n_interior..self.n_interior + self.n_dirichlet
+    }
+
+    /// Index range of the Neumann block.
+    pub fn neumann_range(&self) -> Range<usize> {
+        let s = self.n_interior + self.n_dirichlet;
+        s..s + self.n_neumann
+    }
+
+    /// Index range of the Robin block.
+    pub fn robin_range(&self) -> Range<usize> {
+        let s = self.n_interior + self.n_dirichlet + self.n_neumann;
+        s..s + self.n_robin
+    }
+
+    /// Indices of nodes carrying `tag`, in storage order.
+    pub fn indices_with_tag(&self, tag: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.tags[i] == tag).collect()
+    }
+
+    /// Indices of all boundary nodes.
+    pub fn boundary_indices(&self) -> Range<usize> {
+        self.n_interior..self.len()
+    }
+
+    /// Minimum pairwise distance (O(n²); intended for diagnostics/tests).
+    pub fn min_separation(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                best = best.min(self.points[i].dist(&self.points[j]));
+            }
+        }
+        best
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn bounding_box(&self) -> (Point2, Point2) {
+        let mut lo = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.points {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(x: f64, y: f64, kind: NodeKind, tag: usize) -> RawNode {
+        let normal = if kind == NodeKind::Interior {
+            None
+        } else {
+            Some(Point2::new(0.0, 1.0))
+        };
+        RawNode {
+            p: Point2::new(x, y),
+            kind,
+            tag,
+            normal,
+        }
+    }
+
+    #[test]
+    fn reordering_respects_paper_order() {
+        let nodes = vec![
+            raw(0.0, 0.0, NodeKind::Robin, 4),
+            raw(0.1, 0.1, NodeKind::Interior, 0),
+            raw(0.2, 0.2, NodeKind::Dirichlet, 1),
+            raw(0.3, 0.3, NodeKind::Neumann, 2),
+            raw(0.4, 0.4, NodeKind::Interior, 0),
+        ];
+        let ns = NodeSet::from_unordered(nodes);
+        assert_eq!(ns.len(), 5);
+        assert_eq!(ns.n_interior(), 2);
+        assert_eq!(ns.n_dirichlet(), 1);
+        assert_eq!(ns.n_neumann(), 1);
+        assert_eq!(ns.n_robin(), 1);
+        assert_eq!(ns.interior_range(), 0..2);
+        assert_eq!(ns.dirichlet_range(), 2..3);
+        assert_eq!(ns.neumann_range(), 3..4);
+        assert_eq!(ns.robin_range(), 4..5);
+        for i in ns.interior_range() {
+            assert_eq!(ns.kind(i), NodeKind::Interior);
+        }
+        assert_eq!(ns.kind(2), NodeKind::Dirichlet);
+        assert_eq!(ns.kind(3), NodeKind::Neumann);
+        assert_eq!(ns.kind(4), NodeKind::Robin);
+    }
+
+    #[test]
+    fn stable_within_class() {
+        let nodes = vec![
+            raw(1.0, 0.0, NodeKind::Interior, 0),
+            raw(2.0, 0.0, NodeKind::Interior, 0),
+            raw(3.0, 0.0, NodeKind::Interior, 0),
+        ];
+        let ns = NodeSet::from_unordered(nodes);
+        assert_eq!(ns.point(0).x, 1.0);
+        assert_eq!(ns.point(1).x, 2.0);
+        assert_eq!(ns.point(2).x, 3.0);
+    }
+
+    #[test]
+    fn tags_and_queries() {
+        let nodes = vec![
+            raw(0.0, 0.0, NodeKind::Interior, 0),
+            raw(1.0, 0.0, NodeKind::Dirichlet, 7),
+            raw(2.0, 0.0, NodeKind::Dirichlet, 7),
+            raw(3.0, 0.0, NodeKind::Dirichlet, 9),
+        ];
+        let ns = NodeSet::from_unordered(nodes);
+        assert_eq!(ns.indices_with_tag(7), vec![1, 2]);
+        assert_eq!(ns.indices_with_tag(9), vec![3]);
+        assert_eq!(ns.boundary_indices(), 1..4);
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let nodes = vec![
+            raw(0.0, 0.0, NodeKind::Interior, 0),
+            raw(1.0, 2.0, NodeKind::Interior, 0),
+            raw(0.5, 0.5, NodeKind::Interior, 0),
+        ];
+        let ns = NodeSet::from_unordered(nodes);
+        let (lo, hi) = ns.bounding_box();
+        assert_eq!(lo, Point2::new(0.0, 0.0));
+        assert_eq!(hi, Point2::new(1.0, 2.0));
+        assert!((ns.min_separation() - (0.5f64 * 0.5 + 0.5 * 0.5).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing its outward normal")]
+    fn boundary_node_without_normal_panics() {
+        NodeSet::from_unordered(vec![RawNode {
+            p: Point2::new(0.0, 0.0),
+            kind: NodeKind::Dirichlet,
+            tag: 1,
+            normal: None,
+        }]);
+    }
+}

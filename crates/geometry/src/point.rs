@@ -1,0 +1,101 @@
+//! 2-D points.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point2) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper for comparisons).
+    pub fn dist_sq(&self, other: &Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm treated as a vector.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product treated as vectors.
+    pub fn dot(&self, other: &Point2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Unit vector in the same direction. Panics on the zero vector.
+    pub fn normalized(&self) -> Point2 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        Point2::new(self.x / n, self.y / n)
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    fn add(self, o: Point2) -> Point2 {
+        Point2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    fn sub(self, o: Point2) -> Point2 {
+        Point2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    fn mul(self, s: f64) -> Point2 {
+        Point2::new(self.x * s, self.y * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(b.norm(), 5.0);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -1.0);
+        assert_eq!(a + b, Point2::new(4.0, 1.0));
+        assert_eq!(a - b, Point2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+        assert_eq!(a.dot(&b), 1.0);
+        let u = Point2::new(0.0, 5.0).normalized();
+        assert!((u.y - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        Point2::default().normalized();
+    }
+}

@@ -1,0 +1,580 @@
+//! Dense factorizations: LU with partial pivoting, Cholesky, Householder QR.
+
+use crate::dense::DMat;
+use crate::error::{LinalgError, Result};
+use crate::vector::DVec;
+
+/// LU factorization with partial (row) pivoting: `P A = L U`.
+///
+/// `Lu` is the backbone of the whole workspace: RBF collocation systems are
+/// solved with it, and the differentiable-programming path in
+/// `meshfree-autodiff` caches an `Lu` during the forward pass so the reverse
+/// pass can run the adjoint solve `Aᵀ λ = x̄` via [`Lu::solve_transpose`]
+/// without refactorizing.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: DMat,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (±1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix. Returns [`LinalgError::SingularMatrix`] if a
+    /// pivot is smaller than `1e-300` in magnitude.
+    pub fn factor(a: &DMat) -> Result<Lu> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu",
+                got: a.shape(),
+                expected: (n, n),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude in column k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-300 {
+                return Err(LinalgError::SingularMatrix {
+                    pivot: k,
+                    value: pmax,
+                });
+            }
+            if p != k {
+                perm.swap(k, p);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    // Row update expressed on raw rows for speed: split the
+                    // storage so we can read row k while writing row i.
+                    let cols = n;
+                    let (top, bot) = lu.as_mut_slice().split_at_mut(i * cols);
+                    let krow = &top[k * cols..k * cols + cols];
+                    let irow = &mut bot[..cols];
+                    for j in k + 1..n {
+                        irow[j] -= m * krow[j];
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &DVec) -> Result<DVec> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                got: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        // Apply permutation, then forward (L, unit diag) and back (U) subs.
+        let mut x = DVec::from_fn(n, |i| b[self.perm[i]]);
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &lij) in self.lu.row(i)[..i].iter().enumerate() {
+                s -= lij * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            let row = self.lu.row(i);
+            for j in i + 1..n {
+                s -= row[j] * x[j];
+            }
+            x[i] = s / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ x = b` using the same factors (`Aᵀ = Uᵀ Lᵀ P`).
+    pub fn solve_transpose(&self, b: &DVec) -> Result<DVec> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_t",
+                got: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        let mut y = b.clone();
+        // Forward substitution with Uᵀ (lower triangular, non-unit diag).
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        // Back substitution with Lᵀ (upper triangular, unit diag).
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Undo the permutation: x[perm[i]] = y[i].
+        let mut x = DVec::zeros(n);
+        for i in 0..n {
+            x[self.perm[i]] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_mat(&self, b: &DMat) -> Result<DMat> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_mat",
+                got: b.shape(),
+                expected: (n, b.ncols()),
+            });
+        }
+        let mut out = DMat::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the factored matrix (use sparingly; solves are cheaper).
+    pub fn inverse(&self) -> Result<DMat> {
+        self.solve_mat(&DMat::eye(self.dim()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Estimates the 1-norm condition number `κ₁(A) ≈ ‖A‖₁ ‖A⁻¹‖₁` using a
+    /// few rounds of Hager's power iteration on `A⁻¹` (via the factors).
+    ///
+    /// RBF collocation matrices with polyharmonic splines are famously
+    /// ill-conditioned; this estimate is surfaced to users for diagnostics
+    /// (the paper notes the regular grid "resulted in better conditioned
+    /// collocation matrices compared with a scattered point cloud").
+    pub fn cond_1_estimate(&self, norm1_a: f64) -> f64 {
+        let n = self.dim();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut x = DVec::full(n, 1.0 / n as f64);
+        let mut est = 0.0;
+        for _ in 0..5 {
+            let y = match self.solve(&x) {
+                Ok(y) => y,
+                Err(_) => return f64::INFINITY,
+            };
+            est = y.norm1();
+            let xi = y.map(|v| if v >= 0.0 { 1.0 } else { -1.0 });
+            let z = match self.solve_transpose(&xi) {
+                Ok(z) => z,
+                Err(_) => return f64::INFINITY,
+            };
+            // Hager: move mass to the coordinate with the largest |z|.
+            let mut jmax = 0;
+            for j in 1..n {
+                if z[j].abs() > z[jmax].abs() {
+                    jmax = j;
+                }
+            }
+            if z.norm_inf() <= z.dot(&x) {
+                break;
+            }
+            x = DVec::zeros(n);
+            x[jmax] = 1.0;
+        }
+        norm1_a * est
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` for symmetric positive definite systems.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DMat,
+}
+
+impl Cholesky {
+    /// Factors an SPD matrix; only the lower triangle of `a` is read.
+    pub fn factor(a: &DMat) -> Result<Cholesky> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                got: a.shape(),
+                expected: (n, n),
+            });
+        }
+        let mut l = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { row: i });
+                    }
+                    l[(i, i)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    pub fn solve(&self, b: &DVec) -> Result<DVec> {
+        let n = self.l.nrows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                got: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        let mut y = b.clone();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.l[(j, i)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn l(&self) -> &DMat {
+        &self.l
+    }
+}
+
+/// Householder QR factorization, usable for least squares (`m >= n`).
+///
+/// The RBF-FD stencil-weight computation solves many small, possibly
+/// rank-deficient-ish local systems; QR is the numerically safe option there.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed Householder vectors (below diagonal) and R (upper triangle).
+    qr: DMat,
+    /// Householder scalars `beta_k`.
+    beta: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m x n` matrix with `m >= n`.
+    pub fn factor(a: &DMat) -> Result<Qr> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr",
+                got: (m, n),
+                expected: (n, n),
+            });
+        }
+        let mut qr = a.clone();
+        let mut beta = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector annihilating below (k,k).
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-300 {
+                return Err(LinalgError::SingularMatrix {
+                    pivot: k,
+                    value: norm,
+                });
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            qr[(k, k)] = alpha;
+            // Store v (with v0 implicit scaling) below the diagonal.
+            for i in k + 1..m {
+                qr[(i, k)] /= v0;
+            }
+            beta[k] = -v0 / alpha;
+            // Apply the reflector to the trailing columns.
+            for j in k + 1..n {
+                let mut s = qr[(k, j)];
+                for i in k + 1..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta[k];
+                qr[(k, j)] -= s;
+                for i in k + 1..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, beta })
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    pub fn solve_least_squares(&self, b: &DVec) -> Result<DVec> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                got: (b.len(), 1),
+                expected: (m, 1),
+            });
+        }
+        // y = Qᵀ b by applying each reflector.
+        let mut y = b.clone();
+        for k in 0..n {
+            let mut s = y[k];
+            for i in k + 1..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.beta[k];
+            y[k] -= s;
+            for i in k + 1..m {
+                let vik = self.qr[(i, k)];
+                y[i] -= s * vik;
+            }
+        }
+        // Back substitution with R.
+        let mut x = DVec::zeros(n);
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_like_matrix(n: usize, seed: u64) -> DMat {
+        // Deterministic, well-scaled, diagonally nudged test matrix.
+        DMat::from_fn(n, n, |i, j| {
+            let v = (((seed as usize + 1) * (i * 131 + j * 31 + 7)) % 997) as f64 / 997.0 - 0.5;
+            if i == j {
+                v + 2.0
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn lu_reconstruction_small() {
+        let a = DMat::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&DVec(vec![5.0, -2.0, 9.0])).unwrap();
+        let r = &a.matvec(&x).unwrap() - &DVec(vec![5.0, -2.0, 9.0]);
+        assert!(r.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_transpose_matches_explicit_transpose() {
+        let a = random_like_matrix(12, 3);
+        let at = a.transpose();
+        let b = DVec::from_fn(12, |i| (i as f64).cos());
+        let lu = Lu::factor(&a).unwrap();
+        let lut = Lu::factor(&at).unwrap();
+        let x1 = lu.solve_transpose(&b).unwrap();
+        let x2 = lut.solve(&b).unwrap();
+        assert!((&x1 - &x2).norm2() < 1e-10);
+    }
+
+    #[test]
+    fn lu_det_known() {
+        let a = DMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+        // Permutation sign: swapping rows flips the determinant's sign.
+        let b = DMat::from_rows(&[vec![3.0, 4.0], vec![1.0, 2.0]]);
+        assert!((Lu::factor(&b).unwrap().det() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_singular_detection() {
+        let a = DMat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip() {
+        let a = random_like_matrix(6, 11);
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let id = a.matmul(&inv).unwrap();
+        assert!((&id - &DMat::eye(6)).norm_fro() < 1e-10);
+    }
+
+    #[test]
+    fn lu_multi_rhs() {
+        let a = random_like_matrix(5, 2);
+        let b = DMat::from_fn(5, 3, |i, j| (i + j) as f64);
+        let x = Lu::factor(&a).unwrap().solve_mat(&b).unwrap();
+        let r = &a.matmul(&x).unwrap() - &b;
+        assert!(r.norm_fro() < 1e-10);
+    }
+
+    #[test]
+    fn lu_condition_estimate_identity_is_order_one() {
+        let id = DMat::eye(8);
+        let lu = Lu::factor(&id).unwrap();
+        let c = lu.cond_1_estimate(id.norm_1());
+        assert!((0.9..=1.5).contains(&c), "cond(I) estimate was {c}");
+    }
+
+    #[test]
+    fn lu_condition_estimate_detects_ill_conditioning() {
+        // diag(1, eps): condition = 1/eps.
+        let a = DMat::from_diag(&[1.0, 1e-8]);
+        let lu = Lu::factor(&a).unwrap();
+        let c = lu.cond_1_estimate(a.norm_1());
+        assert!(c > 1e7, "estimate {c} should be ~1e8");
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        // A = M^T M + I is SPD.
+        let m = random_like_matrix(7, 5);
+        let a = &m.transpose().matmul(&m).unwrap() + &DMat::eye(7);
+        let chol = Cholesky::factor(&a).unwrap();
+        let b = DVec::from_fn(7, |i| i as f64 - 3.0);
+        let x = chol.solve(&b).unwrap();
+        assert!((&a.matvec(&x).unwrap() - &b).norm2() < 1e-9);
+        // L L^T reconstructs A.
+        let rec = chol.l().matmul(&chol.l().transpose()).unwrap();
+        assert!((&rec - &a).norm_fro() < 1e-8 * a.norm_fro());
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DMat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn qr_solves_square_system() {
+        let a = random_like_matrix(9, 4);
+        let b = DVec::from_fn(9, |i| (i as f64 * 0.7).sin());
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((&a.matvec(&x).unwrap() - &b).norm2() < 1e-9);
+    }
+
+    #[test]
+    fn qr_least_squares_matches_normal_equations() {
+        // Overdetermined fit: line through noisy-ish points.
+        let m = 20;
+        let a = DMat::from_fn(m, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
+        let b = DVec::from_fn(m, |i| 3.0 + 2.0 * i as f64);
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined() {
+        assert!(Qr::factor(&DMat::zeros(2, 3)).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_lu_solve_residual_small(seed in 0u64..5000, n in 2usize..24) {
+            let a = random_like_matrix(n, seed);
+            let b = DVec::from_fn(n, |i| ((seed as usize + i) % 17) as f64 - 8.0);
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve(&b).unwrap();
+            let r = &a.matvec(&x).unwrap() - &b;
+            prop_assert!(r.norm2() < 1e-8 * (1.0 + b.norm2()));
+        }
+
+        #[test]
+        fn prop_lu_transpose_adjoint_identity(seed in 0u64..5000, n in 2usize..16) {
+            // <A^{-1} b, c> == <b, A^{-T} c> — exactly the identity the
+            // autodiff solve-adjoint relies on.
+            let a = random_like_matrix(n, seed);
+            let b = DVec::from_fn(n, |i| (i as f64 + 1.0).recip());
+            let c = DVec::from_fn(n, |i| ((i * i) % 7) as f64 - 3.0);
+            let lu = Lu::factor(&a).unwrap();
+            let lhs = lu.solve(&b).unwrap().dot(&c);
+            let rhs = b.dot(&lu.solve_transpose(&c).unwrap());
+            prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+        }
+
+        #[test]
+        fn prop_det_product_rule(seed in 0u64..2000, n in 2usize..8) {
+            let a = random_like_matrix(n, seed);
+            let b = random_like_matrix(n, seed + 7);
+            let da = Lu::factor(&a).unwrap().det();
+            let db = Lu::factor(&b).unwrap().det();
+            let dab = Lu::factor(&a.matmul(&b).unwrap()).unwrap().det();
+            prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Iterative Krylov solvers: CG, BiCGSTAB and restarted GMRES.
+//!
+//! These back the sparse RBF-FD path. The dense global-collocation path uses
+//! [`crate::Lu`] directly; the sparse path pairs these solvers with the
+//! simple preconditioners below. GMRES is the default for the nonsymmetric
+//! advection-dominated operators that appear in the Navier–Stokes momentum
+//! equations.
+
+use crate::error::{LinalgError, Result};
+use crate::sparse::Csr;
+use crate::vector::DVec;
+
+/// Anything that can act as `y = A x` for an iterative solver.
+pub trait LinOp {
+    /// Applies the operator.
+    fn apply(&self, x: &DVec) -> DVec;
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+}
+
+impl LinOp for Csr {
+    fn apply(&self, x: &DVec) -> DVec {
+        self.matvec(x)
+    }
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+}
+
+impl LinOp for crate::dense::DMat {
+    fn apply(&self, x: &DVec) -> DVec {
+        self.matvec(x).expect("LinOp: shape mismatch")
+    }
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+}
+
+/// Left preconditioners `z = M⁻¹ r`.
+#[derive(Debug, Clone)]
+pub enum Preconditioner {
+    /// No preconditioning.
+    Identity,
+    /// Diagonal (Jacobi) scaling; entries with zero diagonal pass through.
+    Jacobi(DVec),
+    /// Incomplete LU with zero fill-in, on the matrix's own sparsity.
+    Ilu0(crate::sparse::Ilu0),
+}
+
+impl Preconditioner {
+    /// Builds a Jacobi preconditioner from a sparse matrix's diagonal.
+    pub fn jacobi_from(a: &Csr) -> Self {
+        Preconditioner::Jacobi(a.diagonal())
+    }
+
+    /// Builds an ILU(0) preconditioner (falls back to Jacobi if a pivot
+    /// vanishes during the incomplete factorization).
+    pub fn ilu0_from(a: &Csr) -> Self {
+        match crate::sparse::Ilu0::factor(a) {
+            Some(f) => Preconditioner::Ilu0(f),
+            None => Preconditioner::jacobi_from(a),
+        }
+    }
+
+    /// Applies the preconditioner.
+    pub fn apply(&self, r: &DVec) -> DVec {
+        match self {
+            Preconditioner::Identity => r.clone(),
+            Preconditioner::Jacobi(d) => DVec::from_fn(r.len(), |i| {
+                if d[i].abs() > 1e-300 {
+                    r[i] / d[i]
+                } else {
+                    r[i]
+                }
+            }),
+            Preconditioner::Ilu0(f) => f.solve(r),
+        }
+    }
+}
+
+/// Options shared by the iterative solvers.
+#[derive(Debug, Clone)]
+pub struct IterOpts {
+    /// Maximum iterations (for GMRES: total inner iterations).
+    pub max_iter: usize,
+    /// Relative residual tolerance `‖r‖/‖b‖`.
+    pub rel_tol: f64,
+    /// GMRES restart length.
+    pub restart: usize,
+}
+
+impl Default for IterOpts {
+    fn default() -> Self {
+        IterOpts {
+            max_iter: 2000,
+            rel_tol: 1e-10,
+            restart: 50,
+        }
+    }
+}
+
+/// Outcome of a converged iterative solve.
+#[derive(Debug, Clone)]
+pub struct IterResult {
+    /// Solution vector.
+    pub x: DVec,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Conjugate gradients for symmetric positive definite operators.
+pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<IterResult> {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "cg: rhs length mismatch");
+    let bnorm = b.norm2().max(1e-300);
+    let mut x = DVec::zeros(n);
+    let mut r = b.clone();
+    let mut z = m.apply(&r);
+    let mut p = z.clone();
+    let mut rz = r.dot(&z);
+    for it in 0..opts.max_iter {
+        let rel = r.norm2() / bnorm;
+        if rel <= opts.rel_tol {
+            return Ok(IterResult {
+                x,
+                iterations: it,
+                residual: rel,
+            });
+        }
+        let ap = a.apply(&p);
+        let pap = p.dot(&ap);
+        if pap.abs() < 1e-300 {
+            return Err(LinalgError::Breakdown {
+                solver: "cg",
+                detail: "p'Ap ~ 0 (operator not SPD?)",
+            });
+        }
+        let alpha = rz / pap;
+        x.axpy(alpha, &p);
+        r.axpy(-alpha, &ap);
+        z = m.apply(&r);
+        let rz_new = r.dot(&z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        p = &z + &p.scaled(beta);
+    }
+    let rel = r.norm2() / bnorm;
+    if rel <= opts.rel_tol {
+        Ok(IterResult {
+            x,
+            iterations: opts.max_iter,
+            residual: rel,
+        })
+    } else {
+        Err(LinalgError::NotConverged {
+            solver: "cg",
+            iterations: opts.max_iter,
+            residual: rel,
+        })
+    }
+}
+
+/// BiCGSTAB for general nonsymmetric operators.
+pub fn bicgstab(
+    a: &dyn LinOp,
+    b: &DVec,
+    m: &Preconditioner,
+    opts: &IterOpts,
+) -> Result<IterResult> {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "bicgstab: rhs length mismatch");
+    let bnorm = b.norm2().max(1e-300);
+    let mut x = DVec::zeros(n);
+    let mut r = b.clone();
+    let r0 = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = DVec::zeros(n);
+    let mut p = DVec::zeros(n);
+    for it in 0..opts.max_iter {
+        let rel = r.norm2() / bnorm;
+        if rel <= opts.rel_tol {
+            return Ok(IterResult {
+                x,
+                iterations: it,
+                residual: rel,
+            });
+        }
+        let rho_new = r0.dot(&r);
+        if rho_new.abs() < 1e-300 {
+            return Err(LinalgError::Breakdown {
+                solver: "bicgstab",
+                detail: "rho ~ 0",
+            });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta (p - omega v)
+        let mut pm = p.clone();
+        pm.axpy(-omega, &v);
+        p = &r + &pm.scaled(beta);
+        let phat = m.apply(&p);
+        v = a.apply(&phat);
+        let r0v = r0.dot(&v);
+        if r0v.abs() < 1e-300 {
+            return Err(LinalgError::Breakdown {
+                solver: "bicgstab",
+                detail: "r0'v ~ 0",
+            });
+        }
+        alpha = rho / r0v;
+        let mut s = r.clone();
+        s.axpy(-alpha, &v);
+        if s.norm2() / bnorm <= opts.rel_tol {
+            x.axpy(alpha, &phat);
+            return Ok(IterResult {
+                x,
+                iterations: it + 1,
+                residual: s.norm2() / bnorm,
+            });
+        }
+        let shat = m.apply(&s);
+        let t = a.apply(&shat);
+        let tt = t.dot(&t);
+        if tt.abs() < 1e-300 {
+            return Err(LinalgError::Breakdown {
+                solver: "bicgstab",
+                detail: "t't ~ 0",
+            });
+        }
+        omega = t.dot(&s) / tt;
+        x.axpy(alpha, &phat);
+        x.axpy(omega, &shat);
+        r = s;
+        r.axpy(-omega, &t);
+    }
+    let rel = r.norm2() / bnorm;
+    Err(LinalgError::NotConverged {
+        solver: "bicgstab",
+        iterations: opts.max_iter,
+        residual: rel,
+    })
+}
+
+/// Restarted GMRES(m) with Givens rotations, left-preconditioned.
+pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<IterResult> {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "gmres: rhs length mismatch");
+    let bnorm = m.apply(b).norm2().max(1e-300);
+    let restart = opts.restart.min(n).max(1);
+    let mut x = DVec::zeros(n);
+    let mut total_iters = 0usize;
+
+    while total_iters < opts.max_iter {
+        // r = M^{-1}(b - A x)
+        let mut r = b.clone();
+        r -= &a.apply(&x);
+        let r = m.apply(&r);
+        let beta = r.norm2();
+        let rel0 = beta / bnorm;
+        if rel0 <= opts.rel_tol {
+            return Ok(IterResult {
+                x,
+                iterations: total_iters,
+                residual: rel0,
+            });
+        }
+        // Arnoldi with modified Gram-Schmidt.
+        let mut v: Vec<DVec> = vec![r.scaled(1.0 / beta)];
+        let mut h = vec![vec![0.0f64; restart]; restart + 1]; // h[i][j]
+        let mut cs = vec![0.0f64; restart];
+        let mut sn = vec![0.0f64; restart];
+        let mut g = vec![0.0f64; restart + 1];
+        g[0] = beta;
+        let mut k_used = 0;
+        for j in 0..restart {
+            if total_iters >= opts.max_iter {
+                break;
+            }
+            total_iters += 1;
+            let mut w = m.apply(&a.apply(&v[j]));
+            for (i, vi) in v.iter().enumerate() {
+                h[i][j] = w.dot(vi);
+                w.axpy(-h[i][j], vi);
+            }
+            h[j + 1][j] = w.norm2();
+            // Apply the accumulated Givens rotations to column j.
+            for i in 0..j {
+                let tmp = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
+                h[i + 1][j] = -sn[i] * h[i][j] + cs[i] * h[i + 1][j];
+                h[i][j] = tmp;
+            }
+            // New rotation to zero h[j+1][j].
+            let (c, s) = givens(h[j][j], h[j + 1][j]);
+            cs[j] = c;
+            sn[j] = s;
+            h[j][j] = c * h[j][j] + s * h[j + 1][j];
+            h[j + 1][j] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+            k_used = j + 1;
+            let rel = g[j + 1].abs() / bnorm;
+            if rel <= opts.rel_tol {
+                break;
+            }
+            let norm = w.norm2();
+            if norm < 1e-300 {
+                break; // lucky breakdown: exact solution in the Krylov space
+            }
+            v.push(w.scaled(1.0 / norm));
+        }
+        // Solve the small triangular system and update x.
+        let mut y = vec![0.0f64; k_used];
+        for i in (0..k_used).rev() {
+            let mut s = g[i];
+            for j in i + 1..k_used {
+                s -= h[i][j] * y[j];
+            }
+            y[i] = s / h[i][i];
+        }
+        for (j, &yj) in y.iter().enumerate() {
+            x.axpy(yj, &v[j]);
+        }
+        // Check the true residual after the restart block.
+        let mut rr = b.clone();
+        rr -= &a.apply(&x);
+        let rel = m.apply(&rr).norm2() / bnorm;
+        if rel <= opts.rel_tol {
+            return Ok(IterResult {
+                x,
+                iterations: total_iters,
+                residual: rel,
+            });
+        }
+    }
+    let mut rr = b.clone();
+    rr -= &a.apply(&x);
+    let rel = m.apply(&rr).norm2() / bnorm;
+    Err(LinalgError::NotConverged {
+        solver: "gmres",
+        iterations: total_iters,
+        residual: rel,
+    })
+}
+
+/// Returns `(c, s)` with `c·a + s·b = r` and `−s·a + c·b = 0`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() > b.abs() {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    } else {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DMat;
+    use crate::sparse::Triplets;
+
+    /// 1-D Poisson matrix (tridiagonal [-1, 2, -1]): SPD, well understood.
+    fn poisson_1d(n: usize) -> Csr {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Nonsymmetric advection-diffusion matrix.
+    fn advdiff_1d(n: usize, peclet: f64) -> Csr {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + 0.1);
+            if i > 0 {
+                t.push(i, i - 1, -1.0 - peclet);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0 + peclet);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn cg_solves_poisson() {
+        let n = 64;
+        let a = poisson_1d(n);
+        let b = DVec::from_fn(n, |i| ((i + 1) as f64 * 0.1).sin());
+        let res = cg(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let r = &a.matvec(&res.x) - &b;
+        assert!(r.norm2() < 1e-8 * b.norm2());
+        assert!(res.iterations <= n + 1);
+    }
+
+    #[test]
+    fn cg_with_jacobi_preconditioner() {
+        let n = 64;
+        let a = poisson_1d(n);
+        let b = DVec::full(n, 1.0);
+        let m = Preconditioner::jacobi_from(&a);
+        let res = cg(&a, &b, &m, &IterOpts::default()).unwrap();
+        assert!((&a.matvec(&res.x) - &b).norm2() < 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        let n = 80;
+        let a = advdiff_1d(n, 0.4);
+        let b = DVec::from_fn(n, |i| 1.0 / (1.0 + i as f64));
+        let res = bicgstab(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        assert!((&a.matvec(&res.x) - &b).norm2() < 1e-8 * b.norm2().max(1.0));
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric() {
+        let n = 80;
+        let a = advdiff_1d(n, 0.7);
+        let b = DVec::from_fn(n, |i| (i as f64 * 0.05).cos());
+        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let rel = (&a.matvec(&res.x) - &b).norm2() / b.norm2();
+        assert!(rel < 1e-8, "relative residual {rel}");
+    }
+
+    #[test]
+    fn gmres_with_restart_and_jacobi() {
+        let n = 120;
+        let a = advdiff_1d(n, 0.3);
+        let b = DVec::full(n, 1.0);
+        let m = Preconditioner::jacobi_from(&a);
+        let opts = IterOpts {
+            restart: 15,
+            ..Default::default()
+        };
+        let res = gmres(&a, &b, &m, &opts).unwrap();
+        assert!((&a.matvec(&res.x) - &b).norm2() / b.norm2() < 1e-8);
+    }
+
+    #[test]
+    fn gmres_matches_dense_lu() {
+        let n = 30;
+        let a = advdiff_1d(n, 0.5);
+        let ad = a.to_dense();
+        let b = DVec::from_fn(n, |i| (i as f64) - 10.0);
+        let xg = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default())
+            .unwrap()
+            .x;
+        let xl = crate::Lu::factor(&ad).unwrap().solve(&b).unwrap();
+        assert!((&xg - &xl).norm2() < 1e-7 * xl.norm2().max(1.0));
+    }
+
+    #[test]
+    fn gmres_on_dense_linop() {
+        let a = DMat::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let b = DVec(vec![1.0, 2.0]);
+        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        assert!((&a.matvec(&res.x).unwrap() - &b).norm2() < 1e-10);
+    }
+
+    #[test]
+    fn not_converged_is_reported() {
+        let n = 60;
+        let a = poisson_1d(n);
+        let b = DVec::full(n, 1.0);
+        let opts = IterOpts {
+            max_iter: 2,
+            rel_tol: 1e-14,
+            restart: 2,
+        };
+        assert!(matches!(
+            cg(&a, &b, &Preconditioner::Identity, &opts),
+            Err(LinalgError::NotConverged { .. })
+        ));
+        assert!(matches!(
+            gmres(&a, &b, &Preconditioner::Identity, &opts),
+            Err(LinalgError::NotConverged { .. })
+        ));
+        assert!(matches!(
+            bicgstab(&a, &b, &Preconditioner::Identity, &opts),
+            Err(LinalgError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = poisson_1d(10);
+        let b = DVec::zeros(10);
+        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        assert_eq!(res.iterations, 0);
+        assert!(res.x.norm2() < 1e-14);
+    }
+}

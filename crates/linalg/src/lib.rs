@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # meshfree-linalg
+//!
+//! Self-contained dense and sparse linear algebra for the `meshfree-oc`
+//! workspace. No BLAS/LAPACK: the point of the reproduction is to own the
+//! whole substrate, so everything from `axpy` to restarted GMRES lives here.
+//!
+//! Contents:
+//!
+//! * [`DVec`] — owned dense vector with the usual BLAS-1 operations.
+//! * [`DMat`] — row-major dense matrix with (rayon-parallel) BLAS-2/3 kernels.
+//! * [`Lu`] — LU factorization with partial pivoting, forward/transpose
+//!   solves, multi-RHS solves and a 1-norm condition estimate. This is the
+//!   workhorse behind both the RBF collocation solves and the custom
+//!   linear-solve adjoint in `meshfree-autodiff`.
+//! * [`Cholesky`] — for symmetric positive definite systems.
+//! * [`Qr`] — Householder QR and least-squares solves.
+//! * [`Csr`] — compressed sparse row matrices with parallel SpMV, used by the
+//!   RBF-FD local-stencil path.
+//! * [`iterative`] — CG, BiCGSTAB and restarted GMRES with simple
+//!   preconditioners.
+//!
+//! All storage is `f64`; the solvers in this workspace are double precision
+//! throughout (RBF collocation matrices are notoriously ill-conditioned and
+//! single precision is not viable).
+
+pub mod dense;
+pub mod error;
+pub mod factor;
+pub mod iterative;
+pub mod sparse;
+pub mod vector;
+
+pub use dense::DMat;
+pub use error::{LinalgError, Result};
+pub use factor::{Cholesky, Lu, Qr};
+pub use iterative::{bicgstab, cg, gmres, IterOpts, IterResult, Preconditioner};
+pub use sparse::{Csr, Ilu0, Triplets};
+pub use vector::DVec;
+
+/// Tolerance used by the crate's own tests when comparing against
+/// analytically-known results.
+pub const TEST_TOL: f64 = 1e-10;

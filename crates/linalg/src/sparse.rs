@@ -1,0 +1,541 @@
+//! Compressed sparse row (CSR) matrices with parallel SpMV.
+//!
+//! The RBF-FD path assembles global differential operators from local
+//! stencils: each row has only `k` (stencil size) nonzeros, so CSR + an
+//! iterative solver replaces the dense global collocation when memory is the
+//! bottleneck (cf. Table 3 of the paper, where dense DP peaks at 45 GB).
+
+use crate::dense::DMat;
+use crate::vector::DVec;
+use rayon::prelude::*;
+
+/// Triplet (COO) accumulator used while assembling a sparse matrix.
+///
+/// Duplicate entries are summed when converting to CSR, which makes
+/// stencil-by-stencil assembly straightforward.
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty accumulator for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(i, j)`. Panics on out-of-range indices.
+    pub fn push(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "triplet out of range");
+        if value != 0.0 {
+            self.entries.push((i, j, value));
+        }
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn nnz_raw(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(&self) -> Csr {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|e| (e.0, e.1));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut iter = entries.into_iter().peekable();
+        while let Some((i, j, mut v)) = iter.next() {
+            while let Some(&(i2, j2, v2)) = iter.peek() {
+                if i2 == i && j2 == j {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            col_idx.push(j);
+            values.push(v);
+            row_ptr[i + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Identity matrix in CSR form.
+    pub fn eye(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sparse matrix-vector product, parallel over rows for large matrices.
+    pub fn matvec(&self, x: &DVec) -> DVec {
+        assert_eq!(x.len(), self.cols, "spmv: length mismatch");
+        let compute = |i: usize| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum::<f64>()
+        };
+        let y: Vec<f64> = if self.nnz() >= 1 << 15 {
+            (0..self.rows).into_par_iter().map(compute).collect()
+        } else {
+            (0..self.rows).map(compute).collect()
+        };
+        DVec(y)
+    }
+
+    /// Transposed sparse matvec `Aᵀ x`.
+    pub fn matvec_t(&self, x: &DVec) -> DVec {
+        assert_eq!(x.len(), self.rows, "spmv_t: length mismatch");
+        let mut y = DVec::zeros(self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let xi = x[i];
+            if xi != 0.0 {
+                for (&j, &v) in cols.iter().zip(vals) {
+                    y[j] += v * xi;
+                }
+            }
+        }
+        y
+    }
+
+    /// Explicit transpose in CSR form.
+    pub fn transpose(&self) -> Csr {
+        let mut t = Triplets::new(self.cols, self.rows);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                t.push(j, i, v);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Densifies (for tests and small systems).
+    pub fn to_dense(&self) -> DMat {
+        let mut m = DMat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] += v;
+            }
+        }
+        m
+    }
+
+    /// Extracts the diagonal (zeros where no entry is stored).
+    pub fn diagonal(&self) -> DVec {
+        let n = self.rows.min(self.cols);
+        let mut d = DVec::zeros(n);
+        for i in 0..n {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j == i {
+                    d[i] = v;
+                }
+            }
+        }
+        d
+    }
+
+    /// Scales row `i` by `s[i]` in place.
+    pub fn scale_rows_mut(&mut self, s: &[f64]) {
+        assert_eq!(s.len(), self.rows, "scale_rows: length mismatch");
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for v in &mut self.values[lo..hi] {
+                *v *= s[i];
+            }
+        }
+    }
+
+    /// Reads the stored value at `(i, j)`, or `None` if outside the
+    /// sparsity pattern (binary search within the row).
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => Some(self.values[lo + pos]),
+            Err(_) => None,
+        }
+    }
+
+    /// Overwrites the stored value at `(i, j)`; returns false if `(i, j)`
+    /// is outside the sparsity pattern.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) -> bool {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => {
+                self.values[lo + pos] = v;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Returns `alpha*self + beta*other` (same sparsity union).
+    pub fn add_scaled(&self, alpha: f64, other: &Csr, beta: f64) -> Csr {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled: shape mismatch"
+        );
+        let mut t = Triplets::new(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (c1, v1) = self.row(i);
+            for (&j, &v) in c1.iter().zip(v1) {
+                t.push(i, j, alpha * v);
+            }
+            let (c2, v2) = other.row(i);
+            for (&j, &v) in c2.iter().zip(v2) {
+                t.push(i, j, beta * v);
+            }
+        }
+        t.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2], [0, 3, 0], [4, 0, 5]]
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn triplets_dedup_sums() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.5);
+        t.push(1, 1, -1.0);
+        let c = t.to_csr();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.to_dense()[(0, 0)], 3.5);
+        assert_eq!(c.to_dense()[(1, 1)], -1.0);
+    }
+
+    #[test]
+    fn zero_entries_dropped() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 0.0);
+        assert_eq!(t.nnz_raw(), 0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let c = sample();
+        let d = c.to_dense();
+        let x = DVec(vec![1.0, 2.0, 3.0]);
+        let ys = c.matvec(&x);
+        let yd = d.matvec(&x).unwrap();
+        assert!((&ys - &yd).norm2() < 1e-14);
+    }
+
+    #[test]
+    fn spmv_transpose_matches_dense() {
+        let c = sample();
+        let d = c.to_dense().transpose();
+        let x = DVec(vec![1.0, -1.0, 0.5]);
+        assert!((&c.matvec_t(&x) - &d.matvec(&x).unwrap()).norm2() < 1e-14);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let c = sample();
+        assert_eq!(c.transpose().transpose().to_dense(), c.to_dense());
+    }
+
+    #[test]
+    fn eye_and_diag() {
+        let e = Csr::eye(4);
+        assert_eq!(e.nnz(), 4);
+        let x = DVec(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.matvec(&x).as_slice(), x.as_slice());
+        assert_eq!(sample().diagonal().as_slice(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn scale_rows_and_add_scaled() {
+        let mut c = sample();
+        c.scale_rows_mut(&[2.0, 1.0, 0.5]);
+        assert_eq!(c.to_dense()[(0, 2)], 4.0);
+        assert_eq!(c.to_dense()[(2, 0)], 2.0);
+        let s = sample();
+        let sum = s.add_scaled(1.0, &s, 1.0);
+        assert_eq!(sum.to_dense()[(2, 2)], 10.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_spmv_adjoint(seed in 0u64..1000) {
+            // <Ax, y> == <x, A^T y> for random sparse patterns.
+            let n = 4 + (seed % 12) as usize;
+            let mut t = Triplets::new(n, n);
+            for k in 0..3 * n {
+                let i = (seed as usize * 7 + k * 13) % n;
+                let j = (seed as usize * 11 + k * 5) % n;
+                t.push(i, j, ((k % 9) as f64) - 4.0);
+            }
+            let a = t.to_csr();
+            let x = DVec::from_fn(n, |i| (i as f64 * 0.3).sin());
+            let y = DVec::from_fn(n, |i| 1.0 - 0.1 * i as f64);
+            let lhs = a.matvec(&x).dot(&y);
+            let rhs = x.dot(&a.matvec_t(&y));
+            prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+        }
+
+        #[test]
+        fn prop_csr_dense_agree(seed in 0u64..1000) {
+            let n = 3 + (seed % 8) as usize;
+            let mut t = Triplets::new(n, n);
+            for k in 0..2 * n {
+                t.push((seed as usize + k * 3) % n, (k * 7 + 1) % n, (k as f64) * 0.25 - 1.0);
+            }
+            let a = t.to_csr();
+            let d = a.to_dense();
+            let x = DVec::from_fn(n, |i| i as f64 + 1.0);
+            let diff = &a.matvec(&x) - &d.matvec(&x).unwrap();
+            prop_assert!(diff.norm2() < 1e-12);
+        }
+    }
+}
+
+/// Incomplete LU factorization with zero fill-in (ILU(0)): `L` and `U`
+/// share the sparsity pattern of the input matrix. Used as a GMRES/BiCGSTAB
+/// preconditioner for the RBF-FD operators, whose stencil-based patterns
+/// make ILU(0) markedly stronger than Jacobi.
+#[derive(Debug, Clone)]
+pub struct Ilu0 {
+    /// Factored values on the original pattern (unit lower / upper).
+    lu: Csr,
+}
+
+impl Ilu0 {
+    /// Computes the factorization; returns `None` if a pivot vanishes.
+    pub fn factor(a: &Csr) -> Option<Ilu0> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return None;
+        }
+        let mut lu = a.clone();
+        // Gaussian elimination restricted to the existing pattern (IKJ).
+        for i in 0..n {
+            // Gather row i's columns for fast lookup.
+            let (cols_i, _) = lu.row(i);
+            let cols_i: Vec<usize> = cols_i.to_vec();
+            for &k in &cols_i {
+                if k >= i {
+                    break; // columns are sorted: only k < i eliminate
+                }
+                // Pivot U[k][k].
+                let ukk = lu.get(k, k)?;
+                if ukk.abs() < 1e-300 {
+                    return None;
+                }
+                let factor = lu.get(i, k)? / ukk;
+                lu.set(i, k, factor);
+                // Row update within the pattern of row i.
+                let (k_cols, k_vals): (Vec<usize>, Vec<f64>) = {
+                    let (c, v) = lu.row(k);
+                    (c.to_vec(), v.to_vec())
+                };
+                for (&j, &ukj) in k_cols.iter().zip(&k_vals) {
+                    if j > k {
+                        if let Some(aij) = lu.get(i, j) {
+                            lu.set(i, j, aij - factor * ukj);
+                        }
+                    }
+                }
+            }
+        }
+        // Sanity: diagonal pivots present and nonzero.
+        for i in 0..n {
+            match lu.get(i, i) {
+                Some(d) if d.abs() > 1e-300 => {}
+                _ => return None,
+            }
+        }
+        Some(Ilu0 { lu })
+    }
+
+    /// Applies `z = (LU)⁻¹ r` via the two triangular sweeps.
+    pub fn solve(&self, r: &DVec) -> DVec {
+        let n = self.lu.nrows();
+        let mut y = r.clone();
+        // Forward: L (unit diagonal) stored strictly below the diagonal.
+        for i in 0..n {
+            let (cols, vals) = self.lu.row(i);
+            let mut s = y[i];
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j < i {
+                    s -= v * y[j];
+                }
+            }
+            y[i] = s;
+        }
+        // Backward: U on/above the diagonal.
+        for i in (0..n).rev() {
+            let (cols, vals) = self.lu.row(i);
+            let mut s = y[i];
+            let mut diag = 1.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j > i {
+                    s -= v * y[j];
+                } else if j == i {
+                    diag = v;
+                }
+            }
+            y[i] = s / diag;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod ilu_tests {
+    use super::*;
+
+    fn poisson_1d(n: usize) -> Csr {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn ilu0_is_exact_for_tridiagonal_matrices() {
+        // A tridiagonal matrix has no fill-in, so ILU(0) = LU exactly.
+        let n = 40;
+        let a = poisson_1d(n);
+        let f = Ilu0::factor(&a).unwrap();
+        let b = DVec::from_fn(n, |i| (i as f64 * 0.3).sin());
+        let x = f.solve(&b);
+        let r = &a.matvec(&x) - &b;
+        assert!(r.norm2() < 1e-12 * b.norm2(), "residual {}", r.norm2());
+    }
+
+    #[test]
+    fn ilu0_preconditioning_accelerates_gmres() {
+        use crate::iterative::{gmres, IterOpts, Preconditioner};
+        // 2-D Poisson (5-point) — ILU(0) is approximate but much stronger
+        // than Jacobi.
+        let m = 20;
+        let n = m * m;
+        let mut t = Triplets::new(n, n);
+        for i in 0..m {
+            for j in 0..m {
+                let k = i * m + j;
+                t.push(k, k, 4.0);
+                if i > 0 {
+                    t.push(k, k - m, -1.0);
+                }
+                if i + 1 < m {
+                    t.push(k, k + m, -1.0);
+                }
+                if j > 0 {
+                    t.push(k, k - 1, -1.0);
+                }
+                if j + 1 < m {
+                    t.push(k, k + 1, -1.0);
+                }
+            }
+        }
+        let a = t.to_csr();
+        let b = DVec::full(n, 1.0);
+        let opts = IterOpts {
+            rel_tol: 1e-10,
+            ..Default::default()
+        };
+        let plain = gmres(&a, &b, &Preconditioner::jacobi_from(&a), &opts).unwrap();
+        let ilu = gmres(&a, &b, &Preconditioner::ilu0_from(&a), &opts).unwrap();
+        assert!(
+            ilu.iterations < plain.iterations,
+            "ILU(0) {} should beat Jacobi {}",
+            ilu.iterations,
+            plain.iterations
+        );
+        assert!((&a.matvec(&ilu.x) - &b).norm2() < 1e-8 * b.norm2());
+    }
+
+    #[test]
+    fn factor_rejects_structurally_singular_matrices() {
+        // Zero diagonal entry in the pattern.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        assert!(Ilu0::factor(&t.to_csr()).is_none());
+    }
+}

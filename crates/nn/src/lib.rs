@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # meshfree-nn
+//!
+//! Multilayer perceptrons on the tensor tape — the network machinery behind
+//! the PINN strategy (paper §2.3).
+//!
+//! The PINN loss needs the network's *input* derivatives (`∂u/∂x`,
+//! `∂²u/∂x²`, …) as differentiable quantities with respect to the weights.
+//! [`Mlp::forward_taylor`] propagates batched value + first + second
+//! input-derivative tensors through every layer (Taylor-mode forward
+//! differentiation built out of ordinary tape ops), so the PDE residual is
+//! itself a tape node and one reverse sweep yields exact `∇_θ` of the whole
+//! physics loss.
+
+pub mod mlp;
+
+pub use mlp::{Activation, Mlp, MlpParams, TaylorBatch};

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # meshfree-opt
+//!
+//! First-order optimizers shared by all three control strategies.
+//!
+//! The paper uses **Adam everywhere** — "for all our DAL, PINN, and DP
+//! experiments, we used the Adam optimiser", noting that, while unusual for
+//! DAL/DP, "Adam helped increase robustness to noisy gradients at
+//! boundaries due to the Runge phenomenon". The learning-rate schedule is
+//! the paper's piecewise-constant decay: "the initial learning rate was
+//! divided by 10 after half the iterations or epochs, and again by 10 at
+//! 75 % completion."
+
+pub mod adam;
+pub mod schedule;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use schedule::Schedule;
+pub use sgd::Sgd;
+
+use linalg::DVec;
+
+/// A first-order optimizer over a flat parameter vector.
+pub trait Optimizer {
+    /// Applies one update step given the gradient at the current point.
+    fn step(&mut self, params: &mut DVec, grad: &DVec);
+    /// Steps taken so far.
+    fn iteration(&self) -> usize;
+    /// The learning rate that the *next* step will use.
+    fn current_lr(&self) -> f64;
+}

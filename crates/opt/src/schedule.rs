@@ -1,0 +1,85 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule as a function of the step index.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Constant learning rate.
+    Constant(f64),
+    /// Piecewise-constant decay: the base rate is multiplied by `factors[k]`
+    /// once `step ≥ boundaries[k]`.
+    PiecewiseConstant {
+        /// Base learning rate.
+        base: f64,
+        /// Step indices at which the rate changes (ascending).
+        boundaries: Vec<usize>,
+        /// Cumulative multipliers applied from each boundary on.
+        factors: Vec<f64>,
+    },
+}
+
+impl Schedule {
+    /// The paper's schedule: base rate, ÷10 at 50 % of `total_steps`, ÷10
+    /// again (i.e. ÷100 overall) at 75 %.
+    pub fn paper_decay(base: f64, total_steps: usize) -> Schedule {
+        Schedule::PiecewiseConstant {
+            base,
+            boundaries: vec![total_steps / 2, 3 * total_steps / 4],
+            factors: vec![0.1, 0.01],
+        }
+    }
+
+    /// Learning rate at `step`.
+    pub fn at(&self, step: usize) -> f64 {
+        match self {
+            Schedule::Constant(lr) => *lr,
+            Schedule::PiecewiseConstant {
+                base,
+                boundaries,
+                factors,
+            } => {
+                let mut lr = *base;
+                for (b, f) in boundaries.iter().zip(factors) {
+                    if step >= *b {
+                        lr = base * f;
+                    }
+                }
+                lr
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::Constant(0.01);
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn paper_decay_matches_description() {
+        let s = Schedule::paper_decay(1e-2, 400);
+        assert_eq!(s.at(0), 1e-2);
+        assert_eq!(s.at(199), 1e-2);
+        assert!((s.at(200) - 1e-3).abs() < 1e-18);
+        assert!((s.at(299) - 1e-3).abs() < 1e-18);
+        assert!((s.at(300) - 1e-4).abs() < 1e-19);
+        assert!((s.at(399) - 1e-4).abs() < 1e-19);
+    }
+
+    #[test]
+    fn boundaries_are_cumulative_not_compounded() {
+        // The factors are absolute multipliers of the base rate.
+        let s = Schedule::PiecewiseConstant {
+            base: 1.0,
+            boundaries: vec![10, 20],
+            factors: vec![0.5, 0.25],
+        };
+        assert_eq!(s.at(15), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+}

@@ -1,0 +1,215 @@
+//! Closed-form reference solutions.
+//!
+//! # A note on the paper's printed Laplace minimiser
+//!
+//! The paper states problem (7): `∇²u = 0` on the unit square with
+//! `u(x,1) = c(x)` (control), `u(x,0) = sin πx`, `u(0,y) = u(1,y) = 0`, and
+//! `J(c) = ∫ |∂u/∂y(x,1) − cos πx|² dx`, then prints an "analytical
+//! minimiser" `c*(x) = sech(2π) sin(2πx) + tanh(2π) cos(2πx)/(2π)`.
+//!
+//! That printed pair is *not* consistent with problem (7): the printed state
+//! `u*` has `u*(x,0) = 0` (not `sin πx`), non-zero side values, and top flux
+//! `cos 2πx` (not `cos πx`). It is evidently carried over from a different
+//! variant of the Mowlavi & Nabi problem. Both are provided here:
+//!
+//! * [`paper_c_star`] / [`paper_u_star`] — the formulas exactly as printed,
+//!   used to reproduce the paper's *figures* (whose legends reference them);
+//! * [`series_c_star`] / [`series_u_star`] — the true minimiser of problem
+//!   (7) as stated, via Fourier sine series (exact to machine precision),
+//!   which drives `J → 0` in the continuum and is the correct oracle for
+//!   convergence testing of DAL/DP/PINN on problem (7).
+
+use std::f64::consts::PI;
+
+/// Number of Fourier modes used by the series solutions (terms decay like
+/// `n⁻¹` pointwise for the flux — endpoint mismatch — so 2000 modes give ~1e-3 pointwise flux accuracy and ~1e-4 cost accuracy).
+const MODES: usize = 2000;
+
+/// The paper's printed analytic minimiser (see module docs for caveats).
+pub fn paper_c_star(x: f64) -> f64 {
+    let s = 1.0 / (2.0 * PI).cosh(); // sech(2π)
+    s * (2.0 * PI * x).sin() + (2.0 * PI).tanh() * (2.0 * PI * x).cos() / (2.0 * PI)
+}
+
+/// The paper's printed state solution corresponding to [`paper_c_star`].
+pub fn paper_u_star(x: f64, y: f64) -> f64 {
+    let sech = 1.0 / (2.0 * PI).cosh();
+    0.5 * sech * (2.0 * PI * x).sin() * ((2.0 * PI * (y - 1.0)).exp() + (2.0 * PI * (1.0 - y)).exp())
+        + sech * (2.0 * PI * x).cos() * ((2.0 * PI * y).exp() - (-2.0 * PI * y).exp())
+            / (4.0 * PI)
+}
+
+/// Sine-series coefficients `β_n` of the target flux `cos πx` on `[0, 1]`:
+/// `cos πx = Σ β_n sin nπx`, `β_n = 4n / ((n²−1)π)` for even `n`, else 0.
+fn target_flux_coeff(n: usize) -> f64 {
+    if n % 2 == 0 {
+        let nf = n as f64;
+        4.0 * nf / ((nf * nf - 1.0) * PI)
+    } else {
+        0.0
+    }
+}
+
+/// Top-boundary coefficients `a_n` of the exact minimiser of problem (7):
+/// matching `∂u/∂y(x,1) = cos πx` mode by mode gives
+/// `a_1 = sech(π)` (cancelling the bottom-data flux) and
+/// `a_n = β_n tanh(nπ)/(nπ)` for `n ≥ 2`.
+fn control_coeff(n: usize) -> f64 {
+    let nf = n as f64;
+    if n == 1 {
+        1.0 / PI.cosh()
+    } else {
+        target_flux_coeff(n) * (nf * PI).tanh() / (nf * PI)
+    }
+}
+
+/// True analytic minimiser of the paper's problem (7), by Fourier series.
+pub fn series_c_star(x: f64) -> f64 {
+    (1..=MODES)
+        .map(|n| control_coeff(n) * (n as f64 * PI * x).sin())
+        .sum()
+}
+
+/// True optimal state of problem (7): the harmonic function with
+/// `u(x,0) = sin πx`, zero sides, and `u(x,1) = series_c_star(x)`.
+pub fn series_u_star(x: f64, y: f64) -> f64 {
+    // Bottom-data harmonic: sin πx sinh(π(1−y))/sinh π.
+    let mut u = (PI * x).sin() * (PI * (1.0 - y)).sinh() / PI.sinh();
+    for n in 1..=MODES {
+        let nf = n as f64;
+        let a = control_coeff(n);
+        if a != 0.0 {
+            // sinh ratio computed stably: sinh(nπy)/sinh(nπ) =
+            // e^{nπ(y−1)} (1−e^{−2nπy})/(1−e^{−2nπ}).
+            let ratio = ((nf * PI * (y - 1.0)).exp()) * (1.0 - (-2.0 * nf * PI * y).exp())
+                / (1.0 - (-2.0 * nf * PI).exp());
+            u += a * ratio * (nf * PI * x).sin();
+        }
+    }
+    u
+}
+
+/// Top-wall flux `∂u/∂y(x,1)` of the series state (should equal `cos πx` up
+/// to series truncation).
+pub fn series_flux_top(x: f64) -> f64 {
+    // d/dy [sinh(π(1−y))/sinh π] at y=1 is −π cosh(0)/sinh(π) = −π/sinh π.
+    let mut f = -(PI * x).sin() * PI / PI.sinh();
+    for n in 1..=MODES {
+        let nf = n as f64;
+        let a = control_coeff(n);
+        if a != 0.0 {
+            // d/dy sinh(nπy)/sinh(nπ) at y=1 = nπ coth(nπ).
+            f += a * nf * PI / (nf * PI).tanh() * (nf * PI * x).sin();
+        }
+    }
+    f
+}
+
+/// Poiseuille (parabolic) profile `4 y (L−y) / L²`, the Navier–Stokes target
+/// outflow and initial inflow guess of §3.2.
+pub fn poiseuille(y: f64, l: f64) -> f64 {
+    4.0 * y * (l - y) / (l * l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formulas_match_each_other_on_top_wall() {
+        // u*(x,1) must equal c*(x) — internal consistency of the printed pair.
+        for i in 0..20 {
+            let x = i as f64 / 19.0;
+            assert!(
+                (paper_u_star(x, 1.0) - paper_c_star(x)).abs() < 1e-12,
+                "at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_state_is_harmonic() {
+        // Finite-difference Laplacian of the printed u* vanishes.
+        let h = 1e-4;
+        for &(x, y) in &[(0.3, 0.4), (0.7, 0.6), (0.5, 0.2)] {
+            let lap = (paper_u_star(x + h, y) + paper_u_star(x - h, y)
+                + paper_u_star(x, y + h)
+                + paper_u_star(x, y - h)
+                - 4.0 * paper_u_star(x, y))
+                / (h * h);
+            assert!(lap.abs() < 1e-4, "laplacian {lap} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn paper_state_violates_problem7_bcs() {
+        // Documents the discrepancy described in the module docs.
+        assert!((paper_u_star(0.25, 0.0) - (PI * 0.25).sin()).abs() > 0.1);
+        assert!(paper_u_star(0.0, 0.5).abs() > 1e-3);
+    }
+
+    #[test]
+    fn series_state_satisfies_problem7_bcs() {
+        for i in 0..15 {
+            let t = i as f64 / 14.0;
+            assert!(
+                (series_u_star(t, 0.0) - (PI * t).sin()).abs() < 1e-8,
+                "bottom at x={t}"
+            );
+            assert!(series_u_star(0.0, t).abs() < 1e-10, "left at y={t}");
+            assert!(series_u_star(1.0, t).abs() < 1e-10, "right at y={t}");
+            assert!(
+                (series_u_star(t, 1.0) - series_c_star(t)).abs() < 1e-10,
+                "top at x={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_state_is_harmonic() {
+        let h = 1e-4;
+        for &(x, y) in &[(0.3, 0.5), (0.6, 0.3), (0.2, 0.8)] {
+            let lap = (series_u_star(x + h, y) + series_u_star(x - h, y)
+                + series_u_star(x, y + h)
+                + series_u_star(x, y - h)
+                - 4.0 * series_u_star(x, y))
+                / (h * h);
+            assert!(lap.abs() < 1e-3, "laplacian {lap} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn series_flux_matches_target() {
+        // The whole point of the minimiser: ∂u/∂y(x,1) = cos πx.
+        for i in 1..20 {
+            let x = i as f64 / 20.0;
+            let f = series_flux_top(x);
+            assert!(
+                (f - (PI * x).cos()).abs() < 5e-3,
+                "flux at x={x}: {f} vs {}",
+                (PI * x).cos()
+            );
+        }
+    }
+
+    #[test]
+    fn series_flux_consistent_with_fd_of_state() {
+        let h = 1e-5;
+        for &x in &[0.31, 0.62, 0.88] {
+            let fd = (series_u_star(x, 1.0) - series_u_star(x, 1.0 - h)) / h;
+            assert!(
+                (series_flux_top(x) - fd).abs() < 1e-3,
+                "at x={x}: series {} vs fd {fd}",
+                series_flux_top(x)
+            );
+        }
+    }
+
+    #[test]
+    fn poiseuille_profile_properties() {
+        assert_eq!(poiseuille(0.0, 1.0), 0.0);
+        assert_eq!(poiseuille(1.0, 1.0), 0.0);
+        assert_eq!(poiseuille(0.5, 1.0), 1.0);
+        assert!((poiseuille(1.0, 2.0) - 1.0).abs() < 1e-15);
+    }
+}

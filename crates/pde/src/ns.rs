@@ -1,0 +1,640 @@
+//! Steady incompressible Navier–Stokes in the channel (paper §3.2).
+//!
+//! Discretisation: nodal RBF differentiation matrices (`Dx`, `Dy`, `∇²`)
+//! over the scattered channel cloud, assembled into a **fully coupled
+//! (u, v, p) saddle-point system** that is re-linearised around the current
+//! state (Picard iteration on the advection term) and solved directly:
+//!
+//! ```text
+//!   [ C(u,v) − ν∇²      0          ∂x ] [u]   [bc_u]
+//!   [     0         C(u,v) − ν∇²   ∂y ] [v] = [bc_v]
+//!   [    ∂x             ∂y      p-BCs ] [p]   [ 0  ]
+//! ```
+//!
+//! with `C(u,v) = u∂x + v∂y` frozen at the previous iterate. Each Picard
+//! step is one "refinement" — the paper's `k` (3 for DAL, 10 for DP), the
+//! quantity whose growth drives DP's memory super-linearity (every
+//! refinement caches a `(3N)²` LU on the DP tape).
+//!
+//! Boundary conditions: Dirichlet `u = c(y)` at the inflow (the control),
+//! no-slip walls, blowing/suction slot profiles for `v`, and fully
+//! developed outflow — `∂u/∂x = 0` but `v = 0` (the components are
+//! *decoupled* at the outflow, as the paper notes), `p = 0` at the outflow
+//! and `∂p/∂n = 0` elsewhere.
+//!
+//! Stabilisation: the default cloud is coarser than the paper's 1385-node
+//! GMSH cloud, so an artificial (upwind-equivalent) viscosity `stab·h` is
+//! added to `1/Re` (see `NsConfig::stab` and DESIGN.md §5).
+
+use geometry::generators::{channel_cloud, channel_tags, ChannelConfig};
+use geometry::{quadrature, NodeSet};
+use linalg::{DMat, DVec, LinalgError, Lu};
+use rbf::{DiffMatrices, GlobalCollocation, RbfKernel};
+use std::sync::Arc;
+
+use crate::analytic::poiseuille;
+
+/// Navier–Stokes problem configuration.
+#[derive(Debug, Clone)]
+pub struct NsConfig {
+    /// Channel geometry.
+    pub channel: ChannelConfig,
+    /// Reynolds number (paper: 100; 10 for the DAL-friendly ablation).
+    pub re: f64,
+    /// Picard damping factor (1 = undamped).
+    pub picard_damping: f64,
+    /// Blowing/suction slot velocity magnitude.
+    pub slot_velocity: f64,
+    /// Artificial (upwind-equivalent) viscosity coefficient: effective
+    /// viscosity is `1/Re + stab·h`. Central RBF advection at cell Péclet
+    /// `u·h/ν > 2` is unstable without it on coarse clouds.
+    pub stab: f64,
+    /// RBF kernel.
+    pub kernel: RbfKernel,
+    /// Appended polynomial degree.
+    pub degree: i32,
+}
+
+impl Default for NsConfig {
+    fn default() -> Self {
+        NsConfig {
+            channel: ChannelConfig::default(),
+            re: 100.0,
+            picard_damping: 1.0,
+            slot_velocity: 0.3,
+            stab: 0.4,
+            kernel: RbfKernel::Phs3,
+            degree: 1,
+        }
+    }
+}
+
+/// Nodal flow state.
+#[derive(Debug, Clone)]
+pub struct NsState {
+    /// Horizontal velocity at the nodes.
+    pub u: DVec,
+    /// Vertical velocity at the nodes.
+    pub v: DVec,
+    /// Pressure at the nodes.
+    pub p: DVec,
+}
+
+impl NsState {
+    /// Stacks into a `3N` vector `[u; v; p]`.
+    pub fn stack(&self) -> DVec {
+        let n = self.u.len();
+        let mut x = DVec::zeros(3 * n);
+        x.as_mut_slice()[..n].copy_from_slice(&self.u);
+        x.as_mut_slice()[n..2 * n].copy_from_slice(&self.v);
+        x.as_mut_slice()[2 * n..].copy_from_slice(&self.p);
+        x
+    }
+
+    /// Splits a stacked `3N` vector back into fields.
+    pub fn unstack(x: &DVec) -> NsState {
+        let n = x.len() / 3;
+        NsState {
+            u: DVec(x.as_slice()[..n].to_vec()),
+            v: DVec(x.as_slice()[n..2 * n].to_vec()),
+            p: DVec(x.as_slice()[2 * n..].to_vec()),
+        }
+    }
+}
+
+/// The assembled channel-flow solver.
+pub struct NsSolver {
+    nodes: NodeSet,
+    cfg: NsConfig,
+    /// Full nodal differentiation matrices.
+    pub dm: DiffMatrices,
+    /// `Dx`/`Dy` with all non-interior rows zeroed (`N × N`).
+    dx_int: Arc<DMat>,
+    dy_int: Arc<DMat>,
+    /// Constant part of the coupled matrix (`3N × 3N`): diffusion, pressure
+    /// gradient, BC rows, continuity rows, pressure-BC rows.
+    base: Arc<DMat>,
+    /// Advection embedding scaled by `u`: `Dxᵢₙₜ` in the (u,u) and (v,v)
+    /// blocks (`3N × 3N`).
+    adv_x: Arc<DMat>,
+    /// Advection embedding scaled by `v`: `Dyᵢₙₜ` in the same blocks.
+    adv_y: Arc<DMat>,
+    /// Constant RHS (slot boundary data), `3N`.
+    rhs0: DVec,
+    /// Inflow node indices sorted by `y`, and their `y` coordinates.
+    inflow_idx: Vec<usize>,
+    inflow_y: Vec<f64>,
+    /// Outflow node indices sorted by `y`, `y` coordinates, quadrature.
+    outflow_idx: Vec<usize>,
+    outflow_y: Vec<f64>,
+    outflow_w: DVec,
+    /// Slot boundary data for `v` (per node).
+    v_bc: DVec,
+    /// Target outflow profile at the outflow nodes.
+    target_u: DVec,
+}
+
+impl NsSolver {
+    /// Builds the solver: generates the cloud, the differentiation matrices
+    /// and the constant blocks of the coupled system.
+    pub fn new(cfg: NsConfig) -> Result<Self, LinalgError> {
+        let nodes = channel_cloud(&cfg.channel);
+        let ctx = GlobalCollocation::new(&nodes, cfg.kernel, cfg.degree)?;
+        let dm = ctx.diff_matrices()?;
+        let n = nodes.len();
+        let nu = 1.0 / cfg.re + cfg.stab * cfg.channel.h;
+
+        let mask_interior = |m: &DMat| -> DMat {
+            let mut out = m.clone();
+            for i in nodes.boundary_indices() {
+                out.row_mut(i).fill(0.0);
+            }
+            out
+        };
+        let dx_int = mask_interior(&dm.dx);
+        let dy_int = mask_interior(&dm.dy);
+        let lap_int = mask_interior(&dm.lap);
+
+        // ---- Constant 3N × 3N base matrix ----
+        let mut base = DMat::zeros(3 * n, 3 * n);
+        // u-momentum rows [0, n): −ν∇² (u-block) + ∂x (p-block) interior.
+        // v-momentum rows [n, 2n): −ν∇² (v-block) + ∂y (p-block) interior.
+        // Continuity rows [2n, 3n): ∂x u + ∂y v = 0 at interior nodes
+        // (full derivative rows — boundary u, v values participate).
+        for i in nodes.interior_range() {
+            for j in 0..n {
+                base[(i, j)] = -nu * lap_int[(i, j)];
+                base[(i, 2 * n + j)] = dx_int[(i, j)];
+                base[(n + i, n + j)] = -nu * lap_int[(i, j)];
+                base[(n + i, 2 * n + j)] = dy_int[(i, j)];
+                base[(2 * n + i, j)] = dm.dx[(i, j)];
+                base[(2 * n + i, n + j)] = dm.dy[(i, j)];
+            }
+        }
+        // Boundary rows.
+        for i in nodes.boundary_indices() {
+            // u-momentum: fully-developed outflow or Dirichlet data.
+            if nodes.tag(i) == channel_tags::OUTFLOW {
+                for j in 0..n {
+                    base[(i, j)] = dm.dx[(i, j)]; // ∂u/∂x = 0
+                }
+            } else {
+                base[(i, i)] = 1.0; // u = data
+            }
+            // v-momentum: always Dirichlet.
+            base[(n + i, n + i)] = 1.0;
+            // Pressure rows.
+            if nodes.tag(i) == channel_tags::OUTFLOW {
+                base[(2 * n + i, 2 * n + i)] = 1.0; // p = 0
+            } else {
+                let nrm = nodes.normal(i).unwrap();
+                for j in 0..n {
+                    base[(2 * n + i, 2 * n + j)] =
+                        nrm.x * dm.dx[(i, j)] + nrm.y * dm.dy[(i, j)];
+                }
+            }
+        }
+
+        // ---- Advection embeddings (row-scaled by u and v respectively) ----
+        let mut adv_x = DMat::zeros(3 * n, 3 * n);
+        let mut adv_y = DMat::zeros(3 * n, 3 * n);
+        for i in nodes.interior_range() {
+            for j in 0..n {
+                adv_x[(i, j)] = dx_int[(i, j)];
+                adv_x[(n + i, n + j)] = dx_int[(i, j)];
+                adv_y[(i, j)] = dy_int[(i, j)];
+                adv_y[(n + i, n + j)] = dy_int[(i, j)];
+            }
+        }
+
+        let (inflow_idx, inflow_y) =
+            quadrature::sort_along(&nodes.indices_with_tag(channel_tags::INFLOW), |i| {
+                nodes.point(i).y
+            });
+        let (outflow_idx, outflow_y) =
+            quadrature::sort_along(&nodes.indices_with_tag(channel_tags::OUTFLOW), |i| {
+                nodes.point(i).y
+            });
+        let outflow_w = DVec(quadrature::trapezoid_weights(&outflow_y));
+
+        // Slot boundary data for v: blowing (bottom, +v into the domain) and
+        // suction (top, +v out of the domain), smooth bumps over each slot.
+        let mut v_bc = DVec::zeros(n);
+        let bump = |x: f64, (x0, x1): (f64, f64)| -> f64 {
+            if x <= x0 || x >= x1 {
+                0.0
+            } else {
+                let t = (x - x0) / (x1 - x0);
+                4.0 * t * (1.0 - t)
+            }
+        };
+        for i in nodes.indices_with_tag(channel_tags::BLOW) {
+            v_bc[i] = cfg.slot_velocity * bump(nodes.point(i).x, cfg.channel.blow);
+        }
+        for i in nodes.indices_with_tag(channel_tags::SUCTION) {
+            v_bc[i] = cfg.slot_velocity * bump(nodes.point(i).x, cfg.channel.suction);
+        }
+        let mut rhs0 = DVec::zeros(3 * n);
+        for i in nodes.boundary_indices() {
+            rhs0[n + i] = v_bc[i];
+        }
+
+        let ly = cfg.channel.ly;
+        let target_u = DVec(outflow_y.iter().map(|&y| poiseuille(y, ly)).collect());
+
+        Ok(NsSolver {
+            nodes,
+            cfg,
+            dm,
+            dx_int: Arc::new(dx_int),
+            dy_int: Arc::new(dy_int),
+            base: Arc::new(base),
+            adv_x: Arc::new(adv_x),
+            adv_y: Arc::new(adv_y),
+            rhs0,
+            inflow_idx,
+            inflow_y,
+            outflow_idx,
+            outflow_y,
+            outflow_w,
+            v_bc,
+            target_u,
+        })
+    }
+
+    /// The node cloud.
+    pub fn nodes(&self) -> &NodeSet {
+        &self.nodes
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &NsConfig {
+        &self.cfg
+    }
+
+    /// Effective viscosity `1/Re + stab·h` (physical + artificial).
+    pub fn nu_eff(&self) -> f64 {
+        1.0 / self.cfg.re + self.cfg.stab * self.cfg.channel.h
+    }
+
+    /// Number of control degrees of freedom (inflow nodes).
+    pub fn n_controls(&self) -> usize {
+        self.inflow_idx.len()
+    }
+
+    /// `y` coordinates of the inflow (control) nodes, sorted.
+    pub fn inflow_y(&self) -> &[f64] {
+        &self.inflow_y
+    }
+
+    /// `y` coordinates of the outflow nodes, sorted.
+    pub fn outflow_y(&self) -> &[f64] {
+        &self.outflow_y
+    }
+
+    /// Outflow quadrature weights.
+    pub fn outflow_weights(&self) -> &DVec {
+        &self.outflow_w
+    }
+
+    /// Inflow node indices (sorted by `y`).
+    pub fn inflow_idx(&self) -> &[usize] {
+        &self.inflow_idx
+    }
+
+    /// Outflow node indices (sorted by `y`).
+    pub fn outflow_idx(&self) -> &[usize] {
+        &self.outflow_idx
+    }
+
+    /// Target outflow profile at the outflow nodes.
+    pub fn target_u(&self) -> &DVec {
+        &self.target_u
+    }
+
+    /// Masked `∂x` (interior rows only, `N × N`).
+    pub fn dx_int(&self) -> &Arc<DMat> {
+        &self.dx_int
+    }
+
+    /// Masked `∂y` (interior rows only, `N × N`).
+    pub fn dy_int(&self) -> &Arc<DMat> {
+        &self.dy_int
+    }
+
+    /// Constant block of the coupled matrix (`3N × 3N`).
+    pub fn base(&self) -> &Arc<DMat> {
+        &self.base
+    }
+
+    /// `u`-scaled advection embedding (`3N × 3N`).
+    pub fn adv_x(&self) -> &Arc<DMat> {
+        &self.adv_x
+    }
+
+    /// `v`-scaled advection embedding (`3N × 3N`).
+    pub fn adv_y(&self) -> &Arc<DMat> {
+        &self.adv_y
+    }
+
+    /// Constant RHS (slot data), length `3N`.
+    pub fn rhs0(&self) -> &DVec {
+        &self.rhs0
+    }
+
+    /// Slot boundary data for the `v` component (per node).
+    pub fn v_bc(&self) -> &DVec {
+        &self.v_bc
+    }
+
+    /// The full RHS for inflow control `c`.
+    pub fn rhs(&self, c: &DVec) -> DVec {
+        assert_eq!(c.len(), self.n_controls(), "rhs: control length");
+        let mut b = self.rhs0.clone();
+        for (j, &i) in self.inflow_idx.iter().enumerate() {
+            b[i] = c[j];
+        }
+        b
+    }
+
+    /// An initial state: the control profile transported through the
+    /// channel, `v = p = 0`.
+    pub fn initial_state(&self, c: &DVec) -> NsState {
+        assert_eq!(c.len(), self.n_controls(), "initial_state: control length");
+        let n = self.nodes.len();
+        let mut u = DVec::zeros(n);
+        for i in 0..n {
+            let y = self.nodes.point(i).y;
+            let mut best = 0;
+            let mut bd = f64::INFINITY;
+            for (j, &iy) in self.inflow_y.iter().enumerate() {
+                let d = (iy - y).abs();
+                if d < bd {
+                    bd = d;
+                    best = j;
+                }
+            }
+            u[i] = c[best];
+        }
+        for i in self.nodes.boundary_indices() {
+            match self.nodes.tag(i) {
+                channel_tags::WALL | channel_tags::BLOW | channel_tags::SUCTION => u[i] = 0.0,
+                _ => {}
+            }
+        }
+        NsState {
+            u,
+            v: DVec::zeros(n),
+            p: DVec::zeros(n),
+        }
+    }
+
+    /// Assembles the coupled Picard matrix for the advecting field taken
+    /// from `state`.
+    pub fn picard_matrix(&self, state: &NsState) -> DMat {
+        let n = self.nodes.len();
+        // Row scales: u-momentum and v-momentum interior rows advect with
+        // (u, v); everything else is zero.
+        let mut su = vec![0.0; 3 * n];
+        let mut sv = vec![0.0; 3 * n];
+        for i in self.nodes.interior_range() {
+            su[i] = state.u[i];
+            su[n + i] = state.u[i];
+            sv[i] = state.v[i];
+            sv[n + i] = state.v[i];
+        }
+        let mut a = self.adv_x.scale_rows(&su);
+        a.axpy_mat(1.0, &self.adv_y.scale_rows(&sv));
+        a.axpy_mat(1.0, &self.base);
+        a
+    }
+
+    /// One Picard refinement from `state` with inflow control `c`.
+    pub fn refine(&self, state: &NsState, c: &DVec) -> Result<NsState, LinalgError> {
+        let a = self.picard_matrix(state);
+        let lu = Lu::factor(&a)?;
+        let x_new = lu.solve(&self.rhs(c))?;
+        let w = self.cfg.picard_damping;
+        let mut x = state.stack().scaled(1.0 - w);
+        x.axpy(w, &x_new);
+        Ok(NsState::unstack(&x))
+    }
+
+    /// Runs `k` refinements from an initial state.
+    pub fn solve(&self, c: &DVec, k: usize, init: Option<NsState>) -> Result<NsState, LinalgError> {
+        let mut state = init.unwrap_or_else(|| self.initial_state(c));
+        for _ in 0..k {
+            state = self.refine(&state, c)?;
+        }
+        Ok(state)
+    }
+
+    /// Interior divergence RMS `‖∇·u‖`, the incompressibility residual.
+    pub fn divergence_norm(&self, state: &NsState) -> f64 {
+        let mut div = self.dm.dx.matvec(&state.u).expect("shape");
+        div += &self.dm.dy.matvec(&state.v).expect("shape");
+        let ni = self.nodes.n_interior().max(1);
+        let mut s = 0.0;
+        for i in self.nodes.interior_range() {
+            s += div[i] * div[i];
+        }
+        (s / ni as f64).sqrt()
+    }
+
+    /// Nonlinear (steady) momentum residual RMS at the interior nodes — the
+    /// Picard convergence indicator.
+    pub fn momentum_residual(&self, state: &NsState, c: &DVec) -> f64 {
+        let a = self.picard_matrix(state);
+        let r = &a.matvec(&state.stack()).expect("shape") - &self.rhs(c);
+        let n = self.nodes.len();
+        let mut s = 0.0;
+        let mut cnt = 0;
+        for i in self.nodes.interior_range() {
+            s += r[i] * r[i] + r[n + i] * r[n + i];
+            cnt += 2;
+        }
+        (s / cnt.max(1) as f64).sqrt()
+    }
+
+    /// The paper's cost:
+    /// `J = ½ ∫ (u(Lx,y) − 4y(L−y)/L²)² + v(Lx,y)² dy`.
+    pub fn cost(&self, state: &NsState) -> f64 {
+        let mut j = 0.0;
+        for (k, &i) in self.outflow_idx.iter().enumerate() {
+            let du = state.u[i] - self.target_u[k];
+            let dv = state.v[i];
+            j += 0.5 * self.outflow_w[k] * (du * du + dv * dv);
+        }
+        j
+    }
+
+    /// Outflow `(u, v)` profiles sampled at the outflow nodes.
+    pub fn outflow_profile(&self, state: &NsState) -> (DVec, DVec) {
+        let u = DVec(self.outflow_idx.iter().map(|&i| state.u[i]).collect());
+        let v = DVec(self.outflow_idx.iter().map(|&i| state.v[i]).collect());
+        (u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(re: f64) -> NsConfig {
+        NsConfig {
+            channel: ChannelConfig {
+                h: 0.11,
+                ..Default::default()
+            },
+            re,
+            slot_velocity: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn parabola_control(s: &NsSolver) -> DVec {
+        DVec(
+            s.inflow_y()
+                .iter()
+                .map(|&y| poiseuille(y, s.cfg().channel.ly))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn poiseuille_is_a_near_fixed_point() {
+        // With no slots and a parabolic inflow the flow is near-Poiseuille
+        // (the artificial viscosity slightly thickens the profile).
+        let s = NsSolver::new(small_cfg(50.0)).unwrap();
+        let c = parabola_control(&s);
+        let state = s.solve(&c, 12, None).unwrap();
+        let (u_out, v_out) = s.outflow_profile(&state);
+        let mut max_err: f64 = 0.0;
+        for (k, &y) in s.outflow_y().iter().enumerate() {
+            max_err = max_err.max((u_out[k] - poiseuille(y, 1.0)).abs());
+        }
+        assert!(max_err < 0.15, "outflow deviates from parabola by {max_err}");
+        assert!(v_out.norm_inf() < 0.05, "cross-flow {}", v_out.norm_inf());
+    }
+
+    #[test]
+    fn picard_iteration_converges() {
+        let s = NsSolver::new(small_cfg(50.0)).unwrap();
+        let c = parabola_control(&s);
+        let st2 = s.solve(&c, 2, None).unwrap();
+        let st10 = s.solve(&c, 10, None).unwrap();
+        let r2 = s.momentum_residual(&st2, &c);
+        let r10 = s.momentum_residual(&st10, &c);
+        assert!(
+            r10 < 0.5 * r2 || r10 < 1e-10,
+            "Picard not converging: {r2:.3e} -> {r10:.3e}"
+        );
+        assert!(
+            s.divergence_norm(&st10) < 1e-8,
+            "div = {}",
+            s.divergence_norm(&st10)
+        );
+    }
+
+    #[test]
+    fn divergence_is_machine_zero_after_one_step() {
+        // Continuity is enforced exactly by the coupled solve.
+        let s = NsSolver::new(small_cfg(50.0)).unwrap();
+        let c = parabola_control(&s);
+        let st = s.solve(&c, 1, None).unwrap();
+        assert!(
+            s.divergence_norm(&st) < 1e-8,
+            "div = {}",
+            s.divergence_norm(&st)
+        );
+    }
+
+    #[test]
+    fn boundary_conditions_hold_after_solve() {
+        let s = NsSolver::new(small_cfg(50.0)).unwrap();
+        let c = parabola_control(&s);
+        let st = s.solve(&c, 6, None).unwrap();
+        for (j, &i) in s.inflow_idx().iter().enumerate() {
+            assert!((st.u[i] - c[j]).abs() < 1e-9, "inflow u at {i}");
+            assert!(st.v[i].abs() < 1e-9, "inflow v at {i}");
+        }
+        for i in s.nodes().indices_with_tag(channel_tags::WALL) {
+            assert!(st.u[i].abs() < 1e-9, "wall u at {i}");
+            assert!(st.v[i].abs() < 1e-9, "wall v at {i}");
+        }
+        // Outflow: v = 0 (Dirichlet), p = 0.
+        for &i in s.outflow_idx() {
+            assert!(st.v[i].abs() < 1e-9, "outflow v at {i}");
+            assert!(st.p[i].abs() < 1e-9, "outflow p at {i}");
+        }
+    }
+
+    #[test]
+    fn slots_deflect_the_flow() {
+        let mut cfg = small_cfg(50.0);
+        cfg.slot_velocity = 0.4;
+        let s = NsSolver::new(cfg).unwrap();
+        let c = parabola_control(&s);
+        let st = s.solve(&c, 10, None).unwrap();
+        // The blowing/suction column should produce upward flow mid-channel.
+        let mut vmax: f64 = 0.0;
+        for i in s.nodes().interior_range() {
+            let p = s.nodes().point(i);
+            if p.x > 0.6 && p.x < 0.9 {
+                vmax = vmax.max(st.v[i]);
+            }
+        }
+        assert!(vmax > 0.05, "no cross-flow detected: vmax = {vmax}");
+        // And the cost against a parabolic target should now be worse.
+        let s0 = NsSolver::new(small_cfg(50.0)).unwrap();
+        let st0 = s0.solve(&parabola_control(&s0), 10, None).unwrap();
+        assert!(s.cost(&st) > s0.cost(&st0));
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point() {
+        let s = NsSolver::new(small_cfg(50.0)).unwrap();
+        let c = parabola_control(&s);
+        let st_cold = s.solve(&c, 12, None).unwrap();
+        let st_half = s.solve(&c, 6, None).unwrap();
+        let st_warm = s.solve(&c, 6, Some(st_half)).unwrap();
+        let du = (&st_cold.u - &st_warm.u).norm_inf();
+        assert!(du < 1e-6, "warm/cold mismatch {du}");
+    }
+
+    #[test]
+    fn cost_of_perfect_parabola_is_small() {
+        let s = NsSolver::new(small_cfg(20.0)).unwrap();
+        let c = parabola_control(&s);
+        let st = s.solve(&c, 12, None).unwrap();
+        let j = s.cost(&st);
+        assert!(j < 5e-3, "J = {j:.3e}");
+    }
+
+    #[test]
+    fn reynolds_number_changes_solution() {
+        let s10 = NsSolver::new(small_cfg(10.0)).unwrap();
+        let s100 = NsSolver::new(small_cfg(100.0)).unwrap();
+        let c10 = parabola_control(&s10);
+        let c100 = parabola_control(&s100);
+        let st10 = s10.solve(&c10, 10, None).unwrap();
+        let st100 = s100.solve(&c100, 10, None).unwrap();
+        let dp = (&st10.p - &st100.p).norm2();
+        assert!(dp > 1e-6);
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let st = NsState {
+            u: DVec(vec![1.0, 2.0]),
+            v: DVec(vec![3.0, 4.0]),
+            p: DVec(vec![5.0, 6.0]),
+        };
+        let x = st.stack();
+        assert_eq!(x.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let st2 = NsState::unstack(&x);
+        assert_eq!(st2.u.as_slice(), st.u.as_slice());
+        assert_eq!(st2.p.as_slice(), st.p.as_slice());
+    }
+}
+

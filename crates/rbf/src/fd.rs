@@ -1,0 +1,352 @@
+//! RBF-FD: local stencil weights and sparse global operators.
+//!
+//! Instead of one global `(N+M)²` dense system, RBF-FD (Tolstykh's framework,
+//! cited as \[44\] in the paper) computes, for each node, a small set of
+//! finite-difference-like weights over its `k` nearest neighbours by solving
+//! a local RBF fit system. The global operator is then sparse (`k` nonzeros
+//! per row) — the memory-friendly alternative the paper's Table 3 discussion
+//! motivates. Per-node solves are embarrassingly parallel (rayon).
+
+use crate::kernel::RbfKernel;
+use crate::operators::DiffOp;
+use crate::poly::PolyBasis;
+use geometry::{KdTree, NodeSet, Point2};
+use linalg::{Csr, DMat, DVec, LinalgError, Lu, Triplets};
+use rayon::prelude::*;
+
+/// RBF-FD configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FdConfig {
+    /// Stencil size `k` (nearest neighbours, including the node itself).
+    pub stencil_size: usize,
+    /// Appended polynomial degree.
+    pub degree: i32,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        FdConfig {
+            stencil_size: 13,
+            degree: 1,
+        }
+    }
+}
+
+/// Computes RBF-FD weights for `op` at `center` over the given neighbour
+/// points. Coordinates are shifted to the stencil centre for conditioning.
+pub fn fd_weights(
+    center: Point2,
+    neighbours: &[Point2],
+    kernel: RbfKernel,
+    degree: i32,
+    op: DiffOp,
+) -> Result<Vec<f64>, LinalgError> {
+    let k = neighbours.len();
+    let basis = PolyBasis::new(degree);
+    let m = basis.len();
+    assert!(
+        k >= m,
+        "stencil of {k} points cannot support {m} polynomial constraints"
+    );
+    // Local (shifted) coordinates.
+    let local: Vec<Point2> = neighbours.iter().map(|&p| p - center).collect();
+    let origin = Point2::new(0.0, 0.0);
+    // Local fit matrix [Φ P; Pᵀ 0].
+    let mut a = DMat::zeros(k + m, k + m);
+    for i in 0..k {
+        for j in 0..k {
+            a[(i, j)] = kernel.eval(local[i].dist(&local[j]));
+        }
+        for (j, v) in basis.eval(local[i]).into_iter().enumerate() {
+            a[(i, k + j)] = v;
+            a[(k + j, i)] = v;
+        }
+    }
+    // RHS: the operator applied to each basis function at the centre.
+    let mut rhs = DVec::zeros(k + m);
+    for j in 0..k {
+        let r = origin.dist(&local[j]);
+        rhs[j] = match op {
+            DiffOp::Eval => kernel.eval(r),
+            DiffOp::Dx => (origin.x - local[j].x) * kernel.d1_over_r(r),
+            DiffOp::Dy => (origin.y - local[j].y) * kernel.d1_over_r(r),
+            DiffOp::Lap => kernel.laplacian2d(r),
+        };
+    }
+    let poly_rhs = match op {
+        DiffOp::Eval => basis.eval(origin),
+        DiffOp::Dx => basis.eval_dx(origin),
+        DiffOp::Dy => basis.eval_dy(origin),
+        DiffOp::Lap => basis.eval_lap(origin),
+    };
+    for (j, v) in poly_rhs.into_iter().enumerate() {
+        rhs[k + j] = v;
+    }
+    let sol = Lu::factor(&a)?.solve(&rhs)?;
+    Ok(sol.as_slice()[..k].to_vec())
+}
+
+/// Builds the sparse global operator for `op`: row `i` holds the RBF-FD
+/// weights of node `i`'s stencil. Rows are computed in parallel.
+pub fn fd_matrix(
+    nodes: &NodeSet,
+    kernel: RbfKernel,
+    cfg: FdConfig,
+    op: DiffOp,
+) -> Result<Csr, LinalgError> {
+    let tree = KdTree::build(nodes.points());
+    let n = nodes.len();
+    let per_row: Vec<Result<(Vec<usize>, Vec<f64>), LinalgError>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let center = nodes.point(i);
+            let idx = tree.knn(center, cfg.stencil_size);
+            let pts: Vec<Point2> = idx.iter().map(|&j| nodes.point(j)).collect();
+            let w = fd_weights(center, &pts, kernel, cfg.degree, op)?;
+            Ok((idx, w))
+        })
+        .collect();
+    let mut t = Triplets::new(n, n);
+    for (i, row) in per_row.into_iter().enumerate() {
+        let (idx, w) = row?;
+        for (j, wj) in idx.into_iter().zip(w) {
+            t.push(i, j, wj);
+        }
+    }
+    Ok(t.to_csr())
+}
+
+/// Normal-derivative sparse operator (`n·∇`) using each boundary node's
+/// outward normal; interior rows are zero.
+pub fn fd_normal_matrix(
+    nodes: &NodeSet,
+    kernel: RbfKernel,
+    cfg: FdConfig,
+) -> Result<Csr, LinalgError> {
+    let dx = fd_matrix(nodes, kernel, cfg, DiffOp::Dx)?;
+    let dy = fd_matrix(nodes, kernel, cfg, DiffOp::Dy)?;
+    let n = nodes.len();
+    let mut t = Triplets::new(n, n);
+    for i in nodes.boundary_indices() {
+        if let Some(nrm) = nodes.normal(i) {
+            let (cols, vals) = dx.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                t.push(i, j, nrm.x * v);
+            }
+            let (cols, vals) = dy.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                t.push(i, j, nrm.y * v);
+            }
+        }
+    }
+    Ok(t.to_csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::generators::{unit_square_grid, unit_square_scattered, BoundaryClass};
+    use geometry::NodeKind;
+    use linalg::{gmres, IterOpts, Preconditioner};
+
+    fn all_dirichlet(p: Point2) -> BoundaryClass {
+        let normal = if p.y == 0.0 {
+            Point2::new(0.0, -1.0)
+        } else if p.y == 1.0 {
+            Point2::new(0.0, 1.0)
+        } else if p.x == 0.0 {
+            Point2::new(-1.0, 0.0)
+        } else {
+            Point2::new(1.0, 0.0)
+        };
+        (NodeKind::Dirichlet, 1, normal)
+    }
+
+    #[test]
+    fn weights_reproduce_polynomial_derivatives_exactly() {
+        // Degree-2 augmentation: Laplacian of x² + y² must be exactly 4.
+        let center = Point2::new(0.4, 0.6);
+        let mut pts = vec![center];
+        for k in 0..12 {
+            let a = k as f64 * std::f64::consts::TAU / 12.0;
+            pts.push(center + Point2::new(a.cos(), a.sin()) * 0.08);
+        }
+        let w = fd_weights(center, &pts, RbfKernel::Phs3, 2, DiffOp::Lap).unwrap();
+        let lap: f64 = w
+            .iter()
+            .zip(&pts)
+            .map(|(wi, p)| wi * (p.x * p.x + p.y * p.y))
+            .sum();
+        assert!((lap - 4.0).abs() < 1e-8, "lap = {lap}");
+        // Dx of a linear field.
+        let w = fd_weights(center, &pts, RbfKernel::Phs3, 2, DiffOp::Dx).unwrap();
+        let dx: f64 = w
+            .iter()
+            .zip(&pts)
+            .map(|(wi, p)| wi * (3.0 * p.x - p.y))
+            .sum();
+        assert!((dx - 3.0).abs() < 1e-8, "dx = {dx}");
+    }
+
+    #[test]
+    fn eval_weights_are_a_delta() {
+        let center = Point2::new(0.0, 0.0);
+        let pts = vec![
+            center,
+            Point2::new(0.1, 0.0),
+            Point2::new(0.0, 0.1),
+            Point2::new(-0.1, 0.0),
+            Point2::new(0.0, -0.1),
+        ];
+        let w = fd_weights(center, &pts, RbfKernel::Phs3, 1, DiffOp::Eval).unwrap();
+        assert!((w[0] - 1.0).abs() < 1e-10);
+        for wi in &w[1..] {
+            assert!(wi.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fd_matrix_differentiates_smooth_fields() {
+        let ns = unit_square_grid(15, 15, all_dirichlet);
+        let cfg = FdConfig {
+            stencil_size: 12,
+            degree: 2,
+        };
+        let lap = fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap();
+        let f = DVec::from_fn(ns.len(), |i| {
+            let p = ns.point(i);
+            p.x * p.x * p.y + p.y * p.y
+        });
+        let lf = lap.matvec(&f);
+        for i in ns.interior_range() {
+            let p = ns.point(i);
+            let exact = 2.0 * p.y + 2.0;
+            assert!(
+                (lf[i] - exact).abs() < 5e-2,
+                "lap at {p:?}: {} vs {exact}",
+                lf[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fd_laplacian_convergence_under_refinement() {
+        let err_for = |n: usize| {
+            let ns = unit_square_grid(n, n, all_dirichlet);
+            let cfg = FdConfig {
+                stencil_size: 12,
+                degree: 2,
+            };
+            let lap = fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap();
+            let pi = std::f64::consts::PI;
+            let f = DVec::from_fn(ns.len(), |i| {
+                let p = ns.point(i);
+                (pi * p.x).sin() * (pi * p.y).sin()
+            });
+            let lf = lap.matvec(&f);
+            let mut emax: f64 = 0.0;
+            for i in ns.interior_range() {
+                let p = ns.point(i);
+                let exact = -2.0 * pi * pi * (pi * p.x).sin() * (pi * p.y).sin();
+                emax = emax.max((lf[i] - exact).abs());
+            }
+            emax
+        };
+        let e1 = err_for(11);
+        let e2 = err_for(21);
+        assert!(
+            e2 < 0.55 * e1,
+            "no convergence: e(h)={e1:.3e}, e(h/2)={e2:.3e}"
+        );
+    }
+
+    #[test]
+    fn sparse_laplace_solve_matches_analytic_linear() {
+        // Assemble: interior rows = FD Laplacian, boundary rows = identity.
+        let ns = unit_square_scattered(120, 13, all_dirichlet);
+        let cfg = FdConfig::default();
+        let lap = fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap();
+        let n = ns.len();
+        let mut t = Triplets::new(n, n);
+        for i in ns.interior_range() {
+            let (cols, vals) = lap.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                t.push(i, j, v);
+            }
+        }
+        for i in ns.boundary_indices() {
+            t.push(i, i, 1.0);
+        }
+        let a = t.to_csr();
+        let g = |p: Point2| 1.0 + 2.0 * p.x - 0.7 * p.y; // harmonic
+        let mut b = DVec::zeros(n);
+        for i in ns.boundary_indices() {
+            b[i] = g(ns.point(i));
+        }
+        let res = gmres(
+            &a,
+            &b,
+            &Preconditioner::jacobi_from(&a),
+            &IterOpts {
+                max_iter: 4000,
+                rel_tol: 1e-11,
+                restart: 60,
+            },
+        )
+        .unwrap();
+        for i in 0..n {
+            assert!(
+                (res.x[i] - g(ns.point(i))).abs() < 1e-6,
+                "node {i}: {} vs {}",
+                res.x[i],
+                g(ns.point(i))
+            );
+        }
+    }
+
+    #[test]
+    fn normal_matrix_matches_directional_derivative() {
+        let ns = unit_square_grid(10, 10, all_dirichlet);
+        let cfg = FdConfig {
+            stencil_size: 12,
+            degree: 2,
+        };
+        let dn = fd_normal_matrix(&ns, RbfKernel::Phs3, cfg).unwrap();
+        let f = DVec::from_fn(ns.len(), |i| {
+            let p = ns.point(i);
+            p.x + 2.0 * p.y
+        });
+        let df = dn.matvec(&f);
+        for i in ns.boundary_indices() {
+            let nrm = ns.normal(i).unwrap();
+            let exact = nrm.x + 2.0 * nrm.y;
+            assert!(
+                (df[i] - exact).abs() < 1e-6,
+                "node {i}: {} vs {exact}",
+                df[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fd_matrix_is_deterministic_across_thread_counts() {
+        // Per-node stencil solves are independent; the assembled operator
+        // must be identical with any pool size.
+        let ns = unit_square_grid(9, 9, all_dirichlet);
+        let cfg = FdConfig::default();
+        let par = fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let seq = pool.install(|| fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap());
+        assert_eq!(par.to_dense(), seq.to_dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial constraints")]
+    fn tiny_stencil_with_big_degree_panics() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.1, 0.0)];
+        let _ = fd_weights(pts[0], &pts, RbfKernel::Phs3, 2, DiffOp::Lap);
+    }
+}

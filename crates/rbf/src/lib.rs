@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # meshfree-rbf
+//!
+//! The Radial-Basis-Function discretisation layer — this workspace's
+//! equivalent of the paper's Updec library.
+//!
+//! * [`kernel`] — the RBF zoo (`φ(r)`): polyharmonic splines (the paper's
+//!   choice, `φ(r) = r³`), Gaussians, (inverse) multiquadrics, thin-plate
+//!   splines. Kernels are written once, generically over
+//!   [`autodiff::Scalar`], and their radial derivatives are *derived* by
+//!   second-order forward-mode AD ([`autodiff::Dual2`]) — the same trick the
+//!   paper plays with `jax.grad` so users can "effortlessly choose or design
+//!   new functions φ".
+//! * [`poly`] — appended monomial bases (the RBF-FD polynomial augmentation
+//!   of Tolstykh; the paper uses max degree n = 1, i.e. M = 3 appended
+//!   polynomials in 2-D).
+//! * [`operators`] — global collocation: fit matrices, operator evaluation
+//!   matrices, nodal differentiation matrices, and the boundary-condition
+//!   row assembly that exploits the [`geometry::NodeSet`] ordering.
+//! * [`fd`] — RBF-FD local stencils: per-node weight solves (parallel via
+//!   rayon) assembled into sparse global operators.
+//! * [`interp`] — scattered-data interpolation built on the same machinery.
+
+pub mod fd;
+pub mod interp;
+pub mod kernel;
+pub mod operators;
+pub mod poly;
+
+pub use interp::Interpolant;
+pub use kernel::RbfKernel;
+pub use operators::{DiffMatrices, DiffOp, GlobalCollocation};
+pub use poly::PolyBasis;

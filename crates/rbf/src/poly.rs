@@ -1,0 +1,174 @@
+//! Appended polynomial (monomial) bases for RBF-FD style augmentation.
+//!
+//! The paper appends polynomials of maximum degree `n` to the RBF expansion
+//! (eq. 2): in 2-D, `M = (n+d choose n) = (n+1)(n+2)/2` monomials. With the
+//! paper's `n = 1` that is `{1, x, y}` (`M = 3`), which guarantees exact
+//! reproduction of linear fields and removes the polyharmonic splines'
+//! conditional positive-definiteness obstruction.
+
+use geometry::Point2;
+
+/// The 2-D monomial basis of total degree ≤ `degree`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyBasis {
+    degree: i32,
+}
+
+impl PolyBasis {
+    /// Creates a basis of total degree ≤ `degree` (use −1 for "none").
+    pub fn new(degree: i32) -> Self {
+        PolyBasis { degree }
+    }
+
+    /// Number of monomials `M = (n+1)(n+2)/2` (0 when degree < 0).
+    pub fn len(&self) -> usize {
+        if self.degree < 0 {
+            0
+        } else {
+            ((self.degree + 1) * (self.degree + 2) / 2) as usize
+        }
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The exponent pairs `(a, b)` of each monomial `x^a y^b`, in graded
+    /// lexicographic order: `1, x, y, x², xy, y², …`.
+    pub fn exponents(&self) -> Vec<(i32, i32)> {
+        let mut out = Vec::with_capacity(self.len());
+        for total in 0..=self.degree.max(-1) {
+            for a in (0..=total).rev() {
+                out.push((a, total - a));
+            }
+        }
+        out
+    }
+
+    /// Evaluates every monomial at `p`.
+    pub fn eval(&self, p: Point2) -> Vec<f64> {
+        self.exponents()
+            .iter()
+            .map(|&(a, b)| p.x.powi(a) * p.y.powi(b))
+            .collect()
+    }
+
+    /// `∂/∂x` of every monomial at `p`.
+    pub fn eval_dx(&self, p: Point2) -> Vec<f64> {
+        self.exponents()
+            .iter()
+            .map(|&(a, b)| {
+                if a == 0 {
+                    0.0
+                } else {
+                    a as f64 * p.x.powi(a - 1) * p.y.powi(b)
+                }
+            })
+            .collect()
+    }
+
+    /// `∂/∂y` of every monomial at `p`.
+    pub fn eval_dy(&self, p: Point2) -> Vec<f64> {
+        self.exponents()
+            .iter()
+            .map(|&(a, b)| {
+                if b == 0 {
+                    0.0
+                } else {
+                    b as f64 * p.x.powi(a) * p.y.powi(b - 1)
+                }
+            })
+            .collect()
+    }
+
+    /// `∇²` of every monomial at `p`.
+    pub fn eval_lap(&self, p: Point2) -> Vec<f64> {
+        self.exponents()
+            .iter()
+            .map(|&(a, b)| {
+                let dxx = if a >= 2 {
+                    (a * (a - 1)) as f64 * p.x.powi(a - 2) * p.y.powi(b)
+                } else {
+                    0.0
+                };
+                let dyy = if b >= 2 {
+                    (b * (b - 1)) as f64 * p.x.powi(a) * p.y.powi(b - 2)
+                } else {
+                    0.0
+                };
+                dxx + dyy
+            })
+            .collect()
+    }
+
+    /// Normal derivative `n·∇` of every monomial at `p`.
+    pub fn eval_dn(&self, p: Point2, normal: Point2) -> Vec<f64> {
+        self.eval_dx(p)
+            .iter()
+            .zip(self.eval_dy(p))
+            .map(|(dx, dy)| normal.x * dx + normal.y * dy)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomials() {
+        assert_eq!(PolyBasis::new(-1).len(), 0);
+        assert_eq!(PolyBasis::new(0).len(), 1);
+        assert_eq!(PolyBasis::new(1).len(), 3); // the paper's M = 3
+        assert_eq!(PolyBasis::new(2).len(), 6);
+        assert_eq!(PolyBasis::new(3).len(), 10);
+    }
+
+    #[test]
+    fn degree1_basis_is_1_x_y() {
+        let b = PolyBasis::new(1);
+        assert_eq!(b.exponents(), vec![(0, 0), (1, 0), (0, 1)]);
+        let v = b.eval(Point2::new(2.0, 3.0));
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn derivatives_of_degree2() {
+        let b = PolyBasis::new(2);
+        let p = Point2::new(2.0, 3.0);
+        // order: 1, x, y, x^2, xy, y^2
+        assert_eq!(b.eval(p), vec![1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
+        assert_eq!(b.eval_dx(p), vec![0.0, 1.0, 0.0, 4.0, 3.0, 0.0]);
+        assert_eq!(b.eval_dy(p), vec![0.0, 0.0, 1.0, 0.0, 2.0, 6.0]);
+        assert_eq!(b.eval_lap(p), vec![0.0, 0.0, 0.0, 2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn normal_derivative_combines_components() {
+        let b = PolyBasis::new(1);
+        let p = Point2::new(0.5, 1.0);
+        let n = Point2::new(0.0, 1.0);
+        assert_eq!(b.eval_dn(p, n), vec![0.0, 0.0, 1.0]);
+        let n = Point2::new(1.0, 0.0);
+        assert_eq!(b.eval_dn(p, n), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_basis_evaluates_to_nothing() {
+        let b = PolyBasis::new(-1);
+        assert!(b.eval(Point2::new(1.0, 1.0)).is_empty());
+        assert!(b.eval_lap(Point2::new(1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn laplacian_harmonic_combination_vanishes() {
+        // x² − y² is harmonic: the Laplacian rows must cancel.
+        let b = PolyBasis::new(2);
+        let lap = b.eval_lap(Point2::new(1.3, -0.4));
+        // coefficients of x² and y²: indices 3 and 5.
+        assert!((lap[3] - lap[5] - (lap[3] - lap[5])).abs() < 1e-15);
+        assert_eq!(lap[3], 2.0);
+        assert_eq!(lap[5], 2.0);
+    }
+}

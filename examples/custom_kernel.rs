@@ -1,0 +1,61 @@
+//! "Effortlessly choose or design new functions φ" (paper §2.4): the RBF
+//! kernels are written once, generically over the `Scalar` trait, and their
+//! derivatives — hence the differential operators ∂x, ∂y, ∇² — fall out of
+//! forward-mode AD. This example builds a *user-defined* kernel expression
+//! with `Dual2`, checks its AD derivatives against finite differences, and
+//! interpolates scattered data with one of the built-in kernels for
+//! comparison.
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use meshfree_oc::autodiff::{derivative2, Dual2, Scalar};
+use meshfree_oc::geometry::generators::halton2;
+use meshfree_oc::rbf::{Interpolant, RbfKernel};
+
+/// A user-designed radial function: a bump-modulated multiquadric,
+/// `φ(r) = √(1 + r²) · exp(−r²/4)` — written once, derivatives for free.
+fn my_phi<S: Scalar>(r: S) -> S {
+    let one = S::from_f64(1.0);
+    (one + r * r).sqrt() * (-(r * r) * S::from_f64(0.25)).exp()
+}
+
+fn main() {
+    // Derivatives of the custom kernel by second-order forward AD.
+    println!("custom kernel phi(r) = sqrt(1+r^2) exp(-r^2/4)\n");
+    println!("   r      phi       phi'      phi''     (FD check)");
+    for &r in &[0.25, 0.75, 1.5, 2.5] {
+        let (v, d1, d2) = derivative2(|x: Dual2| my_phi(x), r);
+        let h = 1e-5;
+        let fd1 = (my_phi(r + h) - my_phi(r - h)) / (2.0 * h);
+        let fd2 = (my_phi(r + h) - 2.0 * my_phi(r) + my_phi(r - h)) / (h * h);
+        println!(
+            "{r:.2}  {v:+.5}  {d1:+.5}  {d2:+.5}   (fd: {fd1:+.5}, {fd2:+.5})"
+        );
+        assert!((d1 - fd1).abs() < 1e-8);
+        assert!((d2 - fd2).abs() < 1e-4);
+    }
+
+    // The same machinery powers the built-in kernels; use one to
+    // interpolate scattered data and differentiate the interpolant.
+    let pts = halton2(80);
+    let f = |x: f64, y: f64| (3.0 * x).sin() * (2.0 * y).cos();
+    let vals: Vec<f64> = pts.iter().map(|p| f(p.x, p.y)).collect();
+    let it = Interpolant::fit(&pts, &vals, RbfKernel::Phs3, 1).expect("fit");
+
+    println!("\ninterpolation of sin(3x)cos(2y) from 80 scattered points:");
+    println!("   (x, y)        exact     interp    |err|");
+    for &(x, y) in &[(0.3, 0.3), (0.55, 0.7), (0.8, 0.2)] {
+        let e = f(x, y);
+        let v = it.eval(meshfree_oc::geometry::Point2::new(x, y));
+        println!("({x:.2}, {y:.2})   {e:+.5}  {v:+.5}  {:.2e}", (v - e).abs());
+    }
+    let (dx, dy) = it.grad(meshfree_oc::geometry::Point2::new(0.5, 0.5));
+    println!(
+        "\ngradient of the interpolant at (0.5, 0.5): ({dx:+.4}, {dy:+.4}) \
+         [exact: ({:+.4}, {:+.4})]",
+        3.0 * (1.5f64).cos() * (1.0f64).cos(),
+        -2.0 * (1.5f64).sin() * (1.0f64).sin()
+    );
+}

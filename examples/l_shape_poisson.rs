@@ -1,0 +1,67 @@
+//! Mesh-free on a non-convex domain: solve a Poisson problem on an
+//! L-shaped region (unit square minus its upper-right quadrant) with the
+//! same solver used everywhere else — no meshing, just a node cloud. This
+//! is the paper's §1 motivation for mesh-free methods ("attractive when the
+//! geometry is complex") made concrete.
+//!
+//! ```sh
+//! cargo run --release --example l_shape_poisson
+//! ```
+
+use meshfree_oc::geometry::generators::l_shape_cloud;
+use meshfree_oc::geometry::{NodeKind, Point2};
+use meshfree_oc::pde::poisson::PoissonProblem;
+use meshfree_oc::rbf::RbfKernel;
+
+fn main() {
+    let nodes = l_shape_cloud(0.06);
+    println!(
+        "L-shaped cloud: {} nodes ({} interior, {} boundary)",
+        nodes.len(),
+        nodes.n_interior(),
+        nodes.len() - nodes.n_interior()
+    );
+
+    // Solve −∇²u = 1 with u = 0 on the whole boundary (the membrane
+    // deflection problem); the solution peaks inside the long arm and is
+    // pinched at the re-entrant corner.
+    let p = PoissonProblem::new(&nodes, RbfKernel::Phs3, 2, 0.0).expect("assembly");
+    let u = p.solve(|_| 1.0, |_, _| 0.0).expect("solve");
+
+    // Report the field along the diagonal of the lower-left quadrant and
+    // the maximum deflection.
+    let mut max_u = 0.0f64;
+    let mut argmax = Point2::new(0.0, 0.0);
+    for i in nodes.interior_range() {
+        if u[i] > max_u {
+            max_u = u[i];
+            argmax = nodes.point(i);
+        }
+    }
+    println!("max deflection u = {max_u:.4} at ({:.2}, {:.2})", argmax.x, argmax.y);
+    println!("(the square membrane peaks at ~0.0737 at its centre; the L-shape peak\n sits inside the fat corner and is lower near the re-entrant corner)");
+
+    println!("\n   point        u");
+    for &(x, y) in &[(0.25, 0.25), (0.25, 0.75), (0.75, 0.25), (0.45, 0.45)] {
+        // Nearest node sample.
+        let mut best = 0;
+        let mut bd = f64::INFINITY;
+        for i in 0..nodes.len() {
+            let d = nodes.point(i).dist(&Point2::new(x, y));
+            if d < bd {
+                bd = d;
+                best = i;
+            }
+        }
+        println!("({x:.2}, {y:.2})   {:.4}", u[best]);
+    }
+
+    // Boundary values really are zero.
+    let worst_bc = nodes
+        .boundary_indices()
+        .map(|i| u[i].abs())
+        .fold(0.0f64, f64::max);
+    println!("\nworst |u| on the boundary: {worst_bc:.2e}");
+    assert!(worst_bc < 1e-9);
+    assert_eq!(nodes.kind(nodes.len() - 1), NodeKind::Dirichlet);
+}

@@ -1,0 +1,47 @@
+//! # meshfree-oc
+//!
+//! A from-scratch Rust reproduction of *"A comparison of mesh-free
+//! differentiable programming and data-driven strategies for optimal
+//! control under PDE constraints"* (Nzoyem Ngueguin, Barton & Deakin,
+//! SC-W 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`linalg`] — dense/sparse linear algebra (LU, QR, Cholesky, CSR,
+//!   CG/BiCGSTAB/GMRES) built without BLAS.
+//! * [`autodiff`] — forward-mode duals and the reverse-mode tensor tape
+//!   with a differentiable linear solve (the JAX substitute).
+//! * [`geometry`] — node clouds, generators (incl. the GMSH-substitute
+//!   channel cloud), k-d trees, boundary quadrature.
+//! * [`rbf`] — RBF kernels, global collocation, RBF-FD stencils (the
+//!   Updec substitute).
+//! * [`pde`] — the Laplace and Navier–Stokes control substrates with
+//!   plain, taped (DP) and adjoint (DAL) solvers.
+//! * [`nn`] — tape-native MLPs with Taylor-mode input derivatives (PINNs).
+//! * [`opt`] — Adam/SGD with the paper's learning-rate schedule.
+//! * [`control`] — the DAL/DP/PINN drivers, the two-step ω line search,
+//!   and the Table 3 instrumentation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
+//! use meshfree_oc::pde::LaplaceControlProblem;
+//!
+//! let problem = LaplaceControlProblem::new(12).unwrap();
+//! let cfg = LaplaceRunConfig { nx: 12, iterations: 40, lr: 1e-2, log_every: 10 };
+//! let result = run(&problem, &cfg, GradMethod::Dp).unwrap();
+//! assert!(result.report.final_cost.is_finite());
+//! ```
+
+pub use autodiff;
+pub use control;
+pub use geometry;
+pub use linalg;
+pub use nn;
+pub use opt;
+pub use pde;
+pub use rbf;
+
+/// Workspace version, for reporting in experiment outputs.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,151 @@
+//! Cross-crate consistency checks: the same mathematical objects computed
+//! through different subsystems must agree.
+
+use meshfree_oc::autodiff::gradcheck::rel_error;
+use meshfree_oc::autodiff::{derivative2, Dual2, STape, Scalar, Tape};
+use meshfree_oc::geometry::generators::{unit_square_grid, BoundaryClass};
+use meshfree_oc::geometry::{NodeKind, Point2};
+use meshfree_oc::linalg::{DMat, DVec, Lu};
+use meshfree_oc::nn::{Activation, Mlp};
+use meshfree_oc::rbf::{DiffOp, GlobalCollocation, RbfKernel};
+use std::sync::Arc;
+
+fn all_dirichlet(p: Point2) -> BoundaryClass {
+    let normal = if p.y == 0.0 {
+        Point2::new(0.0, -1.0)
+    } else if p.y == 1.0 {
+        Point2::new(0.0, 1.0)
+    } else if p.x == 0.0 {
+        Point2::new(-1.0, 0.0)
+    } else {
+        Point2::new(1.0, 0.0)
+    };
+    (NodeKind::Dirichlet, 1, normal)
+}
+
+#[test]
+fn scalar_tape_and_tensor_tape_agree_on_a_shared_program() {
+    // f(a, b) = Σᵢ tanh(aᵢ bᵢ) + aᵢ², evaluated elementwise on both engines.
+    let a0 = [0.3, -0.7, 1.1];
+    let b0 = [0.9, 0.4, -0.2];
+
+    // Scalar tape.
+    let st = STape::new();
+    let mut scalar_out = meshfree_oc::autodiff::Var::from_f64(0.0);
+    let mut avars = Vec::new();
+    for i in 0..3 {
+        let a = st.var(a0[i]);
+        let b = st.var(b0[i]);
+        scalar_out = scalar_out + (a * b).tanh() + a * a;
+        avars.push(a);
+    }
+    let sg = st.grad(scalar_out);
+
+    // Tensor tape.
+    let tt = Tape::new();
+    let a = tt.var_col(&a0);
+    let b = tt.var_col(&b0);
+    let out = a.mul(b).tanh().add(a.mul(a)).sum();
+    assert!((out.scalar_value() - scalar_out.val()).abs() < 1e-14);
+    let tg = tt.backward(out);
+    let ga = tg.wrt(a);
+    for i in 0..3 {
+        assert!(
+            (ga[(i, 0)] - sg.wrt(avars[i])).abs() < 1e-13,
+            "engines disagree at {i}"
+        );
+    }
+}
+
+#[test]
+fn dual2_kernel_derivatives_match_collocation_rows() {
+    // The ∂x row entries of the collocation context must equal the chain
+    // rule applied to Dual2 kernel derivatives, independently recomputed.
+    let ns = unit_square_grid(5, 5, all_dirichlet);
+    let ctx = GlobalCollocation::new(&ns, RbfKernel::Phs3, 1).unwrap();
+    let x = Point2::new(0.37, 0.61);
+    let row = ctx.row(DiffOp::Dx, x);
+    for (j, c) in ns.points().iter().enumerate() {
+        let r = x.dist(c);
+        let (_, d1, _) = derivative2(|rr: Dual2| rr.powi(3), r);
+        let expect = if r > 1e-12 { (x.x - c.x) * d1 / r } else { 0.0 };
+        assert!((row[j] - expect).abs() < 1e-12, "entry {j}");
+    }
+}
+
+#[test]
+fn taped_linear_solve_matches_direct_lu_solve() {
+    let a = DMat::from_fn(6, 6, |i, j| {
+        if i == j {
+            4.0
+        } else {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    let b = DVec::from_fn(6, |i| (i as f64).cos());
+    let lu = Arc::new(Lu::factor(&a).unwrap());
+    let direct = lu.solve(&b).unwrap();
+    let tape = Tape::new();
+    let bv = tape.var_col(&b);
+    let x = tape.solve_const(&lu, bv).unwrap();
+    for i in 0..6 {
+        assert!((x.value()[(i, 0)] - direct[i]).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn mlp_taylor_laplacian_matches_scalar_dual_arithmetic() {
+    // Compute u_xx of a small MLP two ways: the batched tensor-tape Taylor
+    // mode, and plain f64 finite differences of Mlp::eval.
+    let m = Mlp::new(&[2, 7, 7, 1], Activation::Tanh, 21);
+    let (x0, y0) = (0.4, 0.6);
+    let tape = Tape::new();
+    let p = m.params_on_tape(&tape);
+    let xin = DMat::from_rows(&[vec![x0, y0]]);
+    let tb = m.forward_taylor(&tape, &p, &xin, &[0, 1]);
+    let lap_taylor = tb.dd[0].value()[(0, 0)] + tb.dd[1].value()[(0, 0)];
+    let h = 1e-4;
+    let f = |x: f64, y: f64| m.eval(&DMat::from_rows(&[vec![x, y]]))[(0, 0)];
+    let lap_fd = (f(x0 + h, y0) + f(x0 - h, y0) + f(x0, y0 + h) + f(x0, y0 - h)
+        - 4.0 * f(x0, y0))
+        / (h * h);
+    assert!(
+        (lap_taylor - lap_fd).abs() < 1e-4 * (1.0 + lap_fd.abs()),
+        "{lap_taylor} vs {lap_fd}"
+    );
+}
+
+#[test]
+fn gradcheck_utilities_validate_a_cross_crate_composition() {
+    // J(theta) = || A^{-1} P(theta) ||² where P maps two parameters into a
+    // RHS — spans linalg + autodiff, checked by the gradcheck module.
+    let a = DMat::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+    let lu = Arc::new(Lu::factor(&a).unwrap());
+    let f = |t: &[f64]| -> f64 {
+        let tape = Tape::new();
+        let v = tape.var_col(t);
+        tape.solve_const(&lu, v).unwrap().sum_sq().scalar_value()
+    };
+    let t0 = [0.7, -0.3];
+    let tape = Tape::new();
+    let v = tape.var_col(&t0);
+    let j = tape.solve_const(&lu, v).unwrap().sum_sq();
+    let g = tape.backward(j).wrt(v);
+    let g_vec: Vec<f64> = g.as_slice().to_vec();
+    let fd = meshfree_oc::autodiff::gradcheck::fd_gradient(f, &t0, 1e-6);
+    assert!(rel_error(&g_vec, &fd) < 1e-8);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    assert!(!meshfree_oc::VERSION.is_empty());
+    // One symbol from each re-exported crate.
+    let _ = meshfree_oc::linalg::DVec::zeros(1);
+    let _ = meshfree_oc::geometry::Point2::new(0.0, 0.0);
+    let _ = meshfree_oc::rbf::RbfKernel::Phs3;
+    let _ = meshfree_oc::opt::Schedule::Constant(1.0);
+    let _ = meshfree_oc::pde::analytic::poiseuille(0.5, 1.0);
+    let _ = meshfree_oc::control::metrics::ConvergenceHistory::default();
+    let _ = meshfree_oc::nn::Activation::Tanh;
+    let _ = f64::from_f64(1.0);
+}
