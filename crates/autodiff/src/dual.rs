@@ -280,16 +280,10 @@ impl Scalar for Dual2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn fd1(f: impl Fn(f64) -> f64, x: f64) -> f64 {
         let h = 1e-6 * (1.0 + x.abs());
         (f(x + h) - f(x - h)) / (2.0 * h)
-    }
-
-    fn fd2(f: impl Fn(f64) -> f64, x: f64) -> f64 {
-        let h = 1e-4 * (1.0 + x.abs());
-        (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
     }
 
     #[test]
@@ -305,8 +299,9 @@ mod tests {
 
     #[test]
     fn dual_elementary_functions_vs_fd() {
+        type Check = (fn(Dual) -> Dual, fn(f64) -> f64);
         for &x in &[0.3, 0.9, 1.7] {
-            let checks: Vec<(fn(Dual) -> Dual, fn(f64) -> f64)> = vec![
+            let checks: Vec<Check> = vec![
                 (|d| d.sqrt(), |x| x.sqrt()),
                 (|d| d.exp(), |x| x.exp()),
                 (|d| d.ln(), |x| x.ln()),
@@ -360,32 +355,45 @@ mod tests {
         assert!((dd - (4.0 * 0.81 - 2.0) * e).abs() < 1e-12);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_dual_matches_fd(x in 0.1f64..3.0) {
-            let f_dual = |d: Dual| (d * d + Dual::constant(1.0)).sqrt() * d.tanh();
-            let f = |x: f64| (x * x + 1.0).sqrt() * x.tanh();
-            let (_, d) = derivative(f_dual, x);
-            prop_assert!((d - fd1(f, x)).abs() < 1e-5 * (1.0 + d.abs()));
+        fn fd2(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+            let h = 1e-4 * (1.0 + x.abs());
+            (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h)
         }
 
-        #[test]
-        fn prop_dual2_matches_fd(x in 0.2f64..2.5) {
-            let f_dual = |d: Dual2| d.powi(3) * d.sin() + d.exp();
-            let f = |x: f64| x.powi(3) * x.sin() + x.exp();
-            let (_, d, dd) = derivative2(f_dual, x);
-            prop_assert!((d - fd1(f, x)).abs() < 1e-5 * (1.0 + d.abs()));
-            prop_assert!((dd - fd2(f, x)).abs() < 1e-3 * (1.0 + dd.abs()));
-        }
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
 
-        #[test]
-        fn prop_dual_product_rule(x in 0.1f64..2.0) {
-            let (_, d_fg) = derivative(|d| d.sin() * d.exp(), x);
-            let (f, df) = derivative(|d| d.sin(), x);
-            let (g, dg) = derivative(|d| d.exp(), x);
-            prop_assert!((d_fg - (df * g + f * dg)).abs() < 1e-12);
+            #[test]
+            fn prop_dual_matches_fd(x in 0.1f64..3.0) {
+                let f_dual = |d: Dual| (d * d + Dual::constant(1.0)).sqrt() * d.tanh();
+                let f = |x: f64| (x * x + 1.0).sqrt() * x.tanh();
+                let (_, d) = derivative(f_dual, x);
+                prop_assert!((d - fd1(f, x)).abs() < 1e-5 * (1.0 + d.abs()));
+            }
+
+            #[test]
+            fn prop_dual2_matches_fd(x in 0.2f64..2.5) {
+                let f_dual = |d: Dual2| d.powi(3) * d.sin() + d.exp();
+                let f = |x: f64| x.powi(3) * x.sin() + x.exp();
+                let (_, d, dd) = derivative2(f_dual, x);
+                prop_assert!((d - fd1(f, x)).abs() < 1e-5 * (1.0 + d.abs()));
+                prop_assert!((dd - fd2(f, x)).abs() < 1e-3 * (1.0 + dd.abs()));
+            }
+
+            #[test]
+            fn prop_dual_product_rule(x in 0.1f64..2.0) {
+                let (_, d_fg) = derivative(|d| d.sin() * d.exp(), x);
+                let (f, df) = derivative(|d| d.sin(), x);
+                let (g, dg) = derivative(|d| d.exp(), x);
+                prop_assert!((d_fg - (df * g + f * dg)).abs() < 1e-12);
+            }
         }
     }
 }

@@ -27,12 +27,7 @@ pub fn fd_gradient(f: impl Fn(&[f64]) -> f64, x: &[f64], h: f64) -> Vec<f64> {
 /// Directional derivative of `f` at `x` along `dir` by central differences.
 pub fn fd_directional(f: impl Fn(&[f64]) -> f64, x: &[f64], dir: &[f64], h: f64) -> f64 {
     assert_eq!(x.len(), dir.len());
-    let step = |s: f64| -> Vec<f64> {
-        x.iter()
-            .zip(dir)
-            .map(|(&xi, &di)| xi + s * di)
-            .collect()
-    };
+    let step = |s: f64| -> Vec<f64> { x.iter().zip(dir).map(|(&xi, &di)| xi + s * di).collect() };
     (f(&step(h)) - f(&step(-h))) / (2.0 * h)
 }
 

@@ -36,5 +36,5 @@ pub mod tensor;
 pub use dual::{derivative, derivative2, Dual, Dual2};
 pub use scalar::Scalar;
 pub use stape::{STape, Var};
-pub use tape::{Tape, TVar};
+pub use tape::{TVar, Tape};
 pub use tensor::Tensor;

@@ -276,11 +276,7 @@ impl<'t> Scalar for Var<'t> {
         Var::unary(self, t, 1.0 - t * t)
     }
     fn powi(self, n: i32) -> Self {
-        Var::unary(
-            self,
-            self.val.powi(n),
-            n as f64 * self.val.powi(n - 1),
-        )
+        Var::unary(self, self.val.powi(n), n as f64 * self.val.powi(n - 1))
     }
     fn abs(self) -> Self {
         Var::unary(self, self.val.abs(), self.val.signum())
@@ -291,7 +287,6 @@ impl<'t> Scalar for Var<'t> {
 mod tests {
     use super::*;
     use crate::gradcheck::fd_gradient;
-    use proptest::prelude::*;
 
     #[test]
     fn grad_of_product() {
@@ -351,7 +346,11 @@ mod tests {
         let b = t.var(2.0);
         let c = t.var(3.0);
         // f(a, b, c) = a + 2b + 3c as a single custom node.
-        let f = t.custom(a.val() + 2.0 * b.val() + 3.0 * c.val(), &[a, b, c], &[1.0, 2.0, 3.0]);
+        let f = t.custom(
+            a.val() + 2.0 * b.val() + 3.0 * c.val(),
+            &[a, b, c],
+            &[1.0, 2.0, 3.0],
+        );
         let z = f * f;
         let g = t.grad(z);
         let fv = 14.0;
@@ -386,34 +385,42 @@ mod tests {
         assert!((g.wrt(y) - fd[1]).abs() < 1e-4 * (1.0 + fd[1].abs()));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_grad_matches_fd(x0 in 0.2f64..1.5, y0 in 0.2f64..1.5) {
-            let f = |x: f64, y: f64| (x * y).sin() + (x / y).exp() - (x + y).ln();
-            let t = STape::new();
-            let x = t.var(x0);
-            let y = t.var(y0);
-            let z = (x * y).sin() + (x / y).exp() - (x + y).ln();
-            prop_assert!((z.val() - f(x0, y0)).abs() < 1e-12);
-            let g = t.grad(z);
-            let fd = fd_gradient(|v| f(v[0], v[1]), &[x0, y0], 1e-6);
-            prop_assert!((g.wrt(x) - fd[0]).abs() < 1e-4 * (1.0 + fd[0].abs()));
-            prop_assert!((g.wrt(y) - fd[1]).abs() < 1e-4 * (1.0 + fd[1].abs()));
-        }
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
 
-        #[test]
-        fn prop_linearity_of_grad(a in -3.0f64..3.0, b in -3.0f64..3.0, x0 in 0.5f64..2.0) {
-            // d/dx [a f + b g] = a f' + b g'
-            let t = STape::new();
-            let x = t.var(x0);
-            let f = x.sin();
-            let g1 = x.exp();
-            let combo = Var::from_f64(a) * f + Var::from_f64(b) * g1;
-            let gr = t.grad(combo);
-            let expect = a * x0.cos() + b * x0.exp();
-            prop_assert!((gr.wrt(x) - expect).abs() < 1e-10 * (1.0 + expect.abs()));
+            #[test]
+            fn prop_grad_matches_fd(x0 in 0.2f64..1.5, y0 in 0.2f64..1.5) {
+                let f = |x: f64, y: f64| (x * y).sin() + (x / y).exp() - (x + y).ln();
+                let t = STape::new();
+                let x = t.var(x0);
+                let y = t.var(y0);
+                let z = (x * y).sin() + (x / y).exp() - (x + y).ln();
+                prop_assert!((z.val() - f(x0, y0)).abs() < 1e-12);
+                let g = t.grad(z);
+                let fd = fd_gradient(|v| f(v[0], v[1]), &[x0, y0], 1e-6);
+                prop_assert!((g.wrt(x) - fd[0]).abs() < 1e-4 * (1.0 + fd[0].abs()));
+                prop_assert!((g.wrt(y) - fd[1]).abs() < 1e-4 * (1.0 + fd[1].abs()));
+            }
+
+            #[test]
+            fn prop_linearity_of_grad(a in -3.0f64..3.0, b in -3.0f64..3.0, x0 in 0.5f64..2.0) {
+                // d/dx [a f + b g] = a f' + b g'
+                let t = STape::new();
+                let x = t.var(x0);
+                let f = x.sin();
+                let g1 = x.exp();
+                let combo = Var::from_f64(a) * f + Var::from_f64(b) * g1;
+                let gr = t.grad(combo);
+                let expect = a * x0.cos() + b * x0.exp();
+                prop_assert!((gr.wrt(x) - expect).abs() < 1e-10 * (1.0 + expect.abs()));
+            }
         }
     }
 }

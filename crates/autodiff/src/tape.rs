@@ -511,7 +511,10 @@ impl<'t> TVar<'t> {
     }
 
     fn binary(self, o: TVar<'t>, op: Op, value: Tensor) -> TVar<'t> {
-        debug_assert!(std::ptr::eq(self.tape, o.tape), "variables from different tapes");
+        debug_assert!(
+            std::ptr::eq(self.tape, o.tape),
+            "variables from different tapes"
+        );
         TVar {
             tape: self.tape,
             idx: self.tape.push(op, value),
@@ -591,9 +594,7 @@ impl<'t> TVar<'t> {
         let v = c.matmul(&self.value()).expect("matmul_const_l shape");
         TVar {
             tape: self.tape,
-            idx: self
-                .tape
-                .push(Op::MatMulConstL(Arc::clone(c), self.idx), v),
+            idx: self.tape.push(Op::MatMulConstL(Arc::clone(c), self.idx), v),
         }
     }
 
@@ -602,9 +603,7 @@ impl<'t> TVar<'t> {
         let v = self.value().matmul(c).expect("matmul_const_r shape");
         TVar {
             tape: self.tape,
-            idx: self
-                .tape
-                .push(Op::MatMulConstR(self.idx, Arc::clone(c)), v),
+            idx: self.tape.push(Op::MatMulConstR(self.idx, Arc::clone(c)), v),
         }
     }
 
@@ -1003,10 +1002,7 @@ mod tests {
         let j = t.solve(a, b).unwrap().sum_sq();
         let g = t.backward(j);
         let gs: Vec<f64> = g.wrt(sv).as_slice().to_vec();
-        assert!(
-            rel_error(&gs, &fd) < 1e-5,
-            "ad {gs:?} vs fd {fd:?}"
-        );
+        assert!(rel_error(&gs, &fd) < 1e-5, "ad {gs:?} vs fd {fd:?}");
     }
 
     #[test]
@@ -1113,6 +1109,9 @@ mod tests {
         let _ = t.backward(a);
     }
 
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
     mod random_programs {
         use super::*;
         use proptest::prelude::*;
@@ -1195,5 +1194,4 @@ mod tests {
             }
         }
     }
-
 }

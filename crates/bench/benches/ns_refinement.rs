@@ -6,8 +6,8 @@
 //! adds bookkeeping, not flops), while *memory* grows with `k` (see
 //! `ablations refinements` for the memory series).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use control::ns::initial_control;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geometry::generators::ChannelConfig;
 use pde::ns_dp::NsDp;
 use pde::{NsConfig, NsSolver};

@@ -2,9 +2,9 @@
 //! reverse sweep + Adam step) at a few network/batch sizes — the unit cost
 //! behind the paper's 20 k- and 100 k-epoch totals.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use control::pinn::{LaplacePinn, PinnConfig};
 use control::pinn_ns::{NsPinn, NsPinnConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_laplace_epoch(c: &mut Criterion) {
     let mut g = c.benchmark_group("pinn_laplace_epoch");

@@ -56,9 +56,11 @@ fn bench_diff_matrices(c: &mut Criterion) {
     for &n_side in &[10usize, 14] {
         let nodes = unit_square_grid(n_side, n_side, all_dirichlet);
         let ctx = GlobalCollocation::new(&nodes, RbfKernel::Phs3, 1).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(n_side * n_side), &ctx, |b, ctx| {
-            b.iter(|| ctx.diff_matrices().unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_side * n_side),
+            &ctx,
+            |b, ctx| b.iter(|| ctx.diff_matrices().unwrap()),
+        );
     }
     g.finish();
 }
@@ -87,5 +89,10 @@ fn bench_rbf_fd(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_collocation, bench_diff_matrices, bench_rbf_fd);
+criterion_group!(
+    benches,
+    bench_collocation,
+    bench_diff_matrices,
+    bench_rbf_fd
+);
 criterion_main!(benches);

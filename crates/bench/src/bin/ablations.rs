@@ -2,16 +2,16 @@
 //!
 //! Subcommands (default: run all):
 //!
-//! * `re`           — DAL vs DP across Reynolds numbers (paper §3.2: DAL's
-//!                    failure "is lessened with a reduced Re = 10").
-//! * `refinements`  — DP tape memory/time vs refinement count `k` (Table 3
-//!                    discussion: "scales super-linearly with k").
-//! * `kernels`      — Laplace DP final cost per RBF kernel (§3 opening).
-//! * `optimizer`    — Adam vs plain SGD for DAL on Laplace (§3: Adam
-//!                    rescues DAL's noisy boundary gradients).
+//! * `re` — DAL vs DP across Reynolds numbers (paper §3.2: DAL's failure
+//!   "is lessened with a reduced Re = 10").
+//! * `refinements` — DP tape memory/time vs refinement count `k` (Table 3
+//!   discussion: "scales super-linearly with k").
+//! * `kernels` — Laplace DP final cost per RBF kernel (§3 opening).
+//! * `optimizer` — Adam vs plain SGD for DAL on Laplace (§3: Adam rescues
+//!   DAL's noisy boundary gradients).
 //! * `conditioning` — grid vs scattered collocation conditioning (§3.1).
-//! * `gradients`    — gradient accuracy of DP/DAL/FD against a tight
-//!                    central-difference oracle (footnote 11).
+//! * `gradients` — gradient accuracy of DP/DAL/FD against a tight
+//!   central-difference oracle (footnote 11).
 
 use bench::write_csv;
 use control::laplace::{run as laplace_run, GradMethod, LaplaceRunConfig};
@@ -27,7 +27,10 @@ use rbf::{operators::fit_matrix, PolyBasis, RbfKernel};
 fn ablation_re() {
     println!("== ablation: DAL vs DP across Reynolds numbers ==");
     println!("(paper: DAL fails at Re = 100, improves at Re = 10; DP works at both)\n");
-    println!("{:>6} {:>12} {:>12} {:>12}", "Re", "J_initial", "J_dal", "J_dp");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "Re", "J_initial", "J_dal", "J_dp"
+    );
     let mut rows = Vec::new();
     for re in [10.0, 30.0, 100.0] {
         let solver = NsSolver::new(NsConfig {
@@ -59,7 +62,12 @@ fn ablation_re() {
         );
         rows.push(vec![re, j0, dal.report.final_cost, dp.report.final_cost]);
     }
-    write_csv("results/ablation_re.csv", &["re", "j0", "j_dal", "j_dp"], &rows).ok();
+    write_csv(
+        "results/ablation_re.csv",
+        &["re", "j0", "j_dal", "j_dp"],
+        &rows,
+    )
+    .ok();
     println!();
 }
 
@@ -77,7 +85,10 @@ fn ablation_refinements() {
     .expect("solver");
     let dp = NsDp::new(&solver);
     let c = initial_control(&solver);
-    println!("{:>4} {:>12} {:>14} {:>12}", "k", "time (ms)", "tape (MB)", "tape nodes");
+    println!(
+        "{:>4} {:>12} {:>14} {:>12}",
+        "k", "time (ms)", "tape (MB)", "tape nodes"
+    );
     let mut rows = Vec::new();
     for k in [1usize, 2, 4, 8, 16] {
         let t = std::time::Instant::now();
@@ -88,7 +99,12 @@ fn ablation_refinements() {
             stats.tape_bytes as f64 / 1e6,
             stats.tape_nodes
         );
-        rows.push(vec![k as f64, ms, stats.tape_bytes as f64 / 1e6, stats.tape_nodes as f64]);
+        rows.push(vec![
+            k as f64,
+            ms,
+            stats.tape_bytes as f64 / 1e6,
+            stats.tape_nodes as f64,
+        ]);
     }
     write_csv(
         "results/ablation_refinements.csv",
@@ -102,14 +118,21 @@ fn ablation_refinements() {
 fn ablation_kernels() {
     println!("== ablation: RBF kernel choice on the Laplace problem ==");
     println!("(paper §3: PHS r^3 + degree-1 polynomials chosen to avoid shape tuning)\n");
-    println!("{:>22} {:>12} {:>14}", "kernel", "J_dp(150it)", "cond estimate");
+    println!(
+        "{:>22} {:>12} {:>14}",
+        "kernel", "J_dp(150it)", "cond estimate"
+    );
     let mut rows = Vec::new();
     for (name, kernel, id) in [
         ("phs3", RbfKernel::Phs3, 0.0),
         ("phs5", RbfKernel::Phs5, 1.0),
         ("gaussian(eps=3)", RbfKernel::Gaussian(3.0), 2.0),
         ("multiquadric(eps=2)", RbfKernel::Multiquadric(2.0), 3.0),
-        ("inv-multiquadric(2)", RbfKernel::InverseMultiquadric(2.0), 4.0),
+        (
+            "inv-multiquadric(2)",
+            RbfKernel::InverseMultiquadric(2.0),
+            4.0,
+        ),
     ] {
         match LaplaceControlProblem::with_kernel(16, kernel, 1) {
             Ok(p) => {
@@ -131,7 +154,12 @@ fn ablation_kernels() {
             Err(e) => println!("{name:>22} {:>12} ({e})", "singular"),
         }
     }
-    write_csv("results/ablation_kernels.csv", &["kernel_id", "j_dp", "cond"], &rows).ok();
+    write_csv(
+        "results/ablation_kernels.csv",
+        &["kernel_id", "j_dp", "cond"],
+        &rows,
+    )
+    .ok();
     println!();
 }
 
@@ -246,9 +274,15 @@ fn ablation_gradients() {
         (num / den).sqrt()
     };
     println!("relative error vs tight-FD oracle:");
-    println!("  DP  : {:.3e}   (exact discrete gradient; error = oracle noise)", rel(&g_dp));
+    println!(
+        "  DP  : {:.3e}   (exact discrete gradient; error = oracle noise)",
+        rel(&g_dp)
+    );
     println!("  FD  : {:.3e}", rel(&g_fd));
-    println!("  DAL : {:.3e}   (OTD bias — the paper's central observation)", rel(&g_dal));
+    println!(
+        "  DAL : {:.3e}   (OTD bias — the paper's central observation)",
+        rel(&g_dal)
+    );
     println!();
 }
 
@@ -295,9 +329,7 @@ fn ablation_sparse() {
             adam.step(&mut c, &g);
         }
         let j_sparse = fd.cost(&c).expect("sparse cost");
-        println!(
-            "{nx:>6} {dense_bytes:>14} {sparse_bytes:>14} {j_dense:>12.3e} {j_sparse:>12.3e}"
-        );
+        println!("{nx:>6} {dense_bytes:>14} {sparse_bytes:>14} {j_dense:>12.3e} {j_sparse:>12.3e}");
         rows.push(vec![
             nx as f64,
             dense_bytes as f64,
@@ -319,7 +351,10 @@ fn ablation_heat() {
     println!("== extension: DP through time (heat-equation control) ==");
     println!("(the paper's future work: \"incorporate time\"; one shared LU, cheap tape)\n");
     use pde::heat::{HeatConfig, HeatControlProblem};
-    println!("{:>8} {:>14} {:>12} {:>12}", "steps", "tape (KB)", "J_initial", "J_final");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "steps", "tape (KB)", "J_initial", "J_final"
+    );
     let mut rows = Vec::new();
     for n_steps in [10usize, 20, 40] {
         let p = HeatControlProblem::new(HeatConfig {

@@ -111,7 +111,9 @@ fn main() {
         .collect();
     let p = write_csv(
         "results/fig1_flowfields.csv",
-        &["x", "y", "u_dp", "v_dp", "u_dal", "v_dal", "u_pinn", "v_pinn"],
+        &[
+            "x", "y", "u_dp", "v_dp", "u_dal", "v_dal", "u_pinn", "v_pinn",
+        ],
         &rows,
     )
     .expect("csv");
@@ -119,12 +121,8 @@ fn main() {
 
     // First-principles check: plug the PINN's own fields into the RBF
     // solver's residuals and compare with the DP state.
-    let pinn_nodal_pts: Vec<(f64, f64)> = solver
-        .nodes()
-        .points()
-        .iter()
-        .map(|p| (p.x, p.y))
-        .collect();
+    let pinn_nodal_pts: Vec<(f64, f64)> =
+        solver.nodes().points().iter().map(|p| (p.x, p.y)).collect();
     let (pu, pv, pp) = pinn.fields_at(&pinn_nodal_pts);
     let pinn_state = NsState {
         u: pu,

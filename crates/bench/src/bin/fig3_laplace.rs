@@ -68,8 +68,12 @@ fn main() {
         .zip(dal.report.history.entries.iter())
         .map(|(d, a)| vec![d.iter as f64, d.cost, a.cost])
         .collect();
-    let p = write_csv("results/fig3b_convergence.csv", &["iter", "J_dp", "J_dal"], &rows_b)
-        .expect("csv");
+    let p = write_csv(
+        "results/fig3b_convergence.csv",
+        &["iter", "J_dp", "J_dal"],
+        &rows_b,
+    )
+    .expect("csv");
     println!("wrote {p}\n");
 
     // ---- fig 3a: control profiles ----
@@ -88,7 +92,11 @@ fn main() {
     print_series(
         "fig 3a: controls c(x) [x, DP, DAL, series c*, paper printed c*]",
         &["x", "c_dp", "c_dal", "c_series", "c_paper"],
-        &rows_a.iter().step_by((xs.len() / 12).max(1)).cloned().collect::<Vec<_>>(),
+        &rows_a
+            .iter()
+            .step_by((xs.len() / 12).max(1))
+            .cloned()
+            .collect::<Vec<_>>(),
     );
     let p = write_csv(
         "results/fig3a_controls.csv",

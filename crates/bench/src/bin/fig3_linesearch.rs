@@ -48,7 +48,14 @@ fn main() {
             "{:>10.1e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e}",
             r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2, js
         );
-        rows.push(vec![r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2, js]);
+        rows.push(vec![
+            r.omega,
+            r.l_pde_step1,
+            r.j_step1,
+            r.l_pde_step2,
+            r.j_step2,
+            js,
+        ]);
     }
     let best = &ls.results[ls.best];
     println!(

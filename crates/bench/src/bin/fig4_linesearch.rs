@@ -37,7 +37,13 @@ fn main() {
             "{:>10.1e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e}",
             r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2
         );
-        rows.push(vec![r.omega, r.l_pde_step1, r.j_step1, r.l_pde_step2, r.j_step2]);
+        rows.push(vec![
+            r.omega,
+            r.l_pde_step1,
+            r.j_step1,
+            r.l_pde_step2,
+            r.j_step2,
+        ]);
     }
     println!(
         "\nselected ω* = {:.1e} with J = {:.3e}",

@@ -113,7 +113,12 @@ fn main() {
         .zip(dal.report.history.entries.iter())
         .map(|(d, a)| vec![d.iter as f64, d.cost, a.cost])
         .collect();
-    write_csv("results/fig4b_convergence.csv", &["iter", "J_dp", "J_dal"], &rows_b).expect("csv");
+    write_csv(
+        "results/fig4b_convergence.csv",
+        &["iter", "J_dp", "J_dal"],
+        &rows_b,
+    )
+    .expect("csv");
 
     // ---- fig 4c: inflow controls ----
     let ys = solver.inflow_y();
@@ -150,11 +155,15 @@ fn main() {
             "y={:.3}  target={:.3}  dp={:.3}  dal={:.3}  pinn={:.3}  (v: dp={:+.3} pinn={:+.3})",
             y, t, u_dp[k], u_dal[k], u_pinn[k], v_dp[k], v_pinn[k]
         );
-        rows_d.push(vec![y, t, u_dp[k], u_dal[k], u_pinn[k], v_dp[k], v_dal[k], v_pinn[k]]);
+        rows_d.push(vec![
+            y, t, u_dp[k], u_dal[k], u_pinn[k], v_dp[k], v_dal[k], v_pinn[k],
+        ]);
     }
     write_csv(
         "results/fig4d_outflow.csv",
-        &["y", "target", "u_dp", "u_dal", "u_pinn", "v_dp", "v_dal", "v_pinn"],
+        &[
+            "y", "target", "u_dp", "u_dal", "u_pinn", "v_dp", "v_dal", "v_pinn",
+        ],
         &rows_d,
     )
     .expect("csv");

@@ -187,7 +187,9 @@ impl ControlObjective for NsDpObjective<'_> {
         self.solver.n_controls()
     }
     fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
-        let st = self.solver.solve(c, self.refinements.max(12), self.state.take())?;
+        let st = self
+            .solver
+            .solve(c, self.refinements.max(12), self.state.take())?;
         let j = self.solver.cost(&st);
         self.state = Some(st);
         Ok(j)
@@ -293,7 +295,10 @@ mod tests {
                 3
             }
             fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
-                Ok(c.iter().enumerate().map(|(i, x)| (x - i as f64).powi(2)).sum())
+                Ok(c.iter()
+                    .enumerate()
+                    .map(|(i, x)| (x - i as f64).powi(2))
+                    .sum())
             }
             fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
                 let j = self.cost(c)?;

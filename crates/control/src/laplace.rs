@@ -8,6 +8,7 @@
 
 use crate::metrics::{ConvergenceHistory, RunReport, Timer};
 use linalg::{DVec, LinalgError};
+use meshfree_runtime::trace;
 use opt::{Adam, Optimizer, Schedule};
 use pde::LaplaceControlProblem;
 
@@ -71,6 +72,7 @@ pub fn run(
     cfg: &LaplaceRunConfig,
     method: GradMethod,
 ) -> Result<LaplaceRun, LinalgError> {
+    let _span = trace::span("laplace_control_run");
     let timer = Timer::start();
     let n = problem.n_controls();
     let mut c = DVec::zeros(n);
@@ -83,6 +85,7 @@ pub fn run(
             GradMethod::Dp => problem.cost_and_grad_dp(&c)?,
             GradMethod::FiniteDiff => problem.cost_and_grad_fd(&c, fd_h)?,
         };
+        trace::solve_event("control", method.name(), it, f64::NAN, j, g.norm_inf());
         if it % cfg.log_every == 0 || it + 1 == cfg.iterations {
             history.push(it, j, g.norm_inf(), timer.elapsed_s());
         }
@@ -90,18 +93,17 @@ pub fn run(
     }
     let final_cost = problem.cost(&c)?;
     history.push(cfg.iterations, final_cost, 0.0, timer.elapsed_s());
-    Ok(LaplaceRun {
-        report: RunReport {
-            method: method.name(),
-            problem: "laplace",
-            iterations: cfg.iterations,
-            final_cost,
-            wall_s: timer.elapsed_s(),
-            peak_bytes: crate::metrics::peak_allocated_bytes(),
-            history,
-        },
-        control: c,
-    })
+    let report = RunReport {
+        method: method.name(),
+        problem: "laplace",
+        iterations: cfg.iterations,
+        final_cost,
+        wall_s: timer.elapsed_s(),
+        peak_bytes: crate::metrics::peak_allocated_bytes(),
+        history,
+    };
+    report.emit_trace();
+    Ok(LaplaceRun { report, control: c })
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ pub mod laplace;
 pub mod metrics;
 pub mod ns;
 pub mod pinn;
-pub mod validate;
 pub mod pinn_ns;
+pub mod validate;
 
 pub use metrics::{ConvergenceHistory, RunReport};

@@ -6,6 +6,7 @@
 //! [`peak_allocated_bytes`]; library code additionally reports the
 //! tape-resident bytes from `autodiff::Tape::memory_bytes` where relevant.
 
+use meshfree_runtime::trace;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -136,6 +137,20 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Folds the run summary into the `meshfree_runtime::trace` stream
+    /// (no-op when tracing is disabled): `run_wall_s`, `run_peak_bytes`
+    /// and `run_final_cost` counters, so one JSONL/CSV file carries both
+    /// the per-iteration events and the Table-3 style totals.
+    pub fn emit_trace(&self) {
+        if !trace::enabled() {
+            return;
+        }
+        trace::counter("run_wall_s", self.wall_s);
+        trace::counter("run_peak_bytes", self.peak_bytes as f64);
+        trace::counter("run_final_cost", self.final_cost);
+        trace::flush();
+    }
+
     /// One formatted summary line (Table 3 style).
     pub fn summary_row(&self) -> String {
         format!(

@@ -10,6 +10,7 @@
 use crate::laplace::GradMethod;
 use crate::metrics::{ConvergenceHistory, RunReport, Timer};
 use linalg::{DVec, LinalgError};
+use meshfree_runtime::trace;
 use opt::{Adam, Optimizer, Schedule};
 use pde::analytic::poiseuille;
 use pde::ns_adjoint::NsAdjoint;
@@ -67,11 +68,8 @@ pub fn initial_control(solver: &NsSolver) -> DVec {
 }
 
 /// Runs Adam on the Navier–Stokes control problem with the chosen gradient.
-pub fn run(
-    solver: &NsSolver,
-    cfg: &NsRunConfig,
-    method: GradMethod,
-) -> Result<NsRun, LinalgError> {
+pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<NsRun, LinalgError> {
+    let _span = trace::span("ns_control_run");
     let timer = Timer::start();
     let n = solver.n_controls();
     let mut c = initial_control(solver).scaled(cfg.initial_scale);
@@ -101,6 +99,7 @@ pub fn run(
                 (j, g)
             }
         };
+        trace::solve_event("control", method.name(), it, f64::NAN, j, g.norm_inf());
         if it % cfg.log_every == 0 || it + 1 == cfg.iterations {
             history.push(it, j, g.norm_inf(), timer.elapsed_s());
         }
@@ -114,16 +113,18 @@ pub fn run(
     let final_state = solver.solve(&c, cfg.refinements.max(12), state)?;
     let final_cost = solver.cost(&final_state);
     history.push(cfg.iterations, final_cost, 0.0, timer.elapsed_s());
+    let report = RunReport {
+        method: method.name(),
+        problem: "navier-stokes",
+        iterations: cfg.iterations,
+        final_cost,
+        wall_s: timer.elapsed_s(),
+        peak_bytes: peak_tape.max(crate::metrics::peak_allocated_bytes()),
+        history,
+    };
+    report.emit_trace();
     Ok(NsRun {
-        report: RunReport {
-            method: method.name(),
-            problem: "navier-stokes",
-            iterations: cfg.iterations,
-            final_cost,
-            wall_s: timer.elapsed_s(),
-            peak_bytes: peak_tape.max(crate::metrics::peak_allocated_bytes()),
-            history,
-        },
+        report,
         control: c,
         state: final_state,
     })
@@ -249,4 +250,3 @@ mod tests {
         );
     }
 }
-

@@ -16,6 +16,7 @@ use autodiff::tensor::Tensor;
 use geometry::generators::halton2;
 use geometry::quadrature;
 use linalg::{DMat, DVec};
+use meshfree_runtime::trace;
 use nn::{Activation, Mlp};
 use opt::{Adam, Optimizer, Schedule};
 use std::f64::consts::PI;
@@ -119,7 +120,11 @@ impl LaplacePinn {
         let c_net = Mlp::new(&c_layers, Activation::Tanh, cfg.seed + 1);
 
         let pts = halton2(cfg.n_interior);
-        let x_int = DMat::from_fn(pts.len(), 2, |i, j| if j == 0 { pts[i].x } else { pts[i].y });
+        let x_int = DMat::from_fn(
+            pts.len(),
+            2,
+            |i, j| if j == 0 { pts[i].x } else { pts[i].y },
+        );
         let nb = cfg.n_boundary;
         let line = |f: &dyn Fn(f64) -> (f64, f64)| -> Tensor {
             DMat::from_fn(nb, 2, |i, j| {
@@ -133,9 +138,7 @@ impl LaplacePinn {
             })
         };
         let x_bottom = line(&|t| (t, 0.0));
-        let bottom_target = DMat::from_fn(nb, 1, |i, _| {
-            -((PI * x_bottom[(i, 0)]).sin())
-        });
+        let bottom_target = DMat::from_fn(nb, 1, |i, _| -((PI * x_bottom[(i, 0)]).sin()));
         // Left and right walls stacked (u = 0 on both).
         let x_sides = DMat::from_fn(2 * nb, 2, |i, j| {
             let t = (i % nb) as f64 / (nb - 1) as f64;
@@ -233,6 +236,7 @@ impl LaplacePinn {
     /// (line-search step 2). Updates alternate between the two networks
     /// each epoch, per the paper.
     pub fn train(&mut self, omega: f64, epochs: usize, update_c: bool) -> ConvergenceHistory {
+        let _span = trace::span("pinn_train");
         let timer = crate::metrics::Timer::start();
         let schedule = Schedule::paper_decay(self.cfg.lr, epochs);
         let mut adam_u = Adam::new(self.u_net.n_params(), schedule.clone());
@@ -252,13 +256,16 @@ impl LaplacePinn {
             };
             let lval = loss.scalar_value();
             let grads = tape.backward(loss);
-            if update_c && epoch % 2 == 1 {
+            let gnorm = if update_c && epoch % 2 == 1 {
                 let g = self.c_net.grad_vector(&grads, &cp);
                 adam_c.step(self.c_net.params_mut(), &g);
+                g.norm_inf()
             } else {
                 let g = self.u_net.grad_vector(&grads, &up);
                 adam_u.step(self.u_net.params_mut(), &g);
-            }
+                g.norm_inf()
+            };
+            trace::solve_event("control", "PINN", epoch, lval, j.scalar_value(), gnorm);
             if epoch % log_every == 0 || epoch + 1 == epochs {
                 history.push(epoch, j.scalar_value(), lval, timer.elapsed_s());
             }

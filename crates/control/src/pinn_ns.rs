@@ -19,6 +19,7 @@ use autodiff::tensor::Tensor;
 use geometry::generators::{halton2, ChannelConfig};
 use geometry::quadrature;
 use linalg::{DMat, DVec};
+use meshfree_runtime::trace;
 use nn::{Activation, Mlp};
 use opt::{Adam, Optimizer, Schedule};
 use pde::analytic::poiseuille;
@@ -158,7 +159,11 @@ impl NsPinn {
         for i in 0..2 * nb {
             let x = ts(i % nb) * lx;
             let y = if i < nb { 0.0 } else { ly };
-            let slot = if i < nb { cfg.channel.blow } else { cfg.channel.suction };
+            let slot = if i < nb {
+                cfg.channel.blow
+            } else {
+                cfg.channel.suction
+            };
             if x > slot.0 && x < slot.1 {
                 slot_pts.push((x, y, cfg.slot_velocity * bump(x, slot)));
             } else {
@@ -250,7 +255,11 @@ impl NsPinn {
             .c_net
             .forward(tape, cp, &self.inflow_y_col)
             .mul_const(&self.inflow_envelope);
-        let l_in = col(f_in, 0).sub(c_in).sq().mean().add(col(f_in, 1).sq().mean());
+        let l_in = col(f_in, 0)
+            .sub(c_in)
+            .sq()
+            .mean()
+            .add(col(f_in, 1).sq().mean());
         let f_wall = self.net.forward(tape, fp, &self.x_wall);
         let l_wall = col(f_wall, 0).sq().mean().add(col(f_wall, 1).sq().mean());
         let f_slot = self.net.forward(tape, fp, &self.x_slot);
@@ -294,6 +303,7 @@ impl NsPinn {
     /// Trains for `epochs` with weight `omega` on `J` (alternating updates;
     /// `update_c = false` freezes the control and drops `J`).
     pub fn train(&mut self, omega: f64, epochs: usize, update_c: bool) -> ConvergenceHistory {
+        let _span = trace::span("pinn_ns_train");
         let timer = crate::metrics::Timer::start();
         let schedule = Schedule::paper_decay(self.cfg.lr, epochs);
         let mut adam_f = Adam::new(self.net.n_params(), schedule.clone());
@@ -313,13 +323,16 @@ impl NsPinn {
             };
             let lval = loss.scalar_value();
             let grads = tape.backward(loss);
-            if update_c && epoch % 2 == 1 {
+            let gnorm = if update_c && epoch % 2 == 1 {
                 let g = self.c_net.grad_vector(&grads, &cp);
                 adam_c.step(self.c_net.params_mut(), &g);
+                g.norm_inf()
             } else {
                 let g = self.net.grad_vector(&grads, &fp);
                 adam_f.step(self.net.params_mut(), &g);
-            }
+                g.norm_inf()
+            };
+            trace::solve_event("control", "PINN-NS", epoch, lval, j.scalar_value(), gnorm);
             if epoch % log_every == 0 || epoch + 1 == epochs {
                 history.push(epoch, j.scalar_value(), lval, timer.elapsed_s());
             }
@@ -355,7 +368,11 @@ impl NsPinn {
 
     /// `(u, v, p)` fields at arbitrary points.
     pub fn fields_at(&self, pts: &[(f64, f64)]) -> (DVec, DVec, DVec) {
-        let x = DMat::from_fn(pts.len(), 2, |i, j| if j == 0 { pts[i].0 } else { pts[i].1 });
+        let x = DMat::from_fn(
+            pts.len(),
+            2,
+            |i, j| if j == 0 { pts[i].0 } else { pts[i].1 },
+        );
         let out = self.net.eval(&x);
         (
             DVec(out.col(0).as_slice().to_vec()),

@@ -71,10 +71,15 @@ mod tests {
     #[test]
     fn good_laplace_control_scores_well_and_zero_scores_one() {
         let p = LaplaceControlProblem::new(14).unwrap();
-        let c_star =
-            DVec::from_fn(p.n_controls(), |i| analytic::series_c_star(p.control_x()[i]));
+        let c_star = DVec::from_fn(p.n_controls(), |i| {
+            analytic::series_c_star(p.control_x()[i])
+        });
         let v = validate_laplace_control(&p, &c_star).unwrap();
-        assert!(v.improvement < 0.6, "series minimiser scored {}", v.improvement);
+        assert!(
+            v.improvement < 0.6,
+            "series minimiser scored {}",
+            v.improvement
+        );
         let v0 = validate_laplace_control(&p, &DVec::zeros(p.n_controls())).unwrap();
         assert!((v0.improvement - 1.0).abs() < 1e-12);
     }

@@ -33,12 +33,7 @@ pub fn radical_inverse(mut n: usize, base: usize) -> f64 {
 pub fn halton2(n: usize) -> Vec<Point2> {
     const SKIP: usize = 20;
     (0..n)
-        .map(|i| {
-            Point2::new(
-                radical_inverse(i + SKIP, 2),
-                radical_inverse(i + SKIP, 3),
-            )
-        })
+        .map(|i| Point2::new(radical_inverse(i + SKIP, 2), radical_inverse(i + SKIP, 3)))
         .collect()
 }
 
@@ -87,9 +82,7 @@ pub fn unit_square_scattered(
     let margin = 0.5 / n_per_side as f64;
     let mut raw: Vec<RawNode> = halton2(4 * n_interior)
         .into_iter()
-        .filter(|p| {
-            p.x > margin && p.x < 1.0 - margin && p.y > margin && p.y < 1.0 - margin
-        })
+        .filter(|p| p.x > margin && p.x < 1.0 - margin && p.y > margin && p.y < 1.0 - margin)
         .take(n_interior)
         .map(|p| RawNode {
             p,
@@ -425,12 +418,7 @@ mod tests {
 
     #[test]
     fn dart_throwing_respects_min_distance() {
-        let pts = dart_throwing(
-            Point2::new(0.0, 0.0),
-            Point2::new(1.0, 1.0),
-            |_| 0.1,
-            4000,
-        );
+        let pts = dart_throwing(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), |_| 0.1, 4000);
         assert!(pts.len() > 40, "only {} points accepted", pts.len());
         for i in 0..pts.len() {
             for j in i + 1..pts.len() {

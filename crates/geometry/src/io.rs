@@ -50,7 +50,11 @@ pub fn from_csv(text: &str) -> Result<NodeSet, String> {
         }
         let cells: Vec<&str> = line.split(',').collect();
         if cells.len() != 6 {
-            return Err(format!("line {}: expected 6 cells, got {}", lineno + 1, cells.len()));
+            return Err(format!(
+                "line {}: expected 6 cells, got {}",
+                lineno + 1,
+                cells.len()
+            ));
         }
         let num = |k: usize| -> Result<f64, String> {
             cells[k]

@@ -81,7 +81,7 @@ impl KdTree {
                 best.pop();
             }
         }
-        let axis_delta = if depth % 2 == 0 { q.x - p.x } else { q.y - p.y };
+        let axis_delta = if depth.is_multiple_of(2) { q.x - p.x } else { q.y - p.y };
         let (near, far) = if axis_delta <= 0.0 {
             ((lo, mid), (mid + 1, hi))
         } else {
@@ -113,7 +113,7 @@ impl KdTree {
         if q.dist_sq(&p) <= r2 {
             out.push(idx);
         }
-        let axis_delta = if depth % 2 == 0 { q.x - p.x } else { q.y - p.y };
+        let axis_delta = if depth.is_multiple_of(2) { q.x - p.x } else { q.y - p.y };
         let (near, far) = if axis_delta <= 0.0 {
             ((lo, mid), (mid + 1, hi))
         } else {
@@ -133,7 +133,7 @@ fn build_recursive(points: &[Point2], order: &mut [usize], lo: usize, hi: usize,
     let mid = (lo + hi) / 2;
     let slice = &mut order[lo..hi];
     let key = |i: &usize| -> f64 {
-        if depth % 2 == 0 {
+        if depth.is_multiple_of(2) {
             points[*i].x
         } else {
             points[*i].y
@@ -147,7 +147,6 @@ fn build_recursive(points: &[Point2], order: &mut [usize], lo: usize, hi: usize,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn grid_points(n: usize) -> Vec<Point2> {
         let mut v = Vec::new();
@@ -216,27 +215,35 @@ mod tests {
         assert!(tree.knn(Point2::new(0.0, 0.0), 3).is_empty());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_knn_matches_brute_force(seed in 0u64..10_000, k in 1usize..12) {
-            // Deterministic pseudo-random cloud.
-            let n = 60;
-            let pts: Vec<Point2> = (0..n)
-                .map(|i| {
-                    let a = ((seed as usize + i) * 2654435761 % 1_000_000) as f64 / 1e6;
-                    let b = ((seed as usize + i) * 40503 % 1_000_000) as f64 / 1e6;
-                    Point2::new(a * 3.0, b * 2.0)
-                })
-                .collect();
-            let tree = KdTree::build(&pts);
-            let q = Point2::new((seed % 300) as f64 / 100.0, (seed % 200) as f64 / 100.0);
-            let got = tree.knn(q, k);
-            let want = brute_knn(&pts, q, k);
-            prop_assert_eq!(got.len(), want.len());
-            for (g, w) in got.iter().zip(&want) {
-                prop_assert!((q.dist(&pts[*g]) - q.dist(&pts[*w])).abs() < 1e-12);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn prop_knn_matches_brute_force(seed in 0u64..10_000, k in 1usize..12) {
+                // Deterministic pseudo-random cloud.
+                let n = 60;
+                let pts: Vec<Point2> = (0..n)
+                    .map(|i| {
+                        let a = ((seed as usize + i) * 2654435761 % 1_000_000) as f64 / 1e6;
+                        let b = ((seed as usize + i) * 40503 % 1_000_000) as f64 / 1e6;
+                        Point2::new(a * 3.0, b * 2.0)
+                    })
+                    .collect();
+                let tree = KdTree::build(&pts);
+                let q = Point2::new((seed % 300) as f64 / 100.0, (seed % 200) as f64 / 100.0);
+                let got = tree.knn(q, k);
+                let want = brute_knn(&pts, q, k);
+                prop_assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert!((q.dist(&pts[*g]) - q.dist(&pts[*w])).abs() < 1e-12);
+                }
             }
         }
     }

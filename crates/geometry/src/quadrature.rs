@@ -30,20 +30,13 @@ pub fn trapezoid_weights(t: &[f64]) -> Vec<f64> {
 /// Trapezoid integral of samples `f` at parameters `t`.
 pub fn trapezoid_integral(t: &[f64], f: &[f64]) -> f64 {
     assert_eq!(t.len(), f.len(), "trapezoid_integral: length mismatch");
-    trapezoid_weights(t)
-        .iter()
-        .zip(f)
-        .map(|(w, v)| w * v)
-        .sum()
+    trapezoid_weights(t).iter().zip(f).map(|(w, v)| w * v).sum()
 }
 
 /// Sorts `indices` by the parameter `param(i)` (ascending) and returns the
 /// sorted indices together with their parameters. Used to order boundary
 /// nodes along a wall before quadrature.
-pub fn sort_along(
-    indices: &[usize],
-    param: impl Fn(usize) -> f64,
-) -> (Vec<usize>, Vec<f64>) {
+pub fn sort_along(indices: &[usize], param: impl Fn(usize) -> f64) -> (Vec<usize>, Vec<f64>) {
     let mut pairs: Vec<(usize, f64)> = indices.iter().map(|&i| (i, param(i))).collect();
     pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
     let idx = pairs.iter().map(|p| p.0).collect();
@@ -54,7 +47,6 @@ pub fn sort_along(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn weights_sum_to_interval_length() {
@@ -106,22 +98,30 @@ mod tests {
         assert_eq!(t, vec![0.1, 0.5, 0.9]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_weights_nonnegative_and_sum(n in 2usize..20, seed in 0u64..1000) {
-            let mut t: Vec<f64> = (0..n)
-                .map(|i| ((seed as usize + i * 37) % 100) as f64 / 100.0 + i as f64)
-                .collect();
-            t.sort_by(f64::total_cmp);
-            t.dedup();
-            if t.len() >= 2 {
-                let w = trapezoid_weights(&t);
-                for &wi in &w {
-                    prop_assert!(wi >= 0.0);
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_weights_nonnegative_and_sum(n in 2usize..20, seed in 0u64..1000) {
+                let mut t: Vec<f64> = (0..n)
+                    .map(|i| ((seed as usize + i * 37) % 100) as f64 / 100.0 + i as f64)
+                    .collect();
+                t.sort_by(f64::total_cmp);
+                t.dedup();
+                if t.len() >= 2 {
+                    let w = trapezoid_weights(&t);
+                    for &wi in &w {
+                        prop_assert!(wi >= 0.0);
+                    }
+                    let total: f64 = w.iter().sum();
+                    let span = t[t.len() - 1] - t[0];
+                    prop_assert!((total - span).abs() < 1e-10);
                 }
-                let total: f64 = w.iter().sum();
-                let span = t[t.len() - 1] - t[0];
-                prop_assert!((total - span).abs() < 1e-10);
             }
         }
     }

@@ -2,14 +2,14 @@
 
 use crate::error::{LinalgError, Result};
 use crate::vector::DVec;
-use rayon::prelude::*;
+use meshfree_runtime::par;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
 /// Row-major dense `f64` matrix.
 ///
 /// The RBF collocation matrices in this workspace are dense and moderately
 /// sized (hundreds to a few thousand rows), so a flat row-major `Vec<f64>`
-/// with cache-friendly loops and rayon parallelism over rows is the right
+/// with cache-friendly loops and pool parallelism over rows is the right
 /// tool. Above [`DMat::PAR_THRESHOLD`] total work, `matmul`/`matvec`
 /// parallelize over rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,7 +67,11 @@ impl DMat {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        DMat { rows: r, cols: c, data }
+        DMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Diagonal matrix from a vector.
@@ -135,16 +139,11 @@ impl DMat {
             });
         }
         let work = self.rows * self.cols;
-        let mut y = vec![0.0; self.rows];
-        if work >= Self::PAR_THRESHOLD {
-            y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-                *yi = dot(self.row(i), x);
-            });
+        let y = if work >= Self::PAR_THRESHOLD {
+            par::par_map_collect(self.rows, |i| dot(self.row(i), x))
         } else {
-            for (i, yi) in y.iter_mut().enumerate() {
-                *yi = dot(self.row(i), x);
-            }
-        }
+            (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+        };
         Ok(DVec(y))
     }
 
@@ -194,7 +193,7 @@ impl DMat {
             }
         };
         if m * k * n >= Self::PAR_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(body);
+            par::par_chunks_mut(&mut out, n, |i, orow| body((i, orow)));
         } else {
             out.chunks_mut(n).enumerate().for_each(body);
         }
@@ -223,8 +222,7 @@ impl DMat {
     pub fn scale_rows(&self, s: &[f64]) -> DMat {
         assert_eq!(s.len(), self.rows, "scale_rows: wrong scale length");
         let mut out = self.clone();
-        for i in 0..self.rows {
-            let si = s[i];
+        for (i, &si) in s.iter().enumerate() {
             for v in out.row_mut(i) {
                 *v *= si;
             }
@@ -342,7 +340,6 @@ impl Mul<f64> for &DMat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn approx(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
@@ -460,58 +457,64 @@ mod tests {
 
     #[test]
     fn parallel_matmul_is_deterministic_across_thread_counts() {
-        // Rayon parallelism here is pure row partitioning: results must be
-        // bit-identical regardless of the pool size.
+        // Pool parallelism here is pure row partitioning: results must be
+        // bit-identical regardless of the pool size. serial_scope forces
+        // the shared pool through its inline path — no per-call pool
+        // construction (the old per-test rayon ThreadPoolBuilder).
         let n = 90; // above PAR_THRESHOLD
         let a = DMat::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 23) as f64 * 0.37 - 3.0);
         let b = DMat::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 19) as f64 * 0.21 - 1.5);
         let par = a.matmul(&b).unwrap();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build()
-            .unwrap();
-        let seq = pool.install(|| a.matmul(&b).unwrap());
+        let seq = par::serial_scope(|| a.matmul(&b).unwrap());
         assert_eq!(par, seq, "thread count changed the result bits");
     }
 
-    proptest! {
-        #[test]
-        fn prop_matvec_linearity(seed in 0u64..1000) {
-            let n = 5 + (seed % 7) as usize;
-            let a = DMat::from_fn(n, n, |i, j| ((seed as usize + i * 31 + j * 17) % 13) as f64 - 6.0);
-            let x = DVec::from_fn(n, |i| (i as f64 - 2.0) * 0.5);
-            let y = DVec::from_fn(n, |i| ((i * 3) % 5) as f64);
-            let lhs = a.matvec(&(&x + &y)).unwrap();
-            let rhs = &a.matvec(&x).unwrap() + &a.matvec(&y).unwrap();
-            for i in 0..n {
-                prop_assert!((lhs[i] - rhs[i]).abs() < 1e-9);
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_matvec_linearity(seed in 0u64..1000) {
+                let n = 5 + (seed % 7) as usize;
+                let a = DMat::from_fn(n, n, |i, j| ((seed as usize + i * 31 + j * 17) % 13) as f64 - 6.0);
+                let x = DVec::from_fn(n, |i| (i as f64 - 2.0) * 0.5);
+                let y = DVec::from_fn(n, |i| ((i * 3) % 5) as f64);
+                let lhs = a.matvec(&(&x + &y)).unwrap();
+                let rhs = &a.matvec(&x).unwrap() + &a.matvec(&y).unwrap();
+                for i in 0..n {
+                    prop_assert!((lhs[i] - rhs[i]).abs() < 1e-9);
+                }
             }
-        }
 
-        #[test]
-        fn prop_transpose_matvec_adjoint(seed in 0u64..1000) {
-            // <Ax, y> == <x, A^T y>
-            let m = 3 + (seed % 5) as usize;
-            let n = 2 + (seed % 7) as usize;
-            let a = DMat::from_fn(m, n, |i, j| ((seed as usize + i * 7 + j * 11) % 9) as f64 - 4.0);
-            let x = DVec::from_fn(n, |i| i as f64 * 0.3 - 1.0);
-            let y = DVec::from_fn(m, |i| 1.0 - i as f64 * 0.2);
-            let lhs = a.matvec(&x).unwrap().dot(&y);
-            let rhs = x.dot(&a.matvec_t(&y).unwrap());
-            prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
-        }
+            #[test]
+            fn prop_transpose_matvec_adjoint(seed in 0u64..1000) {
+                // <Ax, y> == <x, A^T y>
+                let m = 3 + (seed % 5) as usize;
+                let n = 2 + (seed % 7) as usize;
+                let a = DMat::from_fn(m, n, |i, j| ((seed as usize + i * 7 + j * 11) % 9) as f64 - 4.0);
+                let x = DVec::from_fn(n, |i| i as f64 * 0.3 - 1.0);
+                let y = DVec::from_fn(m, |i| 1.0 - i as f64 * 0.2);
+                let lhs = a.matvec(&x).unwrap().dot(&y);
+                let rhs = x.dot(&a.matvec_t(&y).unwrap());
+                prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+            }
 
-        #[test]
-        fn prop_matmul_associative_with_vector(seed in 0u64..500) {
-            // (AB)x == A(Bx)
-            let n = 3 + (seed % 6) as usize;
-            let a = DMat::from_fn(n, n, |i, j| ((seed as usize + i + 2 * j) % 7) as f64 - 3.0);
-            let b = DMat::from_fn(n, n, |i, j| ((seed as usize + 3 * i + j) % 5) as f64 - 2.0);
-            let x = DVec::from_fn(n, |i| (i as f64).sin());
-            let lhs = a.matmul(&b).unwrap().matvec(&x).unwrap();
-            let rhs = a.matvec(&b.matvec(&x).unwrap()).unwrap();
-            for i in 0..n {
-                prop_assert!((lhs[i] - rhs[i]).abs() < 1e-9);
+            #[test]
+            fn prop_matmul_associative_with_vector(seed in 0u64..500) {
+                // (AB)x == A(Bx)
+                let n = 3 + (seed % 6) as usize;
+                let a = DMat::from_fn(n, n, |i, j| ((seed as usize + i + 2 * j) % 7) as f64 - 3.0);
+                let b = DMat::from_fn(n, n, |i, j| ((seed as usize + 3 * i + j) % 5) as f64 - 2.0);
+                let x = DVec::from_fn(n, |i| (i as f64).sin());
+                let lhs = a.matmul(&b).unwrap().matvec(&x).unwrap();
+                let rhs = a.matvec(&b.matvec(&x).unwrap()).unwrap();
+                for i in 0..n {
+                    prop_assert!((lhs[i] - rhs[i]).abs() < 1e-9);
+                }
             }
         }
     }

@@ -53,7 +53,10 @@ impl fmt::Display for LinalgError {
                 got.0, got.1, expected.0, expected.1
             ),
             LinalgError::SingularMatrix { pivot, value } => {
-                write!(f, "singular matrix: pivot {pivot} has magnitude {value:.3e}")
+                write!(
+                    f,
+                    "singular matrix: pivot {pivot} has magnitude {value:.3e}"
+                )
             }
             LinalgError::NotPositiveDefinite { row } => {
                 write!(f, "matrix is not positive definite (detected at row {row})")
@@ -90,7 +93,10 @@ mod tests {
             expected: (4, 4),
         };
         assert!(e.to_string().contains("matvec"));
-        let e = LinalgError::SingularMatrix { pivot: 7, value: 1e-20 };
+        let e = LinalgError::SingularMatrix {
+            pivot: 7,
+            value: 1e-20,
+        };
         assert!(e.to_string().contains("pivot 7"));
         let e = LinalgError::NotConverged {
             solver: "gmres",

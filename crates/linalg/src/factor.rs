@@ -33,6 +33,9 @@ impl Lu {
                 expected: (n, n),
             });
         }
+        // Span only the system-sized factorizations; RBF-FD factors
+        // thousands of tiny per-stencil matrices that would flood a trace.
+        let _span = (n >= 64).then(|| meshfree_runtime::trace::span("lu_factor"));
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut sign = 1.0;
@@ -402,7 +405,6 @@ impl Qr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn random_like_matrix(n: usize, seed: u64) -> DMat {
         // Deterministic, well-scaled, diagonally nudged test matrix.
@@ -541,40 +543,48 @@ mod tests {
         assert!(Qr::factor(&DMat::zeros(2, 3)).is_err());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_lu_solve_residual_small(seed in 0u64..5000, n in 2usize..24) {
-            let a = random_like_matrix(n, seed);
-            let b = DVec::from_fn(n, |i| ((seed as usize + i) % 17) as f64 - 8.0);
-            let lu = Lu::factor(&a).unwrap();
-            let x = lu.solve(&b).unwrap();
-            let r = &a.matvec(&x).unwrap() - &b;
-            prop_assert!(r.norm2() < 1e-8 * (1.0 + b.norm2()));
-        }
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
 
-        #[test]
-        fn prop_lu_transpose_adjoint_identity(seed in 0u64..5000, n in 2usize..16) {
-            // <A^{-1} b, c> == <b, A^{-T} c> — exactly the identity the
-            // autodiff solve-adjoint relies on.
-            let a = random_like_matrix(n, seed);
-            let b = DVec::from_fn(n, |i| (i as f64 + 1.0).recip());
-            let c = DVec::from_fn(n, |i| ((i * i) % 7) as f64 - 3.0);
-            let lu = Lu::factor(&a).unwrap();
-            let lhs = lu.solve(&b).unwrap().dot(&c);
-            let rhs = b.dot(&lu.solve_transpose(&c).unwrap());
-            prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
-        }
+            #[test]
+            fn prop_lu_solve_residual_small(seed in 0u64..5000, n in 2usize..24) {
+                let a = random_like_matrix(n, seed);
+                let b = DVec::from_fn(n, |i| ((seed as usize + i) % 17) as f64 - 8.0);
+                let lu = Lu::factor(&a).unwrap();
+                let x = lu.solve(&b).unwrap();
+                let r = &a.matvec(&x).unwrap() - &b;
+                prop_assert!(r.norm2() < 1e-8 * (1.0 + b.norm2()));
+            }
 
-        #[test]
-        fn prop_det_product_rule(seed in 0u64..2000, n in 2usize..8) {
-            let a = random_like_matrix(n, seed);
-            let b = random_like_matrix(n, seed + 7);
-            let da = Lu::factor(&a).unwrap().det();
-            let db = Lu::factor(&b).unwrap().det();
-            let dab = Lu::factor(&a.matmul(&b).unwrap()).unwrap().det();
-            prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+            #[test]
+            fn prop_lu_transpose_adjoint_identity(seed in 0u64..5000, n in 2usize..16) {
+                // <A^{-1} b, c> == <b, A^{-T} c> — exactly the identity the
+                // autodiff solve-adjoint relies on.
+                let a = random_like_matrix(n, seed);
+                let b = DVec::from_fn(n, |i| (i as f64 + 1.0).recip());
+                let c = DVec::from_fn(n, |i| ((i * i) % 7) as f64 - 3.0);
+                let lu = Lu::factor(&a).unwrap();
+                let lhs = lu.solve(&b).unwrap().dot(&c);
+                let rhs = b.dot(&lu.solve_transpose(&c).unwrap());
+                prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+            }
+
+            #[test]
+            fn prop_det_product_rule(seed in 0u64..2000, n in 2usize..8) {
+                let a = random_like_matrix(n, seed);
+                let b = random_like_matrix(n, seed + 7);
+                let da = Lu::factor(&a).unwrap().det();
+                let db = Lu::factor(&b).unwrap().det();
+                let dab = Lu::factor(&a.matmul(&b).unwrap()).unwrap().det();
+                prop_assert!((dab - da * db).abs() < 1e-6 * (1.0 + dab.abs()));
+            }
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::error::{LinalgError, Result};
 use crate::sparse::Csr;
 use crate::vector::DVec;
+use meshfree_runtime::trace;
 
 /// Anything that can act as `y = A x` for an iterative solver.
 pub trait LinOp {
@@ -112,6 +113,7 @@ pub struct IterResult {
 
 /// Conjugate gradients for symmetric positive definite operators.
 pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<IterResult> {
+    let _span = trace::span("cg_solve");
     let n = a.dim();
     assert_eq!(b.len(), n, "cg: rhs length mismatch");
     let bnorm = b.norm2().max(1e-300);
@@ -122,6 +124,7 @@ pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Resul
     let mut rz = r.dot(&z);
     for it in 0..opts.max_iter {
         let rel = r.norm2() / bnorm;
+        trace::solve_event("linear", "cg", it, rel, f64::NAN, f64::NAN);
         if rel <= opts.rel_tol {
             return Ok(IterResult {
                 x,
@@ -169,6 +172,7 @@ pub fn bicgstab(
     m: &Preconditioner,
     opts: &IterOpts,
 ) -> Result<IterResult> {
+    let _span = trace::span("bicgstab_solve");
     let n = a.dim();
     assert_eq!(b.len(), n, "bicgstab: rhs length mismatch");
     let bnorm = b.norm2().max(1e-300);
@@ -182,6 +186,7 @@ pub fn bicgstab(
     let mut p = DVec::zeros(n);
     for it in 0..opts.max_iter {
         let rel = r.norm2() / bnorm;
+        trace::solve_event("linear", "bicgstab", it, rel, f64::NAN, f64::NAN);
         if rel <= opts.rel_tol {
             return Ok(IterResult {
                 x,
@@ -247,6 +252,7 @@ pub fn bicgstab(
 
 /// Restarted GMRES(m) with Givens rotations, left-preconditioned.
 pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<IterResult> {
+    let _span = trace::span("gmres_solve");
     let n = a.dim();
     assert_eq!(b.len(), n, "gmres: rhs length mismatch");
     let bnorm = m.apply(b).norm2().max(1e-300);
@@ -303,6 +309,7 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
             g[j] *= c;
             k_used = j + 1;
             let rel = g[j + 1].abs() / bnorm;
+            trace::solve_event("linear", "gmres", total_iters, rel, f64::NAN, f64::NAN);
             if rel <= opts.rel_tol {
                 break;
             }

@@ -9,7 +9,7 @@
 //! Contents:
 //!
 //! * [`DVec`] — owned dense vector with the usual BLAS-1 operations.
-//! * [`DMat`] — row-major dense matrix with (rayon-parallel) BLAS-2/3 kernels.
+//! * [`DMat`] — row-major dense matrix with pool-parallel BLAS-2/3 kernels.
 //! * [`Lu`] — LU factorization with partial pivoting, forward/transpose
 //!   solves, multi-RHS solves and a 1-norm condition estimate. This is the
 //!   workhorse behind both the RBF collocation solves and the custom

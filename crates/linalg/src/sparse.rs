@@ -7,7 +7,7 @@
 
 use crate::dense::DMat;
 use crate::vector::DVec;
-use rayon::prelude::*;
+use meshfree_runtime::par;
 
 /// Triplet (COO) accumulator used while assembling a sparse matrix.
 ///
@@ -129,7 +129,7 @@ impl Csr {
             cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum::<f64>()
         };
         let y: Vec<f64> = if self.nnz() >= 1 << 15 {
-            (0..self.rows).into_par_iter().map(compute).collect()
+            par::par_map_collect(self.rows, compute)
         } else {
             (0..self.rows).map(compute).collect()
         };
@@ -194,11 +194,11 @@ impl Csr {
     /// Scales row `i` by `s[i]` in place.
     pub fn scale_rows_mut(&mut self, s: &[f64]) {
         assert_eq!(s.len(), self.rows, "scale_rows: length mismatch");
-        for i in 0..self.rows {
+        for (i, &si) in s.iter().enumerate() {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
             for v in &mut self.values[lo..hi] {
-                *v *= s[i];
+                *v *= si;
             }
         }
     }
@@ -253,7 +253,6 @@ impl Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sample() -> Csr {
         // [[1, 0, 2], [0, 3, 0], [4, 0, 5]]
@@ -329,39 +328,47 @@ mod tests {
         assert_eq!(sum.to_dense()[(2, 2)], 10.0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_spmv_adjoint(seed in 0u64..1000) {
-            // <Ax, y> == <x, A^T y> for random sparse patterns.
-            let n = 4 + (seed % 12) as usize;
-            let mut t = Triplets::new(n, n);
-            for k in 0..3 * n {
-                let i = (seed as usize * 7 + k * 13) % n;
-                let j = (seed as usize * 11 + k * 5) % n;
-                t.push(i, j, ((k % 9) as f64) - 4.0);
-            }
-            let a = t.to_csr();
-            let x = DVec::from_fn(n, |i| (i as f64 * 0.3).sin());
-            let y = DVec::from_fn(n, |i| 1.0 - 0.1 * i as f64);
-            let lhs = a.matvec(&x).dot(&y);
-            let rhs = x.dot(&a.matvec_t(&y));
-            prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
-        }
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
 
-        #[test]
-        fn prop_csr_dense_agree(seed in 0u64..1000) {
-            let n = 3 + (seed % 8) as usize;
-            let mut t = Triplets::new(n, n);
-            for k in 0..2 * n {
-                t.push((seed as usize + k * 3) % n, (k * 7 + 1) % n, (k as f64) * 0.25 - 1.0);
+            #[test]
+            fn prop_spmv_adjoint(seed in 0u64..1000) {
+                // <Ax, y> == <x, A^T y> for random sparse patterns.
+                let n = 4 + (seed % 12) as usize;
+                let mut t = Triplets::new(n, n);
+                for k in 0..3 * n {
+                    let i = (seed as usize * 7 + k * 13) % n;
+                    let j = (seed as usize * 11 + k * 5) % n;
+                    t.push(i, j, ((k % 9) as f64) - 4.0);
+                }
+                let a = t.to_csr();
+                let x = DVec::from_fn(n, |i| (i as f64 * 0.3).sin());
+                let y = DVec::from_fn(n, |i| 1.0 - 0.1 * i as f64);
+                let lhs = a.matvec(&x).dot(&y);
+                let rhs = x.dot(&a.matvec_t(&y));
+                prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
             }
-            let a = t.to_csr();
-            let d = a.to_dense();
-            let x = DVec::from_fn(n, |i| i as f64 + 1.0);
-            let diff = &a.matvec(&x) - &d.matvec(&x).unwrap();
-            prop_assert!(diff.norm2() < 1e-12);
+
+            #[test]
+            fn prop_csr_dense_agree(seed in 0u64..1000) {
+                let n = 3 + (seed % 8) as usize;
+                let mut t = Triplets::new(n, n);
+                for k in 0..2 * n {
+                    t.push((seed as usize + k * 3) % n, (k * 7 + 1) % n, (k as f64) * 0.25 - 1.0);
+                }
+                let a = t.to_csr();
+                let d = a.to_dense();
+                let x = DVec::from_fn(n, |i| i as f64 + 1.0);
+                let diff = &a.matvec(&x) - &d.matvec(&x).unwrap();
+                prop_assert!(diff.norm2() < 1e-12);
+            }
         }
     }
 }

@@ -53,11 +53,7 @@ impl DVec {
     /// Euclidean inner product. Panics on length mismatch.
     pub fn dot(&self, other: &DVec) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum()
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean (2-)norm.
@@ -219,7 +215,13 @@ impl Add<&DVec> for &DVec {
     type Output = DVec;
     fn add(self, rhs: &DVec) -> DVec {
         assert_eq!(self.len(), rhs.len(), "add: length mismatch");
-        DVec(self.0.iter().zip(rhs.0.iter()).map(|(a, b)| a + b).collect())
+        DVec(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
     }
 }
 
@@ -227,7 +229,13 @@ impl Sub<&DVec> for &DVec {
     type Output = DVec;
     fn sub(self, rhs: &DVec) -> DVec {
         assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
-        DVec(self.0.iter().zip(rhs.0.iter()).map(|(a, b)| a - b).collect())
+        DVec(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
     }
 }
 
@@ -260,7 +268,6 @@ impl SubAssign<&DVec> for DVec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn zeros_full_from_fn() {
@@ -339,32 +346,40 @@ mod tests {
         DVec::zeros(2).dot(&DVec::zeros(3));
     }
 
-    proptest! {
-        #[test]
-        fn prop_cauchy_schwarz(x in proptest::collection::vec(-1e3f64..1e3, 1..32),
-                               y_seed in proptest::collection::vec(-1e3f64..1e3, 1..32)) {
-            let n = x.len().min(y_seed.len());
-            let a = DVec(x[..n].to_vec());
-            let b = DVec(y_seed[..n].to_vec());
-            prop_assert!(a.dot(&b).abs() <= a.norm2() * b.norm2() + 1e-6);
-        }
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_axpy_matches_definition(x in proptest::collection::vec(-1e3f64..1e3, 1..32),
-                                        alpha in -10.0f64..10.0) {
-            let a = DVec(x.clone());
-            let mut b = DVec::zeros(x.len());
-            b.axpy(alpha, &a);
-            for i in 0..x.len() {
-                prop_assert!((b[i] - alpha * x[i]).abs() <= 1e-9 * (1.0 + x[i].abs()));
+        proptest! {
+            #[test]
+            fn prop_cauchy_schwarz(x in proptest::collection::vec(-1e3f64..1e3, 1..32),
+                                   y_seed in proptest::collection::vec(-1e3f64..1e3, 1..32)) {
+                let n = x.len().min(y_seed.len());
+                let a = DVec(x[..n].to_vec());
+                let b = DVec(y_seed[..n].to_vec());
+                prop_assert!(a.dot(&b).abs() <= a.norm2() * b.norm2() + 1e-6);
             }
-        }
 
-        #[test]
-        fn prop_norm_triangle_inequality(x in proptest::collection::vec(-1e3f64..1e3, 1..32)) {
-            let a = DVec(x.clone());
-            let b = a.map(|v| v * 0.5 - 1.0);
-            prop_assert!((&a + &b).norm2() <= a.norm2() + b.norm2() + 1e-9);
+            #[test]
+            fn prop_axpy_matches_definition(x in proptest::collection::vec(-1e3f64..1e3, 1..32),
+                                            alpha in -10.0f64..10.0) {
+                let a = DVec(x.clone());
+                let mut b = DVec::zeros(x.len());
+                b.axpy(alpha, &a);
+                for i in 0..x.len() {
+                    prop_assert!((b[i] - alpha * x[i]).abs() <= 1e-9 * (1.0 + x[i].abs()));
+                }
+            }
+
+            #[test]
+            fn prop_norm_triangle_inequality(x in proptest::collection::vec(-1e3f64..1e3, 1..32)) {
+                let a = DVec(x.clone());
+                let b = a.map(|v| v * 0.5 - 1.0);
+                prop_assert!((&a + &b).norm2() <= a.norm2() + b.norm2() + 1e-9);
+            }
         }
     }
 }

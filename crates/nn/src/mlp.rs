@@ -3,9 +3,27 @@
 use autodiff::tape::{TGrads, TVar, Tape};
 use autodiff::tensor::Tensor;
 use linalg::{DMat, DVec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+// Weight initialisation draws from the std-only runtime generator by
+// default; the `rand` feature swaps in rand's StdRng for checkpoints that
+// must reproduce pre-runtime weight streams.
+#[cfg(not(feature = "rand"))]
+use meshfree_runtime::rng::Rng64;
+#[cfg(feature = "rand")]
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[cfg(feature = "rand")]
+fn init_rng(seed: u64) -> impl FnMut(f64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    move |scale| rng.gen_range(-scale..scale)
+}
+
+#[cfg(not(feature = "rand"))]
+fn init_rng(seed: u64) -> impl FnMut(f64) -> f64 {
+    let mut rng = Rng64::seed_from_u64(seed);
+    move |scale| rng.gen_range(-scale..scale)
+}
 
 /// Activation functions (the paper's PINNs use `tanh` throughout: "each
 /// layer was equipped with an infinitely differentiable tanh activation").
@@ -55,13 +73,13 @@ impl Mlp {
     /// neurons each").
     pub fn new(layers: &[usize], activation: Activation, seed: u64) -> Mlp {
         assert!(layers.len() >= 2, "need at least input and output layers");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = init_rng(seed);
         let mut params = Vec::new();
         for w in layers.windows(2) {
             let (nin, nout) = (w[0], w[1]);
             let scale = (6.0 / (nin + nout) as f64).sqrt();
             for _ in 0..nin * nout {
-                params.push(rng.gen_range(-scale..scale));
+                params.push(draw(scale));
             }
             params.extend(std::iter::repeat_n(0.0, nout));
         }
@@ -161,7 +179,11 @@ impl Mlp {
         x: &Tensor,
         directions: &[usize],
     ) -> TaylorBatch<'t> {
-        assert_eq!(x.ncols(), self.layers[0], "forward_taylor: wrong input width");
+        assert_eq!(
+            x.ncols(),
+            self.layers[0],
+            "forward_taylor: wrong input width"
+        );
         let batch = x.nrows();
         let nin = self.layers[0];
         let n_layers = p.ws.len();
@@ -254,8 +276,10 @@ impl Mlp {
     /// (`layers: a b c` header, one parameter per line) — enough to
     /// checkpoint line-search candidates without a serde dependency.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("mlp-v1
-layers:");
+        let mut out = String::from(
+            "mlp-v1
+layers:",
+        );
         for l in &self.layers {
             out.push_str(&format!(" {l}"));
         }
@@ -269,8 +293,10 @@ activation: {}
             }
         ));
         for p in self.params.iter() {
-            out.push_str(&format!("{p:.17e}
-"));
+            out.push_str(&format!(
+                "{p:.17e}
+"
+            ));
         }
         out
     }
@@ -318,7 +344,11 @@ activation: {}
     /// Evaluates the scalar-output network at 2-D points, convenience for
     /// the PINN experiments.
     pub fn eval_at_points(&self, pts: &[(f64, f64)]) -> DVec {
-        let x = DMat::from_fn(pts.len(), 2, |i, j| if j == 0 { pts[i].0 } else { pts[i].1 });
+        let x = DMat::from_fn(
+            pts.len(),
+            2,
+            |i, j| if j == 0 { pts[i].0 } else { pts[i].1 },
+        );
         let out = self.eval(&x);
         DVec(out.col(0).as_slice().to_vec())
     }
@@ -334,11 +364,7 @@ mod tests {
     }
 
     fn batch_x() -> Tensor {
-        DMat::from_rows(&[
-            vec![0.1, 0.9],
-            vec![0.4, 0.2],
-            vec![0.8, 0.6],
-        ])
+        DMat::from_rows(&[vec![0.1, 0.9], vec![0.4, 0.2], vec![0.8, 0.6]])
     }
 
     #[test]
@@ -522,25 +548,31 @@ mod tests {
     #[test]
     fn malformed_text_is_rejected_with_reasons() {
         assert!(Mlp::from_text("garbage").unwrap_err().contains("header"));
-        assert!(Mlp::from_text("mlp-v1
+        assert!(Mlp::from_text(
+            "mlp-v1
 layers: 2 3 1
 activation: tanh
 1.0
-")
-            .unwrap_err()
-            .contains("expected"));
-        assert!(Mlp::from_text("mlp-v1
+"
+        )
+        .unwrap_err()
+        .contains("expected"));
+        assert!(Mlp::from_text(
+            "mlp-v1
 layers: 2
 activation: tanh
-")
-            .unwrap_err()
-            .contains("two layers"));
-        assert!(Mlp::from_text("mlp-v1
+"
+        )
+        .unwrap_err()
+        .contains("two layers"));
+        assert!(Mlp::from_text(
+            "mlp-v1
 layers: 2 1
 activation: relu
-")
-            .unwrap_err()
-            .contains("activation"));
+"
+        )
+        .unwrap_err()
+        .contains("activation"));
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut DVec, grad: &DVec) {
-        assert_eq!(grad.len(), self.velocity.len(), "sgd: wrong gradient length");
+        assert_eq!(
+            grad.len(),
+            self.velocity.len(),
+            "sgd: wrong gradient length"
+        );
         let lr = self.schedule.at(self.t);
         self.t += 1;
         for i in 0..params.len() {

@@ -121,11 +121,7 @@ mod tests {
         for i in p.nodes().interior_range() {
             let q = p.nodes().point(i);
             let exact = boundary_layer(q.x, a, nu);
-            assert!(
-                (u[i] - exact).abs() < 2e-2,
-                "at {q:?}: {} vs {exact}",
-                u[i]
-            );
+            assert!((u[i] - exact).abs() < 2e-2, "at {q:?}: {} vs {exact}", u[i]);
         }
     }
 

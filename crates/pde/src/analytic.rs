@@ -34,15 +34,16 @@ pub fn paper_c_star(x: f64) -> f64 {
 /// The paper's printed state solution corresponding to [`paper_c_star`].
 pub fn paper_u_star(x: f64, y: f64) -> f64 {
     let sech = 1.0 / (2.0 * PI).cosh();
-    0.5 * sech * (2.0 * PI * x).sin() * ((2.0 * PI * (y - 1.0)).exp() + (2.0 * PI * (1.0 - y)).exp())
-        + sech * (2.0 * PI * x).cos() * ((2.0 * PI * y).exp() - (-2.0 * PI * y).exp())
-            / (4.0 * PI)
+    0.5 * sech
+        * (2.0 * PI * x).sin()
+        * ((2.0 * PI * (y - 1.0)).exp() + (2.0 * PI * (1.0 - y)).exp())
+        + sech * (2.0 * PI * x).cos() * ((2.0 * PI * y).exp() - (-2.0 * PI * y).exp()) / (4.0 * PI)
 }
 
 /// Sine-series coefficients `β_n` of the target flux `cos πx` on `[0, 1]`:
 /// `cos πx = Σ β_n sin nπx`, `β_n = 4n / ((n²−1)π)` for even `n`, else 0.
 fn target_flux_coeff(n: usize) -> f64 {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         let nf = n as f64;
         4.0 * nf / ((nf * nf - 1.0) * PI)
     } else {
@@ -132,7 +133,8 @@ mod tests {
         // Finite-difference Laplacian of the printed u* vanishes.
         let h = 1e-4;
         for &(x, y) in &[(0.3, 0.4), (0.7, 0.6), (0.5, 0.2)] {
-            let lap = (paper_u_star(x + h, y) + paper_u_star(x - h, y)
+            let lap = (paper_u_star(x + h, y)
+                + paper_u_star(x - h, y)
                 + paper_u_star(x, y + h)
                 + paper_u_star(x, y - h)
                 - 4.0 * paper_u_star(x, y))
@@ -169,7 +171,8 @@ mod tests {
     fn series_state_is_harmonic() {
         let h = 1e-4;
         for &(x, y) in &[(0.3, 0.5), (0.6, 0.3), (0.2, 0.8)] {
-            let lap = (series_u_star(x + h, y) + series_u_star(x - h, y)
+            let lap = (series_u_star(x + h, y)
+                + series_u_star(x - h, y)
                 + series_u_star(x, y + h)
                 + series_u_star(x, y - h)
                 - 4.0 * series_u_star(x, y))

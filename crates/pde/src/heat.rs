@@ -108,10 +108,10 @@ impl HeatControlProblem {
         let step_lu = Arc::new(Lu::factor(&step)?);
         let steady_lu = Arc::new(Lu::factor(&steady)?);
 
-        let (top_idx, top_x) = geometry::quadrature::sort_along(
-            &nodes.indices_with_tag(tags::TOP),
-            |i| nodes.point(i).x,
-        );
+        let (top_idx, top_x) =
+            geometry::quadrature::sort_along(&nodes.indices_with_tag(tags::TOP), |i| {
+                nodes.point(i).x
+            });
         let mut placement = DMat::zeros(n, top_idx.len());
         for (j, &i) in top_idx.iter().enumerate() {
             placement[(i, j)] = 1.0;

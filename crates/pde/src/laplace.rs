@@ -78,11 +78,8 @@ impl LaplaceControlProblem {
     /// collocation matrices compared with a scattered point cloud of the
     /// same size", §3.1).
     pub fn new_scattered(n_interior: usize, n_per_side: usize) -> Result<Self, LinalgError> {
-        let nodes = geometry::generators::unit_square_scattered(
-            n_interior,
-            n_per_side,
-            Self::classifier,
-        );
+        let nodes =
+            geometry::generators::unit_square_scattered(n_interior, n_per_side, Self::classifier);
         Self::from_nodes(&nodes, RbfKernel::Phs3, 1)
     }
 
@@ -104,9 +101,10 @@ impl LaplaceControlProblem {
         let a = ctx.assemble_with_bcs(|_, p| ctx.row(DiffOp::Lap, p), 0.0);
         let lu = Arc::new(Lu::factor(&a)?);
 
-        let (top_idx, top_x) = quadrature::sort_along(&ctx.nodes().indices_with_tag(tags::TOP), |i| {
-            ctx.nodes().point(i).x
-        });
+        let (top_idx, top_x) =
+            quadrature::sort_along(&ctx.nodes().indices_with_tag(tags::TOP), |i| {
+                ctx.nodes().point(i).x
+            });
         let weights = DVec(quadrature::trapezoid_weights(&top_x));
 
         let size = ctx.size();
@@ -312,7 +310,9 @@ mod tests {
     fn forward_solution_matches_analytic_harmonic() {
         // With c = series_c_star the state should match series_u_star.
         let p = LaplaceControlProblem::new(16).unwrap();
-        let c = DVec::from_fn(p.n_controls(), |i| analytic::series_c_star(p.control_x()[i]));
+        let c = DVec::from_fn(p.n_controls(), |i| {
+            analytic::series_c_star(p.control_x()[i])
+        });
         let coeffs = p.solve_coeffs(&c).unwrap();
         let probes = [
             Point2::new(0.3, 0.4),
@@ -322,10 +322,7 @@ mod tests {
         let vals = p.eval_state(&coeffs, &probes);
         for (v, q) in vals.iter().zip(&probes) {
             let exact = analytic::series_u_star(q.x, q.y);
-            assert!(
-                (v - exact).abs() < 1e-2,
-                "at {q:?}: {v} vs {exact}"
-            );
+            assert!((v - exact).abs() < 1e-2, "at {q:?}: {v} vs {exact}");
         }
     }
 
@@ -338,8 +335,9 @@ mod tests {
         // the discrete optimizers later drive J far lower (≈1e-9, fig. 3b).
         let j_at = |nx: usize| {
             let p = LaplaceControlProblem::new(nx).unwrap();
-            let c_star =
-                DVec::from_fn(p.n_controls(), |i| analytic::series_c_star(p.control_x()[i]));
+            let c_star = DVec::from_fn(p.n_controls(), |i| {
+                analytic::series_c_star(p.control_x()[i])
+            });
             (
                 p.cost(&c_star).unwrap(),
                 p.cost(&DVec::zeros(p.n_controls())).unwrap(),
@@ -347,14 +345,19 @@ mod tests {
         };
         let (j12, j12_zero) = j_at(12);
         let (j24, _) = j_at(24);
-        assert!(j12 < 0.5 * j12_zero, "J(c*)={j12:.3e} vs J(0)={j12_zero:.3e}");
+        assert!(
+            j12 < 0.5 * j12_zero,
+            "J(c*)={j12:.3e} vs J(0)={j12_zero:.3e}"
+        );
         assert!(j24 < 0.7 * j12, "no h-convergence: {j12:.3e} -> {j24:.3e}");
     }
 
     #[test]
     fn mid_wall_flux_matches_target_at_analytic_minimiser() {
         let p = LaplaceControlProblem::new(20).unwrap();
-        let c_star = DVec::from_fn(p.n_controls(), |i| analytic::series_c_star(p.control_x()[i]));
+        let c_star = DVec::from_fn(p.n_controls(), |i| {
+            analytic::series_c_star(p.control_x()[i])
+        });
         let coeffs = p.solve_coeffs(&c_star).unwrap();
         let flux = p.flux_top(&coeffs);
         let n = p.n_controls();
@@ -460,4 +463,3 @@ mod tests {
         }
     }
 }
-

@@ -16,6 +16,7 @@
 use geometry::generators::unit_square_grid;
 use geometry::{quadrature, NodeKind, NodeSet, Point2};
 use linalg::{gmres, Csr, DVec, IterOpts, LinalgError, Preconditioner, Triplets};
+use meshfree_runtime::trace;
 use rbf::fd::{fd_matrix, FdConfig};
 use rbf::{DiffOp, RbfKernel};
 use std::f64::consts::PI;
@@ -137,7 +138,17 @@ impl LaplaceFdProblem {
 
     /// Forward solve: nodal values `u` via preconditioned GMRES.
     pub fn solve(&self, c: &DVec) -> Result<DVec, LinalgError> {
-        Ok(gmres(&self.a, &self.rhs(c), &self.m, &self.opts)?.x)
+        let _span = trace::span("laplace_fd_solve");
+        let res = gmres(&self.a, &self.rhs(c), &self.m, &self.opts)?;
+        trace::solve_event(
+            "pde",
+            "laplace_fd_forward",
+            res.iterations,
+            res.residual,
+            f64::NAN,
+            f64::NAN,
+        );
+        Ok(res.x)
     }
 
     /// Top-wall flux of a nodal solution.
@@ -173,9 +184,18 @@ impl LaplaceFdProblem {
             seed[i] = 2.0 * self.weights[k] * d;
         }
         // x̄ = Dyᵀ seed; λ = A⁻ᵀ x̄.
+        let _span = trace::span("laplace_fd_adjoint");
         let xbar = self.dy.matvec_t(&seed);
-        let lambda = gmres(&self.at, &xbar, &self.mt, &self.opts)?.x;
-        let grad = DVec(self.top_idx.iter().map(|&i| lambda[i]).collect());
+        let res = gmres(&self.at, &xbar, &self.mt, &self.opts)?;
+        trace::solve_event(
+            "pde",
+            "laplace_fd_adjoint",
+            res.iterations,
+            res.residual,
+            f64::NAN,
+            f64::NAN,
+        );
+        let grad = DVec(self.top_idx.iter().map(|&i| res.x[i]).collect());
         Ok((j, grad))
     }
 }
@@ -183,8 +203,8 @@ impl LaplaceFdProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autodiff::gradcheck::rel_error;
     use crate::analytic;
+    use autodiff::gradcheck::rel_error;
 
     fn problem() -> LaplaceFdProblem {
         LaplaceFdProblem::new(
@@ -225,7 +245,9 @@ mod tests {
             },
         )
         .unwrap();
-        let c = DVec::from_fn(p.n_controls(), |i| analytic::series_c_star(p.control_x()[i]));
+        let c = DVec::from_fn(p.n_controls(), |i| {
+            analytic::series_c_star(p.control_x()[i])
+        });
         let u = p.solve(&c).unwrap();
         for i in p.nodes().interior_range() {
             let q = p.nodes().point(i);
@@ -234,11 +256,7 @@ mod tests {
                 continue;
             }
             let exact = analytic::series_u_star(q.x, q.y);
-            assert!(
-                (u[i] - exact).abs() < 2e-2,
-                "at {q:?}: {} vs {exact}",
-                u[i]
-            );
+            assert!((u[i] - exact).abs() < 2e-2, "at {q:?}: {} vs {exact}", u[i]);
         }
     }
 

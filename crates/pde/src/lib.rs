@@ -33,9 +33,9 @@ pub mod heat;
 pub mod laplace;
 pub mod laplace_fd;
 pub mod ns;
-pub mod poisson;
 pub mod ns_adjoint;
 pub mod ns_dp;
+pub mod poisson;
 
 pub use laplace::LaplaceControlProblem;
 pub use ns::{NsConfig, NsSolver, NsState};

@@ -29,6 +29,7 @@
 use geometry::generators::{channel_cloud, channel_tags, ChannelConfig};
 use geometry::{quadrature, NodeSet};
 use linalg::{DMat, DVec, LinalgError, Lu};
+use meshfree_runtime::trace;
 use rbf::{DiffMatrices, GlobalCollocation, RbfKernel};
 use std::sync::Arc;
 
@@ -189,8 +190,7 @@ impl NsSolver {
             } else {
                 let nrm = nodes.normal(i).unwrap();
                 for j in 0..n {
-                    base[(2 * n + i, 2 * n + j)] =
-                        nrm.x * dm.dx[(i, j)] + nrm.y * dm.dy[(i, j)];
+                    base[(2 * n + i, 2 * n + j)] = nrm.x * dm.dx[(i, j)] + nrm.y * dm.dy[(i, j)];
                 }
             }
         }
@@ -422,9 +422,17 @@ impl NsSolver {
 
     /// Runs `k` refinements from an initial state.
     pub fn solve(&self, c: &DVec, k: usize, init: Option<NsState>) -> Result<NsState, LinalgError> {
+        let _span = trace::span("ns_solve");
         let mut state = init.unwrap_or_else(|| self.initial_state(c));
-        for _ in 0..k {
-            state = self.refine(&state, c)?;
+        for it in 0..k {
+            let next = self.refine(&state, c)?;
+            if trace::enabled() {
+                // Picard increment ‖x_{k+1} − x_k‖∞: a cheap convergence
+                // proxy (the full momentum residual costs a 3N matvec).
+                let inc = (&next.stack() - &state.stack()).norm_inf();
+                trace::solve_event("pde", "ns_picard", it, inc, f64::NAN, f64::NAN);
+            }
+            state = next;
         }
         Ok(state)
     }
@@ -513,7 +521,10 @@ mod tests {
         for (k, &y) in s.outflow_y().iter().enumerate() {
             max_err = max_err.max((u_out[k] - poiseuille(y, 1.0)).abs());
         }
-        assert!(max_err < 0.15, "outflow deviates from parabola by {max_err}");
+        assert!(
+            max_err < 0.15,
+            "outflow deviates from parabola by {max_err}"
+        );
         assert!(v_out.norm_inf() < 0.05, "cross-flow {}", v_out.norm_inf());
     }
 
@@ -637,4 +648,3 @@ mod tests {
         assert_eq!(st2.p.as_slice(), st.p.as_slice());
     }
 }
-

@@ -108,9 +108,7 @@ impl<'s> NsDp<'s> {
         };
         let mut x = tape.var_col(&init.stack());
         let zeros_n = tape.var_col(&vec![0.0; n]);
-        let rhs = cv
-            .matmul_const_l(&self.placement_in)
-            .add_const(&self.rhs0);
+        let rhs = cv.matmul_const_l(&self.placement_in).add_const(&self.rhs0);
         let w = s.cfg().picard_damping;
 
         for _ in 0..k {
@@ -150,12 +148,7 @@ impl<'s> NsDp<'s> {
 
     /// Central finite-difference gradient of `J(c)` (the paper's footnote-11
     /// baseline: accurate for this problem at a fraction of DP's memory).
-    pub fn cost_and_grad_fd(
-        &self,
-        c: &DVec,
-        k: usize,
-        h: f64,
-    ) -> Result<(f64, DVec), LinalgError> {
+    pub fn cost_and_grad_fd(&self, c: &DVec, k: usize, h: f64) -> Result<(f64, DVec), LinalgError> {
         let j0 = self.cost_only(c, k, None)?;
         let mut g = DVec::zeros(c.len());
         let mut cp = c.clone();
@@ -222,7 +215,10 @@ mod tests {
         let (_, g_dp, _) = dp.cost_and_grad(&c, k, None).unwrap();
         let (_, g_fd) = dp.cost_and_grad_fd(&c, k, 1e-6).unwrap();
         let err = rel_error(g_dp.as_slice(), g_fd.as_slice());
-        assert!(err < 1e-4, "DP vs FD rel error {err:.3e}\n{g_dp:?}\n{g_fd:?}");
+        assert!(
+            err < 1e-4,
+            "DP vs FD rel error {err:.3e}\n{g_dp:?}\n{g_fd:?}"
+        );
     }
 
     #[test]

@@ -80,9 +80,7 @@ impl PoissonProblem {
             b[i] = g(i, nodes.point(i));
         }
         let coeffs = self.lu.solve(&b)?;
-        Ok(self
-            .ctx
-            .eval_op(DiffOp::Eval, &coeffs, nodes.points()))
+        Ok(self.ctx.eval_op(DiffOp::Eval, &coeffs, nodes.points()))
     }
 
     /// Solves and evaluates at arbitrary points.
@@ -229,17 +227,11 @@ mod tests {
         let nodes = l_shape_cloud(0.08);
         assert!(nodes.n_interior() > 30);
         let p = PoissonProblem::new(&nodes, RbfKernel::Phs3, 2, 0.0).unwrap();
-        let u = p
-            .solve(|_| 0.0, |_, q| q.x * q.x - q.y * q.y)
-            .unwrap();
+        let u = p.solve(|_| 0.0, |_, q| q.x * q.x - q.y * q.y).unwrap();
         for i in 0..p.ctx().nodes().len() {
             let q = p.ctx().nodes().point(i);
             let exact = q.x * q.x - q.y * q.y;
-            assert!(
-                (u[i] - exact).abs() < 5e-3,
-                "at {q:?}: {} vs {exact}",
-                u[i]
-            );
+            assert!((u[i] - exact).abs() < 5e-3, "at {q:?}: {} vs {exact}", u[i]);
         }
     }
 

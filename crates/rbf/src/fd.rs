@@ -5,14 +5,14 @@
 //! finite-difference-like weights over its `k` nearest neighbours by solving
 //! a local RBF fit system. The global operator is then sparse (`k` nonzeros
 //! per row) — the memory-friendly alternative the paper's Table 3 discussion
-//! motivates. Per-node solves are embarrassingly parallel (rayon).
+//! motivates. Per-node solves are embarrassingly parallel (runtime pool).
 
 use crate::kernel::RbfKernel;
 use crate::operators::DiffOp;
 use crate::poly::PolyBasis;
 use geometry::{KdTree, NodeSet, Point2};
 use linalg::{Csr, DMat, DVec, LinalgError, Lu, Triplets};
-use rayon::prelude::*;
+use meshfree_runtime::par;
 
 /// RBF-FD configuration.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +86,9 @@ pub fn fd_weights(
     Ok(sol.as_slice()[..k].to_vec())
 }
 
+/// One assembled stencil row: column indices and their weights.
+type StencilRow = Result<(Vec<usize>, Vec<f64>), LinalgError>;
+
 /// Builds the sparse global operator for `op`: row `i` holds the RBF-FD
 /// weights of node `i`'s stencil. Rows are computed in parallel.
 pub fn fd_matrix(
@@ -96,16 +99,13 @@ pub fn fd_matrix(
 ) -> Result<Csr, LinalgError> {
     let tree = KdTree::build(nodes.points());
     let n = nodes.len();
-    let per_row: Vec<Result<(Vec<usize>, Vec<f64>), LinalgError>> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let center = nodes.point(i);
-            let idx = tree.knn(center, cfg.stencil_size);
-            let pts: Vec<Point2> = idx.iter().map(|&j| nodes.point(j)).collect();
-            let w = fd_weights(center, &pts, kernel, cfg.degree, op)?;
-            Ok((idx, w))
-        })
-        .collect();
+    let per_row: Vec<StencilRow> = par::par_map_collect(n, |i| {
+        let center = nodes.point(i);
+        let idx = tree.knn(center, cfg.stencil_size);
+        let pts: Vec<Point2> = idx.iter().map(|&j| nodes.point(j)).collect();
+        let w = fd_weights(center, &pts, kernel, cfg.degree, op)?;
+        Ok((idx, w))
+    });
     let mut t = Triplets::new(n, n);
     for (i, row) in per_row.into_iter().enumerate() {
         let (idx, w) = row?;
@@ -334,12 +334,10 @@ mod tests {
         // must be identical with any pool size.
         let ns = unit_square_grid(9, 9, all_dirichlet);
         let cfg = FdConfig::default();
+        // serial_scope pins the shared runtime pool to its inline path —
+        // no per-call pool construction (the old rayon ThreadPoolBuilder).
         let par = fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build()
-            .unwrap();
-        let seq = pool.install(|| fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap());
+        let seq = par::serial_scope(|| fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap());
         assert_eq!(par.to_dense(), seq.to_dense());
     }
 

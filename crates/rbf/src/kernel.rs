@@ -141,11 +141,7 @@ impl RbfKernel {
             RbfKernel::Gaussian(eps) => {
                 let e2 = eps * eps;
                 let g = (-e2 * r * r).exp();
-                (
-                    g,
-                    -2.0 * e2 * r * g,
-                    (4.0 * e2 * e2 * r * r - 2.0 * e2) * g,
-                )
+                (g, -2.0 * e2 * r * g, (4.0 * e2 * e2 * r * r - 2.0 * e2) * g)
             }
             RbfKernel::Multiquadric(eps) => {
                 let e2 = eps * eps;
@@ -192,7 +188,6 @@ impl RbfKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     const ALL: [RbfKernel; 7] = [
         RbfKernel::Phs3,
@@ -210,7 +205,10 @@ mod tests {
             for &r in &[0.05, 0.3, 1.0, 2.7] {
                 let (v, d1, d2) = k.eval2(r);
                 let (cv, cd1, cd2) = k.closed_form2(r);
-                assert!((v - cv).abs() < 1e-12 * (1.0 + cv.abs()), "{k:?} value at {r}");
+                assert!(
+                    (v - cv).abs() < 1e-12 * (1.0 + cv.abs()),
+                    "{k:?} value at {r}"
+                );
                 assert!(
                     (d1 - cd1).abs() < 1e-11 * (1.0 + cd1.abs()),
                     "{k:?} d1 at {r}: ad={d1} cf={cd1}"
@@ -295,30 +293,38 @@ mod tests {
         assert!(im.eval(3.0) < im.eval(1.0));
     }
 
-    proptest! {
-        #[test]
-        fn prop_ad_and_closed_forms_agree(r in 0.01f64..4.0, eps in 0.3f64..2.0) {
-            for k in [
-                RbfKernel::Phs3,
-                RbfKernel::Gaussian(eps),
-                RbfKernel::Multiquadric(eps),
-                RbfKernel::InverseMultiquadric(eps),
-                RbfKernel::ThinPlate,
-            ] {
-                let (v, d1, d2) = k.eval2(r);
-                let (cv, cd1, cd2) = k.closed_form2(r);
-                prop_assert!((v - cv).abs() < 1e-10 * (1.0 + cv.abs()));
-                prop_assert!((d1 - cd1).abs() < 1e-9 * (1.0 + cd1.abs()));
-                prop_assert!((d2 - cd2).abs() < 1e-8 * (1.0 + cd2.abs()));
-            }
-        }
+    /// Property tests need the proptest engine; enable with
+    /// `--features proptest`.
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_kernels_are_radial_even(r in 0.0f64..3.0) {
-            // φ depends only on |r| — evaluating the generic definition with
-            // a negated dual radius must give the same primal value.
-            for k in ALL {
-                prop_assert!((k.eval(r) - k.eval(r.abs())).abs() < 1e-14);
+        proptest! {
+            #[test]
+            fn prop_ad_and_closed_forms_agree(r in 0.01f64..4.0, eps in 0.3f64..2.0) {
+                for k in [
+                    RbfKernel::Phs3,
+                    RbfKernel::Gaussian(eps),
+                    RbfKernel::Multiquadric(eps),
+                    RbfKernel::InverseMultiquadric(eps),
+                    RbfKernel::ThinPlate,
+                ] {
+                    let (v, d1, d2) = k.eval2(r);
+                    let (cv, cd1, cd2) = k.closed_form2(r);
+                    prop_assert!((v - cv).abs() < 1e-10 * (1.0 + cv.abs()));
+                    prop_assert!((d1 - cd1).abs() < 1e-9 * (1.0 + cd1.abs()));
+                    prop_assert!((d2 - cd2).abs() < 1e-8 * (1.0 + cd2.abs()));
+                }
+            }
+
+            #[test]
+            fn prop_kernels_are_radial_even(r in 0.0f64..3.0) {
+                // φ depends only on |r| — evaluating the generic definition with
+                // a negated dual radius must give the same primal value.
+                for k in ALL {
+                    prop_assert!((k.eval(r) - k.eval(r.abs())).abs() < 1e-14);
+                }
             }
         }
     }

@@ -19,7 +19,7 @@
 //!   matrices, nodal differentiation matrices, and the boundary-condition
 //!   row assembly that exploits the [`geometry::NodeSet`] ordering.
 //! * [`fd`] — RBF-FD local stencils: per-node weight solves (parallel via
-//!   rayon) assembled into sparse global operators.
+//!   the runtime pool) assembled into sparse global operators.
 //! * [`interp`] — scattered-data interpolation built on the same machinery.
 
 pub mod fd;

@@ -11,7 +11,7 @@ use crate::kernel::RbfKernel;
 use crate::poly::PolyBasis;
 use geometry::{NodeKind, NodeSet, Point2};
 use linalg::{DMat, DVec, LinalgError, Lu};
-use rayon::prelude::*;
+use meshfree_runtime::par;
 use std::sync::Arc;
 
 /// Linear differential operators supported as collocation rows.
@@ -144,10 +144,7 @@ impl GlobalCollocation {
     /// Operator matrix with one row per point in `points`
     /// (`points.len() × (N+M)`), built in parallel.
     pub fn op_matrix(&self, op: DiffOp, points: &[Point2]) -> DMat {
-        let rows: Vec<Vec<f64>> = points
-            .par_iter()
-            .map(|&p| self.row(op, p))
-            .collect();
+        let rows: Vec<Vec<f64>> = par::par_map_collect(points.len(), |i| self.row(op, points[i]));
         DMat::from_rows(&rows)
     }
 
@@ -181,17 +178,18 @@ impl GlobalCollocation {
 
     /// Evaluates `op` of the fitted field (coefficients) at `points`.
     pub fn eval_op(&self, op: DiffOp, coeffs: &DVec, points: &[Point2]) -> DVec {
-        assert_eq!(coeffs.len(), self.size(), "eval_op: wrong coefficient length");
-        let vals: Vec<f64> = points
-            .par_iter()
-            .map(|&p| {
-                self.row(op, p)
-                    .iter()
-                    .zip(coeffs.as_slice())
-                    .map(|(r, c)| r * c)
-                    .sum()
-            })
-            .collect();
+        assert_eq!(
+            coeffs.len(),
+            self.size(),
+            "eval_op: wrong coefficient length"
+        );
+        let vals: Vec<f64> = par::par_map_collect(points.len(), |i| {
+            self.row(op, points[i])
+                .iter()
+                .zip(coeffs.as_slice())
+                .map(|(r, c)| r * c)
+                .sum()
+        });
         DVec(vals)
     }
 
@@ -218,14 +216,11 @@ impl GlobalCollocation {
     /// followed by the polynomial constraint rows.
     pub fn assemble(&self, row_for_node: impl Fn(usize, Point2) -> Vec<f64> + Sync) -> DMat {
         let size = self.size();
-        let rows: Vec<Vec<f64>> = (0..self.n())
-            .into_par_iter()
-            .map(|i| {
-                let row = row_for_node(i, self.nodes.point(i));
-                assert_eq!(row.len(), size, "assemble: row {i} has wrong length");
-                row
-            })
-            .collect();
+        let rows: Vec<Vec<f64>> = par::par_map_collect(self.n(), |i| {
+            let row = row_for_node(i, self.nodes.point(i));
+            assert_eq!(row.len(), size, "assemble: row {i} has wrong length");
+            row
+        });
         let mut mat = DMat::from_rows(&rows);
         let cons = self.poly_constraint_rows();
         let mut full = DMat::zeros(size, size);

@@ -1,0 +1,23 @@
+//! Execution substrate for the meshfree-oc workspace: a persistent scoped
+//! thread pool, a seedable RNG, and structured solver telemetry — all
+//! std-only, so the default-feature build graph resolves with no network
+//! and no registry.
+//!
+//! The three modules mirror the three external crates they replace:
+//!
+//! * [`par`] replaces rayon for the data-parallel kernels (dense matmul,
+//!   SpMV, collocation assembly, RBF-FD stencils). The optional
+//!   `accel-rayon` feature swaps the backend, not the API.
+//! * [`rng`] replaces rand for seeded initialisation (Xavier weights,
+//!   scattered-node jitter, property-test inputs).
+//! * [`trace`] is the observability layer the paper's Table 3 numbers and
+//!   every convergence figure are regenerated from: span timers, counters,
+//!   and per-iteration [`trace::SolveEvent`]s flowing to pluggable sinks.
+
+pub mod par;
+pub mod rng;
+pub mod trace;
+
+pub use par::{num_threads, par_chunks_mut, par_for, par_map_collect, serial_scope, ThreadPool};
+pub use rng::Rng64;
+pub use trace::{SolveEvent, TraceEvent};

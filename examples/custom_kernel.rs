@@ -30,9 +30,7 @@ fn main() {
         let h = 1e-5;
         let fd1 = (my_phi(r + h) - my_phi(r - h)) / (2.0 * h);
         let fd2 = (my_phi(r + h) - 2.0 * my_phi(r) + my_phi(r - h)) / (h * h);
-        println!(
-            "{r:.2}  {v:+.5}  {d1:+.5}  {d2:+.5}   (fd: {fd1:+.5}, {fd2:+.5})"
-        );
+        println!("{r:.2}  {v:+.5}  {d1:+.5}  {d2:+.5}   (fd: {fd1:+.5}, {fd2:+.5})");
         assert!((d1 - fd1).abs() < 1e-8);
         assert!((d2 - fd2).abs() < 1e-4);
     }

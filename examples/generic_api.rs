@@ -7,8 +7,7 @@
 //! ```
 
 use meshfree_oc::control::api::{
-    optimize, ControlObjective, HeatObjective, LaplaceDpObjective, LaplaceFdObjective,
-    OptimizeOpts,
+    optimize, ControlObjective, HeatObjective, LaplaceDpObjective, LaplaceFdObjective, OptimizeOpts,
 };
 use meshfree_oc::linalg::{DVec, LinalgError};
 use meshfree_oc::pde::heat::{HeatConfig, HeatControlProblem};
@@ -46,7 +45,10 @@ fn main() {
         log_every: 30,
     };
 
-    println!("{:<18} {:>12} {:>12} {:>9}", "objective", "J_initial", "J_final", "time(s)");
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "objective", "J_initial", "J_final", "time(s)"
+    );
 
     // 1. Dense Laplace, DP gradients.
     let lp = LaplaceControlProblem::new(16).expect("laplace");

@@ -50,11 +50,6 @@ fn main() {
     let c_ref = p.reference_control();
     println!("   x     c_found   c_ref");
     for i in (0..p.n_controls()).step_by(2) {
-        println!(
-            "{:.2}   {:+.4}   {:+.4}",
-            p.control_x()[i],
-            c[i],
-            c_ref[i]
-        );
+        println!("{:.2}   {:+.4}   {:+.4}", p.control_x()[i], c[i], c_ref[i]);
     }
 }

@@ -38,7 +38,10 @@ fn main() {
             argmax = nodes.point(i);
         }
     }
-    println!("max deflection u = {max_u:.4} at ({:.2}, {:.2})", argmax.x, argmax.y);
+    println!(
+        "max deflection u = {max_u:.4} at ({:.2}, {:.2})",
+        argmax.x, argmax.y
+    );
     println!("(the square membrane peaks at ~0.0737 at its centre; the L-shape peak\n sits inside the fat corner and is lower near the re-entrant corner)");
 
     println!("\n   point        u");

@@ -57,8 +57,14 @@ fn main() {
     let pinn_j_solver = problem.cost(&c_pinn).expect("cost");
 
     println!("method   final J      (wall s)");
-    println!("DAL      {:.3e}   ({:.1})", dal.report.final_cost, dal.report.wall_s);
-    println!("DP       {:.3e}   ({:.1})", dp.report.final_cost, dp.report.wall_s);
+    println!(
+        "DAL      {:.3e}   ({:.1})",
+        dal.report.final_cost, dal.report.wall_s
+    );
+    println!(
+        "DP       {:.3e}   ({:.1})",
+        dp.report.final_cost, dp.report.wall_s
+    );
     println!("PINN     {pinn_j:.3e}   [its own flux]");
     println!("PINN     {pinn_j_solver:.3e}   [its control re-solved with RBF]");
     println!(

@@ -32,7 +32,10 @@ fn main() {
     // The uncontrolled flow: parabolic inflow, slots on.
     let c0 = initial_control(&solver);
     let st0 = solver.solve(&c0, 12, None).expect("forward");
-    println!("\nJ with the uncontrolled parabolic inflow: {:.3e}", solver.cost(&st0));
+    println!(
+        "\nJ with the uncontrolled parabolic inflow: {:.3e}",
+        solver.cost(&st0)
+    );
 
     // DP optimization: k = 10 refinements per gradient, warm-started.
     let result = run(
@@ -47,7 +50,10 @@ fn main() {
         GradMethod::Dp,
     )
     .expect("optimization");
-    println!("J after DP optimization:                  {:.3e}", result.report.final_cost);
+    println!(
+        "J after DP optimization:                  {:.3e}",
+        result.report.final_cost
+    );
 
     println!("\n   y    c_init   c_opt    u_out   target");
     let (u_out, _) = solver.outflow_profile(&result.state);

@@ -41,8 +41,7 @@ fn main() {
     for &(x, y) in &[(0.5, 0.2), (0.25, 0.5), (0.75, 0.5), (0.5, 0.8)] {
         let u = pinn.state_values(&[(x, y)])[0];
         // Bottom-harmonic part of the series state with zero control.
-        let exact = (std::f64::consts::PI * x).sin()
-            * (std::f64::consts::PI * (1.0 - y)).sinh()
+        let exact = (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * (1.0 - y)).sinh()
             / std::f64::consts::PI.sinh();
         println!("({x:.2}, {y:.2})   {u:+.4}   {exact:+.4}");
     }

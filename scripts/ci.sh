@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test. No network access required —
+# every external crate in the manifest graph resolves to a local stand-in
+# under third_party/stubs/ (see DESIGN.md §3).
+#
+# Usage: scripts/ci.sh [--with-features]
+#   --with-features  additionally build/test the optional feature surface
+#                    (proptest property tests, bench-criterion harness).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (default features)"
+cargo test -q --workspace
+
+if [[ "${1:-}" == "--with-features" ]]; then
+    echo "==> cargo test --features proptest"
+    cargo test -q --workspace --features proptest
+
+    echo "==> bench harness compiles (bench-criterion)"
+    cargo build -q -p meshfree-bench --benches --features bench-criterion
+fi
+
+echo "CI OK"

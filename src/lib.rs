@@ -21,6 +21,9 @@
 //! * [`opt`] — Adam/SGD with the paper's learning-rate schedule.
 //! * [`control`] — the DAL/DP/PINN drivers, the two-step ω line search,
 //!   and the Table 3 instrumentation.
+//! * [`runtime`] — the std-only substrate: persistent thread pool
+//!   (`MESHFREE_THREADS`), seeded RNG, and solver telemetry
+//!   (`MESHFREE_TRACE`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@ pub use autodiff;
 pub use control;
 pub use geometry;
 pub use linalg;
+pub use meshfree_runtime as runtime;
 pub use nn;
 pub use opt;
 pub use pde;

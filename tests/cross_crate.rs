@@ -106,9 +106,8 @@ fn mlp_taylor_laplacian_matches_scalar_dual_arithmetic() {
     let lap_taylor = tb.dd[0].value()[(0, 0)] + tb.dd[1].value()[(0, 0)];
     let h = 1e-4;
     let f = |x: f64, y: f64| m.eval(&DMat::from_rows(&[vec![x, y]]))[(0, 0)];
-    let lap_fd = (f(x0 + h, y0) + f(x0 - h, y0) + f(x0, y0 + h) + f(x0, y0 - h)
-        - 4.0 * f(x0, y0))
-        / (h * h);
+    let lap_fd =
+        (f(x0 + h, y0) + f(x0 - h, y0) + f(x0, y0 + h) + f(x0, y0 - h) - 4.0 * f(x0, y0)) / (h * h);
     assert!(
         (lap_taylor - lap_fd).abs() < 1e-4 * (1.0 + lap_fd.abs()),
         "{lap_taylor} vs {lap_fd}"

@@ -115,9 +115,7 @@ fn node_cloud_csv_roundtrip_supports_external_meshers() {
     let text = geo_io::to_csv(&nodes);
     let back = geo_io::from_csv(&text).unwrap();
     let p = PoissonProblem::new(&back, RbfKernel::Phs3, 1, 0.0).unwrap();
-    let u = p
-        .solve(|_| 0.0, |_, q| 1.0 + q.x - 0.5 * q.y)
-        .unwrap();
+    let u = p.solve(|_| 0.0, |_, q| 1.0 + q.x - 0.5 * q.y).unwrap();
     for i in 0..back.len() {
         let q = back.point(i);
         assert!((u[i] - (1.0 + q.x - 0.5 * q.y)).abs() < 1e-7);

@@ -1,0 +1,132 @@
+//! End-to-end telemetry: a Laplace DAL-vs-DP comparison run traced to a
+//! JSONL file must contain span timings and per-iteration solve events
+//! from all three instrumented layers — `linear` (Krylov iterations),
+//! `pde` (mesh-free solve loops) and `control` (optimizer iterations).
+//!
+//! One `#[test]` only: the trace sink is process-global, and this file
+//! compiles to its own test binary, so nothing else can race it.
+
+use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
+use meshfree_oc::linalg::DVec;
+use meshfree_oc::pde::laplace_fd::LaplaceFdProblem;
+use meshfree_oc::pde::LaplaceControlProblem;
+use meshfree_oc::rbf::fd::FdConfig;
+use meshfree_oc::runtime::trace::{self, ParsedEvent};
+
+#[test]
+fn laplace_run_traces_all_three_layers() {
+    let path =
+        std::env::temp_dir().join(format!("meshfree_trace_test_{}.jsonl", std::process::id()));
+    trace::set_sink(Box::new(trace::JsonlSink::create(&path).unwrap()));
+
+    // Control + linear layers: the dense DAL-vs-DP comparison (the paper's
+    // fig. 3b setup at test scale). Dense LU factorizations inside emit
+    // `lu_factor` spans.
+    let problem = LaplaceControlProblem::new(12).unwrap();
+    let cfg = LaplaceRunConfig {
+        nx: 12,
+        iterations: 40,
+        lr: 1e-2,
+        log_every: 10,
+    };
+    let dal = run(&problem, &cfg, GradMethod::Dal).unwrap();
+    let dp = run(&problem, &cfg, GradMethod::Dp).unwrap();
+    assert!(dal.report.final_cost.is_finite());
+    assert!(dp.report.final_cost.is_finite());
+
+    // Linear + pde layers: the sparse RBF-FD variant solved with
+    // preconditioned GMRES (forward + discrete-adjoint solves).
+    let fd = LaplaceFdProblem::new(
+        12,
+        FdConfig {
+            stencil_size: 13,
+            degree: 2,
+        },
+    )
+    .unwrap();
+    let c = DVec::from_fn(fd.n_controls(), |i| 0.1 * fd.control_x()[i]);
+    fd.cost_and_grad(&c).unwrap();
+
+    trace::clear_sink();
+    let events = trace::read_jsonl(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(!events.is_empty(), "trace file is empty");
+
+    // Every layer must appear, with per-iteration solve events.
+    let mut layers: Vec<&str> = Vec::new();
+    let mut spans: Vec<&str> = Vec::new();
+    let mut counters: Vec<&str> = Vec::new();
+    for e in &events {
+        match e {
+            ParsedEvent::Solve { layer, .. } => {
+                if !layers.contains(&layer.as_str()) {
+                    layers.push(layer);
+                }
+            }
+            ParsedEvent::Span { name, .. } => {
+                if !spans.contains(&name.as_str()) {
+                    spans.push(name);
+                }
+            }
+            ParsedEvent::Counter { name, .. } => {
+                if !counters.contains(&name.as_str()) {
+                    counters.push(name);
+                }
+            }
+        }
+    }
+    for layer in ["linear", "pde", "control"] {
+        assert!(layers.contains(&layer), "no solve events at layer {layer}");
+    }
+    for span in [
+        "laplace_control_run",
+        "lu_factor",
+        "gmres_solve",
+        "laplace_fd_solve",
+        "laplace_fd_adjoint",
+    ] {
+        assert!(spans.contains(&span), "missing span {span}");
+    }
+    // RunReport::emit_trace folds the Table-3 summary into the stream.
+    for counter in ["run_wall_s", "run_peak_bytes", "run_final_cost"] {
+        assert!(counters.contains(&counter), "missing counter {counter}");
+    }
+
+    // The DP cost trajectory must descend monotonically at the logging
+    // cadence (individual Adam steps wiggle a few percent, so the
+    // per-iteration sequence is smoothed by sampling every `log_every`).
+    let dp_costs: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            ParsedEvent::Solve {
+                layer,
+                solver,
+                event,
+            } if layer == "control" && solver == "DP" => Some(event.cost),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(dp_costs.len(), cfg.iterations, "one DP event per iteration");
+    let sampled: Vec<f64> = dp_costs.iter().copied().step_by(cfg.log_every).collect();
+    for w in sampled.windows(2) {
+        assert!(
+            w[1] <= w[0] * (1.0 + 1e-6) + 1e-300,
+            "DP cost increased across a logging window: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+    assert!(
+        *dp_costs.last().unwrap() < 0.5 * dp_costs[0],
+        "DP cost barely moved: {} -> {}",
+        dp_costs[0],
+        dp_costs.last().unwrap()
+    );
+
+    // Krylov events carry residuals; control events carry costs.
+    let has_linear_residual = events.iter().any(|e| {
+        matches!(e, ParsedEvent::Solve { layer, event, .. }
+            if layer == "linear" && event.residual.is_finite())
+    });
+    assert!(has_linear_residual, "linear events lack residuals");
+}

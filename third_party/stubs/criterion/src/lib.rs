@@ -1,0 +1,203 @@
+//! Minimal timing harness exposing the subset of criterion's API this
+//! workspace's benches use: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`
+//! with [`BenchmarkId`], `sample_size`, and [`Bencher::iter`]. Each bench
+//! runs a short warmup then `sample_size` timed iterations and prints the
+//! mean and minimum time per iteration.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Label for one benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` label.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// (total elapsed, iterations) of the timed phase.
+    result: Option<(std::time::Duration, usize)>,
+}
+
+impl Bencher {
+    /// Times `routine`: 3 warmup calls, then `sample_size` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3.min(self.samples) {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.result = Some((start.elapsed(), self.samples));
+    }
+}
+
+/// A named set of related benchmark cases.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a case with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Runs a case without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Ends the group (printing already happened per case).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        match b.result {
+            Some((total, iters)) if iters > 0 => {
+                let mean = total.as_secs_f64() / iters as f64;
+                println!(
+                    "bench {}/{label}: {iters} iters, mean {:.3} ms",
+                    self.name,
+                    mean * 1e3
+                );
+            }
+            _ => println!("bench {}/{label}: no measurement", self.name),
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (ignored by the stub).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of benchmark cases.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single case outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).sample_size(10).bench_function(
+            BenchmarkId {
+                label: String::new(),
+            },
+            f,
+        );
+        self
+    }
+}
+
+/// Bundles bench functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(c: &mut Criterion) {
+        let mut g = c.benchmark_group("squares");
+        g.sample_size(5);
+        for &n in &[4u64, 8] {
+            g.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).map(|i| i * i).sum::<u64>())
+            });
+        }
+        g.finish();
+    }
+
+    criterion_group!(benches, squares);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,290 @@
+//! Minimal property-testing engine exposing the subset of proptest's API
+//! this workspace uses: the [`proptest!`] macro with an optional
+//! `#![proptest_config(..)]` header, `x in <range>` bindings over integer
+//! and float ranges, [`collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` macros. Inputs are random (deterministically seeded
+//! per test name) but failures are **not shrunk** — the failing input is
+//! printed instead.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Test-runner types, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Number of random cases to run per property.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Cases per property (proptest's default is 256; the offline
+        /// engine defaults lower to keep `--features proptest` fast).
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random inputs.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 entropy source for strategies, seeded per test name so
+    /// every run of a given property sees the same inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from the test's name.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// A failed property case (what `prop_assert!` returns).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                let width = (self.end - self.start) as u64;
+                assert!(width > 0, "empty strategy range");
+                self.start + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                let width = (self.end as i128 - self.start as i128) as u64;
+                assert!(width > 0, "empty strategy range");
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut test_runner::TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Always yields a clone of the given value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{test_runner::TestRng, Strategy};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(strategy, len_range)`: vectors whose length is drawn from
+    /// `len_range` and whose elements come from `strategy`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len.clone(), rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest::prelude::*` import is expected to provide.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a test running `body` over random strategy samples.
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::proptest! { @run($cfg) $($rest)* }
+    };
+    { @run($cfg:expr) $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block )* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cfg.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    let dbg_input = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{} with input {}: {}",
+                            stringify!($name), case + 1, cfg.cases, dbg_input, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    { $($rest:tt)* } => {
+        $crate::proptest! { @run($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Fails the enclosing property case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..5.0, n in 1usize..9) {
+            prop_assert!((-3.0..5.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_lengths(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for &b in &v {
+                prop_assert!(b < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..1000) {
+            prop_assert_eq!(seed.wrapping_add(1).wrapping_sub(1), seed);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_input() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let r = std::panic::catch_unwind(always_fails);
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("x ="), "{msg}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Stand-in for the subset of the rand 0.8 API this workspace uses:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over `f64`/`usize` ranges. Backed by xoshiro256++ —
+//! deterministic and statistically sound, but **not** the real StdRng
+//! (ChaCha12) stream.
+
+use std::ops::Range;
+
+/// Seedable constructor trait, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling trait, mirroring the parts of `rand::Rng` the workspace calls.
+pub trait Rng {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        let mut bits = || self.next_u64();
+        range.sample_from(&mut bits)
+    }
+}
+
+/// Ranges that can be sampled; implemented for `Range<f64>` and
+/// `Range<usize>`.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one sample using `bits` as the entropy source.
+    fn sample_from(&self, bits: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from(&self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        let u = (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample_from(&self, bits: &mut dyn FnMut() -> u64) -> usize {
+        let width = (self.end - self.start) as u64;
+        let hi = ((u128::from(bits()) * u128::from(width)) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// xoshiro256++-backed stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            let mut next = move || {
+                state = state.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Serial stand-in for the subset of rayon used by `meshfree-runtime`'s
+//! `accel-rayon` backend: [`scope`] + [`Scope::spawn`] and
+//! [`current_num_threads`]. Spawned closures run immediately on the
+//! calling thread, so semantics match rayon minus the parallelism.
+
+use std::marker::PhantomData;
+
+/// Serial scope: closures handed to [`Scope::spawn`] run inline.
+pub struct Scope<'scope> {
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` immediately on the current thread.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        body(self);
+    }
+}
+
+/// Creates a scope and invokes `f` with it; everything "spawned" inside
+/// has completed by the time this returns (trivially — it ran inline).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope {
+        _marker: PhantomData,
+    })
+}
+
+/// The stub has no pool; report a single thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawned_work_runs() {
+        let mut hits = vec![false; 4];
+        let cells: Vec<_> = hits.iter_mut().collect();
+        super::scope(|s| {
+            for c in cells {
+                s.spawn(move |_| *c = true);
+            }
+        });
+        assert!(hits.iter().all(|&h| h));
+    }
+}
