@@ -88,4 +88,62 @@ mod tests {
     fn assert_grad_close_panics_on_wrong_gradient() {
         assert_grad_close(|x| x[0] * x[0], &[1.0], &[5.0], 1e-6);
     }
+
+    #[test]
+    fn rel_error_is_absolute_below_unit_norm() {
+        // The `max(1, ‖g_fd‖)` clamp: against a zero reference the metric
+        // degrades gracefully to the absolute error instead of dividing by
+        // zero — a zero gradient at an optimum must not blow up the check.
+        assert_eq!(rel_error(&[1e-12], &[0.0]), 1e-12);
+        assert_eq!(rel_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        // Near-zero (but sub-unit) references are still absolute-normed.
+        let e = rel_error(&[1e-3, 0.0], &[0.0, 0.0]);
+        assert!((e - 1e-3).abs() < 1e-18);
+        // Above unit norm the metric switches to a true relative error.
+        let e = rel_error(&[2.0, 0.0], &[4.0, 0.0]);
+        assert!((e - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fd_directional_error_scales_as_h_squared() {
+        // Central differences: error(h) ≈ C·h² — halving h must cut the
+        // error by ≈ 4× while h stays above the cancellation floor.
+        let f = |x: &[f64]| (2.0 * x[0]).exp() + x[0] * x[1] * x[1];
+        let x: [f64; 2] = [0.3, -0.8];
+        let dir = [1.0, 0.5];
+        let exact =
+            2.0 * (2.0 * x[0]).exp() * dir[0] + x[1] * x[1] * dir[0] + 2.0 * x[0] * x[1] * dir[1];
+        let err = |h: f64| (fd_directional(f, &x, &dir, h) - exact).abs();
+        let (e1, e2, e3) = (err(1e-2), err(5e-3), err(2.5e-3));
+        assert!(e2 < e1 / 3.0 && e2 > e1 / 5.0, "h²: {e1:.3e} -> {e2:.3e}");
+        assert!(e3 < e2 / 3.0 && e3 > e2 / 5.0, "h²: {e2:.3e} -> {e3:.3e}");
+    }
+
+    #[test]
+    fn fd_directional_too_small_a_step_hits_the_cancellation_floor() {
+        // Below the sweet spot (~h³ truncation vs ε/h round-off) accuracy
+        // stops improving: document why the harness pins h ≈ 1e-6 instead
+        // of "smaller is better".
+        let f = |x: &[f64]| (2.0 * x[0]).exp();
+        let x: [f64; 1] = [0.3];
+        let exact = 2.0 * (2.0 * x[0]).exp();
+        let sweet = (fd_directional(f, &x, &[1.0], 1e-6) - exact).abs();
+        let tiny = (fd_directional(f, &x, &[1.0], 1e-12) - exact).abs();
+        assert!(
+            tiny > 10.0 * sweet.max(1e-14),
+            "round-off should dominate at h = 1e-12: {tiny:.3e} vs {sweet:.3e}"
+        );
+    }
+
+    #[test]
+    fn fd_gradient_step_is_scaled_by_coordinate_magnitude() {
+        // The per-coordinate step `h·(1 + |x_i|)` keeps the estimate
+        // accurate for badly scaled inputs where an absolute step would
+        // underflow the perturbation.
+        let f = |x: &[f64]| x[0] * x[0];
+        let x = [1e8];
+        let g = fd_gradient(f, &x, 1e-6);
+        let rel = (g[0] - 2e8).abs() / 2e8;
+        assert!(rel < 1e-6, "scaled-step rel error {rel:.3e}");
+    }
 }

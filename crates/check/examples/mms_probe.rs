@@ -1,0 +1,57 @@
+//! Calibration probe: prints observed MMS convergence orders over a sweep
+//! so expected orders in the tier-1 tests can be set empirically.
+//!
+//! Run: `cargo run --release -p meshfree-check --example mms_probe`
+
+use check::mms::{study, ExpSine, ManufacturedSolution, Operator, Path, TrigTrig};
+use geometry::Point2;
+
+fn main() {
+    let trig = TrigTrig { k: 1.0 };
+    let exps = ExpSine;
+    let res: &[usize] = &[10, 14, 20, 28];
+    let res_fine: &[usize] = &[14, 20, 28, 40];
+    let ops: Vec<(&str, Operator)> = vec![
+        ("laplace", Operator::Laplace),
+        ("poisson", Operator::Poisson),
+        (
+            "advdiff",
+            Operator::AdvDiff {
+                velocity: Point2::new(1.0, 0.5),
+                nu: 0.2,
+            },
+        ),
+        (
+            "heat",
+            Operator::Heat {
+                kappa: 1.0,
+                dt: 0.05,
+                n_steps: 4,
+            },
+        ),
+    ];
+    for (label, op) in &ops {
+        for path in [Path::Dense, Path::RbfFd] {
+            for degree in [2, 3, 4] {
+                for (ms_name, ms) in [
+                    ("trig", &trig as &dyn ManufacturedSolution),
+                    ("expsine", &exps as &dyn ManufacturedSolution),
+                ] {
+                    let rr = if path == Path::RbfFd { res_fine } else { res };
+                    match study(ms, *op, path, degree, rr) {
+                        Ok(s) => println!(
+                            "{label:8} {:7} d{degree} {ms_name:8} order {:5.2}  {}",
+                            path.name(),
+                            s.observed_order(),
+                            s.describe()
+                        ),
+                        Err(e) => println!(
+                            "{label:8} {:7} d{degree} {ms_name:8} ERROR {e:?}",
+                            path.name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Golden-run regression snapshots.
+//!
+//! A golden run is a deterministic, seeded execution of one of the paper's
+//! experiments whose key outputs (final cost, convergence history, final
+//! control profile) are serialized to a JSON snapshot committed under
+//! `tests/golden/`. Re-running the experiment and comparing against the
+//! snapshot turns "the optimiser still converges to the same place" into a
+//! tier-1 `cargo test` assertion: any drift — a changed stencil, a
+//! re-ordered reduction, an accidental tolerance bump — fails loudly with
+//! the offending field named.
+//!
+//! Intentional changes are re-blessed with `MESHFREE_BLESS=1 cargo test`,
+//! which rewrites the snapshot in place so the diff shows up in review.
+//!
+//! The format is deliberately minimal (the container is offline — no
+//! serde): a flat object of scalar fields and arrays of numbers, written
+//! with `{:e}` at full precision so f64 values round-trip bit-exactly.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// One experiment's snapshot: named scalars plus named numeric series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GoldenSnapshot {
+    /// Snapshot name (doubles as the file stem).
+    pub name: String,
+    /// Scalar fields, e.g. `("final_cost", 1.23e-4)`.
+    pub scalars: Vec<(String, f64)>,
+    /// Series fields, e.g. `("cost_history", vec![...])`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl GoldenSnapshot {
+    /// Creates an empty snapshot with the given name.
+    pub fn new(name: &str) -> GoldenSnapshot {
+        GoldenSnapshot {
+            name: name.to_string(),
+            ..GoldenSnapshot::default()
+        }
+    }
+
+    /// Adds a scalar field (builder style).
+    pub fn scalar(mut self, key: &str, value: f64) -> Self {
+        self.scalars.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a series field (builder style).
+    pub fn with_series(mut self, key: &str, values: Vec<f64>) -> Self {
+        self.series.push((key.to_string(), values));
+        self
+    }
+
+    /// Looks up a scalar by key.
+    pub fn get_scalar(&self, key: &str) -> Option<f64> {
+        self.scalars.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Looks up a series by key.
+    pub fn get_series(&self, key: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Serializes to the restricted JSON format.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"name\": \"{}\",", self.name);
+        s.push_str("  \"scalars\": {");
+        for (i, (k, v)) in self.scalars.iter().enumerate() {
+            let sep = if i + 1 < self.scalars.len() { "," } else { "" };
+            let _ = write!(s, "\n    \"{}\": {}{}", k, fmt_f64(*v), sep);
+        }
+        s.push_str(if self.scalars.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"series\": {");
+        for (i, (k, vs)) in self.series.iter().enumerate() {
+            let sep = if i + 1 < self.series.len() { "," } else { "" };
+            let _ = write!(s, "\n    \"{}\": [", k);
+            for (j, v) in vs.iter().enumerate() {
+                let vsep = if j + 1 < vs.len() { ", " } else { "" };
+                let _ = write!(s, "{}{}", fmt_f64(*v), vsep);
+            }
+            let _ = write!(s, "]{}", sep);
+        }
+        s.push_str(if self.series.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses the restricted JSON format produced by [`Self::to_json`].
+    ///
+    /// This is a schema-specific parser, not a general JSON one: it accepts
+    /// exactly the shape `{"name": str, "scalars": {k: num}, "series":
+    /// {k: [num]}}` with arbitrary whitespace.
+    pub fn from_json(text: &str) -> Result<GoldenSnapshot, String> {
+        let mut p = Parser { s: text, pos: 0 };
+        p.expect('{')?;
+        let mut snap = GoldenSnapshot::default();
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "name" => snap.name = p.string()?,
+                "scalars" => {
+                    p.expect('{')?;
+                    if !p.try_expect('}') {
+                        loop {
+                            let k = p.string()?;
+                            p.expect(':')?;
+                            snap.scalars.push((k, p.number()?));
+                            if !p.try_expect(',') {
+                                break;
+                            }
+                        }
+                        p.expect('}')?;
+                    }
+                }
+                "series" => {
+                    p.expect('{')?;
+                    if !p.try_expect('}') {
+                        loop {
+                            let k = p.string()?;
+                            p.expect(':')?;
+                            p.expect('[')?;
+                            let mut vs = Vec::new();
+                            if !p.try_expect(']') {
+                                loop {
+                                    vs.push(p.number()?);
+                                    if !p.try_expect(',') {
+                                        break;
+                                    }
+                                }
+                                p.expect(']')?;
+                            }
+                            snap.series.push((k, vs));
+                            if !p.try_expect(',') {
+                                break;
+                            }
+                        }
+                        p.expect('}')?;
+                    }
+                }
+                other => return Err(format!("unknown top-level key {other:?}")),
+            }
+            if !p.try_expect(',') {
+                break;
+            }
+        }
+        p.expect('}')?;
+        Ok(snap)
+    }
+}
+
+/// Full-precision f64 formatting that round-trips exactly and stays JSON
+/// (JSON has no `inf`/`nan`; goldens must be finite).
+fn fmt_f64(v: f64) -> String {
+    assert!(v.is_finite(), "golden snapshots must hold finite values");
+    // `{:e}` prints the shortest exponent form that round-trips for f64.
+    format!("{v:e}")
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.try_expect(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at byte {} (near {:?})",
+                self.pos,
+                &self.s[self.pos..self.s.len().min(self.pos + 12)]
+            ))
+        }
+    }
+
+    fn try_expect(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while self.pos < self.s.len() && self.s.as_bytes()[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        if self.pos == self.s.len() {
+            return Err("unterminated string".into());
+        }
+        let out = self.s[start..self.pos].to_string();
+        self.pos += 1;
+        Ok(out)
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len() {
+            let b = self.s.as_bytes()[self.pos];
+            if b.is_ascii_digit() || matches!(b, b'+' | b'-' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.s[start..self.pos]
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+/// A per-field tolerance: a comparison passes when
+/// `|a − b| ≤ abs + rel · |b|`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative component (scaled by the expected magnitude).
+    pub rel: f64,
+    /// Absolute floor.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Exact (bitwise-equal-or-bust) tolerance.
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0.0 };
+
+    fn holds(&self, actual: f64, expected: f64) -> bool {
+        (actual - expected).abs() <= self.abs + self.rel * expected.abs()
+    }
+}
+
+/// Tolerance policy: a default plus per-field overrides matched by key
+/// prefix (first match wins, so order overrides from specific to general).
+#[derive(Debug, Clone)]
+pub struct GoldenPolicy {
+    /// Fallback tolerance for fields with no matching override.
+    pub default: Tolerance,
+    /// `(key prefix, tolerance)` overrides.
+    pub per_field: Vec<(String, Tolerance)>,
+}
+
+impl Default for GoldenPolicy {
+    fn default() -> Self {
+        GoldenPolicy {
+            // Runs are seeded and scheduling-deterministic, but wall-time
+            // fields and iterative solves warrant a small default band.
+            default: Tolerance {
+                rel: 1e-9,
+                abs: 1e-12,
+            },
+            per_field: Vec::new(),
+        }
+    }
+}
+
+impl GoldenPolicy {
+    /// Adds a per-field override (builder style).
+    pub fn field(mut self, prefix: &str, rel: f64, abs: f64) -> Self {
+        self.per_field
+            .push((prefix.to_string(), Tolerance { rel, abs }));
+        self
+    }
+
+    fn tolerance_for(&self, key: &str) -> Tolerance {
+        self.per_field
+            .iter()
+            .find(|(p, _)| key.starts_with(p.as_str()))
+            .map(|(_, t)| *t)
+            .unwrap_or(self.default)
+    }
+}
+
+/// Compares `actual` against the blessed `expected`, returning one
+/// human-readable violation per drifted field (empty means match).
+pub fn compare(
+    expected: &GoldenSnapshot,
+    actual: &GoldenSnapshot,
+    policy: &GoldenPolicy,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, &exp) in expected.scalars.iter().map(|(k, v)| (k, v)) {
+        match actual.get_scalar(key) {
+            None => violations.push(format!("scalar {key:?} missing from run")),
+            Some(act) => {
+                let tol = policy.tolerance_for(key);
+                if !tol.holds(act, exp) {
+                    violations.push(format!(
+                        "scalar {key:?}: got {act:e}, blessed {exp:e} (|Δ| = {:.3e}, tol rel {:.1e} abs {:.1e})",
+                        (act - exp).abs(),
+                        tol.rel,
+                        tol.abs
+                    ));
+                }
+            }
+        }
+    }
+    for (key, exp) in &expected.series {
+        match actual.get_series(key) {
+            None => violations.push(format!("series {key:?} missing from run")),
+            Some(act) if act.len() != exp.len() => violations.push(format!(
+                "series {key:?}: length {} vs blessed {}",
+                act.len(),
+                exp.len()
+            )),
+            Some(act) => {
+                let tol = policy.tolerance_for(key);
+                for (i, (&a, &e)) in act.iter().zip(exp).enumerate() {
+                    if !tol.holds(a, e) {
+                        violations.push(format!(
+                            "series {key:?}[{i}]: got {a:e}, blessed {e:e} (|Δ| = {:.3e})",
+                            (a - e).abs()
+                        ));
+                        break; // one violation per series keeps reports short
+                    }
+                }
+            }
+        }
+    }
+    for (key, _) in &actual.scalars {
+        if expected.get_scalar(key).is_none() {
+            violations.push(format!(
+                "scalar {key:?} is new — bless with MESHFREE_BLESS=1"
+            ));
+        }
+    }
+    for (key, _) in &actual.series {
+        if expected.get_series(key).is_none() {
+            violations.push(format!(
+                "series {key:?} is new — bless with MESHFREE_BLESS=1"
+            ));
+        }
+    }
+    violations
+}
+
+/// Outcome of a [`check_or_bless`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenOutcome {
+    /// Run matched the blessed snapshot within tolerance.
+    Match,
+    /// `MESHFREE_BLESS=1` (or no snapshot existed): snapshot (re)written.
+    Blessed,
+}
+
+/// Returns true when `MESHFREE_BLESS` requests re-blessing.
+pub fn bless_requested() -> bool {
+    matches!(
+        std::env::var("MESHFREE_BLESS").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Compares `actual` against the snapshot at `path`, honoring the bless
+/// protocol:
+///
+/// * `MESHFREE_BLESS=1` → rewrite the snapshot, return [`GoldenOutcome::Blessed`];
+/// * snapshot missing → error telling the caller how to bless (a missing
+///   golden in CI must fail, not silently self-bless);
+/// * otherwise compare under `policy` and error with every violation.
+pub fn check_or_bless(
+    path: &Path,
+    actual: &GoldenSnapshot,
+    policy: &GoldenPolicy,
+) -> Result<GoldenOutcome, String> {
+    if bless_requested() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        fs::write(path, actual.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        return Ok(GoldenOutcome::Blessed);
+    }
+    let text = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "golden snapshot {} unreadable ({e}); run with MESHFREE_BLESS=1 to create it",
+            path.display()
+        )
+    })?;
+    let expected = GoldenSnapshot::from_json(&text)
+        .map_err(|e| format!("golden snapshot {} corrupt: {e}", path.display()))?;
+    let violations = compare(&expected, actual, policy);
+    if violations.is_empty() {
+        Ok(GoldenOutcome::Match)
+    } else {
+        Err(format!(
+            "golden {:?} drifted ({} violation(s)):\n  - {}\nif intentional, re-bless with MESHFREE_BLESS=1 and commit the diff",
+            actual.name,
+            violations.len(),
+            violations.join("\n  - ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GoldenSnapshot {
+        GoldenSnapshot::new("unit")
+            .scalar("final_cost", 1.25e-4)
+            .scalar("iterations", 40.0)
+            .with_series("cost_history", vec![1.0, 0.5, 0.25e-3])
+            .with_series("control", vec![-0.125, 0.0, 3.5])
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let snap = sample();
+        let back = GoldenSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        // Awkward values survive too.
+        let tricky = GoldenSnapshot::new("t")
+            .scalar("a", f64::MIN_POSITIVE)
+            .scalar("b", -1.0 / 3.0)
+            .with_series("s", vec![1e308, -2.2250738585072014e-308]);
+        let back = GoldenSnapshot::from_json(&tricky.to_json()).unwrap();
+        assert_eq!(tricky, back);
+    }
+
+    #[test]
+    fn empty_sections_round_trip() {
+        let snap = GoldenSnapshot::new("empty");
+        let back = GoldenSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn compare_flags_drift_and_respects_per_field_tolerance() {
+        let blessed = sample();
+        let mut run = sample();
+        run.scalars[0].1 *= 1.0 + 1e-6; // drift final_cost by 1e-6 relative
+        let strict = GoldenPolicy::default();
+        assert_eq!(compare(&blessed, &run, &strict).len(), 1);
+        let loose = GoldenPolicy::default().field("final_cost", 1e-5, 0.0);
+        assert!(compare(&blessed, &run, &loose).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_missing_new_and_length_mismatch() {
+        let blessed = sample();
+        let mut run = sample();
+        run.scalars.remove(1); // "iterations" missing
+        run.series[0].1.pop(); // history length mismatch
+        run.scalars.push(("new_field".into(), 1.0));
+        let v = compare(&blessed, &run, &GoldenPolicy::default());
+        assert_eq!(v.len(), 3, "violations: {v:?}");
+        assert!(v.iter().any(|m| m.contains("missing")));
+        assert!(v.iter().any(|m| m.contains("length")));
+        assert!(v.iter().any(|m| m.contains("new")));
+    }
+
+    #[test]
+    fn exact_tolerance_accepts_only_bitwise_equality() {
+        let t = Tolerance::EXACT;
+        assert!(t.holds(0.1, 0.1));
+        assert!(!t.holds(0.1, 0.1 + f64::EPSILON));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # meshfree-check
+//!
+//! The correctness-verification subsystem: the mechanical gate every other
+//! crate's numerics must pass before results are trusted. Three pillars:
+//!
+//! * [`mms`] — method-of-manufactured-solutions convergence studies for the
+//!   RBF substrate: stock closed-form fields, forcings derived per PDE
+//!   operator (Laplace, Poisson, advection–diffusion, implicit-Euler heat),
+//!   solved on both the dense global-collocation path and the sparse
+//!   RBF-FD path, with the observed order fitted on the log–log error
+//!   sweep and asserted against the expected order.
+//! * [`grad`] — cross-strategy gradient consistency: for each control
+//!   problem, `∇J` is computed by differentiable programming (DP, tape),
+//!   by the continuous adjoint (DAL) and by central finite differences,
+//!   and the pairs are held to a tolerance *ladder* — tight for DP-vs-FD
+//!   (both differentiate the same discrete map), looser for DAL-vs-DP
+//!   (the paper's optimise-then-discretise gap is real and expected).
+//! * [`golden`] — golden-run regression snapshots: deterministic runs of
+//!   the fig. 3 / fig. 4 experiments serialized to JSON and compared with
+//!   per-field tolerances; `MESHFREE_BLESS=1` re-blesses after intentional
+//!   changes.
+
+pub mod golden;
+pub mod grad;
+pub mod mms;

@@ -1,0 +1,94 @@
+//! Tier-1 cross-strategy gradient consistency: for every control problem,
+//! the DP tape, the DAL adjoint and central finite differences must agree
+//! under the tolerance ladder (tight DP-vs-FD, loose DAL-vs-DP).
+
+use check::grad::{
+    check_heat, check_laplace_dense, check_laplace_sparse, check_ns, GradReport, ToleranceLadder,
+};
+use linalg::DVec;
+use pde::heat::{HeatConfig, HeatControlProblem};
+use pde::laplace_fd::LaplaceFdProblem;
+use pde::ns::NsConfig;
+use pde::{LaplaceControlProblem, NsSolver};
+use rbf::fd::FdConfig;
+
+/// A non-trivial control away from both `c ≡ 0` and the optimum.
+fn bump(x: &[f64]) -> DVec {
+    DVec(
+        x.iter()
+            .map(|&xi| 0.4 * (std::f64::consts::PI * xi).sin() + 0.1 * xi)
+            .collect(),
+    )
+}
+
+#[test]
+fn laplace_dense_ladder_holds() {
+    // nx = 16 matches the pde crate's own DAL benchmark: the OTD-vs-DTO
+    // gap shrinks with h, and the loose rung is calibrated at this scale.
+    let p = LaplaceControlProblem::new(16).unwrap();
+    let c = bump(p.control_x());
+    let reports = check_laplace_dense(&p, &c, &ToleranceLadder::default());
+    assert_eq!(reports.len(), 2);
+    // The acceptance bar: DP and FD differentiate the same discrete map.
+    let dp_fd = &reports[0];
+    assert!(dp_fd.rel_err <= 1e-6, "dp-vs-fd {:.3e}", dp_fd.rel_err);
+}
+
+#[test]
+fn laplace_sparse_adjoint_matches_fd() {
+    let p = LaplaceFdProblem::new(
+        14,
+        FdConfig {
+            stencil_size: 13,
+            degree: 2,
+        },
+    )
+    .unwrap();
+    let c = bump(p.control_x());
+    check_laplace_sparse(&p, &c, &ToleranceLadder::default());
+}
+
+#[test]
+fn heat_dp_through_time_matches_fd() {
+    let p = HeatControlProblem::new(HeatConfig {
+        nx: 10,
+        n_steps: 6,
+        ..Default::default()
+    })
+    .unwrap();
+    let c = bump(p.control_x());
+    check_heat(&p, &c, &ToleranceLadder::default());
+}
+
+#[test]
+fn ns_picard_tape_matches_fd_and_aligns_with_dal() {
+    let solver = NsSolver::new(NsConfig {
+        channel: geometry::generators::ChannelConfig {
+            h: 0.18,
+            ..Default::default()
+        },
+        re: 30.0,
+        slot_velocity: 0.2,
+        ..Default::default()
+    })
+    .unwrap();
+    let c = DVec(
+        solver
+            .inflow_y()
+            .iter()
+            .map(|&y| 0.8 * pde::analytic::poiseuille(y, 1.0) + 0.05)
+            .collect(),
+    );
+    check_ns(&solver, &c, 3, &ToleranceLadder::default());
+}
+
+#[test]
+fn ladder_catches_a_scaled_gradient() {
+    // A gradient off by 2× must not sneak through the tight rung even
+    // though it is perfectly aligned (cos = 1).
+    let g = [0.1, -0.3, 0.7];
+    let scaled: Vec<f64> = g.iter().map(|v| 2.0 * v).collect();
+    let r = GradReport::compare("unit", "scaled", &scaled, &g);
+    assert!(r.cosine > 0.999);
+    assert!(r.rel_err > 0.5);
+}

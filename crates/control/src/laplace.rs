@@ -24,6 +24,9 @@ pub enum GradMethod {
 }
 
 impl GradMethod {
+    /// All strategies, in the paper's comparison order (fig. 3 legend).
+    pub const ALL: [GradMethod; 3] = [GradMethod::Dal, GradMethod::Dp, GradMethod::FiniteDiff];
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {

@@ -81,7 +81,11 @@ impl KdTree {
                 best.pop();
             }
         }
-        let axis_delta = if depth.is_multiple_of(2) { q.x - p.x } else { q.y - p.y };
+        let axis_delta = if depth.is_multiple_of(2) {
+            q.x - p.x
+        } else {
+            q.y - p.y
+        };
         let (near, far) = if axis_delta <= 0.0 {
             ((lo, mid), (mid + 1, hi))
         } else {
@@ -113,7 +117,11 @@ impl KdTree {
         if q.dist_sq(&p) <= r2 {
             out.push(idx);
         }
-        let axis_delta = if depth.is_multiple_of(2) { q.x - p.x } else { q.y - p.y };
+        let axis_delta = if depth.is_multiple_of(2) {
+            q.x - p.x
+        } else {
+            q.y - p.y
+        };
         let (near, far) = if axis_delta <= 0.0 {
             ((lo, mid), (mid + 1, hi))
         } else {

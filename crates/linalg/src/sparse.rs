@@ -328,6 +328,98 @@ mod tests {
         assert_eq!(sum.to_dense()[(2, 2)], 10.0);
     }
 
+    /// A rectangular matrix with an empty row and a duplicate-summed entry:
+    /// the shapes the structured-grid assembly never produces but the
+    /// algebra must still handle.
+    ///
+    /// ```text
+    /// [[0, 0, 0, 0], [1, 0, 5, 0], [0, 0, 0, -2]]   (row 0 empty; (1,2) = 2+3)
+    /// ```
+    fn awkward() -> Csr {
+        let mut t = Triplets::new(3, 4);
+        t.push(1, 2, 2.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 2, 3.0);
+        t.push(2, 3, -2.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn duplicates_summing_to_zero_keep_the_pattern_entry() {
+        // Cancellation must not silently change the sparsity pattern —
+        // ILU(0) and `set` rely on the pattern surviving.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 4.0);
+        t.push(0, 1, -4.0);
+        let c = t.to_csr();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 1), Some(0.0));
+        assert_eq!(c.get(1, 0), None);
+    }
+
+    #[test]
+    fn matvec_t_matches_dense_on_rectangular_with_empty_rows() {
+        let a = awkward();
+        assert_eq!((a.nrows(), a.ncols()), (3, 4));
+        assert_eq!(a.row(0), (&[][..], &[][..]), "row 0 should be empty");
+        let x = DVec(vec![0.5, -1.0, 2.0]);
+        let yd = a.to_dense().transpose().matvec(&x).unwrap();
+        let ys = a.matvec_t(&x);
+        assert_eq!(ys.len(), 4);
+        assert!((&ys - &yd).norm2() < 1e-15);
+    }
+
+    #[test]
+    fn transpose_matches_dense_on_rectangular_with_empty_rows() {
+        let a = awkward();
+        let t = a.transpose();
+        assert_eq!((t.nrows(), t.ncols()), (4, 3));
+        assert_eq!(t.nnz(), a.nnz());
+        let ad = a.to_dense();
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(t.to_dense()[(i, j)], ad[(j, i)], "at ({i}, {j})");
+            }
+        }
+        // And the transposed matvec agrees with matvec_t on the original.
+        let x = DVec(vec![1.0, 2.0, 3.0]);
+        assert!((&t.matvec(&x) - &a.matvec_t(&x)).norm2() < 1e-15);
+    }
+
+    #[test]
+    fn add_scaled_matches_dense_on_disjoint_patterns() {
+        // Patterns that only partially overlap, plus an empty row in one
+        // operand: the union pattern must carry exact dense values.
+        let a = awkward();
+        let mut t = Triplets::new(3, 4);
+        t.push(0, 0, 7.0);
+        t.push(1, 2, 1.0);
+        let b = t.to_csr();
+        let s = a.add_scaled(2.0, &b, -3.0);
+        let ad = a.to_dense();
+        let bd = b.to_dense();
+        for i in 0..3 {
+            for j in 0..4 {
+                let expect = 2.0 * ad[(i, j)] - 3.0 * bd[(i, j)];
+                assert_eq!(s.to_dense()[(i, j)], expect, "at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_rows_mut_matches_dense_and_skips_empty_rows() {
+        let mut a = awkward();
+        let before = a.to_dense();
+        let s = [3.0, -0.5, 2.0];
+        a.scale_rows_mut(&s);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(a.to_dense()[(i, j)], s[i] * before[(i, j)]);
+            }
+        }
+        assert_eq!(a.nnz(), 3, "scaling must not change the pattern");
+    }
+
     /// Property tests need the proptest engine; enable with
     /// `--features proptest`.
     #[cfg(feature = "proptest")]

@@ -229,6 +229,24 @@ impl HeatControlProblem {
         let grads = tape.backward(j);
         Ok((jval, tensor::to_dvec(&grads.wrt(cv)), bytes))
     }
+
+    /// Central finite differences over [`Self::cost`] — the footnote-11
+    /// baseline, re-marching the full horizon twice per control component.
+    pub fn cost_and_grad_fd(&self, c: &DVec, h: f64) -> Result<(f64, DVec), LinalgError> {
+        let j = self.cost(c)?;
+        let mut g = DVec::zeros(c.len());
+        let mut cp = c.clone();
+        for i in 0..c.len() {
+            let orig = cp[i];
+            cp[i] = orig + h;
+            let jp = self.cost(&cp)?;
+            cp[i] = orig - h;
+            let jm = self.cost(&cp)?;
+            cp[i] = orig;
+            g[i] = (jp - jm) / (2.0 * h);
+        }
+        Ok((j, g))
+    }
 }
 
 #[cfg(test)]

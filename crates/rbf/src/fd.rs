@@ -32,6 +32,19 @@ impl Default for FdConfig {
     }
 }
 
+impl FdConfig {
+    /// A configuration whose stencil comfortably supports the requested
+    /// polynomial degree: roughly twice the number of monomials (the usual
+    /// RBF-FD sizing rule), never below the default 13-point stencil.
+    pub fn for_degree(degree: i32) -> FdConfig {
+        let m = PolyBasis::new(degree).len();
+        FdConfig {
+            stencil_size: (2 * m + 1).max(13),
+            degree,
+        }
+    }
+}
+
 /// Computes RBF-FD weights for `op` at `center` over the given neighbour
 /// points. Coordinates are shifted to the stencil centre for conditioning.
 pub fn fd_weights(
@@ -160,6 +173,22 @@ mod tests {
             Point2::new(1.0, 0.0)
         };
         (NodeKind::Dirichlet, 1, normal)
+    }
+
+    #[test]
+    fn for_degree_sizes_stencils_to_support_the_basis() {
+        for degree in 0..=4 {
+            let cfg = FdConfig::for_degree(degree);
+            assert_eq!(cfg.degree, degree);
+            assert!(
+                cfg.stencil_size >= PolyBasis::new(degree).len(),
+                "degree {degree}: stencil {} below basis size",
+                cfg.stencil_size
+            );
+            assert!(cfg.stencil_size >= 13);
+        }
+        // Degree 4 has 15 monomials → a 13-point stencil would be singular.
+        assert!(FdConfig::for_degree(4).stencil_size >= 31);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Offline CI gate: format, lint, build, test. No network access required —
-# every external crate in the manifest graph resolves to a local stand-in
-# under third_party/stubs/ (see DESIGN.md §3).
+# Offline CI gate: format, lint, build, test, golden-run regression.
+# No network access required — every external crate in the manifest graph
+# resolves to a local stand-in under third_party/stubs/ (see DESIGN.md §3).
 #
 # Usage: scripts/ci.sh [--with-features]
 #   --with-features  additionally build/test the optional feature surface
@@ -20,6 +20,32 @@ cargo build --release
 
 echo "==> cargo test (default features)"
 cargo test -q --workspace
+
+echo "==> golden-run regression gate"
+# The workspace test pass above already ran the comparator; this explicit
+# pass re-runs it with MESHFREE_BLESS cleared so an exported bless flag in
+# the CI environment can never mask drift by silently rewriting snapshots.
+if [[ "${MESHFREE_BLESS:-}" != "" ]]; then
+    echo "    (ignoring MESHFREE_BLESS=${MESHFREE_BLESS} — CI never blesses)"
+fi
+env -u MESHFREE_BLESS cargo test -q --test golden_runs
+# `--porcelain` also catches untracked snapshots (a locally blessed golden
+# that was never committed), which `git diff` alone would miss.
+if [[ -n "$(git status --porcelain -- tests/golden)" ]]; then
+    echo "ERROR: tests/golden/ has uncommitted drift — bless locally and commit the diff" >&2
+    git status --short -- tests/golden >&2
+    exit 1
+fi
+
+echo "==> per-crate test counts"
+total=0
+for manifest in crates/*/Cargo.toml Cargo.toml; do
+    crate=$(sed -n 's/^name = "\(.*\)"/\1/p' "$manifest" | head -n1)
+    count=$(cargo test -q -p "$crate" -- --list 2>/dev/null | grep -c ': test$' || true)
+    printf '    %-20s %4d tests\n' "$crate" "$count"
+    total=$((total + count))
+done
+printf '    %-20s %4d tests\n' "TOTAL" "$total"
 
 if [[ "${1:-}" == "--with-features" ]]; then
     echo "==> cargo test --features proptest"

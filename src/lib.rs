@@ -24,6 +24,9 @@
 //! * [`runtime`] — the std-only substrate: persistent thread pool
 //!   (`MESHFREE_THREADS`), seeded RNG, and solver telemetry
 //!   (`MESHFREE_TRACE`).
+//! * [`check`] — the verification harness: MMS convergence studies,
+//!   cross-strategy gradient consistency, and golden-run regression
+//!   snapshots (`MESHFREE_BLESS`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 //! ```
 
 pub use autodiff;
+pub use check;
 pub use control;
 pub use geometry;
 pub use linalg;

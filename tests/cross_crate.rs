@@ -136,6 +136,77 @@ fn gradcheck_utilities_validate_a_cross_crate_composition() {
 }
 
 #[test]
+fn laplace_pinn_smoke_end_to_end() {
+    // The data-driven strategy wired through the facade: seeded init,
+    // a short residual-only training burst, and a callable control — the
+    // integration surface fig. 3's PINN column rests on.
+    use meshfree_oc::control::pinn::{LaplacePinn, PinnConfig};
+    let mut pinn = LaplacePinn::new(PinnConfig {
+        hidden: vec![8, 8],
+        control_hidden: vec![6],
+        lr: 3e-3,
+        epochs_step1: 60,
+        epochs_step2: 30,
+        n_interior: 60,
+        n_boundary: 10,
+        seed: 3,
+        bc_weight: 20.0,
+        control_envelope: true,
+    });
+    let w = pinn.cfg().bc_weight;
+    let before = pinn.loss_parts();
+    let history = pinn.train(0.0, 120, false);
+    let after = pinn.loss_parts();
+    assert!(!history.entries.is_empty(), "training recorded no history");
+    assert!(
+        after.l_pde + w * after.l_bc < before.l_pde + w * before.l_bc,
+        "training objective did not move: {:.3e} -> {:.3e}",
+        before.l_pde + w * before.l_bc,
+        after.l_pde + w * after.l_bc
+    );
+    // The learned control is finite everywhere and pinned at the corners
+    // by the envelope.
+    let c = pinn.control_values(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+    assert!(c.as_slice().iter().all(|v| v.is_finite()));
+    assert!(c[0].abs() < 1e-12 && c[4].abs() < 1e-12, "envelope broken");
+}
+
+#[test]
+fn ns_pinn_smoke_end_to_end() {
+    use meshfree_oc::control::pinn_ns::{NsPinn, NsPinnConfig};
+    let mut pinn = NsPinn::new(NsPinnConfig {
+        hidden: vec![10, 10],
+        control_hidden: vec![6],
+        lr: 3e-3,
+        epochs_step1: 40,
+        epochs_step2: 20,
+        n_interior: 80,
+        n_boundary: 10,
+        re: 20.0,
+        seed: 11,
+        ..Default::default()
+    });
+    let before = pinn.loss_parts();
+    pinn.train(0.0, 100, false);
+    let after = pinn.loss_parts();
+    assert!(after.l_pde.is_finite() && after.l_bc.is_finite() && after.j.is_finite());
+    assert!(
+        after.l_pde + after.l_bc < before.l_pde + before.l_bc,
+        "NS residual training did not move: {:.3e} -> {:.3e}",
+        before.l_pde + before.l_bc,
+        after.l_pde + after.l_bc
+    );
+    // The field network answers pointwise queries (u, v, p) at arbitrary
+    // channel locations — the mesh-free sampling the paper contrasts with
+    // the collocation solvers.
+    let (u, v, p) = pinn.fields_at(&[(0.5, 0.5), (1.0, 0.25)]);
+    assert_eq!(u.len(), 2);
+    for i in 0..2 {
+        assert!(u[i].is_finite() && v[i].is_finite() && p[i].is_finite());
+    }
+}
+
+#[test]
 fn facade_reexports_are_usable() {
     assert!(!meshfree_oc::VERSION.is_empty());
     // One symbol from each re-exported crate.

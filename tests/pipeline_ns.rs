@@ -120,6 +120,29 @@ fn outflow_tracks_target_after_optimization() {
 }
 
 #[test]
+fn picard_solve_is_deterministic_across_thread_counts() {
+    // The `MESHFREE_THREADS ∈ {1, N}` equivalence: the pool size is fixed
+    // at first use, so the in-process proxy is `par::serial_scope`, which
+    // forces every `par_*` call through the inline serial path — exactly
+    // what `MESHFREE_THREADS=1` runs. Chunk boundaries in the runtime are
+    // thread-count-invariant, so the full nonlinear solve (assembly,
+    // GMRES orthogonalisation, Picard updates) must be bit-identical.
+    let s = solver(40.0, 0.25);
+    let c = initial_control(&s).scaled(0.9);
+    let pooled = s.solve(&c, 5, None).unwrap().stack();
+    let serial = meshfree_oc::runtime::par::serial_scope(|| s.solve(&c, 5, None).unwrap().stack());
+    assert_eq!(pooled.len(), serial.len());
+    for i in 0..pooled.len() {
+        assert!(
+            pooled[i].to_bits() == serial[i].to_bits(),
+            "thread count changed state bit {i}: {} vs {}",
+            pooled[i],
+            serial[i]
+        );
+    }
+}
+
+#[test]
 fn warm_started_optimization_is_deterministic() {
     let s = solver(30.0, 0.2);
     let cfg = NsRunConfig {
