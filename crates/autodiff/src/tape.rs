@@ -199,7 +199,11 @@ impl Tape {
     ///
     /// Sharing one `Arc<Lu>` across iterations is the "factor once, solve
     /// many" fast path the Laplace problem exploits (its collocation matrix
-    /// does not depend on the control).
+    /// does not depend on the control). The reverse sweep reuses the *same*
+    /// factor for its transpose solve (`Aᵀλ = x̄` via [`Lu::solve_transpose`]),
+    /// so neither direction ever refactors — this is the tape half of the
+    /// factorisation-reuse story measured by `dal_laplace_factor_reuse_speedup`
+    /// in `BENCH_perf.json` (see DESIGN.md §9).
     pub fn solve_const<'t>(&'t self, lu: &Arc<Lu>, b: TVar<'t>) -> Result<TVar<'t>, LinalgError> {
         let bv = tensor::to_dvec(&b.value());
         let x = lu.solve(&bv)?;

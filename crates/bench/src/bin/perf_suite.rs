@@ -1,0 +1,372 @@
+//! The hot-path perf suite behind `BENCH_perf.json`.
+//!
+//! Times the named kernels of the meshfree substrate (dense LU factor and
+//! solve, sparse SpMV, RBF-FD assembly, preconditioned GMRES, one DAL and
+//! one DP Laplace gradient iteration, one Navier–Stokes Picard sweep) with
+//! warmup + median-of-N repetitions ([`meshfree_runtime::stats`]) and
+//! serialises the results through the same hand-rolled JSON layer as the
+//! golden snapshots ([`check::golden::GoldenSnapshot`]).
+//!
+//! Per kernel the snapshot carries `<kernel>.median_ns`, `<kernel>.nodes`
+//! (problem size) and `<kernel>.iters` (timed repetitions), plus the global
+//! `threads` scalar and the derived `dal_laplace_factor_reuse_speedup` —
+//! the cached-factorisation DAL iteration versus the refactor-every-call
+//! baseline (`cost_and_grad_dal_uncached`).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_suite [--quick] [--out PATH] [--baseline PATH] [--verify PATH]
+//! ```
+//!
+//! * `--quick` — smaller problems / fewer reps (the CI smoke mode)
+//! * `--out PATH` — write the snapshot to PATH (default `BENCH_perf.json`)
+//! * `--baseline P` — soft regression report against a previous snapshot
+//!   (prints ratios; never fails the run)
+//! * `--verify PATH` — no timing: check that PATH parses and contains every
+//!   required kernel entry; exit 1 otherwise (the CI gate for the committed
+//!   trajectory file)
+
+use check::golden::GoldenSnapshot;
+use control::ns::initial_control;
+use geometry::generators::unit_square_grid;
+use linalg::iterative::{gmres, IterOpts, Preconditioner};
+use linalg::sparse::Triplets;
+use linalg::{DMat, DVec, Lu};
+use meshfree_runtime::{num_threads, time_kernel, Rng64, SpanStats};
+use pde::{LaplaceControlProblem, NsConfig, NsSolver};
+use rbf::fd::{fd_matrix, FdConfig};
+use rbf::{DiffOp, RbfKernel};
+use std::f64::consts::PI;
+use std::process::ExitCode;
+
+/// Every kernel a well-formed `BENCH_perf.json` must carry.
+const REQUIRED_KERNELS: &[&str] = &[
+    "lu_factor",
+    "lu_solve",
+    "spmv",
+    "rbf_fd_assembly",
+    "gmres",
+    "dal_laplace_iter",
+    "dal_laplace_iter_refactor",
+    "dp_laplace_iter",
+    "ns_picard_sweep",
+];
+
+struct Sizes {
+    /// Dense LU dimension.
+    lu_n: usize,
+    /// Unit-square grid side for the sparse/RBF-FD kernels.
+    fd_nx: usize,
+    /// Laplace control grid side.
+    laplace_nx: usize,
+    /// NS channel spacing.
+    ns_h: f64,
+    warmup: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            lu_n: 400,
+            fd_nx: 40,
+            laplace_nx: 24,
+            ns_h: 0.14,
+            warmup: 2,
+            reps: 9,
+        }
+    }
+
+    fn quick() -> Sizes {
+        Sizes {
+            lu_n: 120,
+            fd_nx: 20,
+            laplace_nx: 12,
+            ns_h: 0.2,
+            warmup: 1,
+            reps: 3,
+        }
+    }
+}
+
+fn record(snap: GoldenSnapshot, kernel: &str, nodes: usize, s: SpanStats) -> GoldenSnapshot {
+    println!(
+        "{kernel:>28}  n={nodes:<6} median {:>12} ns  (min {}, max {}, {} reps)",
+        s.median_ns, s.min_ns, s.max_ns, s.iters
+    );
+    snap.scalar(&format!("{kernel}.median_ns"), s.median_ns as f64)
+        .scalar(&format!("{kernel}.nodes"), nodes as f64)
+        .scalar(&format!("{kernel}.iters"), s.iters as f64)
+}
+
+fn run_suite(sz: &Sizes) -> GoldenSnapshot {
+    let mut snap = GoldenSnapshot::new("perf_suite").scalar("threads", num_threads() as f64);
+
+    // ---- dense LU: factor + solve --------------------------------------
+    let n = sz.lu_n;
+    let mut rng = Rng64::seed_from_u64(42);
+    let mut a = DMat::zeros(n, n);
+    rng.fill_uniform(a.as_mut_slice(), -1.0..1.0);
+    // Diagonal dominance keeps the pivoting path honest but well-scaled.
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    let b = DVec::from_fn(n, |i| (i as f64 * 0.37).sin());
+    snap = record(
+        snap,
+        "lu_factor",
+        n,
+        time_kernel(sz.warmup, sz.reps, || {
+            let lu = Lu::factor(&a).expect("lu_factor");
+            std::hint::black_box(&lu);
+        }),
+    );
+    let lu = Lu::factor(&a).expect("lu_factor");
+    let mut x = DVec::zeros(0);
+    snap = record(
+        snap,
+        "lu_solve",
+        n,
+        time_kernel(sz.warmup, sz.reps.max(15), || {
+            lu.solve_into(&b, &mut x).expect("lu_solve");
+            std::hint::black_box(&x);
+        }),
+    );
+
+    // ---- RBF-FD assembly + SpMV + GMRES --------------------------------
+    let nodes = unit_square_grid(sz.fd_nx, sz.fd_nx, LaplaceControlProblem::classifier);
+    let fd_cfg = FdConfig::default();
+    snap = record(
+        snap,
+        "rbf_fd_assembly",
+        nodes.len(),
+        time_kernel(sz.warmup, sz.reps, || {
+            let m = fd_matrix(&nodes, RbfKernel::Phs3, fd_cfg, DiffOp::Lap).expect("assembly");
+            std::hint::black_box(&m);
+        }),
+    );
+    let lap = fd_matrix(&nodes, RbfKernel::Phs3, fd_cfg, DiffOp::Lap).expect("assembly");
+    let v = DVec::from_fn(nodes.len(), |i| (i as f64 * 0.11).cos());
+    snap = record(
+        snap,
+        "spmv",
+        nodes.len(),
+        time_kernel(sz.warmup, sz.reps.max(15), || {
+            let y = lap.matvec(&v);
+            std::hint::black_box(&y);
+        }),
+    );
+    // Implicit heat step I − τ∇²: diagonally dominant for small τ, the
+    // canonical well-posed system for the sparse Krylov path.
+    let h = 1.0 / (sz.fd_nx.max(2) - 1) as f64;
+    let tau = 0.25 * h * h;
+    let mut t = Triplets::new(nodes.len(), nodes.len());
+    for i in 0..nodes.len() {
+        t.push(i, i, 1.0);
+        let (cols, vals) = lap.row(i);
+        for (&j, &w) in cols.iter().zip(vals) {
+            t.push(i, j, -tau * w);
+        }
+    }
+    let heat = t.to_csr();
+    let rhs = DVec::from_fn(nodes.len(), |i| 1.0 + (i as f64 * 0.05).sin());
+    let pre = Preconditioner::ilu0_from(&heat);
+    let opts = IterOpts {
+        max_iter: 400,
+        rel_tol: 1e-8,
+        restart: 30,
+    };
+    snap = record(
+        snap,
+        "gmres",
+        nodes.len(),
+        time_kernel(sz.warmup, sz.reps, || {
+            let r = gmres(&heat, &rhs, &pre, &opts).expect("gmres");
+            std::hint::black_box(&r.x);
+        }),
+    );
+
+    // ---- Laplace control gradient iterations ---------------------------
+    let problem = LaplaceControlProblem::new(sz.laplace_nx).expect("laplace assembly");
+    let c = DVec::from_fn(problem.n_controls(), |i| {
+        0.3 * (PI * problem.control_x()[i]).sin()
+    });
+    let n_c = problem.n_controls();
+    let dal = time_kernel(sz.warmup, sz.reps, || {
+        let r = problem.cost_and_grad_dal(&c).expect("dal");
+        std::hint::black_box(&r);
+    });
+    snap = record(snap, "dal_laplace_iter", n_c, dal);
+    let dal_refactor = time_kernel(sz.warmup, sz.reps, || {
+        let r = problem
+            .cost_and_grad_dal_uncached(&c)
+            .expect("dal uncached");
+        std::hint::black_box(&r);
+    });
+    snap = record(snap, "dal_laplace_iter_refactor", n_c, dal_refactor);
+    let speedup = dal_refactor.median_ns as f64 / dal.median_ns.max(1) as f64;
+    println!("{:>28}  {speedup:.2}x", "dal factor-reuse speedup");
+    snap = snap.scalar("dal_laplace_factor_reuse_speedup", speedup);
+    snap = record(
+        snap,
+        "dp_laplace_iter",
+        n_c,
+        time_kernel(sz.warmup, sz.reps, || {
+            let r = problem.cost_and_grad_dp(&c).expect("dp");
+            std::hint::black_box(&r);
+        }),
+    );
+
+    // ---- one NS Picard sweep (workspace path) --------------------------
+    let solver = NsSolver::new(NsConfig {
+        channel: geometry::generators::ChannelConfig {
+            h: sz.ns_h,
+            ..Default::default()
+        },
+        re: 50.0,
+        slot_velocity: 0.2,
+        ..Default::default()
+    })
+    .expect("ns assembly");
+    let c_ns = initial_control(&solver);
+    let state = solver.solve(&c_ns, 3, None).expect("ns warm state");
+    let mut ws = solver.workspace();
+    snap = record(
+        snap,
+        "ns_picard_sweep",
+        solver.nodes().len(),
+        time_kernel(sz.warmup, sz.reps, || {
+            let next = solver.refine_with(&state, &c_ns, &mut ws).expect("picard");
+            std::hint::black_box(&next);
+        }),
+    );
+    snap
+}
+
+/// Validates a written snapshot: parseable, and every required kernel has a
+/// finite positive `median_ns`. Returns the offending messages.
+fn verify_snapshot(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let snap = match GoldenSnapshot::from_json(text) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("unparseable snapshot: {e}")],
+    };
+    if snap.get_scalar("threads").is_none() {
+        problems.push("missing scalar: threads".to_string());
+    }
+    for k in REQUIRED_KERNELS {
+        match snap.get_scalar(&format!("{k}.median_ns")) {
+            None => problems.push(format!("missing kernel entry: {k}.median_ns")),
+            Some(v) if !v.is_finite() || v <= 0.0 => {
+                problems.push(format!("bad median for {k}: {v}"))
+            }
+            Some(_) => {}
+        }
+        if snap.get_scalar(&format!("{k}.iters")).is_none() {
+            problems.push(format!("missing kernel entry: {k}.iters"));
+        }
+    }
+    problems
+}
+
+/// Soft regression report: new median vs baseline median per kernel.
+fn baseline_report(new: &GoldenSnapshot, baseline_text: &str) {
+    let base = match GoldenSnapshot::from_json(baseline_text) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("baseline unparseable ({e}); skipping regression report");
+            return;
+        }
+    };
+    println!("\n# regression report (new / baseline, soft)");
+    for k in REQUIRED_KERNELS {
+        let key = format!("{k}.median_ns");
+        match (new.get_scalar(&key), base.get_scalar(&key)) {
+            (Some(n), Some(b)) if b > 0.0 => {
+                let ratio = n / b;
+                let flag = if ratio > 1.25 {
+                    "  <-- REGRESSION?"
+                } else {
+                    ""
+                };
+                println!("{k:>28}  {ratio:>6.2}x{flag}");
+            }
+            _ => println!("{k:>28}  (no baseline entry)"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_perf.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut verify: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args.get(i).expect("--baseline needs a path").clone());
+            }
+            "--verify" => {
+                i += 1;
+                verify = Some(args.get(i).expect("--verify needs a path").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = verify {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf_suite --verify: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let problems = verify_snapshot(&text);
+        if problems.is_empty() {
+            println!("perf_suite --verify: {path} OK");
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("perf_suite --verify: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let sz = if quick { Sizes::quick() } else { Sizes::full() };
+    let snap = run_suite(&sz);
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => baseline_report(&snap, &text),
+            Err(e) => println!("no baseline at {path} ({e}); skipping report"),
+        }
+    }
+    let json = snap.to_json();
+    // Self-check before writing: never commit a malformed trajectory file.
+    let problems = verify_snapshot(&json);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("perf_suite: produced invalid snapshot: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf_suite: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+    ExitCode::SUCCESS
+}

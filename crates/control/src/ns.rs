@@ -78,6 +78,9 @@ pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<N
     let mut state: Option<NsState> = None;
     let dp = NsDp::new(solver);
     let dal = NsAdjoint::new(solver);
+    // One (3N)² matrix + LU storage recycled across every Picard sweep and
+    // adjoint solve of the run (see `pde::NsWorkspace`).
+    let mut ws = solver.workspace();
     let mut peak_tape = 0usize;
     for it in 0..cfg.iterations {
         let (j, g) = match method {
@@ -88,7 +91,8 @@ pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<N
                 (j, g)
             }
             GradMethod::Dal => {
-                let (j, g, st) = dal.cost_and_grad(&c, cfg.refinements, state.take())?;
+                let (j, g, st) =
+                    dal.cost_and_grad_with(&c, cfg.refinements, state.take(), &mut ws)?;
                 state = Some(st);
                 (j, g)
             }
@@ -110,7 +114,7 @@ pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<N
         }
     }
     // Evaluate the final control from a converged cold start.
-    let final_state = solver.solve(&c, cfg.refinements.max(12), state)?;
+    let final_state = solver.solve_with(&c, cfg.refinements.max(12), state, &mut ws)?;
     let final_cost = solver.cost(&final_state);
     history.push(cfg.iterations, final_cost, 0.0, timer.elapsed_s());
     let report = RunReport {

@@ -40,14 +40,35 @@ impl KdTree {
     /// Indices of the `k` nearest points to `q` (including `q` itself if it
     /// is in the cloud), ordered closest-first.
     pub fn knn(&self, q: Point2, k: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.knn_into(q, k, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`KdTree::knn`] into caller-owned buffers: `scratch` holds the bounded
+    /// candidate list, `out` receives the neighbour indices (closest-first).
+    ///
+    /// Batched stencil construction (one query per node of a cloud) reuses
+    /// both buffers across queries, eliminating the two per-query allocations
+    /// of [`KdTree::knn`]. Results are identical.
+    pub fn knn_into(
+        &self,
+        q: Point2,
+        k: usize,
+        scratch: &mut Vec<(f64, usize)>,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         let k = k.min(self.len());
         if k == 0 {
-            return Vec::new();
+            return;
         }
         // Bounded max-heap as a sorted Vec (k is small for stencils).
-        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
-        self.search(0, self.order.len(), 0, q, k, &mut best);
-        best.into_iter().map(|(_, i)| i).collect()
+        scratch.clear();
+        scratch.reserve(k + 1);
+        self.search(0, self.order.len(), 0, q, k, scratch);
+        out.extend(scratch.iter().map(|&(_, i)| i));
     }
 
     /// Indices of all points within `radius` of `q`.
@@ -214,6 +235,18 @@ mod tests {
         // Points within distance 1.1 of (2,2): itself + 4 axis neighbours.
         let got = tree.within_radius(Point2::new(2.0, 2.0), 1.1);
         assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn knn_into_matches_knn_with_dirty_buffers() {
+        let pts = grid_points(6);
+        let tree = KdTree::build(&pts);
+        let mut scratch = vec![(f64::NAN, usize::MAX); 3];
+        let mut out = vec![usize::MAX; 7];
+        for i in (0..pts.len()).step_by(5) {
+            tree.knn_into(pts[i], 9, &mut scratch, &mut out);
+            assert_eq!(out, tree.knn(pts[i], 9), "query {i} diverged");
+        }
     }
 
     #[test]

@@ -11,6 +11,13 @@ use crate::vector::DVec;
 /// `meshfree-autodiff` caches an `Lu` during the forward pass so the reverse
 /// pass can run the adjoint solve `Aᵀ λ = x̄` via [`Lu::solve_transpose`]
 /// without refactorizing.
+///
+/// Factor once, solve many: the collocation matrix of the Laplace control
+/// problem is control-independent, so the optimal-control drivers factor it a
+/// single time per run and reuse the factors across every optimizer
+/// iteration (forward solves) and every adjoint solve (transpose solves).
+/// State-dependent systems (Navier–Stokes Picard sweeps) instead reuse the
+/// *storage* via [`Lu::refactor`].
 #[derive(Debug, Clone)]
 pub struct Lu {
     /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
@@ -38,51 +45,33 @@ impl Lu {
         let _span = (n >= 64).then(|| meshfree_runtime::trace::span("lu_factor"));
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-        for k in 0..n {
-            // Partial pivoting: find the largest magnitude in column k.
-            let mut p = k;
-            let mut pmax = lu[(k, k)].abs();
-            for i in k + 1..n {
-                let v = lu[(i, k)].abs();
-                if v > pmax {
-                    pmax = v;
-                    p = i;
-                }
-            }
-            if pmax < 1e-300 {
-                return Err(LinalgError::SingularMatrix {
-                    pivot: k,
-                    value: pmax,
-                });
-            }
-            if p != k {
-                perm.swap(k, p);
-                sign = -sign;
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-            }
-            let pivot = lu[(k, k)];
-            for i in k + 1..n {
-                let m = lu[(i, k)] / pivot;
-                lu[(i, k)] = m;
-                if m != 0.0 {
-                    // Row update expressed on raw rows for speed: split the
-                    // storage so we can read row k while writing row i.
-                    let cols = n;
-                    let (top, bot) = lu.as_mut_slice().split_at_mut(i * cols);
-                    let krow = &top[k * cols..k * cols + cols];
-                    let irow = &mut bot[..cols];
-                    for j in k + 1..n {
-                        irow[j] -= m * krow[j];
-                    }
-                }
-            }
-        }
+        let sign = factor_in_place(&mut lu, &mut perm)?;
         Ok(Lu { lu, perm, sign })
+    }
+
+    /// Refactors a new matrix of the same dimension **in place**, reusing the
+    /// packed storage and permutation buffer of this factorization.
+    ///
+    /// This is the Navier–Stokes Picard hot path: the coupled matrix changes
+    /// every sweep (it depends on the current state), so the factor cannot be
+    /// cached — but the `(3N)²` storage can. Produces bit-identical factors
+    /// to a fresh [`Lu::factor`] of the same matrix.
+    pub fn refactor(&mut self, a: &DMat) -> Result<()> {
+        let n = self.dim();
+        if a.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_refactor",
+                got: a.shape(),
+                expected: (n, n),
+            });
+        }
+        let _span = (n >= 64).then(|| meshfree_runtime::trace::span("lu_refactor"));
+        self.lu.as_mut_slice().copy_from_slice(a.as_slice());
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.sign = factor_in_place(&mut self.lu, &mut self.perm)?;
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -92,6 +81,18 @@ impl Lu {
 
     /// Solves `A x = b`.
     pub fn solve(&self, b: &DVec) -> Result<DVec> {
+        let mut x = DVec::zeros(0);
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b`, writing the solution into a caller-owned buffer.
+    ///
+    /// `x` is resized to the system dimension; its previous contents are
+    /// overwritten. Use this inside iteration loops (Picard sweeps, per-column
+    /// multi-RHS solves) to avoid a fresh allocation per solve. Produces the
+    /// same bits as [`Lu::solve`].
+    pub fn solve_into(&self, b: &DVec, x: &mut DVec) -> Result<()> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -101,7 +102,10 @@ impl Lu {
             });
         }
         // Apply permutation, then forward (L, unit diag) and back (U) subs.
-        let mut x = DVec::from_fn(n, |i| b[self.perm[i]]);
+        x.0.resize(n, 0.0);
+        for i in 0..n {
+            x.0[i] = b[self.perm[i]];
+        }
         for i in 1..n {
             let mut s = x[i];
             for (j, &lij) in self.lu.row(i)[..i].iter().enumerate() {
@@ -117,10 +121,15 @@ impl Lu {
             }
             x[i] = s / row[i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `Aᵀ x = b` using the same factors (`Aᵀ = Uᵀ Lᵀ P`).
+    ///
+    /// This is the adjoint path: DAL's adjoint equation and the
+    /// differentiable-programming reverse pass both solve with the transpose
+    /// of the already-factored forward operator, so a run never pays for a
+    /// second factorization.
     pub fn solve_transpose(&self, b: &DVec) -> Result<DVec> {
         let n = self.dim();
         if b.len() != n {
@@ -156,6 +165,9 @@ impl Lu {
     }
 
     /// Solves `A X = B` column by column.
+    ///
+    /// One right-hand-side buffer and one solution buffer are reused across
+    /// all columns (previously each column allocated both).
     pub fn solve_mat(&self, b: &DMat) -> Result<DMat> {
         let n = self.dim();
         if b.nrows() != n {
@@ -166,8 +178,13 @@ impl Lu {
             });
         }
         let mut out = DMat::zeros(n, b.ncols());
+        let mut col = DVec::zeros(n);
+        let mut x = DVec::zeros(n);
         for j in 0..b.ncols() {
-            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            self.solve_into(&col, &mut x)?;
             for i in 0..n {
                 out[(i, j)] = x[i];
             }
@@ -229,6 +246,87 @@ impl Lu {
         }
         norm1_a * est
     }
+}
+
+/// Trailing-update work (rows × columns) above which the elimination step
+/// goes through the shared pool. Mirrors [`DMat::PAR_THRESHOLD`].
+const LU_PAR_THRESHOLD: usize = DMat::PAR_THRESHOLD;
+
+/// Gaussian elimination with partial pivoting on packed storage. Shared by
+/// [`Lu::factor`] (fresh storage) and [`Lu::refactor`] (reused storage);
+/// returns the permutation sign.
+///
+/// The trailing-submatrix update is row-partitioned across the pool once the
+/// remaining block is large enough. Each row's arithmetic is independent of
+/// the partitioning, so the factors are bit-identical for any thread count.
+fn factor_in_place(lu: &mut DMat, perm: &mut [usize]) -> Result<f64> {
+    let n = lu.nrows();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivoting: find the largest magnitude in column k.
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in k + 1..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax < 1e-300 {
+            return Err(LinalgError::SingularMatrix {
+                pivot: k,
+                value: pmax,
+            });
+        }
+        if p != k {
+            perm.swap(k, p);
+            sign = -sign;
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        let m_rows = n - k - 1;
+        if m_rows == 0 {
+            continue;
+        }
+        // Multipliers: column k below the diagonal.
+        for i in k + 1..n {
+            lu[(i, k)] /= pivot;
+        }
+        // Trailing update `row_i -= m_i * row_k` on raw rows: split the
+        // storage so row k can be read while rows k+1.. are written.
+        let cols = n;
+        let (top, bot) = lu.as_mut_slice().split_at_mut((k + 1) * cols);
+        let krow = &top[k * cols..(k + 1) * cols];
+        let trailing = &mut bot[..m_rows * cols];
+        let update_row = |row: &mut [f64]| {
+            let m = row[k];
+            if m != 0.0 {
+                for j in k + 1..cols {
+                    row[j] -= m * krow[j];
+                }
+            }
+        };
+        if m_rows * (cols - k) >= LU_PAR_THRESHOLD {
+            // Fixed row-block decomposition (at most 64 blocks), independent
+            // of the thread count.
+            let block = m_rows.div_ceil(64).max(1) * cols;
+            meshfree_runtime::par::par_chunks_mut(trailing, block, |_, piece| {
+                for row in piece.chunks_exact_mut(cols) {
+                    update_row(row);
+                }
+            });
+        } else {
+            for row in trailing.chunks_exact_mut(cols) {
+                update_row(row);
+            }
+        }
+    }
+    Ok(sign)
 }
 
 /// Cholesky factorization `A = L Lᵀ` for symmetric positive definite systems.
@@ -477,6 +575,52 @@ mod tests {
         let x = Lu::factor(&a).unwrap().solve_mat(&b).unwrap();
         let r = &a.matmul(&x).unwrap() - &b;
         assert!(r.norm_fro() < 1e-10);
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_bitwise() {
+        let a = random_like_matrix(20, 3);
+        let b = random_like_matrix(20, 9);
+        let mut lu = Lu::factor(&a).unwrap();
+        lu.refactor(&b).unwrap();
+        let fresh = Lu::factor(&b).unwrap();
+        let rhs = DVec::from_fn(20, |i| (i as f64).sin());
+        assert_eq!(
+            lu.solve(&rhs).unwrap().as_slice(),
+            fresh.solve(&rhs).unwrap().as_slice()
+        );
+        assert_eq!(lu.det(), fresh.det());
+    }
+
+    #[test]
+    fn refactor_rejects_wrong_shape() {
+        let mut lu = Lu::factor(&random_like_matrix(4, 1)).unwrap();
+        assert!(lu.refactor(&DMat::zeros(5, 5)).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_reuses_buffer() {
+        let a = random_like_matrix(9, 7);
+        let lu = Lu::factor(&a).unwrap();
+        let mut x = DVec::zeros(0);
+        for s in 0..3 {
+            let b = DVec::from_fn(9, |i| (i + s) as f64 * 0.3 - 1.0);
+            lu.solve_into(&b, &mut x).unwrap();
+            assert_eq!(x.as_slice(), lu.solve(&b).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn parallel_trailing_update_matches_serial_bitwise() {
+        // n large enough that the first elimination steps cross
+        // LU_PAR_THRESHOLD and run through the pool.
+        let n = 300;
+        let a = random_like_matrix(n, 5);
+        let b = DVec::from_fn(n, |i| (i as f64 * 0.11).cos());
+        let x_par = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let x_ser =
+            meshfree_runtime::par::serial_scope(|| Lu::factor(&a).unwrap().solve(&b).unwrap());
+        assert_eq!(x_par.as_slice(), x_ser.as_slice());
     }
 
     #[test]

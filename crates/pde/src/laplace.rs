@@ -206,14 +206,44 @@ impl LaplaceControlProblem {
         Ok(j)
     }
 
+    /// Reassembles the collocation matrix and factors it from scratch — the
+    /// per-call cost that the construction-time factorisation (the cached
+    /// [`Lu`] shared by every forward, adjoint, and tape solve) avoids.
+    ///
+    /// Exposed for the perf suite and the cache-equivalence tests: the fresh
+    /// factor is bit-for-bit the construction-time factor, so the
+    /// `*_uncached` gradient paths must reproduce the cached results exactly
+    /// while paying an extra `O(N³)` per call.
+    pub fn refactored_lu(&self) -> Result<Lu, LinalgError> {
+        let a = self
+            .ctx
+            .assemble_with_bcs(|_, p| self.ctx.row(DiffOp::Lap, p), 0.0);
+        Lu::factor(&a)
+    }
+
     /// **DP gradient**: records the entire discrete solve on the tensor tape
     /// and returns `(J, dJ/dc)` by one reverse sweep — the
     /// discretise-then-optimise gradient of the paper's best method.
     pub fn cost_and_grad_dp(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+        self.dp_with(c, &self.lu)
+    }
+
+    /// [`LaplaceControlProblem::cost_and_grad_dp`] with the factorisation
+    /// cache disabled: the operator is reassembled and refactored on every
+    /// call (the "factor every iteration" baseline in `BENCH_perf.json`).
+    /// Returns exactly the cached result.
+    pub fn cost_and_grad_dp_uncached(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+        self.dp_with(c, &Arc::new(self.refactored_lu()?))
+    }
+
+    /// DP gradient against an explicit factorisation. The tape's
+    /// [`autodiff::Tape::solve_const`] node holds the [`Arc<Lu>`] so the
+    /// reverse sweep reuses the same factor for the transpose solve.
+    fn dp_with(&self, c: &DVec, lu: &Arc<Lu>) -> Result<(f64, DVec), LinalgError> {
         let tape = Tape::new();
         let cv = tape.var_col(c);
         let rhs = cv.matmul_const_l(&self.placement).add_const(&self.rhs0);
-        let coeffs = tape.solve_const(&self.lu, rhs)?;
+        let coeffs = tape.solve_const(lu, rhs)?;
         let flux = coeffs.matmul_const_l(&self.dy_top);
         let diff = flux.add_const(&(&self.target * -1.0));
         let j = diff.sq().dot_const(&tensor::from_dvec(&self.weights));
@@ -228,16 +258,30 @@ impl LaplaceControlProblem {
     /// gradient *as an L² function* sampled at the control nodes. Multiply
     /// by the quadrature weights to compare against the DP gradient.
     pub fn cost_and_grad_dal(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        let coeffs = self.solve_coeffs(c)?;
+        self.dal_with(c, &self.lu)
+    }
+
+    /// [`LaplaceControlProblem::cost_and_grad_dal`] with the factorisation
+    /// cache disabled (fresh reassembly + factor per call). Returns exactly
+    /// the cached result; exists as the measured baseline for the
+    /// `dal_laplace_factor_reuse_speedup` scalar in `BENCH_perf.json`.
+    pub fn cost_and_grad_dal_uncached(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+        self.dal_with(c, &self.refactored_lu()?)
+    }
+
+    /// DAL forward + adjoint solves against an explicit factorisation (the
+    /// operator is self-adjoint, so the same factor serves both solves).
+    fn dal_with(&self, c: &DVec, lu: &Lu) -> Result<(f64, DVec), LinalgError> {
+        let coeffs = lu.solve(&self.rhs(c))?;
         let flux = self.flux_top(&coeffs);
         let mut j = 0.0;
-        let mut bvals = Vec::with_capacity(self.n_controls());
+        let mut b = DVec::zeros(self.ctx.size());
         for i in 0..flux.len() {
             let d = flux[i] - self.target[(i, 0)];
             j += self.weights[i] * d * d;
-            bvals.push((self.top_idx[i], 2.0 * d));
+            b[self.top_idx[i]] = 2.0 * d;
         }
-        let lambda = self.solve_dirichlet(&bvals)?;
+        let lambda = lu.solve(&b)?;
         let grad = self.flux_top(&lambda);
         Ok((j, grad))
     }

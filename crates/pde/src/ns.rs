@@ -103,6 +103,20 @@ impl NsState {
     }
 }
 
+/// Reusable scratch for repeated Picard sweeps: the coupled `(3N)²` matrix,
+/// its LU factorisation storage, and the linear-solve output buffer.
+///
+/// Created by [`NsSolver::workspace`]; consumed by [`NsSolver::refine_with`]
+/// and [`NsSolver::solve_with`]. Reuse across sweeps (and across optimizer
+/// iterations) eliminates every per-sweep `(3N)²` allocation — the matrix
+/// sparsity pattern is control-independent, only the advection coefficients
+/// change, so [`Lu::refactor`] recycles the factor storage in place.
+pub struct NsWorkspace {
+    pub(crate) a: DMat,
+    pub(crate) lu: Option<Lu>,
+    pub(crate) x: DVec,
+}
+
 /// The assembled channel-flow solver.
 pub struct NsSolver {
     nodes: NodeSet,
@@ -389,43 +403,111 @@ impl NsSolver {
         }
     }
 
+    /// Creates a reusable workspace for repeated Picard sweeps: the
+    /// `(3N)²` coupled matrix, its LU storage and the solution buffer are
+    /// allocated once and recycled by [`NsSolver::refine_with`] /
+    /// [`NsSolver::solve_with`] — the Jacobian sparsity *pattern* is fixed
+    /// even though the advection entries change every sweep.
+    pub fn workspace(&self) -> NsWorkspace {
+        let n3 = 3 * self.nodes.len();
+        NsWorkspace {
+            a: DMat::zeros(n3, n3),
+            lu: None,
+            x: DVec::zeros(0),
+        }
+    }
+
     /// Assembles the coupled Picard matrix for the advecting field taken
     /// from `state`.
     pub fn picard_matrix(&self, state: &NsState) -> DMat {
-        let n = self.nodes.len();
-        // Row scales: u-momentum and v-momentum interior rows advect with
-        // (u, v); everything else is zero.
-        let mut su = vec![0.0; 3 * n];
-        let mut sv = vec![0.0; 3 * n];
-        for i in self.nodes.interior_range() {
-            su[i] = state.u[i];
-            su[n + i] = state.u[i];
-            sv[i] = state.v[i];
-            sv[n + i] = state.v[i];
-        }
-        let mut a = self.adv_x.scale_rows(&su);
-        a.axpy_mat(1.0, &self.adv_y.scale_rows(&sv));
-        a.axpy_mat(1.0, &self.base);
+        let n3 = 3 * self.nodes.len();
+        let mut a = DMat::zeros(n3, n3);
+        self.picard_matrix_into(state, &mut a);
         a
     }
 
+    /// [`NsSolver::picard_matrix`] into a caller-owned matrix. The constant
+    /// base is copied once and the advection terms are added in place over
+    /// their fixed sparsity pattern (interior momentum rows × velocity
+    /// blocks) — replacing the two full `(3N)²` `scale_rows` temporaries and
+    /// three full-matrix passes of the naive assembly.
+    pub fn picard_matrix_into(&self, state: &NsState, a: &mut DMat) {
+        let n = self.nodes.len();
+        assert_eq!(a.shape(), (3 * n, 3 * n), "picard_matrix_into: shape");
+        a.as_mut_slice().copy_from_slice(self.base.as_slice());
+        for i in self.nodes.interior_range() {
+            let su = state.u[i];
+            let sv = state.v[i];
+            let dxr = self.dx_int.row(i);
+            let dyr = self.dy_int.row(i);
+            // u-momentum row i advects the u-block; v-momentum row n+i
+            // advects the v-block, both with C(u,v) = u∂x + v∂y.
+            let row = &mut a.row_mut(i)[..n];
+            for j in 0..n {
+                row[j] += su * dxr[j] + sv * dyr[j];
+            }
+            let row = &mut a.row_mut(n + i)[n..2 * n];
+            for j in 0..n {
+                row[j] += su * dxr[j] + sv * dyr[j];
+            }
+        }
+    }
+
     /// One Picard refinement from `state` with inflow control `c`.
+    ///
+    /// Allocates a throwaway workspace; sweep loops should hold an
+    /// [`NsWorkspace`] and call [`NsSolver::refine_with`].
     pub fn refine(&self, state: &NsState, c: &DVec) -> Result<NsState, LinalgError> {
-        let a = self.picard_matrix(state);
-        let lu = Lu::factor(&a)?;
-        let x_new = lu.solve(&self.rhs(c))?;
+        let mut ws = self.workspace();
+        self.refine_with(state, c, &mut ws)
+    }
+
+    /// [`NsSolver::refine`] against a reusable workspace: the coupled matrix
+    /// is assembled into `ws` and refactored in place ([`Lu::refactor`]), so
+    /// a sweep of `k` refinements performs zero `(3N)²` allocations after
+    /// the first. Produces the same result as [`NsSolver::refine`].
+    pub fn refine_with(
+        &self,
+        state: &NsState,
+        c: &DVec,
+        ws: &mut NsWorkspace,
+    ) -> Result<NsState, LinalgError> {
+        self.picard_matrix_into(state, &mut ws.a);
+        match &mut ws.lu {
+            Some(lu) => lu.refactor(&ws.a)?,
+            slot => {
+                *slot = Some(Lu::factor(&ws.a)?);
+            }
+        }
+        let lu = ws.lu.as_ref().expect("lu populated above");
+        lu.solve_into(&self.rhs(c), &mut ws.x)?;
         let w = self.cfg.picard_damping;
         let mut x = state.stack().scaled(1.0 - w);
-        x.axpy(w, &x_new);
+        x.axpy(w, &ws.x);
         Ok(NsState::unstack(&x))
     }
 
     /// Runs `k` refinements from an initial state.
     pub fn solve(&self, c: &DVec, k: usize, init: Option<NsState>) -> Result<NsState, LinalgError> {
+        let mut ws = self.workspace();
+        self.solve_with(c, k, init, &mut ws)
+    }
+
+    /// [`NsSolver::solve`] against a reusable workspace. Optimizer loops
+    /// that solve once per iteration (DAL, finite differences) should hold
+    /// one [`NsWorkspace`] across iterations so the `(3N)²` matrix and LU
+    /// storage are allocated exactly once per run.
+    pub fn solve_with(
+        &self,
+        c: &DVec,
+        k: usize,
+        init: Option<NsState>,
+        ws: &mut NsWorkspace,
+    ) -> Result<NsState, LinalgError> {
         let _span = trace::span("ns_solve");
         let mut state = init.unwrap_or_else(|| self.initial_state(c));
         for it in 0..k {
-            let next = self.refine(&state, c)?;
+            let next = self.refine_with(&state, c, ws)?;
             if trace::enabled() {
                 // Picard increment ‖x_{k+1} − x_k‖∞: a cheap convergence
                 // proxy (the full momentum residual costs a 3N matvec).

@@ -20,7 +20,7 @@
 //! inaccuracies in the adjoint advection at higher `Re` are exactly the
 //! failure mode the paper reports for DAL on this problem (§3.2, fig. 4b).
 
-use crate::ns::{NsSolver, NsState};
+use crate::ns::{NsSolver, NsState, NsWorkspace};
 use linalg::{DMat, DVec, LinalgError, Lu};
 
 /// Adjoint fields at the nodes.
@@ -45,28 +45,39 @@ impl<'s> NsAdjoint<'s> {
         NsAdjoint { solver }
     }
 
-    /// Assembles the coupled adjoint matrix for the (frozen) forward state.
-    fn adjoint_matrix(&self, state: &NsState) -> Result<DMat, LinalgError> {
+    /// Assembles the coupled adjoint matrix for the (frozen) forward state
+    /// into a caller-owned `(3N)²` matrix.
+    fn adjoint_matrix_into(&self, state: &NsState, a: &mut DMat) -> Result<(), LinalgError> {
         let s = self.solver;
         let nodes = s.nodes();
         let n = nodes.len();
         let nu = s.nu_eff();
+        assert_eq!(a.shape(), (3 * n, 3 * n), "adjoint_matrix_into: shape");
 
         // Start from the forward base (diffusion, pressure gradient,
         // continuity, BC rows) and add the adjoint-specific pieces.
-        let mut a = s.base().as_ref().clone();
+        a.as_mut_slice().copy_from_slice(s.base().as_slice());
 
-        // Reversed advection −(u·∇) on the momentum interior rows.
-        let mut su = vec![0.0; 3 * n];
-        let mut sv = vec![0.0; 3 * n];
+        // Reversed advection −(u·∇) on the momentum interior rows, added
+        // in place over its fixed sparsity pattern (interior momentum rows
+        // × velocity blocks) — the same fused form as the forward
+        // `picard_matrix_into`, avoiding two `(3N)²` scale_rows temporaries.
+        let dx_int = s.dx_int();
+        let dy_int = s.dy_int();
         for i in nodes.interior_range() {
-            su[i] = -state.u[i];
-            su[n + i] = -state.u[i];
-            sv[i] = -state.v[i];
-            sv[n + i] = -state.v[i];
+            let su = -state.u[i];
+            let sv = -state.v[i];
+            let dxr = dx_int.row(i);
+            let dyr = dy_int.row(i);
+            let row = &mut a.row_mut(i)[..n];
+            for j in 0..n {
+                row[j] = (row[j] + su * dxr[j]) + sv * dyr[j];
+            }
+            let row = &mut a.row_mut(n + i)[n..2 * n];
+            for j in 0..n {
+                row[j] = (row[j] + su * dxr[j]) + sv * dyr[j];
+            }
         }
-        a.axpy_mat(1.0, &s.adv_x().scale_rows(&su));
-        a.axpy_mat(1.0, &s.adv_y().scale_rows(&sv));
 
         // Production terms (∇u)ᵀξ — diagonal couplings frozen at the state.
         let dxu = s.dm.dx.matvec(&state.u)?;
@@ -91,22 +102,47 @@ impl<'s> NsAdjoint<'s> {
                 a[(i, 2 * n + j)] = 0.0;
             }
         }
-        Ok(a)
+        Ok(())
     }
 
     /// Solves the coupled adjoint system for the given forward state.
+    ///
+    /// Allocates a throwaway workspace; DAL optimization loops should hold
+    /// an [`NsWorkspace`] and call [`NsAdjoint::solve_adjoint_with`].
     pub fn solve_adjoint(&self, state: &NsState) -> Result<AdjointState, LinalgError> {
+        let mut ws = self.solver.workspace();
+        self.solve_adjoint_with(state, &mut ws)
+    }
+
+    /// [`NsAdjoint::solve_adjoint`] against a reusable workspace. The
+    /// adjoint matrix shares the forward system's shape and storage needs, so
+    /// the *same* [`NsWorkspace`] serves the Picard sweeps and the adjoint
+    /// solve: assembly writes over the matrix buffer and [`Lu::refactor`]
+    /// recycles the factor storage. Produces the same adjoint fields as the
+    /// allocating path.
+    pub fn solve_adjoint_with(
+        &self,
+        state: &NsState,
+        ws: &mut NsWorkspace,
+    ) -> Result<AdjointState, LinalgError> {
         let s = self.solver;
         let n = s.nodes().len();
-        let a = self.adjoint_matrix(state)?;
-        let lu = Lu::factor(&a)?;
+        self.adjoint_matrix_into(state, &mut ws.a)?;
+        match &mut ws.lu {
+            Some(lu) => lu.refactor(&ws.a)?,
+            slot => {
+                *slot = Some(Lu::factor(&ws.a)?);
+            }
+        }
+        let lu = ws.lu.as_ref().expect("lu populated above");
         // RHS: outflow mismatch on the ξ_u rows; zero elsewhere.
         let (u_out, _) = s.outflow_profile(state);
         let mut b = DVec::zeros(3 * n);
         for (j, &i) in s.outflow_idx().iter().enumerate() {
             b[i] = -(u_out[j] - s.target_u()[j]);
         }
-        let x = lu.solve(&b)?;
+        lu.solve_into(&b, &mut ws.x)?;
+        let x = &ws.x;
         Ok(AdjointState {
             xi_u: DVec(x.as_slice()[..n].to_vec()),
             xi_v: DVec(x.as_slice()[n..2 * n].to_vec()),
@@ -131,15 +167,33 @@ impl<'s> NsAdjoint<'s> {
 
     /// Full DAL step: forward `k_fwd` Picard refinements (warm-startable),
     /// one coupled adjoint solve, gradient. Returns `(J, gradient, state)`.
+    ///
+    /// Allocates a throwaway workspace; optimization loops should hold an
+    /// [`NsWorkspace`] and call [`NsAdjoint::cost_and_grad_with`].
     pub fn cost_and_grad(
         &self,
         c: &DVec,
         k_fwd: usize,
         init: Option<NsState>,
     ) -> Result<(f64, DVec, NsState), LinalgError> {
-        let state = self.solver.solve(c, k_fwd, init)?;
+        let mut ws = self.solver.workspace();
+        self.cost_and_grad_with(c, k_fwd, init, &mut ws)
+    }
+
+    /// [`NsAdjoint::cost_and_grad`] against a reusable workspace: every
+    /// Picard sweep *and* the adjoint solve recycle one `(3N)²` matrix and
+    /// one LU factor storage, so an Adam run performs zero large allocations
+    /// after its first gradient evaluation.
+    pub fn cost_and_grad_with(
+        &self,
+        c: &DVec,
+        k_fwd: usize,
+        init: Option<NsState>,
+        ws: &mut NsWorkspace,
+    ) -> Result<(f64, DVec, NsState), LinalgError> {
+        let state = self.solver.solve_with(c, k_fwd, init, ws)?;
         let j = self.solver.cost(&state);
-        let adj = self.solve_adjoint(&state)?;
+        let adj = self.solve_adjoint_with(&state, ws)?;
         let g = self.gradient(&adj)?;
         Ok((j, g, state))
     }

@@ -45,8 +45,47 @@ impl FdConfig {
     }
 }
 
+/// Reusable scratch for stencil-weight solves.
+///
+/// One local fit system `[Φ P; Pᵀ 0]` (size `(k+m)²`), its LU factors, the
+/// right-hand side and the solution buffer are allocated once and recycled
+/// across every stencil of an assembly sweep — the parallel loops hand one
+/// workspace to each pool chunk instead of allocating per node.
+#[derive(Debug)]
+pub struct FdWorkspace {
+    /// Local fit matrix `[Φ P; Pᵀ 0]`, resized on stencil-shape change.
+    a: DMat,
+    /// LU storage, refactored in place per stencil ([`Lu::refactor`]).
+    lu: Option<Lu>,
+    rhs: DVec,
+    sol: DVec,
+    local: Vec<Point2>,
+}
+
+impl FdWorkspace {
+    /// An empty workspace; buffers size themselves on first use.
+    pub fn new() -> FdWorkspace {
+        FdWorkspace {
+            a: DMat::zeros(0, 0),
+            lu: None,
+            rhs: DVec::zeros(0),
+            sol: DVec::zeros(0),
+            local: Vec::new(),
+        }
+    }
+}
+
+impl Default for FdWorkspace {
+    fn default() -> Self {
+        FdWorkspace::new()
+    }
+}
+
 /// Computes RBF-FD weights for `op` at `center` over the given neighbour
 /// points. Coordinates are shifted to the stencil centre for conditioning.
+///
+/// Convenience wrapper over [`fd_weights_into`] with a throwaway workspace;
+/// assembly loops should hold an [`FdWorkspace`] and call the `_into` form.
 pub fn fd_weights(
     center: Point2,
     neighbours: &[Point2],
@@ -54,6 +93,25 @@ pub fn fd_weights(
     degree: i32,
     op: DiffOp,
 ) -> Result<Vec<f64>, LinalgError> {
+    let mut ws = FdWorkspace::new();
+    let mut out = Vec::new();
+    fd_weights_into(center, neighbours, kernel, degree, op, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// [`fd_weights`] into caller-owned buffers: the local system is assembled,
+/// factored and solved inside `ws`, and the `k` stencil weights are written
+/// to `out`. Produces the same bits as [`fd_weights`] for any workspace
+/// history — every reused entry is overwritten or re-zeroed before use.
+pub fn fd_weights_into(
+    center: Point2,
+    neighbours: &[Point2],
+    kernel: RbfKernel,
+    degree: i32,
+    op: DiffOp,
+    ws: &mut FdWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
     let k = neighbours.len();
     let basis = PolyBasis::new(degree);
     let m = basis.len();
@@ -61,28 +119,44 @@ pub fn fd_weights(
         k >= m,
         "stencil of {k} points cannot support {m} polynomial constraints"
     );
+    let size = k + m;
     // Local (shifted) coordinates.
-    let local: Vec<Point2> = neighbours.iter().map(|&p| p - center).collect();
+    ws.local.clear();
+    ws.local.extend(neighbours.iter().map(|&p| p - center));
+    let local = &ws.local[..];
     let origin = Point2::new(0.0, 0.0);
     // Local fit matrix [Φ P; Pᵀ 0].
-    let mut a = DMat::zeros(k + m, k + m);
+    if ws.a.shape() != (size, size) {
+        ws.a = DMat::zeros(size, size);
+    } else {
+        // The fill below overwrites everything except the m×m zero block.
+        for i in k..size {
+            for j in k..size {
+                ws.a[(i, j)] = 0.0;
+            }
+        }
+    }
+    let exps = basis.exponents();
     for i in 0..k {
         for j in 0..k {
-            a[(i, j)] = kernel.eval(local[i].dist(&local[j]));
+            ws.a[(i, j)] = kernel.eval(local[i].dist(&local[j]));
         }
-        for (j, v) in basis.eval(local[i]).into_iter().enumerate() {
-            a[(i, k + j)] = v;
-            a[(k + j, i)] = v;
+        for (j, &(ea, eb)) in exps.iter().enumerate() {
+            // Inlined `basis.eval(local[i])[j]` — same expression, no
+            // per-point Vec.
+            let v = local[i].x.powi(ea) * local[i].y.powi(eb);
+            ws.a[(i, k + j)] = v;
+            ws.a[(k + j, i)] = v;
         }
     }
     // RHS: the operator applied to each basis function at the centre.
-    let mut rhs = DVec::zeros(k + m);
-    for j in 0..k {
-        let r = origin.dist(&local[j]);
-        rhs[j] = match op {
+    ws.rhs.0.resize(size, 0.0);
+    for (j, p) in local.iter().enumerate().take(k) {
+        let r = origin.dist(p);
+        ws.rhs[j] = match op {
             DiffOp::Eval => kernel.eval(r),
-            DiffOp::Dx => (origin.x - local[j].x) * kernel.d1_over_r(r),
-            DiffOp::Dy => (origin.y - local[j].y) * kernel.d1_over_r(r),
+            DiffOp::Dx => (origin.x - p.x) * kernel.d1_over_r(r),
+            DiffOp::Dy => (origin.y - p.y) * kernel.d1_over_r(r),
             DiffOp::Lap => kernel.laplacian2d(r),
         };
     }
@@ -93,36 +167,133 @@ pub fn fd_weights(
         DiffOp::Lap => basis.eval_lap(origin),
     };
     for (j, v) in poly_rhs.into_iter().enumerate() {
-        rhs[k + j] = v;
+        ws.rhs[k + j] = v;
     }
-    let sol = Lu::factor(&a)?.solve(&rhs)?;
-    Ok(sol.as_slice()[..k].to_vec())
+    match &mut ws.lu {
+        Some(lu) if lu.dim() == size => lu.refactor(&ws.a)?,
+        slot => *slot = Some(Lu::factor(&ws.a)?),
+    }
+    let lu = ws.lu.as_ref().expect("lu populated above");
+    lu.solve_into(&ws.rhs, &mut ws.sol)?;
+    out.clear();
+    out.extend_from_slice(&ws.sol.as_slice()[..k]);
+    Ok(())
 }
 
-/// One assembled stencil row: column indices and their weights.
-type StencilRow = Result<(Vec<usize>, Vec<f64>), LinalgError>;
+/// Precomputed k-nearest-neighbour stencils over a fixed node set.
+///
+/// Building the kd-tree and querying every node's stencil is pure geometry —
+/// it depends only on the node coordinates, not on the operator being
+/// assembled. Build a `StencilSet` once per node set and reuse it across
+/// every [`fd_matrix_from_stencils`] call (`∂x`, `∂y`, `∇²`, repeated
+/// assemblies in optimization loops) instead of re-querying the tree.
+#[derive(Debug, Clone)]
+pub struct StencilSet {
+    /// Flattened neighbour indices, `k` per node, closest-first.
+    idx: Vec<usize>,
+    /// Stencil size (clamped to the cloud size).
+    k: usize,
+    /// Number of nodes.
+    n: usize,
+}
+
+impl StencilSet {
+    /// Builds the stencils of `nodes` with a fresh kd-tree.
+    pub fn build(nodes: &NodeSet, stencil_size: usize) -> StencilSet {
+        let tree = KdTree::build(nodes.points());
+        StencilSet::from_tree(nodes, &tree, stencil_size)
+    }
+
+    /// Builds the stencils from an existing tree over the same points.
+    /// Queries run in parallel with per-chunk scratch buffers.
+    pub fn from_tree(nodes: &NodeSet, tree: &KdTree, stencil_size: usize) -> StencilSet {
+        let n = nodes.len();
+        let k = stencil_size.min(n);
+        let mut idx = vec![0usize; n * k];
+        if k > 0 {
+            // Fixed node-block decomposition (at most 64 blocks), so chunk
+            // boundaries never depend on the thread count.
+            let block = n.div_ceil(64).max(1);
+            par::par_chunks_mut(&mut idx, block * k, |c, piece| {
+                let mut scratch = Vec::new();
+                let mut out = Vec::new();
+                let base = c * block;
+                for (r, row) in piece.chunks_mut(k).enumerate() {
+                    tree.knn_into(nodes.point(base + r), k, &mut scratch, &mut out);
+                    row.copy_from_slice(&out);
+                }
+            });
+        }
+        StencilSet { idx, k, n }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the set covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Stencil size `k` (after clamping to the cloud size).
+    pub fn stencil_size(&self) -> usize {
+        self.k
+    }
+
+    /// Neighbour indices of node `i`, closest-first (`i` itself leads).
+    pub fn neighbours(&self, i: usize) -> &[usize] {
+        &self.idx[i * self.k..(i + 1) * self.k]
+    }
+}
 
 /// Builds the sparse global operator for `op`: row `i` holds the RBF-FD
 /// weights of node `i`'s stencil. Rows are computed in parallel.
+///
+/// Builds a throwaway [`StencilSet`]; callers assembling several operators
+/// on the same nodes should build one and use [`fd_matrix_from_stencils`].
 pub fn fd_matrix(
     nodes: &NodeSet,
     kernel: RbfKernel,
     cfg: FdConfig,
     op: DiffOp,
 ) -> Result<Csr, LinalgError> {
-    let tree = KdTree::build(nodes.points());
+    let stencils = StencilSet::build(nodes, cfg.stencil_size);
+    fd_matrix_from_stencils(nodes, &stencils, kernel, cfg.degree, op)
+}
+
+/// [`fd_matrix`] over precomputed stencils: the kd-tree neighbour lists are
+/// reused, and each pool chunk recycles one [`FdWorkspace`] across its rows.
+pub fn fd_matrix_from_stencils(
+    nodes: &NodeSet,
+    stencils: &StencilSet,
+    kernel: RbfKernel,
+    degree: i32,
+    op: DiffOp,
+) -> Result<Csr, LinalgError> {
+    assert_eq!(
+        stencils.len(),
+        nodes.len(),
+        "stencils built for other nodes"
+    );
     let n = nodes.len();
-    let per_row: Vec<StencilRow> = par::par_map_collect(n, |i| {
-        let center = nodes.point(i);
-        let idx = tree.knn(center, cfg.stencil_size);
-        let pts: Vec<Point2> = idx.iter().map(|&j| nodes.point(j)).collect();
-        let w = fd_weights(center, &pts, kernel, cfg.degree, op)?;
-        Ok((idx, w))
-    });
+    let per_row: Vec<Result<Vec<f64>, LinalgError>> = par::par_map_collect_with(
+        n,
+        || (FdWorkspace::new(), Vec::new()),
+        |(ws, pts), i| {
+            let center = nodes.point(i);
+            pts.clear();
+            pts.extend(stencils.neighbours(i).iter().map(|&j| nodes.point(j)));
+            let mut w = Vec::with_capacity(pts.len());
+            fd_weights_into(center, pts, kernel, degree, op, ws, &mut w)?;
+            Ok(w)
+        },
+    );
     let mut t = Triplets::new(n, n);
     for (i, row) in per_row.into_iter().enumerate() {
-        let (idx, w) = row?;
-        for (j, wj) in idx.into_iter().zip(w) {
+        let w = row?;
+        for (&j, wj) in stencils.neighbours(i).iter().zip(w) {
             t.push(i, j, wj);
         }
     }
@@ -130,14 +301,16 @@ pub fn fd_matrix(
 }
 
 /// Normal-derivative sparse operator (`n·∇`) using each boundary node's
-/// outward normal; interior rows are zero.
+/// outward normal; interior rows are zero. The `∂x` and `∂y` assemblies
+/// share one [`StencilSet`] (one kd-tree build, one neighbour sweep).
 pub fn fd_normal_matrix(
     nodes: &NodeSet,
     kernel: RbfKernel,
     cfg: FdConfig,
 ) -> Result<Csr, LinalgError> {
-    let dx = fd_matrix(nodes, kernel, cfg, DiffOp::Dx)?;
-    let dy = fd_matrix(nodes, kernel, cfg, DiffOp::Dy)?;
+    let stencils = StencilSet::build(nodes, cfg.stencil_size);
+    let dx = fd_matrix_from_stencils(nodes, &stencils, kernel, cfg.degree, DiffOp::Dx)?;
+    let dy = fd_matrix_from_stencils(nodes, &stencils, kernel, cfg.degree, DiffOp::Dy)?;
     let n = nodes.len();
     let mut t = Triplets::new(n, n);
     for i in nodes.boundary_indices() {
@@ -368,6 +541,64 @@ mod tests {
         let par = fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap();
         let seq = par::serial_scope(|| fd_matrix(&ns, RbfKernel::Phs3, cfg, DiffOp::Lap).unwrap());
         assert_eq!(par.to_dense(), seq.to_dense());
+    }
+
+    #[test]
+    fn stencil_set_matches_fresh_kdtree_queries_exactly() {
+        let ns = unit_square_scattered(90, 13, all_dirichlet);
+        let stencils = StencilSet::build(&ns, 13);
+        let tree = KdTree::build(ns.points());
+        assert_eq!(stencils.len(), ns.len());
+        assert_eq!(stencils.stencil_size(), 13);
+        for i in 0..ns.len() {
+            assert_eq!(
+                stencils.neighbours(i),
+                tree.knn(ns.point(i), 13).as_slice(),
+                "node {i} neighbour list diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn assembly_from_reused_stencils_matches_fd_matrix_bitwise() {
+        let ns = unit_square_scattered(90, 13, all_dirichlet);
+        let cfg = FdConfig::default();
+        let stencils = StencilSet::build(&ns, cfg.stencil_size);
+        for op in [DiffOp::Lap, DiffOp::Dx, DiffOp::Dy] {
+            let fresh = fd_matrix(&ns, RbfKernel::Phs3, cfg, op).unwrap();
+            let reused =
+                fd_matrix_from_stencils(&ns, &stencils, RbfKernel::Phs3, cfg.degree, op).unwrap();
+            assert_eq!(fresh.to_dense(), reused.to_dense(), "{op:?} diverged");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_to_fresh_workspaces() {
+        let center = Point2::new(0.3, 0.7);
+        let mut pts = vec![center];
+        for k in 0..12 {
+            let a = k as f64 * std::f64::consts::TAU / 12.0;
+            pts.push(center + Point2::new(a.cos(), a.sin()) * 0.05);
+        }
+        let mut ws = FdWorkspace::new();
+        let mut out = Vec::new();
+        // Cycle through ops and stencil shapes with one dirty workspace.
+        for op in [DiffOp::Lap, DiffOp::Dx, DiffOp::Eval, DiffOp::Dy] {
+            for hi in [pts.len(), pts.len() - 3] {
+                let fresh = fd_weights(center, &pts[..hi], RbfKernel::Phs3, 1, op).unwrap();
+                fd_weights_into(
+                    center,
+                    &pts[..hi],
+                    RbfKernel::Phs3,
+                    1,
+                    op,
+                    &mut ws,
+                    &mut out,
+                )
+                .unwrap();
+                assert_eq!(out, fresh, "{op:?} with k={hi} diverged");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,19 @@
 //! so every linear functional `L` (point evaluation, `∂x`, `∂y`, `∇²`,
 //! `n·∇`) becomes a *row* `[L φ_1(x) … L φ_N(x) | L P_1(x) … L P_M(x)]`
 //! acting on the coefficient vector `[λ; γ]`. Assembly = stacking rows.
+//!
+//! The assembly leans on two workspace-wide conventions:
+//!
+//! * **Node ordering** ([`geometry::NodeSet`]): nodes are stored interior
+//!   first, then boundary nodes grouped by kind (Dirichlet → Neumann →
+//!   Robin). Row `i` of an assembled PDE matrix therefore *is* node `i`'s
+//!   equation — interior rows carry the PDE operator, boundary rows the BC
+//!   functional — with no index indirection anywhere downstream.
+//! * **Row-major dense storage** ([`linalg::DMat`]): a collocation row is a
+//!   contiguous slice, so row construction writes straight into the target
+//!   matrix (see [`GlobalCollocation::assemble`]) and parallel assembly
+//!   splits over disjoint row blocks with a thread-count-invariant chunk
+//!   decomposition (bitwise-reproducible at any `MESHFREE_THREADS`).
 
 use crate::kernel::RbfKernel;
 use crate::poly::PolyBasis;
@@ -99,36 +112,45 @@ impl GlobalCollocation {
 
     /// Collocation row of `op` evaluated at an arbitrary point `x`.
     pub fn row(&self, op: DiffOp, x: Point2) -> Vec<f64> {
-        let mut row = Vec::with_capacity(self.size());
+        let mut row = Vec::new();
+        self.row_into(op, x, &mut row);
+        row
+    }
+
+    /// [`GlobalCollocation::row`] into a caller-owned buffer, cleared first.
+    /// Batched evaluation loops reuse one buffer across points instead of
+    /// allocating a length-`N+M` row per point.
+    pub fn row_into(&self, op: DiffOp, x: Point2, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.size());
         match op {
             DiffOp::Eval => {
                 for c in self.nodes.points() {
-                    row.push(self.kernel.eval(x.dist(c)));
+                    out.push(self.kernel.eval(x.dist(c)));
                 }
-                row.extend(self.basis.eval(x));
+                out.extend(self.basis.eval(x));
             }
             DiffOp::Dx => {
                 for c in self.nodes.points() {
                     let r = x.dist(c);
-                    row.push((x.x - c.x) * self.kernel.d1_over_r(r));
+                    out.push((x.x - c.x) * self.kernel.d1_over_r(r));
                 }
-                row.extend(self.basis.eval_dx(x));
+                out.extend(self.basis.eval_dx(x));
             }
             DiffOp::Dy => {
                 for c in self.nodes.points() {
                     let r = x.dist(c);
-                    row.push((x.y - c.y) * self.kernel.d1_over_r(r));
+                    out.push((x.y - c.y) * self.kernel.d1_over_r(r));
                 }
-                row.extend(self.basis.eval_dy(x));
+                out.extend(self.basis.eval_dy(x));
             }
             DiffOp::Lap => {
                 for c in self.nodes.points() {
-                    row.push(self.kernel.laplacian2d(x.dist(c)));
+                    out.push(self.kernel.laplacian2d(x.dist(c)));
                 }
-                row.extend(self.basis.eval_lap(x));
+                out.extend(self.basis.eval_lap(x));
             }
         }
-        row
     }
 
     /// Normal-derivative row `n·∇` at `x`.
@@ -142,10 +164,28 @@ impl GlobalCollocation {
     }
 
     /// Operator matrix with one row per point in `points`
-    /// (`points.len() × (N+M)`), built in parallel.
+    /// (`points.len() × (N+M)`), built in parallel. Rows are written
+    /// straight into the output storage with one row buffer per pool chunk
+    /// (no intermediate `Vec<Vec<f64>>`).
     pub fn op_matrix(&self, op: DiffOp, points: &[Point2]) -> DMat {
-        let rows: Vec<Vec<f64>> = par::par_map_collect(points.len(), |i| self.row(op, points[i]));
-        DMat::from_rows(&rows)
+        let size = self.size();
+        let np = points.len();
+        let mut out = DMat::zeros(np, size);
+        if np == 0 {
+            return out;
+        }
+        // Fixed row-block decomposition (at most 64 blocks), independent of
+        // the thread count.
+        let block = np.div_ceil(64).max(1);
+        par::par_chunks_mut(out.as_mut_slice(), block * size, |c, piece| {
+            let mut buf = Vec::with_capacity(size);
+            let base = c * block;
+            for (r, row) in piece.chunks_mut(size).enumerate() {
+                self.row_into(op, points[base + r], &mut buf);
+                row.copy_from_slice(&buf);
+            }
+        });
+        out
     }
 
     /// Operator matrix evaluated at this context's own nodes
@@ -183,12 +223,10 @@ impl GlobalCollocation {
             self.size(),
             "eval_op: wrong coefficient length"
         );
-        let vals: Vec<f64> = par::par_map_collect(points.len(), |i| {
-            self.row(op, points[i])
-                .iter()
-                .zip(coeffs.as_slice())
-                .map(|(r, c)| r * c)
-                .sum()
+        // One row buffer per pool chunk instead of one allocation per point.
+        let vals: Vec<f64> = par::par_map_collect_with(points.len(), Vec::new, |buf, i| {
+            self.row_into(op, points[i], buf);
+            buf.iter().zip(coeffs.as_slice()).map(|(r, c)| r * c).sum()
         });
         DVec(vals)
     }
@@ -216,18 +254,29 @@ impl GlobalCollocation {
     /// followed by the polynomial constraint rows.
     pub fn assemble(&self, row_for_node: impl Fn(usize, Point2) -> Vec<f64> + Sync) -> DMat {
         let size = self.size();
-        let rows: Vec<Vec<f64>> = par::par_map_collect(self.n(), |i| {
-            let row = row_for_node(i, self.nodes.point(i));
-            assert_eq!(row.len(), size, "assemble: row {i} has wrong length");
-            row
-        });
-        let mut mat = DMat::from_rows(&rows);
-        let cons = self.poly_constraint_rows();
+        let n = self.n();
         let mut full = DMat::zeros(size, size);
-        full.set_block(0, 0, &mat);
-        full.set_block(self.n(), 0, &cons);
-        mat = full;
-        mat
+        if n > 0 {
+            // Rows land straight in the output storage (no Vec<Vec> +
+            // block-copy round trip); fixed row-block decomposition.
+            let block = n.div_ceil(64).max(1);
+            par::par_chunks_mut(
+                &mut full.as_mut_slice()[..n * size],
+                block * size,
+                |c, piece| {
+                    let base = c * block;
+                    for (r, row) in piece.chunks_mut(size).enumerate() {
+                        let i = base + r;
+                        let v = row_for_node(i, self.nodes.point(i));
+                        assert_eq!(v.len(), size, "assemble: row {i} has wrong length");
+                        row.copy_from_slice(&v);
+                    }
+                },
+            );
+        }
+        let cons = self.poly_constraint_rows();
+        full.set_block(n, 0, &cons);
+        full
     }
 
     /// Convenience: the standard boundary-aware assembly where interior

@@ -1,9 +1,9 @@
 //! Execution substrate for the meshfree-oc workspace: a persistent scoped
-//! thread pool, a seedable RNG, and structured solver telemetry — all
-//! std-only, so the default-feature build graph resolves with no network
-//! and no registry.
+//! thread pool, a seedable RNG, structured solver telemetry, and kernel
+//! timing — all std-only, so the default-feature build graph resolves with
+//! no network and no registry.
 //!
-//! The three modules mirror the three external crates they replace:
+//! The modules mirror the external crates they replace:
 //!
 //! * [`par`] replaces rayon for the data-parallel kernels (dense matmul,
 //!   SpMV, collocation assembly, RBF-FD stencils). The optional
@@ -13,11 +13,20 @@
 //! * [`trace`] is the observability layer the paper's Table 3 numbers and
 //!   every convergence figure are regenerated from: span timers, counters,
 //!   and per-iteration [`trace::SolveEvent`]s flowing to pluggable sinks.
+//! * [`stats`] replaces criterion for the committed perf trajectory:
+//!   warmup + median-of-N kernel timing behind `BENCH_perf.json`.
+
+#![warn(missing_docs)]
 
 pub mod par;
 pub mod rng;
+pub mod stats;
 pub mod trace;
 
-pub use par::{num_threads, par_chunks_mut, par_for, par_map_collect, serial_scope, ThreadPool};
+pub use par::{
+    num_threads, par_chunks_mut, par_for, par_map_collect, par_map_collect_with, serial_scope,
+    with_pool, ThreadPool,
+};
 pub use rng::Rng64;
+pub use stats::{time_kernel, SpanStats};
 pub use trace::{SolveEvent, TraceEvent};

@@ -13,7 +13,7 @@
 //! chunk claiming balances them; anything fancier belongs behind the
 //! `accel-rayon` feature, which swaps this backend for rayon's scheduler.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,6 +31,9 @@ thread_local! {
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
     /// Incremented by [`serial_scope`]; forces serial execution.
     static SERIAL_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Stack of pools installed by [`with_pool`]; the innermost one serves
+    /// this thread's free-function `par_*` calls instead of the global pool.
+    static POOL_OVERRIDE: RefCell<Vec<Arc<ThreadPool>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A chunk executor shared with workers by reference. The raw pointer is a
@@ -249,9 +252,40 @@ fn serial_forced() -> bool {
     SERIAL_DEPTH.with(|c| c.get() > 0)
 }
 
-/// Pool size of the global pool (`MESHFREE_THREADS` or machine parallelism).
+/// Resolves the pool serving this thread's free-function `par_*` calls: the
+/// innermost [`with_pool`] override, else the global pool.
+fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
+    let over = POOL_OVERRIDE.with(|p| p.borrow().last().cloned());
+    match over {
+        Some(pool) => f(&pool),
+        None => f(ThreadPool::global()),
+    }
+}
+
+/// Pool size serving this thread (`MESHFREE_THREADS`, the machine, or the
+/// innermost [`with_pool`] override).
 pub fn num_threads() -> usize {
-    ThreadPool::global().threads()
+    with_current(|p| p.threads())
+}
+
+/// Runs `f` with all free-function `par_*` calls on this thread routed to
+/// `pool` instead of the global pool.
+///
+/// The cache-equivalence tests use this to run the same solver at pool sizes
+/// 1, 2 and 8 inside one process and assert the results are bit-identical;
+/// the chunk decomposition never depends on the thread count, so they are.
+pub fn with_pool<R>(pool: &Arc<ThreadPool>, f: impl FnOnce() -> R) -> R {
+    POOL_OVERRIDE.with(|p| p.borrow_mut().push(Arc::clone(pool)));
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            POOL_OVERRIDE.with(|p| {
+                p.borrow_mut().pop();
+            });
+        }
+    }
+    let _g = Guard;
+    f()
 }
 
 /// Runs `f` with all `par_*` calls on this thread forced serial — the
@@ -269,20 +303,20 @@ pub fn serial_scope<R>(f: impl FnOnce() -> R) -> R {
 }
 
 /// Splits `0..n` into deterministic chunks and calls `f(i)` for every `i`,
-/// in parallel across the global pool.
+/// in parallel across the current pool (global or [`with_pool`] override).
 pub fn par_for<F: Fn(usize) + Sync>(n: usize, f: F) {
-    ThreadPool::global().par_for(n, f)
+    with_current(|p| p.par_for(n, f))
 }
 
 /// Splits `data` into consecutive `chunk`-sized pieces and calls
-/// `f(chunk_index, piece)` for each, in parallel across the global pool.
+/// `f(chunk_index, piece)` for each, in parallel across the current pool.
 /// Chunk boundaries depend only on `chunk`, never on the thread count.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    ThreadPool::global().par_chunks_mut(data, chunk, f)
+    with_current(|p| p.par_chunks_mut(data, chunk, f))
 }
 
 /// Computes `f(i)` for `i in 0..n` in parallel and collects the results in
@@ -293,7 +327,25 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    ThreadPool::global().par_map_collect(n, f)
+    with_current(|p| p.par_map_collect(n, f))
+}
+
+/// [`par_map_collect`] with a reusable per-chunk workspace: `init()` runs
+/// once per claimed chunk and the workspace is threaded through every
+/// `f(&mut w, i)` in that chunk. Use this when each element needs scratch
+/// buffers (e.g. the per-stencil local systems of RBF-FD assembly) — the
+/// scratch is allocated O(chunks) times instead of O(n).
+///
+/// Results are written by index, so the output is identical for any thread
+/// count; the workspace must not carry state between elements that affects
+/// the result.
+pub fn par_map_collect_with<W, R, IF, F>(n: usize, init: IF, f: F) -> Vec<R>
+where
+    R: Send,
+    IF: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> R + Sync,
+{
+    with_current(|p| p.par_map_collect_with(n, init, f))
 }
 
 /// Raw pointer to an output buffer, shared with workers for disjoint
@@ -374,6 +426,44 @@ impl ThreadPool {
             // SAFETY: each index is written exactly once, disjointly.
             unsafe { (*ptr.get().add(i)).write(f(i)) };
         });
+        // SAFETY: all n slots are initialised; MaybeUninit<R> and R share
+        // layout.
+        let mut out = ManuallyDrop::new(out);
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity()) }
+    }
+
+    /// [`par_map_collect_with`] on this pool.
+    pub fn par_map_collect_with<W, R, IF, F>(&self, n: usize, init: IF, f: F) -> Vec<R>
+    where
+        R: Send,
+        IF: Fn() -> W + Sync,
+        F: Fn(&mut W, usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit slots need no initialisation.
+        unsafe { out.set_len(n) };
+        let ptr = OutPtr(out.as_mut_ptr());
+        let size = chunk_size(n, self.threads);
+        let chunks = n.div_ceil(size);
+        let run = |c: usize| {
+            let mut w = init();
+            let lo = c * size;
+            for i in lo..(lo + size).min(n) {
+                // SAFETY: each index is written exactly once, disjointly.
+                unsafe { (*ptr.get().add(i)).write(f(&mut w, i)) };
+            }
+        };
+        #[cfg(feature = "accel-rayon")]
+        if !serial_forced() {
+            rayon_backend::par_for(chunks, &run);
+            let mut out = ManuallyDrop::new(out);
+            // SAFETY: all n slots are initialised (every chunk ran).
+            return unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut R, n, out.capacity()) };
+        }
+        self.run_job(chunks, &run);
         // SAFETY: all n slots are initialised; MaybeUninit<R> and R share
         // layout.
         let mut out = ManuallyDrop::new(out);
@@ -496,6 +586,52 @@ mod tests {
         assert!(result.is_err());
         let again = pool.par_map_collect(64, |i| i * 2);
         assert_eq!(again, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_pool_overrides_free_functions_and_restores() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let before = num_threads();
+        assert_eq!(with_pool(&pool, num_threads), 3);
+        assert_eq!(num_threads(), before);
+    }
+
+    #[test]
+    fn map_collect_with_matches_plain_across_pool_sizes_1_2_8() {
+        let n = 5_003;
+        let want = par_map_collect(n, |i| (i as f64).sqrt() * 3.0 - 1.0);
+        for threads in [1usize, 2, 8] {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let got = with_pool(&pool, || {
+                par_map_collect_with(
+                    n,
+                    || vec![0.0f64; 8],
+                    |w, i| {
+                        // Dirty the scratch to prove reuse cannot leak.
+                        w[0] = i as f64;
+                        w[0].sqrt() * 3.0 - 1.0
+                    },
+                )
+            });
+            assert_eq!(got, want, "pool size {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn map_collect_with_initialises_one_workspace_per_chunk() {
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPool::new(4);
+        let n = 1_000;
+        let got = pool.par_map_collect_with(
+            n,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, i| i * 2,
+        );
+        assert_eq!(got, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+        // One workspace per claimed chunk, far fewer than one per element.
+        assert!(inits.load(Ordering::Relaxed) <= 4 * CHUNKS_PER_THREAD);
     }
 
     #[test]

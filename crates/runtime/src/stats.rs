@@ -1,0 +1,93 @@
+//! Kernel timing for the perf suite: warmup + median-of-N repetitions.
+//!
+//! `std::time::Instant` measurements of hot kernels are noisy (allocator
+//! state, frequency scaling, first-touch page faults), so a single timing is
+//! meaningless. [`time_kernel`] runs a closure `warmup` times untimed to
+//! settle caches and the thread pool, then times `reps` repetitions and
+//! reports the **median** — the estimator the paper-style wall-clock tables
+//! (Table 3) and `BENCH_perf.json` are built from, because it is robust to
+//! the one-sided noise of scheduling hiccups.
+
+use std::time::Instant;
+
+/// Aggregated nanosecond timings for one named kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Median of the timed repetitions (lower median for even counts).
+    pub median_ns: u64,
+    /// Fastest repetition.
+    pub min_ns: u64,
+    /// Slowest repetition.
+    pub max_ns: u64,
+    /// Number of timed repetitions (excludes warmup).
+    pub iters: usize,
+}
+
+impl SpanStats {
+    /// Median in seconds.
+    pub fn median_s(&self) -> f64 {
+        self.median_ns as f64 * 1e-9
+    }
+
+    /// Summarises a set of raw nanosecond samples. Panics if empty.
+    pub fn from_samples(samples: &[u64]) -> SpanStats {
+        assert!(!samples.is_empty(), "SpanStats needs at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        SpanStats {
+            // Lower median: deterministic and integer-valued.
+            median_ns: sorted[(sorted.len() - 1) / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            iters: sorted.len(),
+        }
+    }
+}
+
+/// Times `f` with `warmup` untimed runs followed by `reps` timed runs and
+/// returns the summary. `reps` is clamped to at least 1.
+pub fn time_kernel(warmup: usize, reps: usize, mut f: impl FnMut()) -> SpanStats {
+    for _ in 0..warmup {
+        f();
+    }
+    let reps = reps.max(1);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    SpanStats::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_min_max_of_known_samples() {
+        let s = SpanStats::from_samples(&[5, 1, 9, 3, 7]);
+        assert_eq!(s.median_ns, 5);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 9);
+        assert_eq!(s.iters, 5);
+        // Even count takes the lower median.
+        let e = SpanStats::from_samples(&[4, 2, 8, 6]);
+        assert_eq!(e.median_ns, 4);
+    }
+
+    #[test]
+    fn time_kernel_runs_warmup_plus_reps() {
+        let mut calls = 0;
+        let s = time_kernel(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(s.iters, 5);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn time_kernel_clamps_zero_reps() {
+        let s = time_kernel(0, 0, || {});
+        assert_eq!(s.iters, 1);
+    }
+}

@@ -59,13 +59,26 @@ pub struct SolveEvent {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// A timed region closed after `micros` microseconds.
-    Span { name: &'static str, micros: u64 },
+    Span {
+        /// Region name (e.g. `"lu_factor"`).
+        name: &'static str,
+        /// Elapsed wall time in microseconds.
+        micros: u64,
+    },
     /// A monotonic or gauge-style counter sample.
-    Counter { name: &'static str, value: f64 },
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
     /// One solver iteration at the named layer.
     Solve {
+        /// Emitting layer (`"linalg"`, `"pde"`, `"control"`, …).
         layer: &'static str,
+        /// Solver name within the layer (e.g. `"gmres"`, `"ns_picard"`).
         solver: &'static str,
+        /// Per-iteration quantities.
         event: SolveEvent,
     },
 }
@@ -382,13 +395,26 @@ impl Sink for CsvSink {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParsedEvent {
     /// See [`TraceEvent::Span`].
-    Span { name: String, micros: u64 },
+    Span {
+        /// Region name.
+        name: String,
+        /// Elapsed wall time in microseconds.
+        micros: u64,
+    },
     /// See [`TraceEvent::Counter`].
-    Counter { name: String, value: f64 },
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
     /// See [`TraceEvent::Solve`]; `null` fields parse back to `NaN`.
     Solve {
+        /// Emitting layer.
         layer: String,
+        /// Solver name within the layer.
         solver: String,
+        /// Per-iteration quantities.
         event: SolveEvent,
     },
 }

@@ -21,6 +21,20 @@ cargo build --release
 echo "==> cargo test (default features)"
 cargo test -q --workspace
 
+echo "==> rustdoc (no-deps, deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+echo "==> perf suite smoke + trajectory gate"
+# Quick run exercises every timed kernel end-to-end; its output goes to
+# target/ so CI never dirties the committed trajectory. The --verify pass
+# gates the committed BENCH_perf.json: it must parse and carry an entry for
+# every required kernel. Timings themselves are a soft report (hardware
+# varies); the structure is the hard contract.
+cargo run -q --release -p meshfree-bench --bin perf_suite -- \
+    --quick --out target/BENCH_perf_ci.json --baseline BENCH_perf.json
+cargo run -q --release -p meshfree-bench --bin perf_suite -- --verify BENCH_perf.json
+cargo run -q --release -p meshfree-bench --bin perf_suite -- --verify target/BENCH_perf_ci.json
+
 echo "==> golden-run regression gate"
 # The workspace test pass above already ran the comparator; this explicit
 # pass re-runs it with MESHFREE_BLESS cleared so an exported bless flag in
