@@ -14,8 +14,9 @@
 //!   central-difference oracle (footnote 11).
 
 use bench::write_csv;
-use control::laplace::{run as laplace_run, GradMethod, LaplaceRunConfig};
-use control::ns::{initial_control, run as ns_run, NsRunConfig};
+use control::laplace::{run_ctx as laplace_run, GradMethod, LaplaceRunConfig};
+use control::ns::{initial_control, run_ctx as ns_run, NsRunConfig};
+use control::RunCtx;
 use geometry::generators::{unit_square_scattered, ChannelConfig};
 use geometry::{NodeKind, Point2};
 use linalg::{DVec, Lu};
@@ -54,8 +55,8 @@ fn ablation_re() {
             log_every: 10,
             initial_scale: 1.0,
         };
-        let dal = ns_run(&solver, &cfg, GradMethod::Dal).expect("dal");
-        let dp = ns_run(&solver, &cfg, GradMethod::Dp).expect("dp");
+        let dal = ns_run(&solver, &cfg, GradMethod::Dal, &RunCtx::unchecked()).expect("dal");
+        let dp = ns_run(&solver, &cfg, GradMethod::Dp, &RunCtx::unchecked()).expect("dp");
         println!(
             "{re:>6} {j0:>12.3e} {:>12.3e} {:>12.3e}",
             dal.report.final_cost, dp.report.final_cost
@@ -143,7 +144,7 @@ fn ablation_kernels() {
                     log_every: 50,
                 };
                 let cond = p.condition_estimate();
-                match laplace_run(&p, &cfg, GradMethod::Dp) {
+                match laplace_run(&p, &cfg, GradMethod::Dp, &RunCtx::unchecked()) {
                     Ok(r) => {
                         println!("{name:>22} {:>12.3e} {cond:>14.3e}", r.report.final_cost);
                         rows.push(vec![id, r.report.final_cost, cond]);
@@ -178,6 +179,7 @@ fn ablation_optimizer() {
             log_every: 50,
         },
         GradMethod::Dal,
+        &RunCtx::unchecked(),
     )
     .expect("adam run");
     // SGD path: same gradients, plain descent.
@@ -318,7 +320,7 @@ fn ablation_sparse() {
             lr: 1e-2,
             log_every: 40,
         };
-        let j_dense = laplace_run(&dense, &cfg, GradMethod::Dp)
+        let j_dense = laplace_run(&dense, &cfg, GradMethod::Dp, &RunCtx::unchecked())
             .expect("dense run")
             .report
             .final_cost;
@@ -398,8 +400,8 @@ fn ablation_layouts() {
     };
     let grid = LaplaceControlProblem::new(16).expect("grid");
     let scat = LaplaceControlProblem::new_scattered(14 * 14, 16).expect("scattered");
-    let rg = laplace_run(&grid, &cfg, GradMethod::Dp).expect("grid run");
-    let rs = laplace_run(&scat, &cfg, GradMethod::Dp).expect("scattered run");
+    let rg = laplace_run(&grid, &cfg, GradMethod::Dp, &RunCtx::unchecked()).expect("grid run");
+    let rs = laplace_run(&scat, &cfg, GradMethod::Dp, &RunCtx::unchecked()).expect("scattered run");
     println!(
         "grid      : J = {:.3e}   cond ~ {:.3e}",
         rg.report.final_cost,

@@ -13,8 +13,9 @@
 
 use bench::write_csv;
 use control::laplace::GradMethod;
-use control::ns::{run, NsRunConfig};
+use control::ns::{run_ctx, NsRunConfig};
 use control::pinn_ns::{NsPinn, NsPinnConfig};
+use control::RunCtx;
 use geometry::generators::ChannelConfig;
 use linalg::DVec;
 use pde::{NsConfig, NsSolver, NsState};
@@ -72,8 +73,8 @@ fn main() {
         log_every: 10,
         initial_scale: 1.0,
     };
-    let dp = run(&solver, &mk_cfg(10), GradMethod::Dp).expect("DP");
-    let dal = run(&solver, &mk_cfg(3), GradMethod::Dal).expect("DAL");
+    let dp = run_ctx(&solver, &mk_cfg(10), GradMethod::Dp, &RunCtx::unchecked()).expect("DP");
+    let dal = run_ctx(&solver, &mk_cfg(3), GradMethod::Dal, &RunCtx::unchecked()).expect("DAL");
 
     let mut pinn = NsPinn::new(NsPinnConfig {
         channel: solver.cfg().channel.clone(),

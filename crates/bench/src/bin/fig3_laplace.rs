@@ -12,7 +12,8 @@
 //! CSV output lands in `results/`.
 
 use bench::{print_series, write_csv};
-use control::laplace::{run, GradMethod, LaplaceRunConfig};
+use control::laplace::{run_ctx, GradMethod, LaplaceRunConfig};
+use control::RunCtx;
 use geometry::Point2;
 use linalg::DVec;
 use pde::{analytic, LaplaceControlProblem};
@@ -31,15 +32,16 @@ fn main() {
         log_every: (iterations / 60).max(1),
     };
 
-    let dp = run(&problem, &cfg, GradMethod::Dp).expect("DP run");
-    let dal = run(&problem, &cfg, GradMethod::Dal).expect("DAL run");
-    let fd = run(
+    let dp = run_ctx(&problem, &cfg, GradMethod::Dp, &RunCtx::unchecked()).expect("DP run");
+    let dal = run_ctx(&problem, &cfg, GradMethod::Dal, &RunCtx::unchecked()).expect("DAL run");
+    let fd = run_ctx(
         &problem,
         &LaplaceRunConfig {
             iterations: iterations.min(100),
             ..cfg.clone()
         },
         GradMethod::FiniteDiff,
+        &RunCtx::unchecked(),
     )
     .expect("FD run");
 

@@ -10,8 +10,9 @@
 
 use bench::write_csv;
 use control::laplace::GradMethod;
-use control::ns::{initial_control, run, NsRunConfig};
+use control::ns::{initial_control, run_ctx, NsRunConfig};
 use control::pinn_ns::{NsPinn, NsPinnConfig};
+use control::RunCtx;
 use geometry::generators::ChannelConfig;
 use pde::analytic::poiseuille;
 use pde::{NsConfig, NsSolver};
@@ -41,7 +42,7 @@ fn main() {
     );
 
     // DAL with k = 3 and DP with k = 10 refinements, per Table 2.
-    let dal = run(
+    let dal = run_ctx(
         &solver,
         &NsRunConfig {
             iterations,
@@ -51,9 +52,10 @@ fn main() {
             initial_scale: 1.0,
         },
         GradMethod::Dal,
+        &RunCtx::unchecked(),
     )
     .expect("DAL run");
-    let dp = run(
+    let dp = run_ctx(
         &solver,
         &NsRunConfig {
             iterations,
@@ -63,6 +65,7 @@ fn main() {
             initial_scale: 1.0,
         },
         GradMethod::Dp,
+        &RunCtx::unchecked(),
     )
     .expect("DP run");
 

@@ -15,6 +15,7 @@ use control::metrics::{peak_allocated_bytes, reset_peak, RunReport};
 use control::ns::{self, NsRunConfig};
 use control::pinn::{LaplacePinn, PinnConfig};
 use control::pinn_ns::{NsPinn, NsPinnConfig};
+use control::RunCtx;
 use geometry::generators::ChannelConfig;
 use pde::{LaplaceControlProblem, NsConfig, NsSolver};
 
@@ -22,8 +23,8 @@ use pde::{LaplaceControlProblem, NsConfig, NsSolver};
 static ALLOC: control::metrics::TrackingAllocator = control::metrics::TrackingAllocator;
 
 struct Row {
-    problem: &'static str,
-    method: &'static str,
+    problem: String,
+    method: String,
     time_s: f64,
     peak_mb: f64,
     iters: usize,
@@ -32,8 +33,8 @@ struct Row {
 
 fn report_to_row(r: &RunReport, peak_mb: f64) -> Row {
     Row {
-        problem: r.problem,
-        method: r.method,
+        problem: r.problem.clone(),
+        method: r.method.clone(),
         time_s: r.wall_s,
         peak_mb,
         iters: r.iterations,
@@ -62,7 +63,8 @@ fn main() {
     };
     for method in [GradMethod::Dal, GradMethod::Dp] {
         reset_peak();
-        let run = laplace::run(&problem, &lcfg, method).expect("laplace run");
+        let run =
+            laplace::run_ctx(&problem, &lcfg, method, &RunCtx::unchecked()).expect("laplace run");
         rows.push(report_to_row(
             &run.report,
             peak_allocated_bytes() as f64 / 1e6,
@@ -83,8 +85,8 @@ fn main() {
         pinn.train(0.0, 2 * pinn_epochs, false);
         let parts = pinn.loss_parts();
         rows.push(Row {
-            problem: "laplace",
-            method: "PINN",
+            problem: "laplace".to_string(),
+            method: "PINN".to_string(),
             time_s: t.elapsed_s(),
             peak_mb: peak_allocated_bytes() as f64 / 1e6,
             iters: 3 * pinn_epochs,
@@ -105,7 +107,7 @@ fn main() {
     .expect("ns assembly");
     for (method, k) in [(GradMethod::Dal, 3usize), (GradMethod::Dp, 10)] {
         reset_peak();
-        let run = ns::run(
+        let run = ns::run_ctx(
             &solver,
             &NsRunConfig {
                 iterations: ns_iters,
@@ -115,6 +117,7 @@ fn main() {
                 initial_scale: 1.0,
             },
             method,
+            &RunCtx::unchecked(),
         )
         .expect("ns run");
         rows.push(report_to_row(
@@ -138,8 +141,8 @@ fn main() {
         pinn.train(0.0, pinn_epochs / 2, false);
         let parts = pinn.loss_parts();
         rows.push(Row {
-            problem: "navier-stokes",
-            method: "PINN",
+            problem: "navier-stokes".to_string(),
+            method: "PINN".to_string(),
             time_s: t.elapsed_s(),
             peak_mb: peak_allocated_bytes() as f64 / 1e6,
             iters: pinn_epochs + pinn_epochs / 2,

@@ -20,7 +20,9 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-/// One experiment's snapshot: named scalars plus named numeric series.
+/// One experiment's snapshot: named scalars plus named numeric series,
+/// optionally annotated with named string fields (used by the campaign
+/// ledger for statuses and strategy names; compared for exact equality).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GoldenSnapshot {
     /// Snapshot name (doubles as the file stem).
@@ -29,6 +31,10 @@ pub struct GoldenSnapshot {
     pub scalars: Vec<(String, f64)>,
     /// Series fields, e.g. `("cost_history", vec![...])`.
     pub series: Vec<(String, Vec<f64>)>,
+    /// String fields, e.g. `("status", "done")`. The section is omitted
+    /// from the JSON entirely when empty, so pre-existing snapshots keep
+    /// their exact bytes.
+    pub strings: Vec<(String, String)>,
 }
 
 impl GoldenSnapshot {
@@ -52,6 +58,17 @@ impl GoldenSnapshot {
         self
     }
 
+    /// Adds a string field (builder style). Values must not contain `"`
+    /// (the writer does not escape; the restricted format has no need).
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        assert!(
+            !value.contains('"') && !value.contains('\n'),
+            "string fields must not contain quotes or newlines"
+        );
+        self.strings.push((key.to_string(), value.to_string()));
+        self
+    }
+
     /// Looks up a scalar by key.
     pub fn get_scalar(&self, key: &str) -> Option<f64> {
         self.scalars.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
@@ -65,11 +82,27 @@ impl GoldenSnapshot {
             .map(|(_, v)| v.as_slice())
     }
 
+    /// Looks up a string field by key.
+    pub fn get_string(&self, key: &str) -> Option<&str> {
+        self.strings
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Serializes to the restricted JSON format.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"name\": \"{}\",", self.name);
+        if !self.strings.is_empty() {
+            s.push_str("  \"strings\": {");
+            for (i, (k, v)) in self.strings.iter().enumerate() {
+                let sep = if i + 1 < self.strings.len() { "," } else { "" };
+                let _ = write!(s, "\n    \"{k}\": \"{v}\"{sep}");
+            }
+            s.push_str("\n  },\n");
+        }
         s.push_str("  \"scalars\": {");
         for (i, (k, v)) in self.scalars.iter().enumerate() {
             let sep = if i + 1 < self.scalars.len() { "," } else { "" };
@@ -99,6 +132,39 @@ impl GoldenSnapshot {
         s
     }
 
+    /// Serializes to a single line of the same restricted JSON — the form
+    /// the campaign driver appends to its JSONL ledger (one record per
+    /// line). [`Self::from_json`] parses both forms.
+    pub fn to_json_compact(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"name\": \"{}\", ", self.name);
+        if !self.strings.is_empty() {
+            s.push_str("\"strings\": {");
+            for (i, (k, v)) in self.strings.iter().enumerate() {
+                let sep = if i + 1 < self.strings.len() { ", " } else { "" };
+                let _ = write!(s, "\"{k}\": \"{v}\"{sep}");
+            }
+            s.push_str("}, ");
+        }
+        s.push_str("\"scalars\": {");
+        for (i, (k, v)) in self.scalars.iter().enumerate() {
+            let sep = if i + 1 < self.scalars.len() { ", " } else { "" };
+            let _ = write!(s, "\"{}\": {}{}", k, fmt_f64(*v), sep);
+        }
+        s.push_str("}, \"series\": {");
+        for (i, (k, vs)) in self.series.iter().enumerate() {
+            let sep = if i + 1 < self.series.len() { ", " } else { "" };
+            let _ = write!(s, "\"{k}\": [");
+            for (j, v) in vs.iter().enumerate() {
+                let vsep = if j + 1 < vs.len() { ", " } else { "" };
+                let _ = write!(s, "{}{}", fmt_f64(*v), vsep);
+            }
+            let _ = write!(s, "]{sep}");
+        }
+        s.push_str("}}");
+        s
+    }
+
     /// Parses the restricted JSON format produced by [`Self::to_json`].
     ///
     /// This is a schema-specific parser, not a general JSON one: it accepts
@@ -113,6 +179,20 @@ impl GoldenSnapshot {
             p.expect(':')?;
             match key.as_str() {
                 "name" => snap.name = p.string()?,
+                "strings" => {
+                    p.expect('{')?;
+                    if !p.try_expect('}') {
+                        loop {
+                            let k = p.string()?;
+                            p.expect(':')?;
+                            snap.strings.push((k, p.string()?));
+                            if !p.try_expect(',') {
+                                break;
+                            }
+                        }
+                        p.expect('}')?;
+                    }
+                }
                 "scalars" => {
                     p.expect('{')?;
                     if !p.try_expect('}') {
@@ -304,6 +384,22 @@ pub fn compare(
     policy: &GoldenPolicy,
 ) -> Vec<String> {
     let mut violations = Vec::new();
+    for (key, exp) in &expected.strings {
+        match actual.get_string(key) {
+            None => violations.push(format!("string {key:?} missing from run")),
+            Some(act) if act != exp => violations.push(format!(
+                "string {key:?}: got {act:?}, blessed {exp:?} (strings compare exactly)"
+            )),
+            Some(_) => {}
+        }
+    }
+    for (key, _) in &actual.strings {
+        if expected.get_string(key).is_none() {
+            violations.push(format!(
+                "string {key:?} is new — bless with MESHFREE_BLESS=1"
+            ));
+        }
+    }
     for (key, &exp) in expected.scalars.iter().map(|(k, v)| (k, v)) {
         match actual.get_scalar(key) {
             None => violations.push(format!("scalar {key:?} missing from run")),
@@ -473,6 +569,38 @@ mod tests {
         assert!(v.iter().any(|m| m.contains("missing")));
         assert!(v.iter().any(|m| m.contains("length")));
         assert!(v.iter().any(|m| m.contains("new")));
+    }
+
+    #[test]
+    fn compact_json_round_trips_and_is_one_line() {
+        let snap = sample().string("status", "done").string("strategy", "DP");
+        let line = snap.to_json_compact();
+        assert_eq!(line.lines().count(), 1, "compact form must be one line");
+        let back = GoldenSnapshot::from_json(&line).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn strings_section_is_omitted_when_empty() {
+        // Pre-existing snapshots (goldens, BENCH_perf.json) must keep their
+        // exact serialized form now that the format knows about strings.
+        let snap = sample();
+        assert!(!snap.to_json().contains("strings"));
+        assert!(!snap.to_json_compact().contains("strings"));
+        let with = sample().string("status", "done");
+        let back = GoldenSnapshot::from_json(&with.to_json()).unwrap();
+        assert_eq!(with, back);
+    }
+
+    #[test]
+    fn compare_flags_string_drift_exactly() {
+        let blessed = sample().string("status", "done");
+        let mut run = sample().string("status", "failed");
+        let v = compare(&blessed, &run, &GoldenPolicy::default());
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert!(v[0].contains("status"));
+        run.strings[0].1 = "done".into();
+        assert!(compare(&blessed, &run, &GoldenPolicy::default()).is_empty());
     }
 
     #[test]

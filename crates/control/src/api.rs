@@ -1,32 +1,252 @@
-//! A small generic interface for optimal-control problems.
+//! The unified strategy façade for optimal-control runs.
 //!
 //! The paper pitches its framework as "a robust yet flexible tool to
-//! quickly prototype models and control them under various conditions".
-//! [`ControlObjective`] is that seam in this workspace: anything that can
-//! report a cost and a gradient plugs into the same Adam loop, history
-//! recording and reporting that drive the paper's experiments. Adapters for
-//! the built-in problems (Laplace dense DP/DAL, sparse RBF-FD, heat,
-//! Navier–Stokes DP) are provided.
+//! quickly prototype models and control them under various conditions",
+//! and its headline contribution is a side-by-side comparison of DAL, DP
+//! and PINN on the *same* mesh-free substrate. This module is that seam in
+//! code form:
+//!
+//! * [`RunSpec`] declares one run — problem × [`Strategy`] × seed ×
+//!   hyperparameters — through a builder
+//!   (`RunSpec::laplace().strategy(Strategy::Dal).iterations(200).seed(7).build()`),
+//!   and [`execute`] dispatches it to the right driver.
+//! * [`ControlError`] is the single error type every public `control` and
+//!   `driver` function returns (previously raw `LinalgError` leaked from
+//!   every signature).
+//! * [`RunCtx`] threads a [`CancelToken`] plus divergence checking through
+//!   the optimizer loops, so the campaign driver can impose wall-clock
+//!   deadlines and abort runs cooperatively.
+//! * [`ControlObjective`] remains the low-level plug-in trait: anything
+//!   that reports a cost and gradient runs under the same Adam loop via
+//!   [`optimize`].
 
+use crate::laplace::GradMethod;
 use crate::metrics::{ConvergenceHistory, RunReport, Timer};
+use crate::pinn::{LaplacePinn, PinnConfig};
+use crate::pinn_ns::{NsPinn, NsPinnConfig};
+use geometry::generators::ChannelConfig;
 use linalg::{DVec, LinalgError};
+use meshfree_runtime::{CancelToken, Rng64};
 use opt::{Adam, Optimizer, Schedule};
 use pde::heat::HeatControlProblem;
 use pde::laplace_fd::LaplaceFdProblem;
 use pde::ns_dp::NsDp;
-use pde::{LaplaceControlProblem, NsState};
+use pde::{LaplaceControlProblem, NsConfig, NsSolver, NsState};
+use std::error::Error;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// ControlError
+// ---------------------------------------------------------------------------
+
+/// The single error type of the `control` and `driver` layers.
+///
+/// Wraps the numeric kernel's [`LinalgError`] and adds the run-supervision
+/// failures (divergence, timeout, cancellation, bad configuration, ledger
+/// I/O) that the campaign driver distinguishes when deciding whether to
+/// retry, abort or fail fast.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// A linear-algebra / PDE-solve failure bubbled up from the kernels.
+    Linalg(LinalgError),
+    /// The cost objective became non-finite (NaN/∞) during optimization.
+    Diverged {
+        /// Iteration at which the non-finite cost was observed.
+        iteration: usize,
+        /// The offending cost value (NaN or ±∞).
+        cost: f64,
+    },
+    /// The run's wall-clock deadline expired before it finished.
+    Timeout {
+        /// Iteration reached when the deadline fired.
+        iteration: usize,
+        /// Seconds elapsed when the deadline fired.
+        elapsed_s: f64,
+    },
+    /// The run was cancelled cooperatively (e.g. campaign abort).
+    Cancelled {
+        /// Iteration reached when cancellation was observed.
+        iteration: usize,
+    },
+    /// The run specification is invalid.
+    BadConfig(String),
+    /// A campaign-ledger I/O or parse failure.
+    Ledger {
+        /// Ledger file path.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            ControlError::Diverged { iteration, cost } => {
+                write!(f, "diverged at iteration {iteration}: cost = {cost:e}")
+            }
+            ControlError::Timeout {
+                iteration,
+                elapsed_s,
+            } => write!(
+                f,
+                "timed out at iteration {iteration} after {elapsed_s:.2} s"
+            ),
+            ControlError::Cancelled { iteration } => {
+                write!(f, "cancelled at iteration {iteration}")
+            }
+            ControlError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            ControlError::Ledger { path, detail } => {
+                write!(f, "ledger {path}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(e: LinalgError) -> Self {
+        ControlError::Linalg(e)
+    }
+}
+
+impl ControlError {
+    /// True for failures that a damped retry with a perturbed seed can
+    /// plausibly cure: an observed non-finite cost, or iterative-solver
+    /// breakdown / non-convergence (the Picard divergence mode).
+    pub fn is_divergence(&self) -> bool {
+        match self {
+            ControlError::Diverged { .. } => true,
+            ControlError::Linalg(e) => matches!(
+                e,
+                LinalgError::NotConverged { .. }
+                    | LinalgError::SingularMatrix { .. }
+                    | LinalgError::Breakdown { .. }
+            ),
+            _ => false,
+        }
+    }
+
+    /// True for failures that no retry can cure and that indicate the whole
+    /// grid is misconfigured (the campaign driver fails fast on these).
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            ControlError::BadConfig(_)
+                | ControlError::Ledger { .. }
+                | ControlError::Linalg(
+                    LinalgError::ShapeMismatch { .. } | LinalgError::NotPositiveDefinite { .. }
+                )
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunCtx
+// ---------------------------------------------------------------------------
+
+/// Supervision context threaded through every optimizer loop.
+///
+/// Carries the cooperative [`CancelToken`] (explicit cancel or wall-clock
+/// deadline) and the divergence-detection switch. Loops call
+/// [`RunCtx::check_iteration`] once per iteration and
+/// [`RunCtx::check_cost`] on every fresh cost value; both are no-ops in the
+/// common (live, finite) case.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Cooperative stop signal (deadline and/or explicit cancellation).
+    pub cancel: CancelToken,
+    /// When true, a non-finite cost aborts the run with
+    /// [`ControlError::Diverged`]. The deprecated legacy entry points keep
+    /// this off to preserve their historical freeze-and-report behaviour.
+    pub check_divergence: bool,
+    /// Zero-based attempt index; the campaign driver increments it on each
+    /// damped retry (fault-injecting objectives key off it).
+    pub attempt: u32,
+}
+
+impl RunCtx {
+    /// Fresh context: no deadline, no cancellation, divergence checks on.
+    pub fn new() -> RunCtx {
+        RunCtx {
+            cancel: CancelToken::new(),
+            check_divergence: true,
+            attempt: 0,
+        }
+    }
+
+    /// Legacy semantics: never stops, never flags divergence. Runs behave
+    /// exactly as before this context existed.
+    pub fn unchecked() -> RunCtx {
+        RunCtx {
+            check_divergence: false,
+            ..RunCtx::new()
+        }
+    }
+
+    /// Context for a supervised (campaign) attempt.
+    pub fn supervised(cancel: CancelToken, attempt: u32) -> RunCtx {
+        RunCtx {
+            cancel,
+            check_divergence: true,
+            attempt,
+        }
+    }
+
+    /// Polls the cancel token; maps a stop into the matching error.
+    pub fn check_iteration(&self, iteration: usize, elapsed_s: f64) -> Result<(), ControlError> {
+        use meshfree_runtime::cancel::StopReason;
+        match self.cancel.stop_reason() {
+            None => Ok(()),
+            Some(StopReason::DeadlineExpired) => Err(ControlError::Timeout {
+                iteration,
+                elapsed_s,
+            }),
+            Some(StopReason::Cancelled) => Err(ControlError::Cancelled { iteration }),
+        }
+    }
+
+    /// Flags a non-finite cost as divergence (when checking is enabled).
+    pub fn check_cost(&self, iteration: usize, cost: f64) -> Result<(), ControlError> {
+        if self.check_divergence && !cost.is_finite() {
+            return Err(ControlError::Diverged { iteration, cost });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        RunCtx::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ControlObjective + generic Adam driver
+// ---------------------------------------------------------------------------
 
 /// A differentiable control objective `J(c)`.
 pub trait ControlObjective {
     /// Number of control degrees of freedom.
     fn n_controls(&self) -> usize;
     /// Cost at `c`.
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError>;
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError>;
     /// Cost and gradient at `c` (mutable so implementations may keep warm
     /// state, like the Navier–Stokes flow field).
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError>;
-    /// Display name for reports.
-    fn name(&self) -> &'static str {
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError>;
+    /// Display name for reports. Returns `&str` (not `&'static str`) so
+    /// campaign-generated objectives can carry grid coordinates in their
+    /// names.
+    fn name(&self) -> &str {
         "custom"
     }
     /// Initial control (zeros by default).
@@ -56,28 +276,79 @@ impl Default for OptimizeOpts {
     }
 }
 
+impl OptimizeOpts {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> OptimizeOptsBuilder {
+        OptimizeOptsBuilder {
+            opts: OptimizeOpts::default(),
+        }
+    }
+}
+
+/// Builder for [`OptimizeOpts`] (all fields default to the historical
+/// values, so existing literal-struct call sites keep their behaviour).
+#[derive(Debug, Clone)]
+pub struct OptimizeOptsBuilder {
+    opts: OptimizeOpts,
+}
+
+impl OptimizeOptsBuilder {
+    /// Adam iterations.
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.opts.iterations = n;
+        self
+    }
+    /// Initial learning rate.
+    pub fn lr(mut self, lr: f64) -> Self {
+        self.opts.lr = lr;
+        self
+    }
+    /// History recording stride.
+    pub fn log_every(mut self, k: usize) -> Self {
+        self.opts.log_every = k.max(1);
+        self
+    }
+    /// Finishes the builder.
+    pub fn build(self) -> OptimizeOpts {
+        self.opts
+    }
+}
+
 /// Runs Adam with the paper's learning-rate schedule on any objective.
 pub fn optimize(
     obj: &mut dyn ControlObjective,
     opts: &OptimizeOpts,
-) -> Result<(RunReport, DVec), LinalgError> {
+) -> Result<(RunReport, DVec), ControlError> {
+    optimize_ctx(obj, opts, &RunCtx::unchecked())
+}
+
+/// [`optimize`] under a supervision context (deadline / cancellation /
+/// divergence detection).
+pub fn optimize_ctx(
+    obj: &mut dyn ControlObjective,
+    opts: &OptimizeOpts,
+    ctx: &RunCtx,
+) -> Result<(RunReport, DVec), ControlError> {
     let timer = Timer::start();
     let mut c = obj.initial_control();
     let mut adam = Adam::new(c.len(), Schedule::paper_decay(opts.lr, opts.iterations));
     let mut history = ConvergenceHistory::default();
     for it in 0..opts.iterations {
+        ctx.check_iteration(it, timer.elapsed_s())?;
         let (j, g) = obj.cost_and_grad(&c)?;
+        ctx.check_cost(it, j)?;
         if it % opts.log_every == 0 || it + 1 == opts.iterations {
             history.push(it, j, g.norm_inf(), timer.elapsed_s());
         }
         adam.step(&mut c, &g);
     }
     let final_cost = obj.cost(&c)?;
+    ctx.check_cost(opts.iterations, final_cost)?;
     history.push(opts.iterations, final_cost, 0.0, timer.elapsed_s());
     Ok((
         RunReport {
-            method: obj.name(),
-            problem: "generic",
+            method: obj.name().to_string(),
+            problem: "generic".to_string(),
             iterations: opts.iterations,
             final_cost,
             wall_s: timer.elapsed_s(),
@@ -88,6 +359,10 @@ pub fn optimize(
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Built-in objective adapters
+// ---------------------------------------------------------------------------
+
 /// Dense Laplace problem with DP (tape) gradients.
 pub struct LaplaceDpObjective<'p>(pub &'p LaplaceControlProblem);
 
@@ -95,13 +370,13 @@ impl ControlObjective for LaplaceDpObjective<'_> {
     fn n_controls(&self) -> usize {
         self.0.n_controls()
     }
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
-        self.0.cost(c)
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
+        Ok(self.0.cost(c)?)
     }
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        self.0.cost_and_grad_dp(c)
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
+        Ok(self.0.cost_and_grad_dp(c)?)
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "laplace-dp"
     }
 }
@@ -113,13 +388,13 @@ impl ControlObjective for LaplaceDalObjective<'_> {
     fn n_controls(&self) -> usize {
         self.0.n_controls()
     }
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
-        self.0.cost(c)
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
+        Ok(self.0.cost(c)?)
     }
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        self.0.cost_and_grad_dal(c)
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
+        Ok(self.0.cost_and_grad_dal(c)?)
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "laplace-dal"
     }
 }
@@ -131,13 +406,13 @@ impl ControlObjective for LaplaceFdObjective<'_> {
     fn n_controls(&self) -> usize {
         self.0.n_controls()
     }
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
-        self.0.cost(c)
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
+        Ok(self.0.cost(c)?)
     }
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        self.0.cost_and_grad(c)
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
+        Ok(self.0.cost_and_grad(c)?)
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "laplace-fd"
     }
 }
@@ -149,14 +424,14 @@ impl ControlObjective for HeatObjective<'_> {
     fn n_controls(&self) -> usize {
         self.0.n_controls()
     }
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
-        self.0.cost(c)
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
+        Ok(self.0.cost(c)?)
     }
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
         let (j, g, _) = self.0.cost_and_grad_dp(c)?;
         Ok((j, g))
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "heat-dp"
     }
 }
@@ -165,14 +440,14 @@ impl ControlObjective for HeatObjective<'_> {
 /// state.
 pub struct NsDpObjective<'s> {
     dp: NsDp<'s>,
-    solver: &'s pde::NsSolver,
+    solver: &'s NsSolver,
     refinements: usize,
     state: Option<NsState>,
 }
 
 impl<'s> NsDpObjective<'s> {
     /// Wraps a solver with `k` refinements per gradient evaluation.
-    pub fn new(solver: &'s pde::NsSolver, refinements: usize) -> Self {
+    pub fn new(solver: &'s NsSolver, refinements: usize) -> Self {
         NsDpObjective {
             dp: NsDp::new(solver),
             solver,
@@ -186,7 +461,7 @@ impl ControlObjective for NsDpObjective<'_> {
     fn n_controls(&self) -> usize {
         self.solver.n_controls()
     }
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
         let st = self
             .solver
             .solve(c, self.refinements.max(12), self.state.take())?;
@@ -194,12 +469,12 @@ impl ControlObjective for NsDpObjective<'_> {
         self.state = Some(st);
         Ok(j)
     }
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
         let (j, g, _, st) = self.dp.run(c, self.refinements, self.state.as_ref())?;
         self.state = Some(st);
         Ok((j, g))
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "navier-stokes-dp"
     }
     fn initial_control(&self) -> DVec {
@@ -207,11 +482,800 @@ impl ControlObjective for NsDpObjective<'_> {
     }
 }
 
+/// A cheap analytic quadratic `J(c) = ½‖c − t‖²` used by the campaign
+/// driver's tests and the CI smoke campaign.
+///
+/// With `poisoned = true` the objective reports NaN costs — a deterministic
+/// stand-in for a diverging solve, used to exercise the driver's
+/// retry-on-divergence path (the campaign driver sets `poisoned` from the
+/// spec's `fail_attempts` and the current attempt index).
+pub struct SyntheticObjective {
+    target: DVec,
+    init: DVec,
+    poisoned: bool,
+    label: String,
+}
+
+impl SyntheticObjective {
+    /// `n`-dimensional quadratic with a seed-dependent initial control.
+    pub fn new(n: usize, seed: u64, poisoned: bool) -> SyntheticObjective {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut init = vec![0.0; n];
+        rng.fill_uniform(&mut init, -0.5..0.5);
+        SyntheticObjective {
+            target: DVec::from_fn(n, |i| (0.8 * (i as f64 + 1.0)).sin()),
+            init: DVec(init),
+            poisoned,
+            // A dynamic name: exercises `ControlObjective::name -> &str`.
+            label: format!("synthetic-n{n}-seed{seed}"),
+        }
+    }
+}
+
+impl ControlObjective for SyntheticObjective {
+    fn n_controls(&self) -> usize {
+        self.target.len()
+    }
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
+        if self.poisoned {
+            return Ok(f64::NAN);
+        }
+        Ok(0.5
+            * (0..c.len())
+                .map(|i| (c[i] - self.target[i]).powi(2))
+                .sum::<f64>())
+    }
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
+        if self.poisoned {
+            return Ok((f64::NAN, DVec::zeros(c.len())));
+        }
+        let j = self.cost(c)?;
+        let g = DVec::from_fn(c.len(), |i| c[i] - self.target[i]);
+        Ok((j, g))
+    }
+    fn name(&self) -> &str {
+        &self.label
+    }
+    fn initial_control(&self) -> DVec {
+        self.init.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy / ProblemSpec / RunSpec
+// ---------------------------------------------------------------------------
+
+/// The paper's three control strategies, plus the finite-difference
+/// baseline (footnote 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Direct-adjoint looping (optimise-then-discretise).
+    Dal,
+    /// Differentiable programming (discretise-then-optimise).
+    Dp,
+    /// Central finite differences.
+    FiniteDiff,
+    /// Physics-informed neural network with the two-step ω strategy.
+    Pinn,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's comparison order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Dal,
+        Strategy::Dp,
+        Strategy::FiniteDiff,
+        Strategy::Pinn,
+    ];
+
+    /// Display name (matches the legacy `GradMethod::name` values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Dal => "DAL",
+            Strategy::Dp => "DP",
+            Strategy::FiniteDiff => "FD",
+            Strategy::Pinn => "PINN",
+        }
+    }
+
+    /// The gradient source for solver-in-the-loop strategies (`None` for
+    /// the PINN, which never calls the solver during training).
+    pub fn grad_method(&self) -> Option<GradMethod> {
+        match self {
+            Strategy::Dal => Some(GradMethod::Dal),
+            Strategy::Dp => Some(GradMethod::Dp),
+            Strategy::FiniteDiff => Some(GradMethod::FiniteDiff),
+            Strategy::Pinn => None,
+        }
+    }
+}
+
+/// Which PDE substrate a [`RunSpec`] targets, with its build parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemSpec {
+    /// Dense Laplace boundary control (paper §3.1) on an `nx × nx` cloud.
+    Laplace {
+        /// Grid resolution per side.
+        nx: usize,
+    },
+    /// Navier–Stokes inflow control (paper §3.2).
+    NavierStokes {
+        /// Target node spacing.
+        h: f64,
+        /// Reynolds number.
+        re: f64,
+        /// Blowing/suction slot velocity.
+        slot_velocity: f64,
+        /// Picard refinements per gradient evaluation.
+        refinements: usize,
+        /// Scale on the initial parabolic control.
+        initial_scale: f64,
+    },
+    /// Analytic quadratic used for driver tests / smoke campaigns.
+    Synthetic {
+        /// Control dimension.
+        n_controls: usize,
+        /// Number of initial attempts that report NaN costs (fault
+        /// injection for the retry path; 0 = healthy).
+        fail_attempts: u32,
+    },
+}
+
+impl ProblemSpec {
+    /// Report name of the substrate.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProblemSpec::Laplace { .. } => "laplace",
+            ProblemSpec::NavierStokes { .. } => "navier-stokes",
+            ProblemSpec::Synthetic { .. } => "synthetic",
+        }
+    }
+
+    /// Deterministic cache key over the parameters that determine the
+    /// *built* problem (the campaign driver shares one build across every
+    /// spec with the same key). Per-run knobs (`refinements`,
+    /// `initial_scale`, `fail_attempts`) are deliberately excluded.
+    pub fn build_key(&self) -> String {
+        match self {
+            ProblemSpec::Laplace { nx } => format!("laplace-nx{nx}"),
+            ProblemSpec::NavierStokes {
+                h,
+                re,
+                slot_velocity,
+                ..
+            } => format!("ns-h{h:e}-re{re:e}-sv{slot_velocity:e}"),
+            ProblemSpec::Synthetic { n_controls, .. } => format!("synthetic-n{n_controls}"),
+        }
+    }
+}
+
+/// One declarative run: problem × strategy × seed × hyperparameters.
+///
+/// Construct through the builders ([`RunSpec::laplace`],
+/// [`RunSpec::navier_stokes`], [`RunSpec::synthetic`]); the fields stay
+/// public so the campaign driver can perturb `lr` and `seed` on retries.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The PDE substrate and its build parameters.
+    pub problem: ProblemSpec,
+    /// Which strategy drives the control.
+    pub strategy: Strategy,
+    /// Optimizer iterations (PINN: step-1 training epochs).
+    pub iterations: usize,
+    /// Initial learning rate.
+    pub lr: f64,
+    /// History recording stride.
+    pub log_every: usize,
+    /// RNG seed (PINN initialisation / synthetic initial control; the
+    /// deterministic solver strategies ignore it).
+    pub seed: u64,
+    /// PINN cost weight ω (ignored by the solver strategies).
+    pub omega: f64,
+    /// Explicit run label; when unset, [`RunSpec::id`] derives one.
+    pub label: Option<String>,
+    /// Full PINN hyperparameters for Laplace runs. When unset, a
+    /// laptop-scale config is derived from `iterations`; when set, its
+    /// epochs are honoured but `seed`/`lr` are still taken from the spec
+    /// (they are the retry knobs).
+    pub pinn: Option<PinnConfig>,
+    /// Full PINN hyperparameters for Navier–Stokes runs (same rules).
+    pub ns_pinn: Option<NsPinnConfig>,
+}
+
+impl RunSpec {
+    /// Builder for a dense Laplace run (defaults: `nx = 16`, DP, 200
+    /// iterations, `lr = 1e-2`).
+    pub fn laplace() -> RunSpecBuilder {
+        RunSpecBuilder {
+            spec: RunSpec {
+                problem: ProblemSpec::Laplace { nx: 16 },
+                strategy: Strategy::Dp,
+                iterations: 200,
+                lr: 1e-2,
+                log_every: 10,
+                seed: 0,
+                omega: 1.0,
+                label: None,
+                pinn: None,
+                ns_pinn: None,
+            },
+        }
+    }
+
+    /// Builder for a Navier–Stokes run (defaults mirror
+    /// `NsRunConfig::default()`: `h = 0.15`, `Re = 50`, DP, 60 iterations,
+    /// `lr = 1e-1`).
+    pub fn navier_stokes() -> RunSpecBuilder {
+        RunSpecBuilder {
+            spec: RunSpec {
+                problem: ProblemSpec::NavierStokes {
+                    h: 0.15,
+                    re: 50.0,
+                    slot_velocity: 0.3,
+                    refinements: 5,
+                    initial_scale: 1.0,
+                },
+                strategy: Strategy::Dp,
+                iterations: 60,
+                lr: 1e-1,
+                log_every: 5,
+                seed: 0,
+                omega: 1.0,
+                label: None,
+                pinn: None,
+                ns_pinn: None,
+            },
+        }
+    }
+
+    /// Builder for a synthetic quadratic run (driver tests, smoke
+    /// campaigns).
+    pub fn synthetic(n_controls: usize) -> RunSpecBuilder {
+        RunSpecBuilder {
+            spec: RunSpec {
+                problem: ProblemSpec::Synthetic {
+                    n_controls,
+                    fail_attempts: 0,
+                },
+                strategy: Strategy::Dp,
+                iterations: 40,
+                lr: 5e-2,
+                log_every: 10,
+                seed: 0,
+                omega: 1.0,
+                label: None,
+                pinn: None,
+                ns_pinn: None,
+            },
+        }
+    }
+
+    /// Stable identifier: the explicit label when set, otherwise derived
+    /// from the grid coordinates. Campaign ledgers key on this.
+    pub fn id(&self) -> String {
+        if let Some(l) = &self.label {
+            return l.clone();
+        }
+        format!(
+            "{}-{}-it{}-lr{:e}-seed{}",
+            self.problem.build_key(),
+            self.strategy.name(),
+            self.iterations,
+            self.lr,
+            self.seed
+        )
+    }
+
+    /// Checks the spec for obvious nonsense; every execution path calls
+    /// this first.
+    pub fn validate(&self) -> Result<(), ControlError> {
+        let bad = |msg: String| Err(ControlError::BadConfig(msg));
+        if self.iterations == 0 {
+            return bad("iterations must be >= 1".into());
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return bad(format!("lr must be finite and positive, got {}", self.lr));
+        }
+        if self.log_every == 0 {
+            return bad("log_every must be >= 1".into());
+        }
+        if !self.omega.is_finite() || self.omega < 0.0 {
+            return bad(format!("omega must be finite and >= 0, got {}", self.omega));
+        }
+        match &self.problem {
+            ProblemSpec::Laplace { nx } => {
+                if *nx < 4 {
+                    return bad(format!("laplace nx must be >= 4, got {nx}"));
+                }
+            }
+            ProblemSpec::NavierStokes {
+                h,
+                re,
+                refinements,
+                initial_scale,
+                ..
+            } => {
+                if !(h.is_finite() && *h > 0.0 && *h <= 0.5) {
+                    return bad(format!("ns spacing h must be in (0, 0.5], got {h}"));
+                }
+                if !(re.is_finite() && *re > 0.0) {
+                    return bad(format!("ns Reynolds number must be positive, got {re}"));
+                }
+                if *refinements == 0 {
+                    return bad("ns refinements must be >= 1".into());
+                }
+                if !initial_scale.is_finite() {
+                    return bad("ns initial_scale must be finite".into());
+                }
+            }
+            ProblemSpec::Synthetic { n_controls, .. } => {
+                if *n_controls == 0 {
+                    return bad("synthetic n_controls must be >= 1".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RunSpec`] (obtained from the per-problem constructors).
+///
+/// Problem-specific setters (`nx`, `resolution`, `reynolds`, …) panic when
+/// applied to the wrong problem family — that is a programming error, not a
+/// runtime condition.
+#[derive(Debug, Clone)]
+pub struct RunSpecBuilder {
+    spec: RunSpec,
+}
+
+impl RunSpecBuilder {
+    /// Selects the control strategy.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.spec.strategy = s;
+        self
+    }
+    /// Optimizer iterations (PINN: step-1 epochs).
+    pub fn iterations(mut self, n: usize) -> Self {
+        self.spec.iterations = n;
+        self
+    }
+    /// Initial learning rate.
+    pub fn lr(mut self, lr: f64) -> Self {
+        self.spec.lr = lr;
+        self
+    }
+    /// History recording stride.
+    pub fn log_every(mut self, k: usize) -> Self {
+        self.spec.log_every = k;
+        self
+    }
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+    /// PINN cost weight ω.
+    pub fn omega(mut self, omega: f64) -> Self {
+        self.spec.omega = omega;
+        self
+    }
+    /// Explicit run label (ledger key).
+    pub fn label(mut self, label: &str) -> Self {
+        self.spec.label = Some(label.to_string());
+        self
+    }
+    /// Full Laplace-PINN hyperparameters.
+    pub fn pinn_config(mut self, cfg: PinnConfig) -> Self {
+        self.spec.pinn = Some(cfg);
+        self
+    }
+    /// Full NS-PINN hyperparameters.
+    pub fn ns_pinn_config(mut self, cfg: NsPinnConfig) -> Self {
+        self.spec.ns_pinn = Some(cfg);
+        self
+    }
+
+    /// Laplace grid resolution per side.
+    pub fn nx(mut self, nx: usize) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::Laplace { nx: n } => *n = nx,
+            p => panic!("nx applies to Laplace specs, not {}", p.name()),
+        }
+        self
+    }
+    /// Navier–Stokes node spacing.
+    pub fn resolution(mut self, h: f64) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::NavierStokes { h: hh, .. } => *hh = h,
+            p => panic!(
+                "resolution applies to Navier–Stokes specs, not {}",
+                p.name()
+            ),
+        }
+        self
+    }
+    /// Navier–Stokes Reynolds number.
+    pub fn reynolds(mut self, re: f64) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::NavierStokes { re: r, .. } => *r = re,
+            p => panic!("reynolds applies to Navier–Stokes specs, not {}", p.name()),
+        }
+        self
+    }
+    /// Navier–Stokes slot velocity.
+    pub fn slot_velocity(mut self, sv: f64) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::NavierStokes {
+                slot_velocity: s, ..
+            } => *s = sv,
+            p => panic!(
+                "slot_velocity applies to Navier–Stokes specs, not {}",
+                p.name()
+            ),
+        }
+        self
+    }
+    /// Navier–Stokes Picard refinements per gradient.
+    pub fn refinements(mut self, k: usize) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::NavierStokes { refinements: r, .. } => *r = k,
+            p => panic!(
+                "refinements applies to Navier–Stokes specs, not {}",
+                p.name()
+            ),
+        }
+        self
+    }
+    /// Navier–Stokes initial-control scale.
+    pub fn initial_scale(mut self, s: f64) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::NavierStokes {
+                initial_scale: sc, ..
+            } => *sc = s,
+            p => panic!(
+                "initial_scale applies to Navier–Stokes specs, not {}",
+                p.name()
+            ),
+        }
+        self
+    }
+    /// Synthetic fault injection: the first `k` attempts report NaN costs.
+    pub fn fail_attempts(mut self, k: u32) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::Synthetic {
+                fail_attempts: f, ..
+            } => *f = k,
+            p => panic!("fail_attempts applies to synthetic specs, not {}", p.name()),
+        }
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RunSpec {
+        self.spec
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Outcome of one executed [`RunSpec`].
+pub struct SpecRun {
+    /// [`RunSpec::id`] of the spec that produced this run.
+    pub spec_id: String,
+    /// Summary + convergence history.
+    pub report: RunReport,
+    /// The optimized control.
+    pub control: DVec,
+    /// Final flow state (Navier–Stokes runs only).
+    pub ns_state: Option<NsState>,
+}
+
+/// A borrowed, already-built problem instance ([`execute_on`] runs specs
+/// against it without rebuilding — the campaign driver's problem cache).
+#[derive(Clone, Copy)]
+pub enum Problem<'a> {
+    /// Dense Laplace control problem.
+    Laplace(&'a LaplaceControlProblem),
+    /// Navier–Stokes solver.
+    NavierStokes(&'a NsSolver),
+    /// The synthetic quadratic (stateless; built per run).
+    Synthetic,
+}
+
+/// An owned, built problem instance (see [`BuiltProblem::build`]).
+pub enum BuiltProblem {
+    /// Dense Laplace control problem.
+    Laplace(Box<LaplaceControlProblem>),
+    /// Navier–Stokes solver.
+    NavierStokes(Box<NsSolver>),
+    /// The synthetic quadratic (stateless).
+    Synthetic,
+}
+
+impl BuiltProblem {
+    /// Builds the substrate a spec needs (the expensive part: assembly,
+    /// factorization symbolics). Shareable across every spec with the same
+    /// [`ProblemSpec::build_key`].
+    pub fn build(spec: &ProblemSpec) -> Result<BuiltProblem, ControlError> {
+        match spec {
+            ProblemSpec::Laplace { nx } => Ok(BuiltProblem::Laplace(Box::new(
+                LaplaceControlProblem::new(*nx)?,
+            ))),
+            ProblemSpec::NavierStokes {
+                h,
+                re,
+                slot_velocity,
+                ..
+            } => Ok(BuiltProblem::NavierStokes(Box::new(NsSolver::new(
+                NsConfig {
+                    channel: ChannelConfig {
+                        h: *h,
+                        ..Default::default()
+                    },
+                    re: *re,
+                    slot_velocity: *slot_velocity,
+                    ..Default::default()
+                },
+            )?))),
+            ProblemSpec::Synthetic { .. } => Ok(BuiltProblem::Synthetic),
+        }
+    }
+
+    /// Borrows the built problem for [`execute_on`].
+    pub fn as_problem(&self) -> Problem<'_> {
+        match self {
+            BuiltProblem::Laplace(p) => Problem::Laplace(p),
+            BuiltProblem::NavierStokes(s) => Problem::NavierStokes(s),
+            BuiltProblem::Synthetic => Problem::Synthetic,
+        }
+    }
+}
+
+/// Builds the problem and executes the spec with a fresh [`RunCtx`]
+/// (divergence detection on, no deadline).
+pub fn execute(spec: &RunSpec) -> Result<SpecRun, ControlError> {
+    execute_ctx(spec, &RunCtx::new())
+}
+
+/// Builds the problem and executes the spec under `ctx`.
+pub fn execute_ctx(spec: &RunSpec, ctx: &RunCtx) -> Result<SpecRun, ControlError> {
+    spec.validate()?;
+    let built = BuiltProblem::build(&spec.problem)?;
+    execute_on(built.as_problem(), spec, ctx)
+}
+
+/// Executes a spec against an already-built problem (which must match the
+/// spec's problem family).
+pub fn execute_on(
+    problem: Problem<'_>,
+    spec: &RunSpec,
+    ctx: &RunCtx,
+) -> Result<SpecRun, ControlError> {
+    spec.validate()?;
+    match (problem, spec.strategy) {
+        (Problem::Laplace(p), Strategy::Pinn) => execute_laplace_pinn(p, spec, ctx),
+        (Problem::Laplace(p), s) => {
+            let nx = match spec.problem {
+                ProblemSpec::Laplace { nx } => nx,
+                _ => return Err(mismatch("Laplace", &spec.problem)),
+            };
+            let cfg = crate::laplace::LaplaceRunConfig {
+                nx,
+                iterations: spec.iterations,
+                lr: spec.lr,
+                log_every: spec.log_every,
+            };
+            let method = s.grad_method().expect("PINN handled above");
+            let run = crate::laplace::run_ctx(p, &cfg, method, ctx)?;
+            Ok(SpecRun {
+                spec_id: spec.id(),
+                report: run.report,
+                control: run.control,
+                ns_state: None,
+            })
+        }
+        (Problem::NavierStokes(s), Strategy::Pinn) => execute_ns_pinn(s, spec, ctx),
+        (Problem::NavierStokes(solver), s) => {
+            let (refinements, initial_scale) = match spec.problem {
+                ProblemSpec::NavierStokes {
+                    refinements,
+                    initial_scale,
+                    ..
+                } => (refinements, initial_scale),
+                _ => return Err(mismatch("NavierStokes", &spec.problem)),
+            };
+            let cfg = crate::ns::NsRunConfig {
+                iterations: spec.iterations,
+                refinements,
+                lr: spec.lr,
+                log_every: spec.log_every,
+                initial_scale,
+            };
+            let method = s.grad_method().expect("PINN handled above");
+            let run = crate::ns::run_ctx(solver, &cfg, method, ctx)?;
+            Ok(SpecRun {
+                spec_id: spec.id(),
+                report: run.report,
+                control: run.control,
+                ns_state: Some(run.state),
+            })
+        }
+        (Problem::Synthetic, _) => {
+            let (n, fail_attempts) = match spec.problem {
+                ProblemSpec::Synthetic {
+                    n_controls,
+                    fail_attempts,
+                } => (n_controls, fail_attempts),
+                _ => return Err(mismatch("Synthetic", &spec.problem)),
+            };
+            let mut obj = SyntheticObjective::new(n, spec.seed, ctx.attempt < fail_attempts);
+            let opts = OptimizeOpts {
+                iterations: spec.iterations,
+                lr: spec.lr,
+                log_every: spec.log_every,
+            };
+            let (mut report, control) = optimize_ctx(&mut obj, &opts, ctx)?;
+            report.problem = "synthetic".to_string();
+            report.method = spec.strategy.name().to_string();
+            Ok(SpecRun {
+                spec_id: spec.id(),
+                report,
+                control,
+                ns_state: None,
+            })
+        }
+    }
+}
+
+fn mismatch(expected: &str, got: &ProblemSpec) -> ControlError {
+    ControlError::BadConfig(format!(
+        "problem instance is {expected} but the spec declares {}",
+        got.name()
+    ))
+}
+
+/// Derives the Laplace-PINN config for a spec (see [`RunSpec::pinn`]).
+fn laplace_pinn_cfg(spec: &RunSpec) -> PinnConfig {
+    let mut cfg = spec.pinn.clone().unwrap_or_else(|| PinnConfig {
+        hidden: vec![16, 16],
+        control_hidden: vec![10],
+        epochs_step1: spec.iterations,
+        epochs_step2: (spec.iterations / 2).max(1),
+        n_interior: 200,
+        n_boundary: 24,
+        ..PinnConfig::default()
+    });
+    cfg.seed = spec.seed;
+    cfg.lr = spec.lr;
+    cfg
+}
+
+fn execute_laplace_pinn(
+    p: &LaplaceControlProblem,
+    spec: &RunSpec,
+    ctx: &RunCtx,
+) -> Result<SpecRun, ControlError> {
+    let timer = Timer::start();
+    let cfg = laplace_pinn_cfg(spec);
+    let total = cfg.epochs_step1 + cfg.epochs_step2;
+    let mut pinn = LaplacePinn::new(cfg.clone());
+    let mut history = pinn.train_ctx(spec.omega, cfg.epochs_step1, true, ctx)?;
+    pinn.reset_solution_network(cfg.seed + 1000);
+    let h2 = pinn.train_ctx(0.0, cfg.epochs_step2, false, ctx)?;
+    for e in &h2.entries {
+        history.push(e.iter + cfg.epochs_step1, e.cost, e.grad_norm, e.elapsed_s);
+    }
+    // Referee: re-solve the PDE with the learned control on the RBF
+    // substrate — the budget-independent quality score.
+    let control = DVec(
+        p.control_x()
+            .iter()
+            .map(|&x| pinn.control_values(&[x])[0])
+            .collect(),
+    );
+    let final_cost = p.cost(&control)?;
+    ctx.check_cost(total, final_cost)?;
+    history.push(total, final_cost, 0.0, timer.elapsed_s());
+    let report = RunReport {
+        method: "PINN".to_string(),
+        problem: "laplace".to_string(),
+        iterations: total,
+        final_cost,
+        wall_s: timer.elapsed_s(),
+        peak_bytes: crate::metrics::peak_allocated_bytes(),
+        history,
+    };
+    report.emit_trace();
+    Ok(SpecRun {
+        spec_id: spec.id(),
+        report,
+        control,
+        ns_state: None,
+    })
+}
+
+/// Derives the NS-PINN config for a spec (geometry/physics come from the
+/// solver so the PINN and the referee agree on the problem).
+fn ns_pinn_cfg(spec: &RunSpec, solver: &NsSolver) -> Result<NsPinnConfig, ControlError> {
+    let (re, slot_velocity) = match spec.problem {
+        ProblemSpec::NavierStokes {
+            re, slot_velocity, ..
+        } => (re, slot_velocity),
+        _ => return Err(mismatch("NavierStokes", &spec.problem)),
+    };
+    let mut cfg = spec.ns_pinn.clone().unwrap_or_else(|| NsPinnConfig {
+        hidden: vec![16, 16],
+        control_hidden: vec![8],
+        epochs_step1: spec.iterations,
+        epochs_step2: (spec.iterations / 2).max(1),
+        n_interior: 150,
+        n_boundary: 12,
+        ..NsPinnConfig::default()
+    });
+    cfg.channel = solver.cfg().channel.clone();
+    cfg.re = re;
+    cfg.slot_velocity = slot_velocity;
+    cfg.seed = spec.seed;
+    cfg.lr = spec.lr;
+    Ok(cfg)
+}
+
+fn execute_ns_pinn(
+    solver: &NsSolver,
+    spec: &RunSpec,
+    ctx: &RunCtx,
+) -> Result<SpecRun, ControlError> {
+    let timer = Timer::start();
+    let cfg = ns_pinn_cfg(spec, solver)?;
+    let total = cfg.epochs_step1 + cfg.epochs_step2;
+    let mut pinn = NsPinn::new(cfg.clone());
+    let mut history = pinn.train_ctx(spec.omega, cfg.epochs_step1, true, ctx)?;
+    pinn.reset_field_network(cfg.seed + 1000);
+    let h2 = pinn.train_ctx(0.0, cfg.epochs_step2, false, ctx)?;
+    for e in &h2.entries {
+        history.push(e.iter + cfg.epochs_step1, e.cost, e.grad_norm, e.elapsed_s);
+    }
+    // Referee: sample the network's fields at the solver nodes and score
+    // them with the solver-side cost (fig. 1's "expense of first
+    // principles" check uses the same evaluation).
+    let control = pinn.control_values(solver.inflow_y());
+    let pts: Vec<(f64, f64)> = (0..solver.nodes().len())
+        .map(|i| {
+            let pt = solver.nodes().point(i);
+            (pt.x, pt.y)
+        })
+        .collect();
+    let (u, v, pr) = pinn.fields_at(&pts);
+    let state = NsState { u, v, p: pr };
+    let final_cost = solver.cost(&state);
+    ctx.check_cost(total, final_cost)?;
+    history.push(total, final_cost, 0.0, timer.elapsed_s());
+    let report = RunReport {
+        method: "PINN".to_string(),
+        problem: "navier-stokes".to_string(),
+        iterations: total,
+        final_cost,
+        wall_s: timer.elapsed_s(),
+        peak_bytes: crate::metrics::peak_allocated_bytes(),
+        history,
+    };
+    report.emit_trace();
+    Ok(SpecRun {
+        spec_id: spec.id(),
+        report,
+        control,
+        ns_state: Some(state),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pde::heat::HeatConfig;
     use rbf::fd::FdConfig;
+    use std::time::Duration;
 
     #[test]
     fn generic_driver_matches_the_specific_laplace_driver() {
@@ -222,7 +1286,7 @@ mod tests {
             log_every: 10,
         };
         let (rep_gen, c_gen) = optimize(&mut LaplaceDpObjective(&p), &opts).unwrap();
-        let spec = crate::laplace::run(
+        let spec = crate::laplace::run_ctx(
             &p,
             &crate::laplace::LaplaceRunConfig {
                 nx: 12,
@@ -231,6 +1295,7 @@ mod tests {
                 log_every: 10,
             },
             crate::laplace::GradMethod::Dp,
+            &RunCtx::unchecked(),
         )
         .unwrap();
         assert!(
@@ -247,11 +1312,11 @@ mod tests {
 
     #[test]
     fn every_builtin_objective_descends() {
-        let opts = OptimizeOpts {
-            iterations: 40,
-            lr: 2e-2,
-            log_every: 10,
-        };
+        let opts = OptimizeOpts::builder()
+            .iterations(40)
+            .lr(2e-2)
+            .log_every(10)
+            .build();
         // Laplace DAL.
         let lp = LaplaceControlProblem::new(10).unwrap();
         let mut dal = LaplaceDalObjective(&lp);
@@ -288,26 +1353,35 @@ mod tests {
 
     #[test]
     fn a_user_defined_objective_plugs_in() {
-        // Minimal quadratic bowl as a user-defined problem.
-        struct Bowl;
+        // Minimal quadratic bowl as a user-defined problem, with a dynamic
+        // name (the `&str` return the redesign unlocked).
+        struct Bowl {
+            label: String,
+        }
         impl ControlObjective for Bowl {
             fn n_controls(&self) -> usize {
                 3
             }
-            fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
+            fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
                 Ok(c.iter()
                     .enumerate()
                     .map(|(i, x)| (x - i as f64).powi(2))
                     .sum())
             }
-            fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+            fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
                 let j = self.cost(c)?;
                 let g = DVec::from_fn(3, |i| 2.0 * (c[i] - i as f64));
                 Ok((j, g))
             }
+            fn name(&self) -> &str {
+                &self.label
+            }
         }
+        let mut bowl = Bowl {
+            label: format!("bowl-n{}", 3),
+        };
         let (rep, c) = optimize(
-            &mut Bowl,
+            &mut bowl,
             &OptimizeOpts {
                 iterations: 400,
                 lr: 5e-2,
@@ -315,9 +1389,167 @@ mod tests {
             },
         )
         .unwrap();
+        assert_eq!(rep.method, "bowl-n3");
         assert!(rep.final_cost < 1e-4, "J = {}", rep.final_cost);
         for i in 0..3 {
             assert!((c[i] - i as f64).abs() < 0.05);
         }
+    }
+
+    #[test]
+    fn spec_builder_produces_the_documented_defaults() {
+        let spec = RunSpec::laplace()
+            .strategy(Strategy::Dal)
+            .iterations(200)
+            .seed(7)
+            .build();
+        assert_eq!(spec.strategy, Strategy::Dal);
+        assert_eq!(spec.iterations, 200);
+        assert_eq!(spec.seed, 7);
+        assert!(matches!(spec.problem, ProblemSpec::Laplace { nx: 16 }));
+        assert_eq!(spec.id(), "laplace-nx16-DAL-it200-lr1e-2-seed7");
+
+        let ns = RunSpec::navier_stokes()
+            .resolution(0.18)
+            .reynolds(30.0)
+            .refinements(3)
+            .initial_scale(0.8)
+            .lr(5e-2)
+            .build();
+        assert!(ns.validate().is_ok());
+        match ns.problem {
+            ProblemSpec::NavierStokes {
+                h, re, refinements, ..
+            } => {
+                assert_eq!(h, 0.18);
+                assert_eq!(re, 30.0);
+                assert_eq!(refinements, 3);
+            }
+            _ => panic!("wrong problem family"),
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_as_bad_config() {
+        let spec = RunSpec::laplace().iterations(0).build();
+        match execute(&spec) {
+            Err(ControlError::BadConfig(msg)) => assert!(msg.contains("iterations")),
+            other => panic!("expected BadConfig, got {:?}", other.map(|_| ())),
+        }
+        let spec = RunSpec::synthetic(4).lr(f64::NAN).build();
+        assert!(matches!(execute(&spec), Err(ControlError::BadConfig(_))));
+    }
+
+    #[test]
+    fn execute_laplace_matches_the_legacy_entry_point() {
+        let spec = RunSpec::laplace().nx(12).iterations(60).build();
+        let run = execute(&spec).unwrap();
+        let p = LaplaceControlProblem::new(12).unwrap();
+        let legacy = crate::laplace::run_ctx(
+            &p,
+            &crate::laplace::LaplaceRunConfig {
+                nx: 12,
+                iterations: 60,
+                lr: 1e-2,
+                log_every: 10,
+            },
+            GradMethod::Dp,
+            &RunCtx::unchecked(),
+        )
+        .unwrap();
+        assert_eq!(run.report.final_cost, legacy.report.final_cost);
+        assert_eq!(run.report.method, "DP");
+        assert_eq!(run.report.problem, "laplace");
+        for i in 0..run.control.len() {
+            assert_eq!(run.control[i], legacy.control[i]);
+        }
+    }
+
+    #[test]
+    fn synthetic_spec_runs_and_detects_injected_divergence() {
+        // Healthy run descends.
+        let spec = RunSpec::synthetic(6).seed(3).iterations(80).build();
+        let run = execute(&spec).unwrap();
+        assert!(
+            run.report.final_cost < 1e-2,
+            "J = {}",
+            run.report.final_cost
+        );
+        assert_eq!(run.report.problem, "synthetic");
+
+        // Poisoned run (attempt 0 < fail_attempts) errors as Diverged...
+        let bad = RunSpec::synthetic(6).seed(3).fail_attempts(1).build();
+        match execute(&bad) {
+            Err(ControlError::Diverged { iteration, cost }) => {
+                assert_eq!(iteration, 0);
+                assert!(cost.is_nan());
+            }
+            other => panic!("expected Diverged, got {:?}", other.map(|_| ())),
+        }
+        // ...but a later attempt (the driver's retry) succeeds.
+        let ctx = RunCtx::supervised(CancelToken::new(), 1);
+        let built = BuiltProblem::build(&bad.problem).unwrap();
+        assert!(execute_on(built.as_problem(), &bad, &ctx).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_stops_a_run_with_timeout() {
+        let cancel = CancelToken::new().with_deadline(Duration::from_secs(0));
+        let ctx = RunCtx::supervised(cancel, 0);
+        let spec = RunSpec::synthetic(4).build();
+        match execute_ctx(&spec, &ctx) {
+            Err(ControlError::Timeout { iteration, .. }) => assert_eq!(iteration, 0),
+            other => panic!("expected Timeout, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_a_run_with_cancelled() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ctx = RunCtx::supervised(cancel, 0);
+        let spec = RunSpec::synthetic(4).build();
+        assert!(matches!(
+            execute_ctx(&spec, &ctx),
+            Err(ControlError::Cancelled { iteration: 0 })
+        ));
+    }
+
+    #[test]
+    fn control_error_display_and_classification() {
+        let e = ControlError::Diverged {
+            iteration: 7,
+            cost: f64::NAN,
+        };
+        assert!(e.to_string().contains("iteration 7"));
+        assert!(e.is_divergence() && !e.is_fatal());
+
+        let e = ControlError::from(LinalgError::NotConverged {
+            solver: "picard",
+            iterations: 30,
+            residual: 1.0,
+        });
+        assert!(e.is_divergence());
+        assert!(e.source().is_some());
+
+        let e = ControlError::BadConfig("nope".into());
+        assert!(e.is_fatal() && !e.is_divergence());
+        let e = ControlError::Timeout {
+            iteration: 3,
+            elapsed_s: 0.5,
+        };
+        assert!(!e.is_fatal() && !e.is_divergence());
+    }
+
+    #[test]
+    fn problem_build_key_excludes_per_run_knobs() {
+        let a = RunSpec::navier_stokes().refinements(3).build();
+        let b = RunSpec::navier_stokes()
+            .refinements(10)
+            .initial_scale(0.5)
+            .build();
+        assert_eq!(a.problem.build_key(), b.problem.build_key());
+        let c = RunSpec::navier_stokes().reynolds(75.0).build();
+        assert_ne!(a.problem.build_key(), c.problem.build_key());
     }
 }

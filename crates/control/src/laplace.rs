@@ -6,8 +6,9 @@
 //! `1e-2`, ÷10 at 50 % and 75 %), starting from `c ≡ 0` ("initially set to
 //! identically 0").
 
+use crate::api::{ControlError, RunCtx};
 use crate::metrics::{ConvergenceHistory, RunReport, Timer};
-use linalg::{DVec, LinalgError};
+use linalg::DVec;
 use meshfree_runtime::trace;
 use opt::{Adam, Optimizer, Schedule};
 use pde::LaplaceControlProblem;
@@ -70,11 +71,29 @@ pub struct LaplaceRun {
 }
 
 /// Runs Adam on the Laplace control problem with the chosen gradient.
+///
+/// Thin wrapper around [`run_ctx`] with legacy (unsupervised) semantics.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `api::RunSpec::laplace()` + `api::execute`, or `run_ctx`"
+)]
 pub fn run(
     problem: &LaplaceControlProblem,
     cfg: &LaplaceRunConfig,
     method: GradMethod,
-) -> Result<LaplaceRun, LinalgError> {
+) -> Result<LaplaceRun, ControlError> {
+    run_ctx(problem, cfg, method, &RunCtx::unchecked())
+}
+
+/// [`run`] under a supervision context (deadline / cancellation /
+/// divergence detection). The float operations are identical to the legacy
+/// entry point for any run that finishes.
+pub fn run_ctx(
+    problem: &LaplaceControlProblem,
+    cfg: &LaplaceRunConfig,
+    method: GradMethod,
+    ctx: &RunCtx,
+) -> Result<LaplaceRun, ControlError> {
     let _span = trace::span("laplace_control_run");
     let timer = Timer::start();
     let n = problem.n_controls();
@@ -83,11 +102,13 @@ pub fn run(
     let mut history = ConvergenceHistory::default();
     let fd_h = 1e-6;
     for it in 0..cfg.iterations {
+        ctx.check_iteration(it, timer.elapsed_s())?;
         let (j, g) = match method {
             GradMethod::Dal => problem.cost_and_grad_dal(&c)?,
             GradMethod::Dp => problem.cost_and_grad_dp(&c)?,
             GradMethod::FiniteDiff => problem.cost_and_grad_fd(&c, fd_h)?,
         };
+        ctx.check_cost(it, j)?;
         trace::solve_event("control", method.name(), it, f64::NAN, j, g.norm_inf());
         if it % cfg.log_every == 0 || it + 1 == cfg.iterations {
             history.push(it, j, g.norm_inf(), timer.elapsed_s());
@@ -95,10 +116,11 @@ pub fn run(
         adam.step(&mut c, &g);
     }
     let final_cost = problem.cost(&c)?;
+    ctx.check_cost(cfg.iterations, final_cost)?;
     history.push(cfg.iterations, final_cost, 0.0, timer.elapsed_s());
     let report = RunReport {
-        method: method.name(),
-        problem: "laplace",
+        method: method.name().to_string(),
+        problem: "laplace".to_string(),
         iterations: cfg.iterations,
         final_cost,
         wall_s: timer.elapsed_s(),
@@ -127,7 +149,7 @@ mod tests {
     fn dp_drives_cost_down_by_orders_of_magnitude() {
         let p = LaplaceControlProblem::new(14).unwrap();
         let j0 = p.cost(&DVec::zeros(p.n_controls())).unwrap();
-        let run = run(&p, &quick_cfg(200), GradMethod::Dp).unwrap();
+        let run = run_ctx(&p, &quick_cfg(200), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         assert!(
             run.report.final_cost < 1e-3 * j0,
             "DP: J0 = {j0:.3e} -> {:.3e}",
@@ -141,8 +163,8 @@ mod tests {
         // the same iteration count (2.2e-9 vs 4.6e-3 at paper scale).
         let p = LaplaceControlProblem::new(14).unwrap();
         let cfg = quick_cfg(150);
-        let dp = run(&p, &cfg, GradMethod::Dp).unwrap();
-        let dal = run(&p, &cfg, GradMethod::Dal).unwrap();
+        let dp = run_ctx(&p, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+        let dal = run_ctx(&p, &cfg, GradMethod::Dal, &RunCtx::unchecked()).unwrap();
         assert!(
             dp.report.final_cost < 0.5 * dal.report.final_cost,
             "DP {:.3e} not clearly below DAL {:.3e}",
@@ -160,8 +182,8 @@ mod tests {
         // should end at nearly the same cost.
         let p = LaplaceControlProblem::new(12).unwrap();
         let cfg = quick_cfg(80);
-        let dp = run(&p, &cfg, GradMethod::Dp).unwrap();
-        let fd = run(&p, &cfg, GradMethod::FiniteDiff).unwrap();
+        let dp = run_ctx(&p, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+        let fd = run_ctx(&p, &cfg, GradMethod::FiniteDiff, &RunCtx::unchecked()).unwrap();
         let ratio = fd.report.final_cost / dp.report.final_cost.max(1e-300);
         assert!(
             (0.2..5.0).contains(&ratio),
@@ -180,7 +202,7 @@ mod tests {
             lr: 1e-2,
             log_every: 50,
         };
-        let result = run(&p, &cfg, GradMethod::Dp).unwrap();
+        let result = run_ctx(&p, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         // Compare mid-wall control values against the series minimiser
         // (endpoints are polluted by the Runge zone).
         let n = p.n_controls();
@@ -198,7 +220,7 @@ mod tests {
     #[test]
     fn history_is_recorded_and_monotone_enough() {
         let p = LaplaceControlProblem::new(12).unwrap();
-        let result = run(&p, &quick_cfg(60), GradMethod::Dp).unwrap();
+        let result = run_ctx(&p, &quick_cfg(60), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         let h = &result.report.history;
         assert!(h.entries.len() >= 10);
         // Final entries should be far below the first.

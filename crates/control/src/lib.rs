@@ -13,6 +13,13 @@
 //! Experiment configurations mirror the paper's Tables 1 and 2; every
 //! driver returns a [`metrics::RunReport`] with the full convergence
 //! history so the bench binaries can regenerate each figure.
+//!
+//! Since the strategy-API redesign, [`api`] is the front door: declare a
+//! run with [`api::RunSpec`]'s builders
+//! (`RunSpec::laplace().strategy(Strategy::Dal).iterations(200).seed(7).build()`),
+//! execute it with [`api::execute`], and match on [`api::ControlError`] for
+//! failures. The per-problem `laplace::run` / `ns::run` entry points remain
+//! as deprecated wrappers.
 
 pub mod api;
 pub mod laplace;
@@ -22,4 +29,8 @@ pub mod pinn;
 pub mod pinn_ns;
 pub mod validate;
 
+pub use api::{
+    execute, execute_ctx, execute_on, BuiltProblem, ControlError, ControlObjective, OptimizeOpts,
+    Problem, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy,
+};
 pub use metrics::{ConvergenceHistory, RunReport};

@@ -119,10 +119,11 @@ impl ConvergenceHistory {
 /// Summary of one method × problem run — one Table 3 cell group.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Method name (`"DAL"`, `"PINN"`, `"DP"`, `"FD"`).
-    pub method: &'static str,
-    /// Problem name (`"laplace"`, `"navier-stokes"`).
-    pub problem: &'static str,
+    /// Method name (`"DAL"`, `"PINN"`, `"DP"`, `"FD"`, or a
+    /// campaign-generated label).
+    pub method: String,
+    /// Problem name (`"laplace"`, `"navier-stokes"`, …).
+    pub problem: String,
     /// Iterations / epochs performed.
     pub iterations: usize,
     /// Final cost objective.
@@ -206,8 +207,8 @@ mod tests {
     #[test]
     fn report_row_contains_key_fields() {
         let r = RunReport {
-            method: "DP",
-            problem: "laplace",
+            method: "DP".to_string(),
+            problem: "laplace".to_string(),
             iterations: 500,
             final_cost: 2.2e-9,
             wall_s: 1.65,

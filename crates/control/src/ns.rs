@@ -7,9 +7,10 @@
 //! The initial guess for the inflow control is the parabolic profile
 //! `4y(L−y)/L²`, exactly as in the paper.
 
+use crate::api::{ControlError, RunCtx};
 use crate::laplace::GradMethod;
 use crate::metrics::{ConvergenceHistory, RunReport, Timer};
-use linalg::{DVec, LinalgError};
+use linalg::DVec;
 use meshfree_runtime::trace;
 use opt::{Adam, Optimizer, Schedule};
 use pde::analytic::poiseuille;
@@ -68,7 +69,29 @@ pub fn initial_control(solver: &NsSolver) -> DVec {
 }
 
 /// Runs Adam on the Navier–Stokes control problem with the chosen gradient.
-pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<NsRun, LinalgError> {
+///
+/// Thin wrapper around [`run_ctx`] with legacy (unsupervised) semantics.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `api::RunSpec::navier_stokes()` + `api::execute`, or `run_ctx`"
+)]
+pub fn run(
+    solver: &NsSolver,
+    cfg: &NsRunConfig,
+    method: GradMethod,
+) -> Result<NsRun, ControlError> {
+    run_ctx(solver, cfg, method, &RunCtx::unchecked())
+}
+
+/// [`run`] under a supervision context (deadline / cancellation /
+/// divergence detection). The float operations are identical to the legacy
+/// entry point for any run that finishes.
+pub fn run_ctx(
+    solver: &NsSolver,
+    cfg: &NsRunConfig,
+    method: GradMethod,
+    ctx: &RunCtx,
+) -> Result<NsRun, ControlError> {
     let _span = trace::span("ns_control_run");
     let timer = Timer::start();
     let n = solver.n_controls();
@@ -83,6 +106,7 @@ pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<N
     let mut ws = solver.workspace();
     let mut peak_tape = 0usize;
     for it in 0..cfg.iterations {
+        ctx.check_iteration(it, timer.elapsed_s())?;
         let (j, g) = match method {
             GradMethod::Dp => {
                 let (j, g, stats, st) = dp.run(&c, cfg.refinements, state.as_ref())?;
@@ -103,6 +127,7 @@ pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<N
                 (j, g)
             }
         };
+        ctx.check_cost(it, j)?;
         trace::solve_event("control", method.name(), it, f64::NAN, j, g.norm_inf());
         if it % cfg.log_every == 0 || it + 1 == cfg.iterations {
             history.push(it, j, g.norm_inf(), timer.elapsed_s());
@@ -116,10 +141,11 @@ pub fn run(solver: &NsSolver, cfg: &NsRunConfig, method: GradMethod) -> Result<N
     // Evaluate the final control from a converged cold start.
     let final_state = solver.solve_with(&c, cfg.refinements.max(12), state, &mut ws)?;
     let final_cost = solver.cost(&final_state);
+    ctx.check_cost(cfg.iterations, final_cost)?;
     history.push(cfg.iterations, final_cost, 0.0, timer.elapsed_s());
     let report = RunReport {
-        method: method.name(),
-        problem: "navier-stokes",
+        method: method.name().to_string(),
+        problem: "navier-stokes".to_string(),
         iterations: cfg.iterations,
         final_cost,
         wall_s: timer.elapsed_s(),
@@ -169,7 +195,7 @@ mod tests {
         let c0 = initial_control(&s);
         let st0 = s.solve(&c0, 12, None).unwrap();
         let j0 = s.cost(&st0);
-        let result = run(&s, &quick(), GradMethod::Dp).unwrap();
+        let result = run_ctx(&s, &quick(), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         assert!(
             result.report.final_cost < 0.6 * j0,
             "DP did not improve: {j0:.3e} -> {:.3e}",
@@ -190,7 +216,7 @@ mod tests {
             initial_scale: 0.3,
             ..quick()
         };
-        let result = run(&s, &cfg, GradMethod::Dal).unwrap();
+        let result = run_ctx(&s, &cfg, GradMethod::Dal, &RunCtx::unchecked()).unwrap();
         assert!(
             result.report.final_cost < 0.7 * j0,
             "DAL did not descend from a poor control: {j0:.3e} -> {:.3e}",
@@ -207,8 +233,8 @@ mod tests {
         let c0 = initial_control(&s);
         let st0 = s.solve(&c0, 12, None).unwrap();
         let j0 = s.cost(&st0);
-        let dal = run(&s, &quick(), GradMethod::Dal).unwrap();
-        let dp = run(&s, &quick(), GradMethod::Dp).unwrap();
+        let dal = run_ctx(&s, &quick(), GradMethod::Dal, &RunCtx::unchecked()).unwrap();
+        let dp = run_ctx(&s, &quick(), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         assert!(dp.report.final_cost < j0, "DP failed to improve");
         assert!(
             dp.report.final_cost < dal.report.final_cost,
@@ -222,8 +248,8 @@ mod tests {
     fn dp_beats_dal_as_in_fig4b() {
         let s = solver(50.0);
         let cfg = quick();
-        let dp = run(&s, &cfg, GradMethod::Dp).unwrap();
-        let dal = run(&s, &cfg, GradMethod::Dal).unwrap();
+        let dp = run_ctx(&s, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+        let dal = run_ctx(&s, &cfg, GradMethod::Dal, &RunCtx::unchecked()).unwrap();
         assert!(
             dp.report.final_cost <= dal.report.final_cost * 1.01,
             "DP {:.3e} vs DAL {:.3e}",
@@ -235,7 +261,7 @@ mod tests {
     #[test]
     fn optimized_outflow_closer_to_parabola_than_uncontrolled() {
         let s = solver(50.0);
-        let result = run(&s, &quick(), GradMethod::Dp).unwrap();
+        let result = run_ctx(&s, &quick(), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         let (u_out, _) = s.outflow_profile(&result.state);
         let mut err_opt = 0.0f64;
         for (k, &y) in s.outflow_y().iter().enumerate() {

@@ -236,6 +236,19 @@ impl LaplacePinn {
     /// (line-search step 2). Updates alternate between the two networks
     /// each epoch, per the paper.
     pub fn train(&mut self, omega: f64, epochs: usize, update_c: bool) -> ConvergenceHistory {
+        self.train_ctx(omega, epochs, update_c, &crate::api::RunCtx::unchecked())
+            .expect("unchecked context cannot stop training")
+    }
+
+    /// [`LaplacePinn::train`] under a supervision context: polls the cancel
+    /// token each epoch and flags a non-finite training loss as divergence.
+    pub fn train_ctx(
+        &mut self,
+        omega: f64,
+        epochs: usize,
+        update_c: bool,
+        ctx: &crate::api::RunCtx,
+    ) -> Result<ConvergenceHistory, crate::api::ControlError> {
         let _span = trace::span("pinn_train");
         let timer = crate::metrics::Timer::start();
         let schedule = Schedule::paper_decay(self.cfg.lr, epochs);
@@ -244,6 +257,7 @@ impl LaplacePinn {
         let mut history = ConvergenceHistory::default();
         let log_every = (epochs / 40).max(1);
         for epoch in 0..epochs {
+            ctx.check_iteration(epoch, timer.elapsed_s())?;
             let tape = Tape::new();
             let up = self.u_net.params_on_tape(&tape);
             let cp = self.c_net.params_on_tape(&tape);
@@ -255,6 +269,7 @@ impl LaplacePinn {
                 l_pde.add(l_bc_w)
             };
             let lval = loss.scalar_value();
+            ctx.check_cost(epoch, lval)?;
             let grads = tape.backward(loss);
             let gnorm = if update_c && epoch % 2 == 1 {
                 let g = self.c_net.grad_vector(&grads, &cp);
@@ -270,7 +285,7 @@ impl LaplacePinn {
                 history.push(epoch, j.scalar_value(), lval, timer.elapsed_s());
             }
         }
-        history
+        Ok(history)
     }
 
     /// Replaces the solution network with a freshly initialised one (for

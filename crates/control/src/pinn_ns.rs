@@ -303,6 +303,19 @@ impl NsPinn {
     /// Trains for `epochs` with weight `omega` on `J` (alternating updates;
     /// `update_c = false` freezes the control and drops `J`).
     pub fn train(&mut self, omega: f64, epochs: usize, update_c: bool) -> ConvergenceHistory {
+        self.train_ctx(omega, epochs, update_c, &crate::api::RunCtx::unchecked())
+            .expect("unchecked context cannot stop training")
+    }
+
+    /// [`NsPinn::train`] under a supervision context: polls the cancel
+    /// token each epoch and flags a non-finite training loss as divergence.
+    pub fn train_ctx(
+        &mut self,
+        omega: f64,
+        epochs: usize,
+        update_c: bool,
+        ctx: &crate::api::RunCtx,
+    ) -> Result<ConvergenceHistory, crate::api::ControlError> {
         let _span = trace::span("pinn_ns_train");
         let timer = crate::metrics::Timer::start();
         let schedule = Schedule::paper_decay(self.cfg.lr, epochs);
@@ -311,6 +324,7 @@ impl NsPinn {
         let mut history = ConvergenceHistory::default();
         let log_every = (epochs / 40).max(1);
         for epoch in 0..epochs {
+            ctx.check_iteration(epoch, timer.elapsed_s())?;
             let tape = Tape::new();
             let fp = self.net.params_on_tape(&tape);
             let cp = self.c_net.params_on_tape(&tape);
@@ -322,6 +336,7 @@ impl NsPinn {
                 l_pde.add(l_bc_w)
             };
             let lval = loss.scalar_value();
+            ctx.check_cost(epoch, lval)?;
             let grads = tape.backward(loss);
             let gnorm = if update_c && epoch % 2 == 1 {
                 let g = self.c_net.grad_vector(&grads, &cp);
@@ -337,7 +352,7 @@ impl NsPinn {
                 history.push(epoch, j.scalar_value(), lval, timer.elapsed_s());
             }
         }
-        history
+        Ok(history)
     }
 
     /// Replaces the field network with a fresh one (line-search step 2).

@@ -12,7 +12,8 @@
 //! * [`validate_ns_fields`] evaluates candidate `(u, v, p)` fields in the
 //!   discrete momentum/continuity residuals (what `fig1_flowfields` prints).
 
-use linalg::{DVec, LinalgError};
+use crate::api::ControlError;
+use linalg::DVec;
 use pde::{LaplaceControlProblem, NsSolver, NsState};
 
 /// Verdict for a candidate Laplace control.
@@ -30,7 +31,7 @@ pub struct LaplaceVerdict {
 pub fn validate_laplace_control(
     problem: &LaplaceControlProblem,
     c: &DVec,
-) -> Result<LaplaceVerdict, LinalgError> {
+) -> Result<LaplaceVerdict, ControlError> {
     let j_solver = problem.cost(c)?;
     let j_zero = problem.cost(&DVec::zeros(problem.n_controls()))?;
     Ok(LaplaceVerdict {

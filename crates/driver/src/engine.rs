@@ -1,0 +1,659 @@
+//! The campaign engine: concurrent execution, retries, deadlines,
+//! fail-fast cancellation and resume.
+//!
+//! Execution plan for [`run_campaign`]:
+//!
+//! 1. Validate every spec and reject duplicate spec ids ([`ControlError`]
+//!    before anything runs — a misconfigured grid never half-executes).
+//! 2. Open the ledger; specs already recorded are *skipped* (resume).
+//! 3. Build each distinct problem once, sequentially, keyed by
+//!    [`control::api::ProblemSpec::build_key`] — factorization symbolics
+//!    and node clouds
+//!    are shared across the grid.
+//! 4. Fan the pending specs out on the `meshfree_runtime::par` pool (chunk
+//!    size 1, so chunk claiming — not spec order — balances the load).
+//!    Inner solver kernels detect the ambient parallel region and run
+//!    serially, which keeps every run's floating-point stream identical to
+//!    a serial campaign; the ledger is therefore worker-count invariant.
+//! 5. Each spec runs under a child [`CancelToken`] with the per-run
+//!    deadline. Divergence retries with damped lr and a perturbed seed (at
+//!    most [`CampaignConfig::max_retries`] times); timeouts are terminal;
+//!    fatal errors cancel the root token so unstarted specs stop claiming
+//!    work (they are *lost*: no record, re-run on resume).
+//! 6. Terminal records append to the ledger immediately (kill-safe), and
+//!    on the way out the ledger is compacted into campaign-spec order.
+
+use crate::ledger::{Ledger, LedgerRecord, RunStatus};
+use control::api::{execute_on, BuiltProblem, ControlError, RunCtx, RunSpec, SpecRun};
+use meshfree_runtime::rng::SplitMix64;
+use meshfree_runtime::{par, trace, CancelToken};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tunables of a campaign (everything but the specs).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign name, stamped into the ledger's meta line.
+    pub name: String,
+    /// Path of the JSONL checkpoint ledger.
+    pub ledger_path: PathBuf,
+    /// Maximum retries per spec after a divergent attempt (default 2).
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied on each retry (default 0.5).
+    pub retry_damping: f64,
+    /// Wall-clock budget per attempt (`None` = unbounded).
+    pub run_timeout: Option<Duration>,
+    /// Run on a dedicated pool with this many workers (`None` = the
+    /// ambient pool).
+    pub workers: Option<usize>,
+}
+
+/// A declarative batch of runs plus the [`CampaignConfig`] driving them.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Engine tunables.
+    pub config: CampaignConfig,
+    /// The grid, in presentation order (the ledger compacts to this order).
+    pub specs: Vec<RunSpec>,
+}
+
+impl Campaign {
+    /// A campaign with default fault tolerance (2 damped retries, no
+    /// deadline, ambient pool).
+    pub fn new(name: &str, ledger_path: impl AsRef<Path>) -> Campaign {
+        Campaign {
+            config: CampaignConfig {
+                name: name.to_string(),
+                ledger_path: ledger_path.as_ref().to_path_buf(),
+                max_retries: 2,
+                retry_damping: 0.5,
+                run_timeout: None,
+                workers: None,
+            },
+            specs: Vec::new(),
+        }
+    }
+
+    /// Adds one run (builder style).
+    pub fn spec(mut self, spec: RunSpec) -> Campaign {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds many runs (builder style).
+    pub fn extend(mut self, specs: impl IntoIterator<Item = RunSpec>) -> Campaign {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Sets the per-spec retry budget.
+    pub fn max_retries(mut self, n: u32) -> Campaign {
+        self.config.max_retries = n;
+        self
+    }
+
+    /// Sets the learning-rate damping factor applied on each retry.
+    pub fn retry_damping(mut self, d: f64) -> Campaign {
+        self.config.retry_damping = d;
+        self
+    }
+
+    /// Sets the wall-clock budget per attempt.
+    pub fn run_timeout(mut self, budget: Duration) -> Campaign {
+        self.config.run_timeout = Some(budget);
+        self
+    }
+
+    /// Runs on a dedicated pool with `n` workers.
+    pub fn workers(mut self, n: usize) -> Campaign {
+        self.config.workers = Some(n);
+        self
+    }
+
+    /// Executes the campaign (see [`run_campaign`]).
+    pub fn run(&self) -> Result<CampaignSummary, ControlError> {
+        run_campaign(self)
+    }
+}
+
+/// What a campaign invocation did, and the final ledger contents.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Specs in the campaign.
+    pub total: usize,
+    /// Specs skipped because the ledger already had their record (resume).
+    pub skipped: usize,
+    /// Specs executed by *this* invocation.
+    pub executed: usize,
+    /// Specs with no record after this invocation (cancelled before they
+    /// finished; a resume will run them).
+    pub lost: usize,
+    /// Ledger records with status `done`.
+    pub done: usize,
+    /// Ledger records with status `failed`.
+    pub failed: usize,
+    /// Ledger records with status `timeout`.
+    pub timed_out: usize,
+    /// Ledger records that needed at least one retry.
+    pub retried: usize,
+    /// Final ledger records, in campaign-spec order.
+    pub records: Vec<LedgerRecord>,
+}
+
+impl CampaignSummary {
+    /// True when every spec finished with status `done`.
+    pub fn all_done(&self) -> bool {
+        self.done == self.total
+    }
+
+    /// A compact human-readable table of the ledger.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{} specs: {} done, {} failed, {} timeout, {} retried, {} lost\n",
+            self.total, self.done, self.failed, self.timed_out, self.retried, self.lost
+        );
+        for r in &self.records {
+            let cost = r
+                .final_cost
+                .map_or_else(|| "-".to_string(), |c| format!("{c:.3e}"));
+            out.push_str(&format!(
+                "{:40} {:8} attempts={} J={}\n",
+                r.spec_id,
+                r.status.as_str(),
+                r.attempts,
+                cost
+            ));
+        }
+        out
+    }
+}
+
+/// Deterministic seed for retry `attempt` (>= 1) of a spec seeded `base`.
+fn perturb_seed(base: u64, attempt: u32) -> u64 {
+    let mut sm = SplitMix64::new(base);
+    let mut s = base;
+    for _ in 0..attempt {
+        s = sm.next_u64();
+    }
+    s
+}
+
+fn validate_config(c: &Campaign) -> Result<(), ControlError> {
+    let bad = |msg: String| Err(ControlError::BadConfig(msg));
+    if c.config.name.is_empty() {
+        return bad("campaign name must not be empty".into());
+    }
+    if !(c.config.retry_damping.is_finite()
+        && c.config.retry_damping > 0.0
+        && c.config.retry_damping <= 1.0)
+    {
+        return bad(format!(
+            "retry_damping must be in (0, 1], got {}",
+            c.config.retry_damping
+        ));
+    }
+    if c.config.workers == Some(0) {
+        return bad("workers must be >= 1".into());
+    }
+    let mut ids: Vec<String> = Vec::with_capacity(c.specs.len());
+    for spec in &c.specs {
+        spec.validate()?;
+        let id = spec.id();
+        if ids.contains(&id) {
+            return bad(format!(
+                "duplicate spec id {id:?} (set distinct labels or seeds)"
+            ));
+        }
+        ids.push(id);
+    }
+    Ok(())
+}
+
+/// One pending spec's slot in the fan-out (chunk size 1 over this vec).
+struct WorkSlot {
+    spec: RunSpec,
+    record: Option<LedgerRecord>,
+}
+
+/// Executes `campaign`, resuming from its ledger, and returns the summary.
+///
+/// Errors only on misconfiguration or ledger I/O failure; individual run
+/// failures are *data* (status `failed`/`timeout` records in the summary).
+pub fn run_campaign(campaign: &Campaign) -> Result<CampaignSummary, ControlError> {
+    let _span = trace::span("campaign");
+    validate_config(campaign)?;
+    let cfg = &campaign.config;
+    let (ledger, existing) = Ledger::open(&cfg.ledger_path, &cfg.name)?;
+
+    // Index existing records by spec id; a record for a spec not in the
+    // grid means the ledger and the campaign definition drifted apart.
+    let ids: Vec<String> = campaign.specs.iter().map(|s| s.id()).collect();
+    let mut by_id: HashMap<String, LedgerRecord> = HashMap::new();
+    for rec in existing {
+        if !ids.iter().any(|id| id == &rec.spec_id) {
+            return Err(ControlError::Ledger {
+                path: cfg.ledger_path.display().to_string(),
+                detail: format!(
+                    "record for spec {:?} not in this campaign (stale ledger?)",
+                    rec.spec_id
+                ),
+            });
+        }
+        by_id.insert(rec.spec_id.clone(), rec);
+    }
+
+    let mut slots: Vec<Option<LedgerRecord>> = ids.iter().map(|id| by_id.remove(id)).collect();
+    let skipped = slots.iter().filter(|s| s.is_some()).count();
+
+    // Build each distinct substrate once, sequentially (assembly and
+    // factorization symbolics dominate; sharing them is the point).
+    let mut problems: HashMap<String, BuiltProblem> = HashMap::new();
+    for (spec, slot) in campaign.specs.iter().zip(&slots) {
+        if slot.is_none() {
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                problems.entry(spec.problem.build_key())
+            {
+                e.insert(BuiltProblem::build(&spec.problem)?);
+            }
+        }
+    }
+
+    let mut work: Vec<WorkSlot> = campaign
+        .specs
+        .iter()
+        .zip(&slots)
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(spec, _)| WorkSlot {
+            spec: spec.clone(),
+            record: None,
+        })
+        .collect();
+    trace::counter("campaign_pending", work.len() as f64);
+
+    let root = CancelToken::new();
+    let io_error: Mutex<Option<ControlError>> = Mutex::new(None);
+    {
+        let run_all = |work: &mut Vec<WorkSlot>| {
+            par::par_chunks_mut(work, 1, |_, piece| {
+                let slot = &mut piece[0];
+                slot.record = run_one(&slot.spec, cfg, &root, &problems, &ledger, &io_error);
+            });
+        };
+        match cfg.workers {
+            Some(n) => par::with_pool(&Arc::new(par::ThreadPool::new(n)), || run_all(&mut work)),
+            None => run_all(&mut work),
+        }
+    }
+    if let Some(err) = io_error.into_inner().expect("io_error lock poisoned") {
+        return Err(err);
+    }
+
+    // Fold freshly executed records back into spec order and compact the
+    // ledger so its bytes no longer depend on completion order.
+    let mut executed = 0usize;
+    let mut fresh = work.into_iter();
+    for slot in slots.iter_mut() {
+        if slot.is_none() {
+            let w = fresh.next().expect("one work slot per pending spec");
+            if w.record.is_some() {
+                executed += 1;
+            }
+            *slot = w.record;
+        }
+    }
+    let records: Vec<LedgerRecord> = slots.into_iter().flatten().collect();
+    ledger.compact(records.iter())?;
+
+    let total = campaign.specs.len();
+    let count = |st: RunStatus| records.iter().filter(|r| r.status == st).count();
+    let summary = CampaignSummary {
+        total,
+        skipped,
+        executed,
+        lost: total - records.len(),
+        done: count(RunStatus::Done),
+        failed: count(RunStatus::Failed),
+        timed_out: count(RunStatus::TimedOut),
+        retried: records.iter().filter(|r| r.attempts > 1).count(),
+        records,
+    };
+    trace::counter("campaign_done", summary.done as f64);
+    trace::counter("campaign_failed", summary.failed as f64);
+    trace::counter("campaign_timeout", summary.timed_out as f64);
+    trace::counter("campaign_retried", summary.retried as f64);
+    trace::counter("campaign_lost", summary.lost as f64);
+    Ok(summary)
+}
+
+/// Runs one spec to a terminal outcome (or `None` when the campaign was
+/// cancelled first — the spec stays unrecorded and resumes later).
+fn run_one(
+    spec: &RunSpec,
+    cfg: &CampaignConfig,
+    root: &CancelToken,
+    problems: &HashMap<String, BuiltProblem>,
+    ledger: &Ledger,
+    io_error: &Mutex<Option<ControlError>>,
+) -> Option<LedgerRecord> {
+    let spec_id = spec.id();
+    let mut current = spec.clone();
+    let mut attempt: u32 = 0;
+    loop {
+        if root.is_stopped() {
+            return None;
+        }
+        let cancel = match cfg.run_timeout {
+            Some(budget) => root.with_deadline(budget),
+            None => root.child(),
+        };
+        let ctx = RunCtx::supervised(cancel, attempt);
+        let problem = problems
+            .get(&current.problem.build_key())
+            .expect("every pending spec's problem is prebuilt");
+        let outcome = execute_on(problem.as_problem(), &current, &ctx);
+        let record = match outcome {
+            Ok(run) => {
+                trace::solve_event(
+                    "driver",
+                    "run_done",
+                    attempt as usize,
+                    f64::NAN,
+                    run.report.final_cost,
+                    f64::NAN,
+                );
+                record_done(&spec_id, &current, &run, attempt + 1)
+            }
+            Err(err) if err.is_divergence() && attempt < cfg.max_retries => {
+                trace::solve_event(
+                    "driver",
+                    "run_retry",
+                    attempt as usize,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                );
+                current.lr *= cfg.retry_damping;
+                current.seed = perturb_seed(spec.seed, attempt + 1);
+                attempt += 1;
+                continue;
+            }
+            Err(err @ ControlError::Timeout { .. }) => {
+                trace::solve_event(
+                    "driver",
+                    "run_timeout",
+                    attempt as usize,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                );
+                record_terminal(&spec_id, &current, RunStatus::TimedOut, &err, attempt + 1)
+            }
+            Err(ControlError::Cancelled { .. }) => return None,
+            Err(err) => {
+                if err.is_fatal() {
+                    // Grid-level misconfiguration: stop claiming new work.
+                    trace::solve_event(
+                        "driver",
+                        "run_fatal",
+                        attempt as usize,
+                        f64::NAN,
+                        f64::NAN,
+                        f64::NAN,
+                    );
+                    root.cancel();
+                }
+                record_terminal(&spec_id, &current, RunStatus::Failed, &err, attempt + 1)
+            }
+        };
+        if let Err(e) = ledger.append(&record) {
+            root.cancel();
+            let mut guard = io_error.lock().expect("io_error lock poisoned");
+            guard.get_or_insert(e);
+        }
+        return Some(record);
+    }
+}
+
+fn record_done(spec_id: &str, spec: &RunSpec, run: &SpecRun, attempts: u32) -> LedgerRecord {
+    LedgerRecord {
+        spec_id: spec_id.to_string(),
+        status: RunStatus::Done,
+        method: run.report.method.clone(),
+        problem: run.report.problem.clone(),
+        attempts,
+        seed: spec.seed,
+        lr: spec.lr,
+        iterations: run.report.iterations,
+        final_cost: Some(run.report.final_cost).filter(|c| c.is_finite()),
+        error: None,
+        cost_history: run.report.history.entries.iter().map(|e| e.cost).collect(),
+        iter_history: run
+            .report
+            .history
+            .entries
+            .iter()
+            .map(|e| e.iter as f64)
+            .collect(),
+    }
+}
+
+fn record_terminal(
+    spec_id: &str,
+    spec: &RunSpec,
+    status: RunStatus,
+    err: &ControlError,
+    attempts: u32,
+) -> LedgerRecord {
+    LedgerRecord {
+        spec_id: spec_id.to_string(),
+        status,
+        method: spec.strategy.name().to_string(),
+        problem: spec.problem.name().to_string(),
+        attempts,
+        seed: spec.seed,
+        lr: spec.lr,
+        iterations: 0,
+        final_cost: None,
+        error: Some(err.to_string()),
+        cost_history: Vec::new(),
+        iter_history: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static TEST_ID: AtomicUsize = AtomicUsize::new(0);
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("meshfree-driver-engine-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!(
+            "{}-{}-{name}.jsonl",
+            std::process::id(),
+            TEST_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn synthetic_grid(n: usize) -> Vec<RunSpec> {
+        (0..n)
+            .map(|i| RunSpec::synthetic(8).seed(i as u64).iterations(25).build())
+            .collect()
+    }
+
+    #[test]
+    fn healthy_campaign_completes_every_spec() {
+        let path = tmp("healthy");
+        let summary = Campaign::new("healthy", &path)
+            .extend(synthetic_grid(4))
+            .run()
+            .unwrap();
+        assert!(summary.all_done(), "{}", summary.table());
+        assert_eq!(summary.executed, 4);
+        assert_eq!(summary.skipped, 0);
+        assert_eq!(summary.lost, 0);
+        assert_eq!(summary.retried, 0);
+        for rec in &summary.records {
+            assert_eq!(rec.attempts, 1);
+            assert!(rec.final_cost.unwrap() < 1.0);
+            assert!(!rec.cost_history.is_empty());
+        }
+    }
+
+    #[test]
+    fn nan_diverging_spec_is_retried_with_damped_lr_and_new_seed() {
+        let path = tmp("retry");
+        let spec = RunSpec::synthetic(8)
+            .fail_attempts(1)
+            .seed(7)
+            .lr(4e-2)
+            .iterations(25)
+            .build();
+        let summary = Campaign::new("retry", &path).spec(spec).run().unwrap();
+        assert_eq!(summary.done, 1, "{}", summary.table());
+        assert_eq!(summary.retried, 1);
+        let rec = &summary.records[0];
+        assert_eq!(rec.attempts, 2);
+        assert!((rec.lr - 2e-2).abs() < 1e-15, "lr must be damped once");
+        assert_ne!(rec.seed, 7, "retry must perturb the seed");
+        assert_eq!(
+            rec.spec_id, "synthetic-n8-DP-it25-lr4e-2-seed7",
+            "ledger keys on the original spec id, not the perturbed seed"
+        );
+    }
+
+    #[test]
+    fn retries_exhausted_becomes_a_failed_record() {
+        let path = tmp("exhaust");
+        let spec = RunSpec::synthetic(8).fail_attempts(10).seed(3).build();
+        let summary = Campaign::new("exhaust", &path)
+            .spec(spec)
+            .max_retries(2)
+            .run()
+            .unwrap();
+        assert_eq!(summary.failed, 1, "{}", summary.table());
+        let rec = &summary.records[0];
+        assert_eq!(rec.status, RunStatus::Failed);
+        assert_eq!(rec.attempts, 3, "initial attempt + 2 retries");
+        assert!(
+            rec.error.as_ref().unwrap().contains("diverged"),
+            "{:?}",
+            rec.error
+        );
+        assert_eq!(rec.final_cost, None);
+    }
+
+    #[test]
+    fn zero_deadline_yields_timeout_records_without_retry() {
+        let path = tmp("deadline");
+        let summary = Campaign::new("deadline", &path)
+            .extend(synthetic_grid(2))
+            .run_timeout(Duration::from_secs(0))
+            .run()
+            .unwrap();
+        assert_eq!(summary.timed_out, 2, "{}", summary.table());
+        for rec in &summary.records {
+            assert_eq!(rec.status, RunStatus::TimedOut);
+            assert_eq!(rec.attempts, 1, "timeouts must not burn retries");
+            assert!(rec.error.as_ref().unwrap().contains("timed out"));
+        }
+    }
+
+    #[test]
+    fn resume_skips_recorded_specs_and_reproduces_the_ledger_bytes() {
+        let specs = synthetic_grid(5);
+        // Reference: one uninterrupted pass over the full grid.
+        let full_path = tmp("resume-full");
+        let full = Campaign::new("resume", &full_path)
+            .extend(specs.clone())
+            .run()
+            .unwrap();
+        assert!(full.all_done());
+        let reference = std::fs::read_to_string(&full_path).unwrap();
+
+        // Interrupted: a first invocation that only knows 2 specs stands in
+        // for a campaign killed after 2 records hit the ledger.
+        let part_path = tmp("resume-part");
+        let first = Campaign::new("resume", &part_path)
+            .extend(specs[..2].to_vec())
+            .run()
+            .unwrap();
+        assert_eq!(first.executed, 2);
+
+        let second = Campaign::new("resume", &part_path)
+            .extend(specs.clone())
+            .run()
+            .unwrap();
+        assert_eq!(second.skipped, 2, "recorded specs must not re-run");
+        assert_eq!(second.executed, 3, "exactly n - k new runs");
+        assert!(second.all_done());
+        let resumed = std::fs::read_to_string(&part_path).unwrap();
+        assert_eq!(
+            resumed, reference,
+            "resumed ledger must be byte-identical to the uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn two_workers_and_serial_produce_identical_ledgers() {
+        let specs = synthetic_grid(6);
+        let serial_path = tmp("det-serial");
+        let serial = Campaign::new("det", &serial_path)
+            .extend(specs.clone())
+            .workers(1)
+            .run()
+            .unwrap();
+        let par_path = tmp("det-par");
+        let par2 = Campaign::new("det", &par_path)
+            .extend(specs)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert!(serial.all_done() && par2.all_done());
+        let a = std::fs::read_to_string(&serial_path).unwrap();
+        let b = std::fs::read_to_string(&par_path).unwrap();
+        assert_eq!(a, b, "ledger bytes must not depend on worker count");
+    }
+
+    #[test]
+    fn duplicate_spec_ids_are_rejected_before_anything_runs() {
+        let path = tmp("dup");
+        let spec = RunSpec::synthetic(8).seed(1).build();
+        let err = Campaign::new("dup", &path)
+            .spec(spec.clone())
+            .spec(spec)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ControlError::BadConfig(_)), "{err}");
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn stale_ledger_record_is_a_hard_error() {
+        let path = tmp("stale");
+        Campaign::new("stale", &path)
+            .spec(RunSpec::synthetic(8).seed(9).build())
+            .run()
+            .unwrap();
+        let err = Campaign::new("stale", &path)
+            .spec(RunSpec::synthetic(8).seed(10).build())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ControlError::Ledger { .. }), "{err}");
+    }
+
+    #[test]
+    fn perturbed_seeds_are_distinct_per_attempt() {
+        let s1 = perturb_seed(42, 1);
+        let s2 = perturb_seed(42, 2);
+        assert_ne!(s1, 42);
+        assert_ne!(s1, s2);
+        assert_eq!(s1, perturb_seed(42, 1), "perturbation is deterministic");
+    }
+}

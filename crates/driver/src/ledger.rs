@@ -1,0 +1,446 @@
+//! The campaign checkpoint ledger: JSONL of completed-run records.
+//!
+//! One line per terminal run outcome, each line a
+//! [`GoldenSnapshot`] in its single-line compact form — the same
+//! restricted JSON round-trip the golden-run regression harness already
+//! trusts, so the driver gets durable, diff-able checkpoints without a
+//! serialization dependency. The first line is a meta record carrying the
+//! campaign name, so a ledger cannot silently be resumed by the wrong
+//! campaign.
+//!
+//! Determinism contract: records hold only quantities that are functions
+//! of the spec and the deterministic kernels (costs, iteration counts,
+//! attempt counts, the retry-perturbed seed/lr) — never wall-clock times.
+//! Together with the end-of-campaign compaction into spec order this makes
+//! the final ledger bytes independent of worker count and of where a
+//! previous invocation was killed.
+//!
+//! Crash tolerance: a campaign killed mid-append leaves a torn final line.
+//! [`Ledger::open`] drops a final line that does not parse (and only the
+//! final line — earlier corruption is a hard error) and rewrites the file
+//! clean before appending resumes.
+
+use check::golden::GoldenSnapshot;
+use control::api::ControlError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Name of the meta line that heads every ledger file.
+const META_NAME: &str = "__campaign__";
+
+/// Terminal status of one spec in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run finished with a finite cost.
+    Done,
+    /// The run failed terminally (retries exhausted or a fatal error).
+    Failed,
+    /// The run's wall-clock budget expired.
+    TimedOut,
+}
+
+impl RunStatus {
+    /// Stable string form used in the ledger.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunStatus::Done => "done",
+            RunStatus::Failed => "failed",
+            RunStatus::TimedOut => "timeout",
+        }
+    }
+
+    fn parse(s: &str) -> Result<RunStatus, String> {
+        match s {
+            "done" => Ok(RunStatus::Done),
+            "failed" => Ok(RunStatus::Failed),
+            "timeout" => Ok(RunStatus::TimedOut),
+            other => Err(format!("unknown run status {other:?}")),
+        }
+    }
+}
+
+/// One terminal run outcome — one ledger line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// The [`RunSpec::id`](control::api::RunSpec::id) this record
+    /// belongs to (always the *original* spec's id, even after retries
+    /// perturbed the seed).
+    pub spec_id: String,
+    /// How the spec ended.
+    pub status: RunStatus,
+    /// Method name from the report (`"DAL"`, `"DP"`, `"FD"`, `"PINN"`).
+    pub method: String,
+    /// Problem name from the report (`"laplace"`, `"navier-stokes"`, …).
+    pub problem: String,
+    /// Attempts consumed (1 = succeeded first try; `attempts - 1` retries).
+    pub attempts: u32,
+    /// Seed of the final attempt (differs from the spec's after retries).
+    pub seed: u64,
+    /// Learning rate of the final attempt (damped on each retry).
+    pub lr: f64,
+    /// Iterations the final attempt performed (0 for failed/timeout).
+    pub iterations: usize,
+    /// Final cost, when finite (`None` for failed/timeout runs).
+    pub final_cost: Option<f64>,
+    /// Display form of the terminal error, for failed/timeout runs.
+    pub error: Option<String>,
+    /// Recorded cost history of the successful attempt.
+    pub cost_history: Vec<f64>,
+    /// Iteration indices matching `cost_history`.
+    pub iter_history: Vec<f64>,
+}
+
+/// Strips characters the restricted golden format cannot carry.
+fn sanitize(s: &str) -> String {
+    s.replace(['"', '\n', '\r'], " ")
+}
+
+impl LedgerRecord {
+    /// Renders as a [`GoldenSnapshot`] (deterministic field order).
+    pub fn to_snapshot(&self) -> GoldenSnapshot {
+        let mut s = GoldenSnapshot::new(&self.spec_id)
+            .string("status", self.status.as_str())
+            .string("method", &sanitize(&self.method))
+            .string("problem", &sanitize(&self.problem))
+            .string("seed", &self.seed.to_string())
+            .scalar("attempts", f64::from(self.attempts))
+            .scalar("iterations", self.iterations as f64)
+            .scalar("lr", self.lr);
+        // The golden writer asserts finiteness, so a non-finite cost is
+        // recorded by omission (status + error carry the diagnosis).
+        if let Some(c) = self.final_cost.filter(|c| c.is_finite()) {
+            s = s.scalar("final_cost", c);
+        }
+        if let Some(e) = &self.error {
+            s = s.string("error", &sanitize(e));
+        }
+        if !self.cost_history.is_empty() {
+            s = s.with_series("cost_history", self.cost_history.clone());
+        }
+        if !self.iter_history.is_empty() {
+            s = s.with_series("iter_history", self.iter_history.clone());
+        }
+        s
+    }
+
+    /// Parses a record back out of a snapshot.
+    pub fn from_snapshot(snap: &GoldenSnapshot) -> Result<LedgerRecord, String> {
+        let string = |key: &str| {
+            snap.get_string(key)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record {:?}: missing string {key:?}", snap.name))
+        };
+        let scalar = |key: &str| {
+            snap.get_scalar(key)
+                .ok_or_else(|| format!("record {:?}: missing scalar {key:?}", snap.name))
+        };
+        let seed: u64 = string("seed")?
+            .parse()
+            .map_err(|e| format!("record {:?}: bad seed: {e}", snap.name))?;
+        Ok(LedgerRecord {
+            spec_id: snap.name.clone(),
+            status: RunStatus::parse(&string("status")?)?,
+            method: string("method")?,
+            problem: string("problem")?,
+            attempts: scalar("attempts")? as u32,
+            seed,
+            lr: scalar("lr")?,
+            iterations: scalar("iterations")? as usize,
+            final_cost: snap.get_scalar("final_cost"),
+            error: snap.get_string("error").map(str::to_string),
+            cost_history: snap.get_series("cost_history").unwrap_or(&[]).to_vec(),
+            iter_history: snap.get_series("iter_history").unwrap_or(&[]).to_vec(),
+        })
+    }
+
+    /// One ledger line (compact JSON, no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_snapshot().to_json_compact()
+    }
+
+    /// Parses one ledger line.
+    pub fn from_line(line: &str) -> Result<LedgerRecord, String> {
+        let snap = GoldenSnapshot::from_json(line)?;
+        if snap.name == META_NAME {
+            return Err("meta line is not a run record".to_string());
+        }
+        LedgerRecord::from_snapshot(&snap)
+    }
+}
+
+fn meta_line(campaign: &str) -> String {
+    GoldenSnapshot::new(META_NAME)
+        .string("campaign", &sanitize(campaign))
+        .scalar("format", 1.0)
+        .to_json_compact()
+}
+
+/// An append-mostly JSONL checkpoint file, shared across worker threads.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    campaign: String,
+    file: Mutex<File>,
+}
+
+fn io_err(path: &Path, detail: impl std::fmt::Display) -> ControlError {
+    ControlError::Ledger {
+        path: path.display().to_string(),
+        detail: detail.to_string(),
+    }
+}
+
+impl Ledger {
+    /// Opens (or creates) the ledger at `path` for campaign `campaign`,
+    /// returning the handle plus every previously recorded run.
+    ///
+    /// A parse failure on the *final* line is treated as a torn write from
+    /// a killed campaign and dropped; a parse failure anywhere else, or a
+    /// meta line naming a different campaign, is a hard
+    /// [`ControlError::Ledger`] error. The file is rewritten clean (meta +
+    /// surviving records) before the append handle is returned.
+    pub fn open(path: &Path, campaign: &str) -> Result<(Ledger, Vec<LedgerRecord>), ControlError> {
+        let mut records: Vec<LedgerRecord> = Vec::new();
+        if path.exists() {
+            let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+            for (i, line) in lines.iter().enumerate() {
+                let last = i + 1 == lines.len();
+                if i == 0 {
+                    match GoldenSnapshot::from_json(line) {
+                        Ok(meta) if meta.name == META_NAME => {
+                            let found = meta.get_string("campaign").unwrap_or("");
+                            if found != sanitize(campaign) {
+                                return Err(io_err(
+                                    path,
+                                    format!(
+                                        "ledger belongs to campaign {found:?}, not {campaign:?}"
+                                    ),
+                                ));
+                            }
+                        }
+                        Ok(other) => {
+                            return Err(io_err(
+                                path,
+                                format!("first line is {:?}, expected the meta line", other.name),
+                            ));
+                        }
+                        Err(e) if last => {
+                            // Torn meta on a ledger killed during creation:
+                            // nothing recorded yet, start fresh.
+                            let _ = e;
+                            break;
+                        }
+                        Err(e) => return Err(io_err(path, format!("bad meta line: {e}"))),
+                    }
+                    continue;
+                }
+                match LedgerRecord::from_line(line) {
+                    Ok(rec) => {
+                        if records.iter().any(|r| r.spec_id == rec.spec_id) {
+                            return Err(io_err(
+                                path,
+                                format!("duplicate record for spec {:?}", rec.spec_id),
+                            ));
+                        }
+                        records.push(rec);
+                    }
+                    Err(_) if last => break, // torn final line: drop it
+                    Err(e) => return Err(io_err(path, format!("line {}: {e}", i + 1))),
+                }
+            }
+        }
+        // Rewrite clean (creates the file, installs the meta line, and
+        // removes any torn tail) so appends always start from a valid file.
+        write_all(path, campaign, records.iter())?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        Ok((
+            Ledger {
+                path: path.to_path_buf(),
+                campaign: campaign.to_string(),
+                file: Mutex::new(file),
+            },
+            records,
+        ))
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes, so the checkpoint survives a kill
+    /// immediately after the run completes.
+    pub fn append(&self, rec: &LedgerRecord) -> Result<(), ControlError> {
+        let mut f = self.file.lock().expect("ledger lock poisoned");
+        writeln!(f, "{}", rec.to_line()).map_err(|e| io_err(&self.path, e))?;
+        f.flush().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Rewrites the whole file as meta + `records` in the order given
+    /// (the driver passes campaign-spec order, making the final bytes
+    /// independent of completion order and worker count).
+    pub fn compact<'a>(
+        &self,
+        records: impl Iterator<Item = &'a LedgerRecord>,
+    ) -> Result<(), ControlError> {
+        let _guard = self.file.lock().expect("ledger lock poisoned");
+        write_all(&self.path, &self.campaign, records)
+    }
+}
+
+fn write_all<'a>(
+    path: &Path,
+    campaign: &str,
+    records: impl Iterator<Item = &'a LedgerRecord>,
+) -> Result<(), ControlError> {
+    let mut text = meta_line(campaign);
+    text.push('\n');
+    for rec in records {
+        text.push_str(&rec.to_line());
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| io_err(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("meshfree-driver-ledger-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample(id: &str) -> LedgerRecord {
+        LedgerRecord {
+            spec_id: id.to_string(),
+            status: RunStatus::Done,
+            method: "DP".to_string(),
+            problem: "synthetic".to_string(),
+            attempts: 2,
+            seed: 0xdead_beef_dead_beef,
+            lr: 2.5e-2,
+            iterations: 40,
+            final_cost: Some(1.25e-9),
+            error: None,
+            cost_history: vec![1.0, 0.5, 1.25e-9],
+            iter_history: vec![0.0, 20.0, 39.0],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_a_line() {
+        let rec = sample("spec-a");
+        let back = LedgerRecord::from_line(&rec.to_line()).unwrap();
+        assert_eq!(back, rec);
+        // u64 seeds survive exactly (they travel as strings, not f64).
+        assert_eq!(back.seed, 0xdead_beef_dead_beef);
+    }
+
+    #[test]
+    fn failed_record_round_trips_and_sanitizes_error_text() {
+        let mut rec = sample("spec-b");
+        rec.status = RunStatus::Failed;
+        rec.final_cost = None;
+        rec.error = Some("diverged at iteration 3: cost = NaN \"boom\"\n".to_string());
+        rec.cost_history.clear();
+        rec.iter_history.clear();
+        let back = LedgerRecord::from_line(&rec.to_line()).unwrap();
+        assert_eq!(back.status, RunStatus::Failed);
+        assert_eq!(back.final_cost, None);
+        let err = back.error.unwrap();
+        assert!(!err.contains('"') && !err.contains('\n'));
+        assert!(err.contains("diverged at iteration 3"));
+    }
+
+    #[test]
+    fn non_finite_final_cost_is_omitted_not_asserted() {
+        let mut rec = sample("spec-nan");
+        rec.final_cost = Some(f64::NAN);
+        let back = LedgerRecord::from_line(&rec.to_line()).unwrap();
+        assert_eq!(back.final_cost, None);
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_records() {
+        let path = tmp("reopen");
+        let (ledger, existing) = Ledger::open(&path, "camp").unwrap();
+        assert!(existing.is_empty());
+        ledger.append(&sample("s1")).unwrap();
+        ledger.append(&sample("s2")).unwrap();
+        drop(ledger);
+        let (_ledger, existing) = Ledger::open(&path, "camp").unwrap();
+        assert_eq!(existing.len(), 2);
+        assert_eq!(existing[0].spec_id, "s1");
+        assert_eq!(existing[1].spec_id, "s2");
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_file_rewritten_clean() {
+        let path = tmp("torn");
+        {
+            let (ledger, _) = Ledger::open(&path, "camp").unwrap();
+            ledger.append(&sample("s1")).unwrap();
+        }
+        // Simulate a kill mid-append: half a JSON object, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"name\": \"s2\", \"scal").unwrap();
+        drop(f);
+        let (_ledger, existing) = Ledger::open(&path, "camp").unwrap();
+        assert_eq!(existing.len(), 1, "torn line must be dropped");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "file must be rewritten clean");
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn earlier_corruption_is_a_hard_error() {
+        let path = tmp("corrupt");
+        {
+            let (ledger, _) = Ledger::open(&path, "camp").unwrap();
+            ledger.append(&sample("s1")).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled = text.replace("\"status\": \"done\"", "\"status\": \"do");
+        assert_ne!(mangled, text);
+        std::fs::write(&path, mangled).unwrap();
+        // The mangled record line is followed by nothing, so it is the
+        // final line and tolerated; append a valid record after it to make
+        // the corruption non-final.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "{}", sample("s3").to_line()).unwrap();
+        drop(f);
+        let err = Ledger::open(&path, "camp").unwrap_err();
+        assert!(matches!(err, ControlError::Ledger { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_campaign_name_is_rejected() {
+        let path = tmp("wrongname");
+        let _ = Ledger::open(&path, "alpha").unwrap();
+        let err = Ledger::open(&path, "beta").unwrap_err();
+        assert!(err.to_string().contains("alpha"), "{err}");
+    }
+
+    #[test]
+    fn compact_orders_records_as_given() {
+        let path = tmp("compact");
+        let (ledger, _) = Ledger::open(&path, "camp").unwrap();
+        ledger.append(&sample("s2")).unwrap();
+        ledger.append(&sample("s1")).unwrap();
+        let ordered = [sample("s1"), sample("s2")];
+        ledger.compact(ordered.iter()).unwrap();
+        let (_ledger, existing) = Ledger::open(&path, "camp").unwrap();
+        let ids: Vec<&str> = existing.iter().map(|r| r.spec_id.as_str()).collect();
+        assert_eq!(ids, ["s1", "s2"]);
+    }
+}

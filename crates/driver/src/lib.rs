@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # meshfree-driver
+//!
+//! The batch campaign engine behind the paper's Table 3 sweeps: take a
+//! declarative [`Campaign`] — a set of [`RunSpec`]s (problem × strategy ×
+//! seed × hyperparameters) — and execute it concurrently on the
+//! `meshfree_runtime::par` pool with per-run wall-clock deadlines,
+//! divergence detection, bounded damped retries, fail-fast cancellation
+//! and checkpoint/resume.
+//!
+//! The failure model, in one paragraph: every run executes under a
+//! [`RunCtx`](control::RunCtx) whose
+//! [`CancelToken`](meshfree_runtime::CancelToken) is a child of the
+//! campaign's root token, optionally carrying a per-attempt deadline.
+//! A *divergent* outcome ([`ControlError::is_divergence`]: NaN/∞ cost,
+//! Picard non-convergence, iterative-solver breakdown) triggers a bounded
+//! retry with the learning rate damped and the seed deterministically
+//! perturbed. A *timeout* is terminal for the spec — the same budget would
+//! burn again. A *fatal* outcome ([`ControlError::is_fatal`]: bad
+//! configuration, shape mismatches) cancels the root token so the rest of
+//! the grid stops claiming work. Everything terminal is appended to a
+//! JSONL ledger (one [`GoldenSnapshot`](check::golden::GoldenSnapshot)
+//! compact line per run) the moment it happens, so a killed campaign
+//! resumes by re-reading the ledger and re-running only the missing specs.
+//! On success the ledger is compacted into campaign-spec order, which makes
+//! its final bytes independent of worker count and of how many times the
+//! campaign was interrupted.
+//!
+//! ```
+//! use driver::Campaign;
+//! use control::api::RunSpec;
+//!
+//! let dir = std::env::temp_dir().join("driver-doc-example");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let ledger = dir.join("doc.jsonl");
+//! let _ = std::fs::remove_file(&ledger);
+//! let summary = Campaign::new("doc", &ledger)
+//!     .spec(RunSpec::synthetic(6).seed(1).build())
+//!     .spec(RunSpec::synthetic(6).seed(2).build())
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(summary.done, 2);
+//! ```
+
+pub mod engine;
+pub mod ledger;
+
+pub use engine::{run_campaign, Campaign, CampaignConfig, CampaignSummary};
+pub use ledger::{Ledger, LedgerRecord, RunStatus};
+
+// Re-exported so driver users can match on errors / build specs without a
+// separate `meshfree_control` import.
+pub use control::api::{ControlError, ProblemSpec, RunSpec, Strategy};

@@ -1,0 +1,205 @@
+//! Cooperative cancellation for long-running solver loops.
+//!
+//! A [`CancelToken`] is a cheaply clonable handle that instrumented loops
+//! poll between iterations (one relaxed atomic load plus, when a deadline
+//! is set, one clock read). It carries three independent stop conditions:
+//!
+//! * **explicit cancellation** — any clone calls [`CancelToken::cancel`];
+//! * **a wall-clock deadline** — set with [`CancelToken::with_deadline`];
+//! * **a cancelled parent** — tokens created with [`CancelToken::child`]
+//!   observe their parent's cancellation (but not the reverse), so a batch
+//!   driver can abort one run without touching its siblings, or abort the
+//!   whole campaign with a single call on the root token.
+//!
+//! Cancellation is purely cooperative: nothing is interrupted, unwound or
+//! killed. A loop that never polls never stops — which is exactly the
+//! contract the deterministic kernels need (no mid-chunk aborts, no
+//! worker-count-dependent early exits).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<CancelToken>,
+}
+
+/// Why a token reports itself as stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// [`CancelToken::cancel`] was called on this token or an ancestor.
+    Cancelled,
+    /// The wall-clock deadline of this token (or an ancestor) has passed.
+    DeadlineExpired,
+}
+
+/// A shareable, hierarchical cancellation flag with an optional deadline.
+///
+/// ```
+/// use meshfree_runtime::cancel::CancelToken;
+/// let root = CancelToken::new();
+/// let run = root.child();
+/// assert!(!run.is_stopped());
+/// root.cancel();
+/// assert!(run.is_stopped()); // children observe the parent
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline, no parent.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token that additionally observes `self`'s cancellation and
+    /// deadline. Cancelling the child does not affect the parent.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// A child token whose deadline is `budget` from now (in addition to
+    /// any ancestor deadline).
+    pub fn with_deadline(&self, budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation of this token and every token derived from it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True when [`CancelToken::cancel`] was called on this token or any
+    /// ancestor (deadlines are not consulted).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(p) => p.is_cancelled(),
+            None => false,
+        }
+    }
+
+    /// True when this token's deadline (or an ancestor's) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        if let Some(d) = self.inner.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        match &self.inner.parent {
+            Some(p) => p.deadline_expired(),
+            None => false,
+        }
+    }
+
+    /// Why the token is stopped, or `None` when work may continue. An
+    /// expired deadline wins over a simultaneous explicit cancel so that
+    /// timeout reporting stays accurate.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if self.deadline_expired() {
+            Some(StopReason::DeadlineExpired)
+        } else if self.is_cancelled() {
+            Some(StopReason::Cancelled)
+        } else {
+            None
+        }
+    }
+
+    /// True when the token is stopped for any reason. The per-iteration
+    /// poll for loops that do not need to distinguish the cause.
+    pub fn is_stopped(&self) -> bool {
+        self.stop_reason().is_some()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        assert_eq!(t.stop_reason(), None);
+    }
+
+    #[test]
+    fn cancel_propagates_down_but_not_up() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = a.child();
+        a.cancel();
+        assert!(!root.is_cancelled(), "cancel must not propagate upward");
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled(), "grandchildren observe ancestors");
+        assert_eq!(b.stop_reason(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::new().with_deadline(Duration::from_secs(0));
+        assert!(t.deadline_expired());
+        assert_eq!(t.stop_reason(), Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_expire() {
+        let t = CancelToken::new().with_deadline(Duration::from_secs(3600));
+        assert!(!t.deadline_expired());
+        assert!(!t.is_stopped());
+    }
+
+    #[test]
+    fn parent_deadline_reaches_children() {
+        let parent = CancelToken::new().with_deadline(Duration::from_secs(0));
+        let child = parent.child();
+        assert!(child.deadline_expired());
+    }
+
+    #[test]
+    fn deadline_wins_over_simultaneous_cancel() {
+        let t = CancelToken::new().with_deadline(Duration::from_secs(0));
+        t.cancel();
+        assert_eq!(t.stop_reason(), Some(StopReason::DeadlineExpired));
+    }
+}

@@ -15,14 +15,19 @@
 //!   and per-iteration [`trace::SolveEvent`]s flowing to pluggable sinks.
 //! * [`stats`] replaces criterion for the committed perf trajectory:
 //!   warmup + median-of-N kernel timing behind `BENCH_perf.json`.
+//! * [`cancel`] is the cooperative stop signal (explicit, deadline, or
+//!   inherited from a parent token) that the campaign driver threads
+//!   through every optimizer loop.
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use par::{
     num_threads, par_chunks_mut, par_for, par_map_collect, par_map_collect_with, serial_scope,
     with_pool, ThreadPool,

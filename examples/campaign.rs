@@ -1,0 +1,121 @@
+//! Replay the paper's Table 3 comparison grid as one fault-tolerant
+//! campaign: every strategy on both substrates, executed concurrently with
+//! retries, per-run deadlines and a resumable JSONL ledger.
+//!
+//! ```sh
+//! cargo run --release --example campaign            # the Table 3 grid
+//! cargo run --release --example campaign -- --smoke # 4-spec CI smoke
+//! ```
+//!
+//! Kill it mid-flight and run it again: completed specs are skipped, and
+//! the final ledger is byte-identical to an uninterrupted run.
+
+use meshfree_oc::driver::{Campaign, RunSpec, Strategy};
+use std::time::Duration;
+
+/// A 4-spec synthetic campaign with one injected NaN-diverging spec; used
+/// by CI to prove the retry path end-to-end. Panics (non-zero exit) if the
+/// faulty spec is not retried exactly once or any spec is lost.
+fn run_smoke() {
+    let path = std::env::temp_dir().join(format!(
+        "meshfree-campaign-smoke-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut campaign = Campaign::new("smoke", &path).workers(2);
+    for seed in 0..3 {
+        campaign = campaign.spec(RunSpec::synthetic(8).seed(seed).iterations(25).build());
+    }
+    // Fault injection: the first attempt reports a NaN cost, the retry
+    // (damped lr, perturbed seed) is healthy.
+    campaign = campaign.spec(
+        RunSpec::synthetic(8)
+            .fail_attempts(1)
+            .seed(99)
+            .iterations(25)
+            .label("smoke-faulty")
+            .build(),
+    );
+    let summary = campaign.run().expect("smoke campaign");
+    print!("{}", summary.table());
+    assert!(summary.all_done(), "smoke campaign left unfinished specs");
+    assert_eq!(summary.retried, 1, "the injected NaN spec must retry once");
+    assert_eq!(summary.lost, 0, "no spec may be lost");
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "smoke campaign OK: {} done, 1 retried, 0 lost",
+        summary.done
+    );
+}
+
+fn table3_grid() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    // Laplace §3.1: all four strategies at matched laptop-scale budgets.
+    for strategy in Strategy::ALL {
+        let iterations = match strategy {
+            Strategy::FiniteDiff => 100, // FD gradients are ~2n solves each
+            Strategy::Pinn => 400,
+            _ => 200,
+        };
+        specs.push(
+            RunSpec::laplace()
+                .nx(16)
+                .strategy(strategy)
+                .iterations(iterations)
+                .lr(1e-2)
+                .log_every(20)
+                .seed(42)
+                .label(&format!("table3-laplace-{}", strategy.name()))
+                .build(),
+        );
+    }
+    // Navier–Stokes §3.2: DAL with k = 3 refinements, DP with k = 10
+    // (Table 2), plus the PINN.
+    for (strategy, refinements, iterations) in [
+        (Strategy::Dal, 3, 40),
+        (Strategy::Dp, 10, 40),
+        (Strategy::Pinn, 5, 300),
+    ] {
+        specs.push(
+            RunSpec::navier_stokes()
+                .resolution(0.15)
+                .reynolds(50.0)
+                .refinements(refinements)
+                .strategy(strategy)
+                .iterations(iterations)
+                .lr(if strategy == Strategy::Pinn {
+                    1e-2
+                } else {
+                    1e-1
+                })
+                .log_every(5)
+                .seed(42)
+                .label(&format!("table3-ns-{}", strategy.name()))
+                .build(),
+        );
+    }
+    specs
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let summary = Campaign::new("table3", "results/campaign_table3.jsonl")
+        .extend(table3_grid())
+        .run_timeout(Duration::from_secs(1800))
+        .run()
+        .expect("campaign");
+
+    print!("{}", summary.table());
+    println!(
+        "\nledger: results/campaign_table3.jsonl ({} skipped as already done)",
+        summary.skipped
+    );
+    if !summary.all_done() {
+        println!("some specs did not finish — rerun to retry lost specs, or inspect the ledger");
+    }
+}

@@ -7,9 +7,10 @@
 //! ```
 
 use meshfree_oc::control::api::{
-    optimize, ControlObjective, HeatObjective, LaplaceDpObjective, LaplaceFdObjective, OptimizeOpts,
+    optimize, ControlError, ControlObjective, HeatObjective, LaplaceDpObjective,
+    LaplaceFdObjective, OptimizeOpts,
 };
-use meshfree_oc::linalg::{DVec, LinalgError};
+use meshfree_oc::linalg::DVec;
 use meshfree_oc::pde::heat::{HeatConfig, HeatControlProblem};
 use meshfree_oc::pde::laplace_fd::LaplaceFdProblem;
 use meshfree_oc::pde::LaplaceControlProblem;
@@ -25,15 +26,15 @@ impl ControlObjective for Ridge {
     fn n_controls(&self) -> usize {
         self.target.len()
     }
-    fn cost(&mut self, c: &DVec) -> Result<f64, LinalgError> {
+    fn cost(&mut self, c: &DVec) -> Result<f64, ControlError> {
         Ok((c - &self.target).norm2().powi(2) + 0.1 * c.norm2().powi(2))
     }
-    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
+    fn cost_and_grad(&mut self, c: &DVec) -> Result<(f64, DVec), ControlError> {
         let j = self.cost(c)?;
         let g = DVec::from_fn(c.len(), |i| 2.0 * (c[i] - self.target[i]) + 0.2 * c[i]);
         Ok((j, g))
     }
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ridge-toy"
     }
 }

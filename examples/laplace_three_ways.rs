@@ -6,8 +6,8 @@
 //! cargo run --release --example laplace_three_ways
 //! ```
 
-use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
 use meshfree_oc::control::pinn::{LaplacePinn, PinnConfig};
+use meshfree_oc::control::{execute_on, Problem, RunCtx, RunSpec, Strategy};
 use meshfree_oc::linalg::DVec;
 use meshfree_oc::pde::LaplaceControlProblem;
 
@@ -19,17 +19,21 @@ fn main() {
         .expect("cost");
     println!("J at zero control: {j0:.3e}\n");
 
-    let cfg = LaplaceRunConfig {
-        nx,
-        iterations: 250,
-        lr: 1e-2,
-        log_every: 50,
+    let spec = |s: Strategy| {
+        RunSpec::laplace()
+            .nx(nx)
+            .strategy(s)
+            .iterations(250)
+            .lr(1e-2)
+            .log_every(50)
+            .build()
     };
+    let ctx = RunCtx::new();
 
     // --- DAL: hand-derived continuous adjoint, one adjoint solve per step.
-    let dal = run(&problem, &cfg, GradMethod::Dal).expect("DAL");
+    let dal = execute_on(Problem::Laplace(&problem), &spec(Strategy::Dal), &ctx).expect("DAL");
     // --- DP: reverse-mode AD through the discrete solver.
-    let dp = run(&problem, &cfg, GradMethod::Dp).expect("DP");
+    let dp = execute_on(Problem::Laplace(&problem), &spec(Strategy::Dp), &ctx).expect("DP");
 
     // --- PINN: two networks + physics loss + omega-weighted objective.
     // (Short training budget: this example shows the machinery, the bench

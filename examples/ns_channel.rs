@@ -6,8 +6,8 @@
 //! cargo run --release --example ns_channel
 //! ```
 
-use meshfree_oc::control::laplace::GradMethod;
-use meshfree_oc::control::ns::{initial_control, run, NsRunConfig};
+use meshfree_oc::control::ns::initial_control;
+use meshfree_oc::control::{execute_on, Problem, RunCtx, RunSpec, Strategy};
 use meshfree_oc::geometry::generators::ChannelConfig;
 use meshfree_oc::pde::analytic::poiseuille;
 use meshfree_oc::pde::{NsConfig, NsSolver};
@@ -37,26 +37,28 @@ fn main() {
         solver.cost(&st0)
     );
 
-    // DP optimization: k = 10 refinements per gradient, warm-started.
-    let result = run(
-        &solver,
-        &NsRunConfig {
-            iterations: 40,
-            refinements: 10,
-            lr: 1e-1,
-            log_every: 5,
-            initial_scale: 1.0,
-        },
-        GradMethod::Dp,
-    )
-    .expect("optimization");
+    // DP optimization: k = 10 refinements per gradient, warm-started. The
+    // spec's h/re mirror the solver above (execute_on reuses the build).
+    let spec = RunSpec::navier_stokes()
+        .resolution(0.11)
+        .reynolds(100.0)
+        .refinements(10)
+        .initial_scale(1.0)
+        .strategy(Strategy::Dp)
+        .iterations(40)
+        .lr(1e-1)
+        .log_every(5)
+        .build();
+    let result =
+        execute_on(Problem::NavierStokes(&solver), &spec, &RunCtx::new()).expect("optimization");
+    let state = result.ns_state.as_ref().expect("NS runs carry a state");
     println!(
         "J after DP optimization:                  {:.3e}",
         result.report.final_cost
     );
 
     println!("\n   y    c_init   c_opt    u_out   target");
-    let (u_out, _) = solver.outflow_profile(&result.state);
+    let (u_out, _) = solver.outflow_profile(state);
     for (k, &y) in solver.inflow_y().iter().enumerate() {
         // Inflow and outflow node counts coincide on this symmetric cloud;
         // print them side by side where possible.
@@ -71,6 +73,6 @@ fn main() {
     println!(
         "\ndivergence RMS of the final state: {:.2e} (continuity is enforced \
          exactly by the coupled solve)",
-        solver.divergence_norm(&result.state)
+        solver.divergence_norm(state)
     );
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
+use meshfree_oc::control::{execute_on, Problem, RunCtx, RunSpec, Strategy};
 use meshfree_oc::pde::{analytic, LaplaceControlProblem};
 
 fn main() {
@@ -19,14 +19,17 @@ fn main() {
     );
 
     // Optimize the top-wall control with Adam, driven by exact
-    // discretise-then-optimise gradients from the autodiff tape.
-    let cfg = LaplaceRunConfig {
-        nx: 24,
-        iterations: 200,
-        lr: 1e-2,
-        log_every: 20,
-    };
-    let result = run(&problem, &cfg, GradMethod::Dp).expect("optimization");
+    // discretise-then-optimise gradients from the autodiff tape. The spec
+    // is declarative — hand it to `driver::Campaign` to run whole grids.
+    let spec = RunSpec::laplace()
+        .nx(24)
+        .strategy(Strategy::Dp)
+        .iterations(200)
+        .lr(1e-2)
+        .log_every(20)
+        .build();
+    let result =
+        execute_on(Problem::Laplace(&problem), &spec, &RunCtx::new()).expect("optimization");
 
     println!("\niter        J");
     for e in &result.report.history.entries {

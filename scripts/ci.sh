@@ -51,6 +51,13 @@ if [[ -n "$(git status --porcelain -- tests/golden)" ]]; then
     exit 1
 fi
 
+echo "==> campaign driver smoke (retry path, fault injection)"
+# A 4-spec campaign with one injected NaN-diverging spec: the example
+# asserts exactly one spec was retried and none were lost, exiting non-zero
+# otherwise — the driver's fault tolerance is exercised end-to-end on every
+# CI run.
+cargo run -q --release --example campaign -- --smoke
+
 echo "==> per-crate test counts"
 total=0
 for manifest in crates/*/Cargo.toml Cargo.toml; do

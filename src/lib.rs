@@ -20,7 +20,10 @@
 //! * [`nn`] — tape-native MLPs with Taylor-mode input derivatives (PINNs).
 //! * [`opt`] — Adam/SGD with the paper's learning-rate schedule.
 //! * [`control`] — the DAL/DP/PINN drivers, the two-step ω line search,
-//!   and the Table 3 instrumentation.
+//!   the unified `RunSpec`/`Strategy` front door, and the Table 3
+//!   instrumentation.
+//! * [`driver`] — the fault-tolerant batch campaign engine: concurrent
+//!   grids, deadlines, damped retries, and a JSONL resume ledger.
 //! * [`runtime`] — the std-only substrate: persistent thread pool
 //!   (`MESHFREE_THREADS`), seeded RNG, and solver telemetry
 //!   (`MESHFREE_TRACE`).
@@ -31,18 +34,21 @@
 //! ## Quickstart
 //!
 //! ```
-//! use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
-//! use meshfree_oc::pde::LaplaceControlProblem;
+//! use meshfree_oc::control::{execute, RunSpec, Strategy};
 //!
-//! let problem = LaplaceControlProblem::new(12).unwrap();
-//! let cfg = LaplaceRunConfig { nx: 12, iterations: 40, lr: 1e-2, log_every: 10 };
-//! let result = run(&problem, &cfg, GradMethod::Dp).unwrap();
-//! assert!(result.report.final_cost.is_finite());
+//! let spec = RunSpec::laplace()
+//!     .nx(12)
+//!     .strategy(Strategy::Dp)
+//!     .iterations(40)
+//!     .build();
+//! let run = execute(&spec).unwrap();
+//! assert!(run.report.final_cost.is_finite());
 //! ```
 
 pub use autodiff;
 pub use check;
 pub use control;
+pub use driver;
 pub use geometry;
 pub use linalg;
 pub use meshfree_runtime as runtime;

@@ -1,0 +1,61 @@
+//! Wrapper-compatibility gate: the pre-redesign entry points
+//! (`laplace::run`, `ns::run`) must keep compiling and producing the same
+//! results for old call sites, deprecation warnings aside. This file is the
+//! one in-tree call site that intentionally uses them.
+#![allow(deprecated)]
+
+use meshfree_oc::control::laplace::{self, GradMethod, LaplaceRunConfig};
+use meshfree_oc::control::ns::{self, NsRunConfig};
+use meshfree_oc::control::RunCtx;
+use meshfree_oc::geometry::generators::ChannelConfig;
+use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver};
+
+#[test]
+fn deprecated_laplace_run_matches_run_ctx_bitwise() {
+    let problem = LaplaceControlProblem::new(10).unwrap();
+    let cfg = LaplaceRunConfig {
+        nx: 10,
+        iterations: 12,
+        lr: 1e-2,
+        log_every: 4,
+    };
+    let old = laplace::run(&problem, &cfg, GradMethod::Dp).unwrap();
+    let new = laplace::run_ctx(&problem, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+    assert_eq!(
+        old.report.final_cost.to_bits(),
+        new.report.final_cost.to_bits()
+    );
+    for i in 0..old.control.len() {
+        assert_eq!(old.control[i].to_bits(), new.control[i].to_bits());
+    }
+}
+
+#[test]
+fn deprecated_ns_run_matches_run_ctx_bitwise() {
+    let solver = NsSolver::new(NsConfig {
+        channel: ChannelConfig {
+            h: 0.2,
+            ..Default::default()
+        },
+        re: 20.0,
+        slot_velocity: 0.2,
+        ..Default::default()
+    })
+    .unwrap();
+    let cfg = NsRunConfig {
+        iterations: 3,
+        refinements: 2,
+        lr: 5e-2,
+        log_every: 1,
+        initial_scale: 0.8,
+    };
+    let old = ns::run(&solver, &cfg, GradMethod::Dp).unwrap();
+    let new = ns::run_ctx(&solver, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+    assert_eq!(
+        old.report.final_cost.to_bits(),
+        new.report.final_cost.to_bits()
+    );
+    for i in 0..old.control.len() {
+        assert_eq!(old.control[i].to_bits(), new.control[i].to_bits());
+    }
+}

@@ -19,6 +19,7 @@ use meshfree_oc::control::laplace::{self, GradMethod, LaplaceRunConfig};
 use meshfree_oc::control::metrics::RunReport;
 use meshfree_oc::control::ns::{self, NsRunConfig};
 use meshfree_oc::control::pinn::{LaplacePinn, PinnConfig};
+use meshfree_oc::control::RunCtx;
 use meshfree_oc::geometry::generators::ChannelConfig;
 use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver};
 
@@ -63,7 +64,7 @@ fn laplace_golden(method: GradMethod, name: &str) {
         log_every: 5,
     };
     let problem = LaplaceControlProblem::new(cfg.nx).unwrap();
-    let run = laplace::run(&problem, &cfg, method).unwrap();
+    let run = laplace::run_ctx(&problem, &cfg, method, &RunCtx::unchecked()).unwrap();
     let snap = report_snapshot(name, &run.report, run.control.as_slice());
     check_or_bless(&golden_path(name), &snap, &policy()).unwrap();
 }
@@ -96,7 +97,7 @@ fn ns_golden(method: GradMethod, name: &str) {
         log_every: 2,
         initial_scale: 0.8,
     };
-    let run = ns::run(&solver, &cfg, method).unwrap();
+    let run = ns::run_ctx(&solver, &cfg, method, &RunCtx::unchecked()).unwrap();
     let (u_out, _) = solver.outflow_profile(&run.state);
     let snap = report_snapshot(name, &run.report, run.control.as_slice())
         .with_series("outflow_u", u_out.as_slice().to_vec());

@@ -1,7 +1,8 @@
 //! End-to-end integration: the full Laplace control pipeline across all
 //! crates — geometry → rbf → pde → autodiff → opt → control.
 
-use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
+use meshfree_oc::control::laplace::{run_ctx, GradMethod, LaplaceRunConfig};
+use meshfree_oc::control::RunCtx;
 use meshfree_oc::linalg::DVec;
 use meshfree_oc::pde::{analytic, LaplaceControlProblem};
 
@@ -22,8 +23,8 @@ fn cfg(iterations: usize) -> LaplaceRunConfig {
 fn dp_reaches_deep_minimum_and_beats_dal_which_beats_zero() {
     let p = problem();
     let j0 = p.cost(&DVec::zeros(p.n_controls())).unwrap();
-    let dp = run(&p, &cfg(200), GradMethod::Dp).unwrap();
-    let dal = run(&p, &cfg(200), GradMethod::Dal).unwrap();
+    let dp = run_ctx(&p, &cfg(200), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+    let dal = run_ctx(&p, &cfg(200), GradMethod::Dal, &RunCtx::unchecked()).unwrap();
     // The paper's cost ordering at matched iteration counts.
     assert!(dp.report.final_cost < 1e-3 * j0, "DP failed to dive");
     assert!(dal.report.final_cost < j0, "DAL failed to descend");
@@ -73,7 +74,7 @@ fn all_three_gradient_sources_agree_at_the_start() {
 #[test]
 fn recovered_control_tracks_the_series_minimiser_mid_wall() {
     let p = LaplaceControlProblem::new(16).unwrap();
-    let result = run(
+    let result = run_ctx(
         &p,
         &LaplaceRunConfig {
             nx: 16,
@@ -82,6 +83,7 @@ fn recovered_control_tracks_the_series_minimiser_mid_wall() {
             log_every: 50,
         },
         GradMethod::Dp,
+        &RunCtx::unchecked(),
     )
     .unwrap();
     let n = p.n_controls();
@@ -101,7 +103,7 @@ fn optimized_state_is_harmonic_and_matches_its_boundary_data() {
     // The *solver* guarantees these by construction; this test closes the
     // loop through the optimizer output.
     let p = problem();
-    let result = run(&p, &cfg(100), GradMethod::Dp).unwrap();
+    let result = run_ctx(&p, &cfg(100), GradMethod::Dp, &RunCtx::unchecked()).unwrap();
     let coeffs = p.solve_coeffs(&result.control).unwrap();
     let nodal = p.nodal_values(&coeffs);
     let ns = p.ctx().nodes();
@@ -119,7 +121,7 @@ fn optimized_state_is_harmonic_and_matches_its_boundary_data() {
 fn histories_are_complete_and_costs_finite() {
     let p = problem();
     for method in [GradMethod::Dal, GradMethod::Dp, GradMethod::FiniteDiff] {
-        let r = run(&p, &cfg(40), method).unwrap();
+        let r = run_ctx(&p, &cfg(40), method, &RunCtx::unchecked()).unwrap();
         assert!(r.report.final_cost.is_finite());
         assert!(!r.report.history.entries.is_empty());
         assert!(r.report.wall_s > 0.0);

@@ -2,7 +2,8 @@
 //! cloud generation, coupled Picard solver, DP tape, DAL adjoint, drivers.
 
 use meshfree_oc::control::laplace::GradMethod;
-use meshfree_oc::control::ns::{initial_control, run, NsRunConfig};
+use meshfree_oc::control::ns::{initial_control, run_ctx, NsRunConfig};
+use meshfree_oc::control::RunCtx;
 use meshfree_oc::geometry::generators::ChannelConfig;
 use meshfree_oc::pde::analytic::poiseuille;
 use meshfree_oc::pde::ns_dp::NsDp;
@@ -45,7 +46,7 @@ fn dp_optimization_reduces_cost_and_keeps_flow_divergence_free() {
     let s = solver(50.0, 0.3);
     let st0 = s.solve(&initial_control(&s), 10, None).unwrap();
     let j0 = s.cost(&st0);
-    let result = run(
+    let result = run_ctx(
         &s,
         &NsRunConfig {
             iterations: 20,
@@ -55,6 +56,7 @@ fn dp_optimization_reduces_cost_and_keeps_flow_divergence_free() {
             initial_scale: 1.0,
         },
         GradMethod::Dp,
+        &RunCtx::unchecked(),
     )
     .unwrap();
     assert!(
@@ -83,8 +85,8 @@ fn higher_re_makes_the_control_problem_harder_for_dal() {
     let mut gaps = Vec::new();
     for re in [10.0, 100.0] {
         let s = solver(re, 0.25);
-        let dal = run(&s, &cfg, GradMethod::Dal).unwrap();
-        let dp = run(&s, &cfg, GradMethod::Dp).unwrap();
+        let dal = run_ctx(&s, &cfg, GradMethod::Dal, &RunCtx::unchecked()).unwrap();
+        let dp = run_ctx(&s, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
         gaps.push(dal.report.final_cost / dp.report.final_cost.max(1e-300));
     }
     assert!(
@@ -98,7 +100,7 @@ fn higher_re_makes_the_control_problem_harder_for_dal() {
 #[test]
 fn outflow_tracks_target_after_optimization() {
     let s = solver(50.0, 0.3);
-    let result = run(
+    let result = run_ctx(
         &s,
         &NsRunConfig {
             iterations: 25,
@@ -108,6 +110,7 @@ fn outflow_tracks_target_after_optimization() {
             initial_scale: 1.0,
         },
         GradMethod::Dp,
+        &RunCtx::unchecked(),
     )
     .unwrap();
     let (u_out, v_out) = s.outflow_profile(&result.state);
@@ -152,8 +155,8 @@ fn warm_started_optimization_is_deterministic() {
         log_every: 2,
         initial_scale: 1.0,
     };
-    let a = run(&s, &cfg, GradMethod::Dp).unwrap();
-    let b = run(&s, &cfg, GradMethod::Dp).unwrap();
+    let a = run_ctx(&s, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
+    let b = run_ctx(&s, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
     for i in 0..a.control.len() {
         assert_eq!(a.control[i], b.control[i], "nondeterminism at {i}");
     }

@@ -6,7 +6,8 @@
 //! One `#[test]` only: the trace sink is process-global, and this file
 //! compiles to its own test binary, so nothing else can race it.
 
-use meshfree_oc::control::laplace::{run, GradMethod, LaplaceRunConfig};
+use meshfree_oc::control::laplace::{run_ctx, GradMethod, LaplaceRunConfig};
+use meshfree_oc::control::RunCtx;
 use meshfree_oc::linalg::DVec;
 use meshfree_oc::pde::laplace_fd::LaplaceFdProblem;
 use meshfree_oc::pde::LaplaceControlProblem;
@@ -29,8 +30,8 @@ fn laplace_run_traces_all_three_layers() {
         lr: 1e-2,
         log_every: 10,
     };
-    let dal = run(&problem, &cfg, GradMethod::Dal).unwrap();
-    let dp = run(&problem, &cfg, GradMethod::Dp).unwrap();
+    let dal = run_ctx(&problem, &cfg, GradMethod::Dal, &RunCtx::unchecked()).unwrap();
+    let dp = run_ctx(&problem, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
     assert!(dal.report.final_cost.is_finite());
     assert!(dp.report.final_cost.is_finite());
 
