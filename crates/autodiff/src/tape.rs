@@ -16,7 +16,9 @@
 //! separately-discretised adjoint PDE to drift out of sync.
 
 use crate::tensor::{self, Tensor};
-use linalg::{DMat, LinalgError, Lu};
+use linalg::{
+    BackendKind, DMat, IterOpts, LinalgError, LinearBackend, Lu, SparseIterative, Triplets,
+};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -83,16 +85,17 @@ enum Op {
     },
     /// `X + 1·r` broadcasting a `1 × n` row over an `m × n` matrix.
     BroadcastAddRow(usize, usize),
-    /// `x = A⁻¹ b` with a constant, pre-factored `A`.
+    /// `x = A⁻¹ b` with a constant, pre-prepared `A` (dense LU factors or a
+    /// sparse GMRES+ILU0 backend — the tape only needs the solve contract).
     SolveConst {
-        lu: Arc<Lu>,
+        be: Arc<dyn LinearBackend>,
         b: usize,
     },
-    /// `x = A⁻¹ b` with a variable `A` (factored at record time).
+    /// `x = A⁻¹ b` with a variable `A` (prepared at record time).
     Solve {
         a: usize,
         b: usize,
-        lu: Arc<Lu>,
+        be: Arc<dyn LinearBackend>,
     },
 }
 
@@ -141,19 +144,20 @@ impl Tape {
     /// super-linearly in the number of Navier–Stokes refinement steps `k`.
     pub fn memory_bytes(&self) -> usize {
         let nodes = self.nodes.borrow();
-        // Shared factorizations (one Arc<Lu> reused by many solves, e.g. a
-        // time-stepping loop with a constant operator) are counted once.
-        let mut seen: Vec<*const Lu> = Vec::new();
+        // Shared backends (one Arc reused by many solves, e.g. a
+        // time-stepping loop with a constant operator) are counted once;
+        // identity is the data pointer (the vtable half is irrelevant).
+        let mut seen: Vec<*const u8> = Vec::new();
         nodes
             .iter()
             .map(|n| {
                 let mut b = tensor::numel(&n.value) * 8;
                 match &n.op {
-                    Op::Solve { lu, .. } | Op::SolveConst { lu, .. } => {
-                        let p = Arc::as_ptr(lu);
+                    Op::Solve { be, .. } | Op::SolveConst { be, .. } => {
+                        let p = Arc::as_ptr(be) as *const u8;
                         if !seen.contains(&p) {
                             seen.push(p);
-                            b += lu.dim() * lu.dim() * 8;
+                            b += be.memory_bytes();
                         }
                     }
                     _ => {}
@@ -205,13 +209,27 @@ impl Tape {
     /// factorisation-reuse story measured by `dal_laplace_factor_reuse_speedup`
     /// in `BENCH_perf.json` (see DESIGN.md §9).
     pub fn solve_const<'t>(&'t self, lu: &Arc<Lu>, b: TVar<'t>) -> Result<TVar<'t>, LinalgError> {
+        let be: Arc<dyn LinearBackend> = Arc::clone(lu) as Arc<dyn LinearBackend>;
+        self.solve_backend(&be, b)
+    }
+
+    /// [`Tape::solve_const`] generalised to any prepared [`LinearBackend`]:
+    /// dense LU factors or a sparse GMRES+ILU0 operator. The backward pass
+    /// calls the backend's transpose solve, so a sparse forward solve gets a
+    /// sparse adjoint solve — and both report through the `"linsolve"` trace
+    /// layer when the backend does.
+    pub fn solve_backend<'t>(
+        &'t self,
+        be: &Arc<dyn LinearBackend>,
+        b: TVar<'t>,
+    ) -> Result<TVar<'t>, LinalgError> {
         let bv = tensor::to_dvec(&b.value());
-        let x = lu.solve(&bv)?;
+        let x = be.solve(&bv)?;
         Ok(TVar {
             tape: self,
             idx: self.push(
                 Op::SolveConst {
-                    lu: Arc::clone(lu),
+                    be: Arc::clone(be),
                     b: b.idx,
                 },
                 tensor::from_dvec(&x),
@@ -224,17 +242,39 @@ impl Tape {
     /// Factors `A`'s current value (cached for the backward pass) — the
     /// memory cost of DP through an iterative PDE solver comes from here.
     pub fn solve<'t>(&'t self, a: TVar<'t>, b: TVar<'t>) -> Result<TVar<'t>, LinalgError> {
+        self.solve_with_kind(BackendKind::DenseLu, a, b)
+    }
+
+    /// [`Tape::solve`] with an explicit backend choice for the variable-`A`
+    /// system. `DenseLu` is the historical (bitwise-default) path; with
+    /// `SparseGmres` the recorded matrix value is sparsified (structural
+    /// zeros dropped) and both the forward solve and the reverse-sweep
+    /// transpose solve run GMRES+ILU0, reporting through the `"linsolve"`
+    /// trace layer. The `Ā = −s xᵀ` outer product in the backward pass is
+    /// dense either way — it is the adjoint of the *values*, not the solver.
+    pub fn solve_with_kind<'t>(
+        &'t self,
+        kind: BackendKind,
+        a: TVar<'t>,
+        b: TVar<'t>,
+    ) -> Result<TVar<'t>, LinalgError> {
         let av = a.value();
-        let lu = Arc::new(Lu::factor(&av)?);
+        let be: Arc<dyn LinearBackend> = match kind {
+            BackendKind::DenseLu => Arc::new(Lu::factor(&av)?),
+            BackendKind::SparseGmres => Arc::new(SparseIterative::gmres_ilu0(
+                sparsify(&av),
+                taped_sparse_opts(),
+            )),
+        };
         let bv = tensor::to_dvec(&b.value());
-        let x = lu.solve(&bv)?;
+        let x = be.solve(&bv)?;
         Ok(TVar {
             tape: self,
             idx: self.push(
                 Op::Solve {
                     a: a.idx,
                     b: b.idx,
-                    lu,
+                    be,
                 },
                 tensor::from_dvec(&x),
             ),
@@ -251,18 +291,18 @@ impl Tape {
         bs: &[TVar<'t>],
     ) -> Result<Vec<TVar<'t>>, LinalgError> {
         let av = a.value();
-        let lu = Arc::new(Lu::factor(&av)?);
+        let be: Arc<dyn LinearBackend> = Arc::new(Lu::factor(&av)?);
         let mut out = Vec::with_capacity(bs.len());
         for b in bs {
             let bv = tensor::to_dvec(&b.value());
-            let x = lu.solve(&bv)?;
+            let x = be.solve(&bv)?;
             out.push(TVar {
                 tape: self,
                 idx: self.push(
                     Op::Solve {
                         a: a.idx,
                         b: b.idx,
-                        lu: Arc::clone(&lu),
+                        be: Arc::clone(&be),
                     },
                     tensor::from_dvec(&x),
                 ),
@@ -438,14 +478,14 @@ impl Tape {
                     acc(&mut adj, *x, g.clone());
                     acc(&mut adj, *r, tensor::sum_rows(&g));
                 }
-                Op::SolveConst { lu, b } => {
-                    let gb = lu
+                Op::SolveConst { be, b } => {
+                    let gb = be
                         .solve_transpose(&tensor::to_dvec(&g))
                         .expect("solve_const backward");
                     acc(&mut adj, *b, tensor::from_dvec(&gb));
                 }
-                Op::Solve { a, b, lu } => {
-                    let s = lu
+                Op::Solve { a, b, be } => {
+                    let s = be
                         .solve_transpose(&tensor::to_dvec(&g))
                         .expect("solve backward");
                     let st = tensor::from_dvec(&s);
@@ -459,6 +499,27 @@ impl Tape {
         }
         TGrads { adj }
     }
+}
+
+/// Converts a dense recorded matrix value into CSR, dropping exact zeros.
+/// Taped Picard matrices assemble dense (the recording substrate is dense
+/// tensors) but are structurally sparse when the discretisation is local.
+fn sparsify(a: &DMat) -> linalg::Csr {
+    let (rows, cols) = a.shape();
+    let mut t = Triplets::new(rows, cols);
+    for i in 0..rows {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            t.push(i, j, v); // push skips exact zeros
+        }
+    }
+    t.to_csr()
+}
+
+/// GMRES options for taped sparse solves: tighter than the solver default
+/// because DP gradients chain several solves and the `check::golden`
+/// backend-equivalence budget is 1e-8 relative end to end.
+fn taped_sparse_opts() -> IterOpts {
+    IterOpts::gmres().max_iter(6000).tol(1e-12).restart(80)
 }
 
 /// Adjoints produced by [`Tape::backward`].
@@ -982,6 +1043,69 @@ mod tests {
         let gb = g.wrt(b);
         assert!((gb[(0, 0)] - expect[0]).abs() < 1e-12);
         assert!((gb[(1, 0)] - expect[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_backend_generalises_solve_const() {
+        // The same Lu driven through Arc<dyn LinearBackend> must give
+        // bitwise-identical values and gradients to solve_const.
+        let a = DMat::from_rows(&[vec![4.0, 1.0], vec![2.0, 3.0]]);
+        let lu = Arc::new(Lu::factor(&a).unwrap());
+        let be: Arc<dyn LinearBackend> = Arc::clone(&lu) as Arc<dyn LinearBackend>;
+        let run = |via_backend: bool| {
+            let t = Tape::new();
+            let b = t.var_col(&[1.0, 2.0]);
+            let x = if via_backend {
+                t.solve_backend(&be, b).unwrap()
+            } else {
+                t.solve_const(&lu, b).unwrap()
+            };
+            let j = x.sum_sq();
+            let g = t.backward(j);
+            (x.value().as_slice().to_vec(), g.wrt(b).as_slice().to_vec())
+        };
+        let (x1, g1) = run(false);
+        let (x2, g2) = run(true);
+        assert_eq!(x1, x2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn sparse_taped_solve_matches_dense_to_equivalence_tolerance() {
+        // Variable-A solve through both backends: a diagonally dominant
+        // tridiagonal system whose sparsified form GMRES+ILU0 nails.
+        let n = 24;
+        let a0 = DMat::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 + 0.1 * i as f64
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let c = Arc::new(DMat::eye(n));
+        let s0: Vec<f64> = (0..n).map(|i| 0.2 * (i as f64 * 0.5).sin()).collect();
+        let b0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let run = |kind: BackendKind| {
+            let t = Tape::new();
+            let sv = t.var_col(&s0);
+            let a = sv.row_scale_const(&c).add_const(&a0);
+            let b = t.var_col(&b0);
+            let x = t.solve_with_kind(kind, a, b).unwrap();
+            let j = x.sum_sq();
+            let g = t.backward(j);
+            (
+                x.value().as_slice().to_vec(),
+                g.wrt(sv).as_slice().to_vec(),
+                g.wrt(b).as_slice().to_vec(),
+            )
+        };
+        let (xd, gsd, gbd) = run(BackendKind::DenseLu);
+        let (xs, gss, gbs) = run(BackendKind::SparseGmres);
+        assert!(rel_error(&xd, &xs) < 1e-8, "state mismatch");
+        assert!(rel_error(&gsd, &gss) < 1e-8, "matrix-param grad mismatch");
+        assert!(rel_error(&gbd, &gbs) < 1e-8, "rhs grad mismatch");
     }
 
     #[test]

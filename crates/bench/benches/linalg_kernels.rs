@@ -72,18 +72,7 @@ fn bench_sparse(c: &mut Criterion) {
         // floor of the sparse path.
         let m = Preconditioner::ilu0_from(&a);
         g.bench_with_input(BenchmarkId::new("gmres_ilu0", n), &a, |b, a| {
-            b.iter(|| {
-                gmres(
-                    a,
-                    black_box(&rhs),
-                    &m,
-                    &IterOpts {
-                        rel_tol: 1e-8,
-                        ..Default::default()
-                    },
-                )
-                .unwrap()
-            })
+            b.iter(|| gmres(a, black_box(&rhs), &m, &IterOpts::gmres().tol(1e-8)).unwrap())
         });
     }
     g.finish();

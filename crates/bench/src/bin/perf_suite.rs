@@ -46,7 +46,9 @@ const REQUIRED_KERNELS: &[&str] = &[
     "lu_solve",
     "spmv",
     "rbf_fd_assembly",
+    "csr_assembly_fd",
     "gmres",
+    "gmres_ilu0_laplace",
     "dal_laplace_iter",
     "dal_laplace_iter_refactor",
     "dp_laplace_iter",
@@ -157,6 +159,45 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
             std::hint::black_box(&y);
         }),
     );
+    // The RBF-FD nodal Laplace system behind `BackendKind::SparseGmres`:
+    // interior Laplacian rows, identity boundary rows — first the
+    // triplet→CSR conversion, then the preconditioned solve itself.
+    let assemble_laplace = || {
+        let mut t = Triplets::new(nodes.len(), nodes.len());
+        for i in nodes.interior_range() {
+            let (cols, vals) = lap.row(i);
+            for (&j, &w) in cols.iter().zip(vals) {
+                t.push(i, j, w);
+            }
+        }
+        for i in nodes.boundary_indices() {
+            t.push(i, i, 1.0);
+        }
+        t.to_csr()
+    };
+    snap = record(
+        snap,
+        "csr_assembly_fd",
+        nodes.len(),
+        time_kernel(sz.warmup, sz.reps.max(15), || {
+            let a = assemble_laplace();
+            std::hint::black_box(&a);
+        }),
+    );
+    let a_lap = assemble_laplace();
+    let m_lap = Preconditioner::ilu0_from(&a_lap);
+    let opts_lap = IterOpts::gmres().max_iter(2000).tol(1e-10).restart(60);
+    let b_lap = DVec::from_fn(nodes.len(), |i| (PI * nodes.point(i).x).sin());
+    snap = record(
+        snap,
+        "gmres_ilu0_laplace",
+        nodes.len(),
+        time_kernel(sz.warmup, sz.reps, || {
+            let r = gmres(&a_lap, &b_lap, &m_lap, &opts_lap).expect("gmres_ilu0_laplace");
+            std::hint::black_box(&r.x);
+        }),
+    );
+
     // Implicit heat step I − τ∇²: diagonally dominant for small τ, the
     // canonical well-posed system for the sparse Krylov path.
     let h = 1.0 / (sz.fd_nx.max(2) - 1) as f64;
@@ -172,11 +213,7 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
     let heat = t.to_csr();
     let rhs = DVec::from_fn(nodes.len(), |i| 1.0 + (i as f64 * 0.05).sin());
     let pre = Preconditioner::ilu0_from(&heat);
-    let opts = IterOpts {
-        max_iter: 400,
-        rel_tol: 1e-8,
-        restart: 30,
-    };
+    let opts = IterOpts::gmres().max_iter(400).tol(1e-8).restart(30);
     snap = record(
         snap,
         "gmres",

@@ -270,11 +270,7 @@ impl System {
         match self {
             System::Dense(lu) => lu.solve(b),
             System::Sparse { a, m } => {
-                let opts = IterOpts {
-                    max_iter: 8000,
-                    rel_tol: 1e-12,
-                    restart: 80,
-                };
+                let opts = IterOpts::gmres().max_iter(8000).tol(1e-12).restart(80);
                 Ok(gmres(a, b, m, &opts)?.x)
             }
         }

@@ -26,6 +26,9 @@ use crate::pinn::{LaplacePinn, PinnConfig};
 use crate::pinn_ns::{NsPinn, NsPinnConfig};
 use geometry::generators::ChannelConfig;
 use linalg::{DVec, LinalgError};
+// Re-exported: the backend choice is part of the spec surface — campaign
+// grids sweep it next to strategy and seed without importing `linalg`.
+pub use linalg::BackendKind;
 use meshfree_runtime::{CancelToken, Rng64};
 use opt::{Adam, Optimizer, Schedule};
 use pde::heat::HeatControlProblem;
@@ -593,10 +596,16 @@ impl Strategy {
 /// Which PDE substrate a [`RunSpec`] targets, with its build parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProblemSpec {
-    /// Dense Laplace boundary control (paper §3.1) on an `nx × nx` cloud.
+    /// Laplace boundary control (paper §3.1) on an `nx × nx` cloud.
     Laplace {
         /// Grid resolution per side.
         nx: usize,
+        /// Linear-solver backend: `DenseLu` builds the global-collocation
+        /// problem (the byte-identical default); `SparseGmres` builds the
+        /// RBF-FD discretization solved by GMRES+ILU0, which scales to
+        /// node counts the dense path cannot reach. Ignored by the PINN
+        /// strategy (it never calls the linear solver during training).
+        backend: BackendKind,
     },
     /// Navier–Stokes inflow control (paper §3.2).
     NavierStokes {
@@ -610,6 +619,9 @@ pub enum ProblemSpec {
         refinements: usize,
         /// Scale on the initial parabolic control.
         initial_scale: f64,
+        /// Linear-solver backend for the coupled Picard/adjoint systems
+        /// (`DenseLu` default; ignored by the PINN strategy).
+        backend: BackendKind,
     },
     /// Analytic quadratic used for driver tests / smoke campaigns.
     Synthetic {
@@ -636,15 +648,35 @@ impl ProblemSpec {
     /// spec with the same key). Per-run knobs (`refinements`,
     /// `initial_scale`, `fail_attempts`) are deliberately excluded.
     pub fn build_key(&self) -> String {
+        // The default dense backend is deliberately suffix-free so every
+        // pre-existing run identifier (and ledger key) is unchanged.
+        let be = |backend: &BackendKind| match backend {
+            BackendKind::DenseLu => String::new(),
+            other => format!("-{}", other.name()),
+        };
         match self {
-            ProblemSpec::Laplace { nx } => format!("laplace-nx{nx}"),
+            ProblemSpec::Laplace { nx, backend } => {
+                format!("laplace-nx{nx}{}", be(backend))
+            }
             ProblemSpec::NavierStokes {
                 h,
                 re,
                 slot_velocity,
+                backend,
                 ..
-            } => format!("ns-h{h:e}-re{re:e}-sv{slot_velocity:e}"),
+            } => format!("ns-h{h:e}-re{re:e}-sv{slot_velocity:e}{}", be(backend)),
             ProblemSpec::Synthetic { n_controls, .. } => format!("synthetic-n{n_controls}"),
+        }
+    }
+
+    /// The linear-solver backend the spec selects ([`BackendKind::DenseLu`]
+    /// for the synthetic problem, which has no linear solve).
+    pub fn backend(&self) -> BackendKind {
+        match self {
+            ProblemSpec::Laplace { backend, .. } | ProblemSpec::NavierStokes { backend, .. } => {
+                *backend
+            }
+            ProblemSpec::Synthetic { .. } => BackendKind::DenseLu,
         }
     }
 }
@@ -688,7 +720,10 @@ impl RunSpec {
     pub fn laplace() -> RunSpecBuilder {
         RunSpecBuilder {
             spec: RunSpec {
-                problem: ProblemSpec::Laplace { nx: 16 },
+                problem: ProblemSpec::Laplace {
+                    nx: 16,
+                    backend: BackendKind::DenseLu,
+                },
                 strategy: Strategy::Dp,
                 iterations: 200,
                 lr: 1e-2,
@@ -714,6 +749,7 @@ impl RunSpec {
                     slot_velocity: 0.3,
                     refinements: 5,
                     initial_scale: 1.0,
+                    backend: BackendKind::DenseLu,
                 },
                 strategy: Strategy::Dp,
                 iterations: 60,
@@ -783,7 +819,7 @@ impl RunSpec {
             return bad(format!("omega must be finite and >= 0, got {}", self.omega));
         }
         match &self.problem {
-            ProblemSpec::Laplace { nx } => {
+            ProblemSpec::Laplace { nx, .. } => {
                 if *nx < 4 {
                     return bad(format!("laplace nx must be >= 4, got {nx}"));
                 }
@@ -878,7 +914,7 @@ impl RunSpecBuilder {
     /// Laplace grid resolution per side.
     pub fn nx(mut self, nx: usize) -> Self {
         match &mut self.spec.problem {
-            ProblemSpec::Laplace { nx: n } => *n = nx,
+            ProblemSpec::Laplace { nx: n, .. } => *n = nx,
             p => panic!("nx applies to Laplace specs, not {}", p.name()),
         }
         self
@@ -939,6 +975,24 @@ impl RunSpecBuilder {
         }
         self
     }
+    /// Linear-solver backend (Laplace and Navier–Stokes specs). The
+    /// default [`BackendKind::DenseLu`] keeps run identifiers and results
+    /// byte-identical; [`BackendKind::SparseGmres`] switches every solve to
+    /// the sparse GMRES+ILU0 path and suffixes the run id with the backend
+    /// name so campaign grids can sweep `backend ∈ {DenseLu, SparseGmres}`.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        match &mut self.spec.problem {
+            ProblemSpec::Laplace { backend, .. } | ProblemSpec::NavierStokes { backend, .. } => {
+                *backend = kind
+            }
+            p => panic!(
+                "backend applies to Laplace / Navier–Stokes specs, not {}",
+                p.name()
+            ),
+        }
+        self
+    }
+
     /// Synthetic fault injection: the first `k` attempts report NaN costs.
     pub fn fail_attempts(mut self, k: u32) -> Self {
         match &mut self.spec.problem {
@@ -1000,13 +1054,14 @@ impl BuiltProblem {
     /// [`ProblemSpec::build_key`].
     pub fn build(spec: &ProblemSpec) -> Result<BuiltProblem, ControlError> {
         match spec {
-            ProblemSpec::Laplace { nx } => Ok(BuiltProblem::Laplace(Box::new(
-                LaplaceControlProblem::new(*nx)?,
+            ProblemSpec::Laplace { nx, backend } => Ok(BuiltProblem::Laplace(Box::new(
+                LaplaceControlProblem::with_backend(*nx, *backend)?,
             ))),
             ProblemSpec::NavierStokes {
                 h,
                 re,
                 slot_velocity,
+                backend,
                 ..
             } => Ok(BuiltProblem::NavierStokes(Box::new(NsSolver::new(
                 NsConfig {
@@ -1016,6 +1071,7 @@ impl BuiltProblem {
                     },
                     re: *re,
                     slot_velocity: *slot_velocity,
+                    backend: *backend,
                     ..Default::default()
                 },
             )?))),
@@ -1058,7 +1114,7 @@ pub fn execute_on(
         (Problem::Laplace(p), Strategy::Pinn) => execute_laplace_pinn(p, spec, ctx),
         (Problem::Laplace(p), s) => {
             let nx = match spec.problem {
-                ProblemSpec::Laplace { nx } => nx,
+                ProblemSpec::Laplace { nx, .. } => nx,
                 _ => return Err(mismatch("Laplace", &spec.problem)),
             };
             let cfg = crate::laplace::LaplaceRunConfig {
@@ -1406,8 +1462,29 @@ mod tests {
         assert_eq!(spec.strategy, Strategy::Dal);
         assert_eq!(spec.iterations, 200);
         assert_eq!(spec.seed, 7);
-        assert!(matches!(spec.problem, ProblemSpec::Laplace { nx: 16 }));
+        assert!(matches!(
+            spec.problem,
+            ProblemSpec::Laplace {
+                nx: 16,
+                backend: BackendKind::DenseLu,
+            }
+        ));
         assert_eq!(spec.id(), "laplace-nx16-DAL-it200-lr1e-2-seed7");
+
+        // The sparse backend is opt-in and announces itself in the id;
+        // the dense default stays suffix-free (ledger keys unchanged).
+        let sparse = RunSpec::laplace()
+            .nx(48)
+            .backend(BackendKind::SparseGmres)
+            .strategy(Strategy::Dal)
+            .iterations(200)
+            .seed(7)
+            .build();
+        assert_eq!(sparse.problem.backend(), BackendKind::SparseGmres);
+        assert_eq!(
+            sparse.id(),
+            "laplace-nx48-sparse-gmres-DAL-it200-lr1e-2-seed7"
+        );
 
         let ns = RunSpec::navier_stokes()
             .resolution(0.18)

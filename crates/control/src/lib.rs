@@ -30,7 +30,7 @@ pub mod pinn_ns;
 pub mod validate;
 
 pub use api::{
-    execute, execute_ctx, execute_on, BuiltProblem, ControlError, ControlObjective, OptimizeOpts,
-    Problem, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy,
+    execute, execute_ctx, execute_on, BackendKind, BuiltProblem, ControlError, ControlObjective,
+    OptimizeOpts, Problem, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy,
 };
 pub use metrics::{ConvergenceHistory, RunReport};

@@ -50,5 +50,6 @@ pub use engine::{run_campaign, Campaign, CampaignConfig, CampaignSummary};
 pub use ledger::{Ledger, LedgerRecord, RunStatus};
 
 // Re-exported so driver users can match on errors / build specs without a
-// separate `meshfree_control` import.
-pub use control::api::{ControlError, ProblemSpec, RunSpec, Strategy};
+// separate `meshfree_control` import. `BackendKind` rides along so campaign
+// grids can sweep the linear-solver backend next to strategy and seed.
+pub use control::api::{BackendKind, ControlError, ProblemSpec, RunSpec, Strategy};

@@ -5,6 +5,15 @@
 //! simple preconditioners below. GMRES is the default for the nonsymmetric
 //! advection-dominated operators that appear in the Navier–Stokes momentum
 //! equations.
+//!
+//! All three solvers are allocation-free in their inner loops: every
+//! operator application goes through [`LinOp::apply_into`] /
+//! [`Preconditioner::apply_into`] against buffers allocated once per solve
+//! (GMRES additionally stores one basis vector per inner iteration, which is
+//! inherent to the method). They return a uniform [`SolveReport`] on
+//! success; non-convergence and breakdowns surface as
+//! [`LinalgError::NotConverged`] / [`LinalgError::Breakdown`], which the
+//! control layer maps onto its divergence taxonomy.
 
 use crate::error::{LinalgError, Result};
 use crate::sparse::Csr;
@@ -15,6 +24,14 @@ use meshfree_runtime::trace;
 pub trait LinOp {
     /// Applies the operator.
     fn apply(&self, x: &DVec) -> DVec;
+    /// Applies the operator into a caller-owned buffer of length
+    /// [`LinOp::dim`]. Implementations should override this when they can
+    /// avoid the allocation (the CSR implementation does); the default
+    /// delegates to [`LinOp::apply`] and copies.
+    fn apply_into(&self, x: &DVec, out: &mut DVec) {
+        let y = self.apply(x);
+        out.as_mut_slice().copy_from_slice(&y);
+    }
     /// Problem dimension.
     fn dim(&self) -> usize;
 }
@@ -22,6 +39,9 @@ pub trait LinOp {
 impl LinOp for Csr {
     fn apply(&self, x: &DVec) -> DVec {
         self.matvec(x)
+    }
+    fn apply_into(&self, x: &DVec, out: &mut DVec) {
+        self.matvec_into(x, out);
     }
     fn dim(&self) -> usize {
         self.nrows()
@@ -54,85 +74,223 @@ impl Preconditioner {
         Preconditioner::Jacobi(a.diagonal())
     }
 
-    /// Builds an ILU(0) preconditioner (falls back to Jacobi if a pivot
-    /// vanishes during the incomplete factorization).
+    /// Builds an ILU(0) preconditioner, falling back to Jacobi if the
+    /// incomplete factorization hits a vanishing pivot. This is *the*
+    /// construction path for ILU(0) in solver code — [`crate::Ilu0::factor`]
+    /// is the raw factorization and reports the failing pivot instead of
+    /// falling back.
     pub fn ilu0_from(a: &Csr) -> Self {
         match crate::sparse::Ilu0::factor(a) {
-            Some(f) => Preconditioner::Ilu0(f),
-            None => Preconditioner::jacobi_from(a),
+            Ok(f) => Preconditioner::Ilu0(f),
+            Err(_) => Preconditioner::jacobi_from(a),
+        }
+    }
+
+    /// Short name of the preconditioner variant, for [`SolveReport`] and
+    /// trace output.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Preconditioner::Identity => "identity",
+            Preconditioner::Jacobi(_) => "jacobi",
+            Preconditioner::Ilu0(_) => "ilu0",
         }
     }
 
     /// Applies the preconditioner.
     pub fn apply(&self, r: &DVec) -> DVec {
+        let mut z = DVec::zeros(r.len());
+        self.apply_into(r, &mut z);
+        z
+    }
+
+    /// Applies the preconditioner into a caller-owned buffer (`out` must
+    /// have the same length as `r`; the solvers preallocate it once).
+    pub fn apply_into(&self, r: &DVec, out: &mut DVec) {
         match self {
-            Preconditioner::Identity => r.clone(),
-            Preconditioner::Jacobi(d) => DVec::from_fn(r.len(), |i| {
-                if d[i].abs() > 1e-300 {
-                    r[i] / d[i]
-                } else {
-                    r[i]
+            Preconditioner::Identity => out.as_mut_slice().copy_from_slice(r),
+            Preconditioner::Jacobi(d) => {
+                for i in 0..r.len() {
+                    out[i] = if d[i].abs() > 1e-300 {
+                        r[i] / d[i]
+                    } else {
+                        r[i]
+                    };
                 }
-            }),
-            Preconditioner::Ilu0(f) => f.solve(r),
+            }
+            Preconditioner::Ilu0(f) => f.solve_into(r, out),
         }
     }
 }
 
 /// Options shared by the iterative solvers.
+///
+/// Construct through the builder: a solver-named constructor with the
+/// documented defaults, then chained setters —
+///
+/// ```
+/// use linalg::IterOpts;
+/// let opts = IterOpts::gmres().tol(1e-10).restart(50);
+/// let tight = IterOpts::cg().max_iter(10_000).tol(1e-12);
+/// ```
+///
+/// Defaults (all constructors): `max_iter = 2000` (for GMRES: total inner
+/// iterations), `rel_tol = 1e-10`, `restart = 50` (ignored by CG and
+/// BiCGSTAB). The public fields are deprecated; they remain only so
+/// pre-builder call sites keep compiling (see `tests/deprecated_wrappers.rs`
+/// for the equivalence gate).
 #[derive(Debug, Clone)]
 pub struct IterOpts {
     /// Maximum iterations (for GMRES: total inner iterations).
+    #[deprecated(
+        since = "0.6.0",
+        note = "construct via IterOpts::gmres()/cg()/bicgstab() and the max_iter() setter"
+    )]
     pub max_iter: usize,
     /// Relative residual tolerance `‖r‖/‖b‖`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "construct via IterOpts::gmres()/cg()/bicgstab() and the tol() setter"
+    )]
     pub rel_tol: f64,
     /// GMRES restart length.
+    #[deprecated(
+        since = "0.6.0",
+        note = "construct via IterOpts::gmres()/cg()/bicgstab() and the restart() setter"
+    )]
     pub restart: usize,
 }
 
-impl Default for IterOpts {
-    fn default() -> Self {
+impl IterOpts {
+    #[allow(deprecated)]
+    fn documented_defaults() -> Self {
         IterOpts {
             max_iter: 2000,
             rel_tol: 1e-10,
             restart: 50,
         }
     }
+
+    /// Options for [`gmres`]: `max_iter = 2000` total inner iterations,
+    /// `rel_tol = 1e-10`, `restart = 50`.
+    pub fn gmres() -> Self {
+        Self::documented_defaults()
+    }
+
+    /// Options for [`cg`]: `max_iter = 2000`, `rel_tol = 1e-10` (the
+    /// restart length is ignored).
+    pub fn cg() -> Self {
+        Self::documented_defaults()
+    }
+
+    /// Options for [`bicgstab`]: `max_iter = 2000`, `rel_tol = 1e-10` (the
+    /// restart length is ignored).
+    pub fn bicgstab() -> Self {
+        Self::documented_defaults()
+    }
+
+    /// Sets the iteration cap (for GMRES: total inner iterations).
+    #[allow(deprecated)]
+    pub fn max_iter(mut self, n: usize) -> Self {
+        self.max_iter = n;
+        self
+    }
+
+    /// Sets the relative residual tolerance `‖r‖/‖b‖`.
+    #[allow(deprecated)]
+    pub fn tol(mut self, t: f64) -> Self {
+        self.rel_tol = t;
+        self
+    }
+
+    /// Sets the GMRES restart length (ignored by CG and BiCGSTAB).
+    #[allow(deprecated)]
+    pub fn restart(mut self, m: usize) -> Self {
+        self.restart = m;
+        self
+    }
+
+    /// Iteration cap (reader for the deprecated public field).
+    #[allow(deprecated)]
+    pub fn iteration_limit(&self) -> usize {
+        self.max_iter
+    }
+
+    /// Relative residual tolerance (reader for the deprecated public field).
+    #[allow(deprecated)]
+    pub fn tolerance(&self) -> f64 {
+        self.rel_tol
+    }
+
+    /// GMRES restart length (reader for the deprecated public field).
+    #[allow(deprecated)]
+    pub fn restart_len(&self) -> usize {
+        self.restart
+    }
 }
 
-/// Outcome of a converged iterative solve.
+impl Default for IterOpts {
+    fn default() -> Self {
+        Self::gmres()
+    }
+}
+
+/// Uniform outcome of a successful iterative solve.
+///
+/// Failures (tolerance not reached, numerical breakdown) are *not* encoded
+/// here — they surface as [`LinalgError::NotConverged`] /
+/// [`LinalgError::Breakdown`] so the control layer's divergence taxonomy
+/// (`ControlError::is_divergence`) applies uniformly. The `breakdown` field
+/// records a *benign* early termination such as GMRES finding the exact
+/// solution inside the Krylov space.
 #[derive(Debug, Clone)]
-pub struct IterResult {
+pub struct SolveReport {
     /// Solution vector.
     pub x: DVec,
     /// Iterations performed.
     pub iterations: usize,
     /// Final relative residual.
     pub residual: f64,
+    /// Solver name (`"cg"`, `"bicgstab"`, `"gmres"`).
+    pub solver: &'static str,
+    /// Preconditioner kind (`"identity"`, `"jacobi"`, `"ilu0"`).
+    pub precond: &'static str,
+    /// Benign early-termination reason, if any (e.g. a lucky GMRES
+    /// breakdown). `None` for a plain tolerance-reached exit.
+    pub breakdown: Option<&'static str>,
 }
 
+/// Former name of [`SolveReport`].
+#[deprecated(since = "0.6.0", note = "renamed to SolveReport")]
+pub type IterResult = SolveReport;
+
 /// Conjugate gradients for symmetric positive definite operators.
-pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<IterResult> {
+pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<SolveReport> {
     let _span = trace::span("cg_solve");
     let n = a.dim();
     assert_eq!(b.len(), n, "cg: rhs length mismatch");
+    let (max_iter, rel_tol) = (opts.iteration_limit(), opts.tolerance());
     let bnorm = b.norm2().max(1e-300);
     let mut x = DVec::zeros(n);
     let mut r = b.clone();
-    let mut z = m.apply(&r);
+    let mut z = DVec::zeros(n);
+    m.apply_into(&r, &mut z);
     let mut p = z.clone();
+    let mut ap = DVec::zeros(n);
     let mut rz = r.dot(&z);
-    for it in 0..opts.max_iter {
+    for it in 0..max_iter {
         let rel = r.norm2() / bnorm;
         trace::solve_event("linear", "cg", it, rel, f64::NAN, f64::NAN);
-        if rel <= opts.rel_tol {
-            return Ok(IterResult {
+        if rel <= rel_tol {
+            return Ok(SolveReport {
                 x,
                 iterations: it,
                 residual: rel,
+                solver: "cg",
+                precond: m.kind_name(),
+                breakdown: None,
             });
         }
-        let ap = a.apply(&p);
+        a.apply_into(&p, &mut ap);
         let pap = p.dot(&ap);
         if pap.abs() < 1e-300 {
             return Err(LinalgError::Breakdown {
@@ -143,23 +301,28 @@ pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Resul
         let alpha = rz / pap;
         x.axpy(alpha, &p);
         r.axpy(-alpha, &ap);
-        z = m.apply(&r);
+        m.apply_into(&r, &mut z);
         let rz_new = r.dot(&z);
         let beta = rz_new / rz;
         rz = rz_new;
-        p = &z + &p.scaled(beta);
+        // p = z + beta p, in place.
+        p.scale_mut(beta);
+        p += &z;
     }
     let rel = r.norm2() / bnorm;
-    if rel <= opts.rel_tol {
-        Ok(IterResult {
+    if rel <= rel_tol {
+        Ok(SolveReport {
             x,
-            iterations: opts.max_iter,
+            iterations: max_iter,
             residual: rel,
+            solver: "cg",
+            precond: m.kind_name(),
+            breakdown: None,
         })
     } else {
         Err(LinalgError::NotConverged {
             solver: "cg",
-            iterations: opts.max_iter,
+            iterations: max_iter,
             residual: rel,
         })
     }
@@ -171,10 +334,11 @@ pub fn bicgstab(
     b: &DVec,
     m: &Preconditioner,
     opts: &IterOpts,
-) -> Result<IterResult> {
+) -> Result<SolveReport> {
     let _span = trace::span("bicgstab_solve");
     let n = a.dim();
     assert_eq!(b.len(), n, "bicgstab: rhs length mismatch");
+    let (max_iter, rel_tol) = (opts.iteration_limit(), opts.tolerance());
     let bnorm = b.norm2().max(1e-300);
     let mut x = DVec::zeros(n);
     let mut r = b.clone();
@@ -184,15 +348,22 @@ pub fn bicgstab(
     let mut omega = 1.0;
     let mut v = DVec::zeros(n);
     let mut p = DVec::zeros(n);
-    for it in 0..opts.max_iter {
+    let mut phat = DVec::zeros(n);
+    let mut shat = DVec::zeros(n);
+    let mut t = DVec::zeros(n);
+    let report = |x: DVec, iterations: usize, residual: f64| SolveReport {
+        x,
+        iterations,
+        residual,
+        solver: "bicgstab",
+        precond: m.kind_name(),
+        breakdown: None,
+    };
+    for it in 0..max_iter {
         let rel = r.norm2() / bnorm;
         trace::solve_event("linear", "bicgstab", it, rel, f64::NAN, f64::NAN);
-        if rel <= opts.rel_tol {
-            return Ok(IterResult {
-                x,
-                iterations: it,
-                residual: rel,
-            });
+        if rel <= rel_tol {
+            return Ok(report(x, it, rel));
         }
         let rho_new = r0.dot(&r);
         if rho_new.abs() < 1e-300 {
@@ -203,12 +374,12 @@ pub fn bicgstab(
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
-        // p = r + beta (p - omega v)
-        let mut pm = p.clone();
-        pm.axpy(-omega, &v);
-        p = &r + &pm.scaled(beta);
-        let phat = m.apply(&p);
-        v = a.apply(&phat);
+        // p = r + beta (p - omega v), in place.
+        p.axpy(-omega, &v);
+        p.scale_mut(beta);
+        p += &r;
+        m.apply_into(&p, &mut phat);
+        a.apply_into(&phat, &mut v);
         let r0v = r0.dot(&v);
         if r0v.abs() < 1e-300 {
             return Err(LinalgError::Breakdown {
@@ -217,18 +388,15 @@ pub fn bicgstab(
             });
         }
         alpha = rho / r0v;
-        let mut s = r.clone();
-        s.axpy(-alpha, &v);
-        if s.norm2() / bnorm <= opts.rel_tol {
+        // s = r - alpha v, overwriting r (r is rebuilt from s below).
+        r.axpy(-alpha, &v);
+        if r.norm2() / bnorm <= rel_tol {
             x.axpy(alpha, &phat);
-            return Ok(IterResult {
-                x,
-                iterations: it + 1,
-                residual: s.norm2() / bnorm,
-            });
+            let rel = r.norm2() / bnorm;
+            return Ok(report(x, it + 1, rel));
         }
-        let shat = m.apply(&s);
-        let t = a.apply(&shat);
+        m.apply_into(&r, &mut shat);
+        a.apply_into(&shat, &mut t);
         let tt = t.dot(&t);
         if tt.abs() < 1e-300 {
             return Err(LinalgError::Breakdown {
@@ -236,43 +404,54 @@ pub fn bicgstab(
                 detail: "t't ~ 0",
             });
         }
-        omega = t.dot(&s) / tt;
+        omega = t.dot(&r) / tt;
         x.axpy(alpha, &phat);
         x.axpy(omega, &shat);
-        r = s;
         r.axpy(-omega, &t);
     }
     let rel = r.norm2() / bnorm;
     Err(LinalgError::NotConverged {
         solver: "bicgstab",
-        iterations: opts.max_iter,
+        iterations: max_iter,
         residual: rel,
     })
 }
 
 /// Restarted GMRES(m) with Givens rotations, left-preconditioned.
-pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<IterResult> {
+pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<SolveReport> {
     let _span = trace::span("gmres_solve");
     let n = a.dim();
     assert_eq!(b.len(), n, "gmres: rhs length mismatch");
-    let bnorm = m.apply(b).norm2().max(1e-300);
-    let restart = opts.restart.min(n).max(1);
+    let (max_iter, rel_tol) = (opts.iteration_limit(), opts.tolerance());
+    let restart = opts.restart_len().min(n).max(1);
     let mut x = DVec::zeros(n);
     let mut total_iters = 0usize;
+    let mut breakdown: Option<&'static str> = None;
+    // Buffers recycled across all restarts and inner iterations.
+    let mut scratch = DVec::zeros(n); // holds A x, then b - A x
+    let mut r = DVec::zeros(n); // preconditioned residual
+    let mut aw = DVec::zeros(n); // A v_j
+    m.apply_into(b, &mut r);
+    let bnorm = r.norm2().max(1e-300);
+    let report = |x: DVec, iterations: usize, residual: f64, breakdown| SolveReport {
+        x,
+        iterations,
+        residual,
+        solver: "gmres",
+        precond: m.kind_name(),
+        breakdown,
+    };
 
-    while total_iters < opts.max_iter {
+    while total_iters < max_iter {
         // r = M^{-1}(b - A x)
-        let mut r = b.clone();
-        r -= &a.apply(&x);
-        let r = m.apply(&r);
+        a.apply_into(&x, &mut scratch);
+        scratch.scale_mut(-1.0);
+        scratch += b;
+        m.apply_into(&scratch, &mut r);
         let beta = r.norm2();
         let rel0 = beta / bnorm;
-        if rel0 <= opts.rel_tol {
-            return Ok(IterResult {
-                x,
-                iterations: total_iters,
-                residual: rel0,
-            });
+        if rel0 <= rel_tol {
+            return Ok(report(x, total_iters, rel0, breakdown));
         }
         // Arnoldi with modified Gram-Schmidt.
         let mut v: Vec<DVec> = vec![r.scaled(1.0 / beta)];
@@ -283,11 +462,13 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
         g[0] = beta;
         let mut k_used = 0;
         for j in 0..restart {
-            if total_iters >= opts.max_iter {
+            if total_iters >= max_iter {
                 break;
             }
             total_iters += 1;
-            let mut w = m.apply(&a.apply(&v[j]));
+            a.apply_into(&v[j], &mut aw);
+            let mut w = DVec::zeros(n);
+            m.apply_into(&aw, &mut w);
             for (i, vi) in v.iter().enumerate() {
                 h[i][j] = w.dot(vi);
                 w.axpy(-h[i][j], vi);
@@ -310,14 +491,17 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
             k_used = j + 1;
             let rel = g[j + 1].abs() / bnorm;
             trace::solve_event("linear", "gmres", total_iters, rel, f64::NAN, f64::NAN);
-            if rel <= opts.rel_tol {
+            if rel <= rel_tol {
                 break;
             }
             let norm = w.norm2();
             if norm < 1e-300 {
-                break; // lucky breakdown: exact solution in the Krylov space
+                // Lucky breakdown: exact solution in the Krylov space.
+                breakdown = Some("lucky breakdown: Krylov space contains the solution");
+                break;
             }
-            v.push(w.scaled(1.0 / norm));
+            w.scale_mut(1.0 / norm);
+            v.push(w);
         }
         // Solve the small triangular system and update x.
         let mut y = vec![0.0f64; k_used];
@@ -332,20 +516,20 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
             x.axpy(yj, &v[j]);
         }
         // Check the true residual after the restart block.
-        let mut rr = b.clone();
-        rr -= &a.apply(&x);
-        let rel = m.apply(&rr).norm2() / bnorm;
-        if rel <= opts.rel_tol {
-            return Ok(IterResult {
-                x,
-                iterations: total_iters,
-                residual: rel,
-            });
+        a.apply_into(&x, &mut scratch);
+        scratch.scale_mut(-1.0);
+        scratch += b;
+        m.apply_into(&scratch, &mut r);
+        let rel = r.norm2() / bnorm;
+        if rel <= rel_tol {
+            return Ok(report(x, total_iters, rel, breakdown));
         }
     }
-    let mut rr = b.clone();
-    rr -= &a.apply(&x);
-    let rel = m.apply(&rr).norm2() / bnorm;
+    a.apply_into(&x, &mut scratch);
+    scratch.scale_mut(-1.0);
+    scratch += b;
+    m.apply_into(&scratch, &mut r);
+    let rel = r.norm2() / bnorm;
     Err(LinalgError::NotConverged {
         solver: "gmres",
         iterations: total_iters,
@@ -409,7 +593,7 @@ mod tests {
         let n = 64;
         let a = poisson_1d(n);
         let b = DVec::from_fn(n, |i| ((i + 1) as f64 * 0.1).sin());
-        let res = cg(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let res = cg(&a, &b, &Preconditioner::Identity, &IterOpts::cg()).unwrap();
         let r = &a.matvec(&res.x) - &b;
         assert!(r.norm2() < 1e-8 * b.norm2());
         assert!(res.iterations <= n + 1);
@@ -421,7 +605,7 @@ mod tests {
         let a = poisson_1d(n);
         let b = DVec::full(n, 1.0);
         let m = Preconditioner::jacobi_from(&a);
-        let res = cg(&a, &b, &m, &IterOpts::default()).unwrap();
+        let res = cg(&a, &b, &m, &IterOpts::cg()).unwrap();
         assert!((&a.matvec(&res.x) - &b).norm2() < 1e-8);
     }
 
@@ -430,7 +614,7 @@ mod tests {
         let n = 80;
         let a = advdiff_1d(n, 0.4);
         let b = DVec::from_fn(n, |i| 1.0 / (1.0 + i as f64));
-        let res = bicgstab(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let res = bicgstab(&a, &b, &Preconditioner::Identity, &IterOpts::bicgstab()).unwrap();
         assert!((&a.matvec(&res.x) - &b).norm2() < 1e-8 * b.norm2().max(1.0));
     }
 
@@ -439,7 +623,7 @@ mod tests {
         let n = 80;
         let a = advdiff_1d(n, 0.7);
         let b = DVec::from_fn(n, |i| (i as f64 * 0.05).cos());
-        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::gmres()).unwrap();
         let rel = (&a.matvec(&res.x) - &b).norm2() / b.norm2();
         assert!(rel < 1e-8, "relative residual {rel}");
     }
@@ -450,10 +634,7 @@ mod tests {
         let a = advdiff_1d(n, 0.3);
         let b = DVec::full(n, 1.0);
         let m = Preconditioner::jacobi_from(&a);
-        let opts = IterOpts {
-            restart: 15,
-            ..Default::default()
-        };
+        let opts = IterOpts::gmres().restart(15);
         let res = gmres(&a, &b, &m, &opts).unwrap();
         assert!((&a.matvec(&res.x) - &b).norm2() / b.norm2() < 1e-8);
     }
@@ -464,7 +645,7 @@ mod tests {
         let a = advdiff_1d(n, 0.5);
         let ad = a.to_dense();
         let b = DVec::from_fn(n, |i| (i as f64) - 10.0);
-        let xg = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default())
+        let xg = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::gmres())
             .unwrap()
             .x;
         let xl = crate::Lu::factor(&ad).unwrap().solve(&b).unwrap();
@@ -475,7 +656,7 @@ mod tests {
     fn gmres_on_dense_linop() {
         let a = DMat::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
         let b = DVec(vec![1.0, 2.0]);
-        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::gmres()).unwrap();
         assert!((&a.matvec(&res.x).unwrap() - &b).norm2() < 1e-10);
     }
 
@@ -484,11 +665,7 @@ mod tests {
         let n = 60;
         let a = poisson_1d(n);
         let b = DVec::full(n, 1.0);
-        let opts = IterOpts {
-            max_iter: 2,
-            rel_tol: 1e-14,
-            restart: 2,
-        };
+        let opts = IterOpts::gmres().max_iter(2).tol(1e-14).restart(2);
         assert!(matches!(
             cg(&a, &b, &Preconditioner::Identity, &opts),
             Err(LinalgError::NotConverged { .. })
@@ -507,8 +684,71 @@ mod tests {
     fn zero_rhs_converges_immediately() {
         let a = poisson_1d(10);
         let b = DVec::zeros(10);
-        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::default()).unwrap();
+        let res = gmres(&a, &b, &Preconditioner::Identity, &IterOpts::gmres()).unwrap();
         assert_eq!(res.iterations, 0);
         assert!(res.x.norm2() < 1e-14);
+    }
+
+    #[test]
+    fn builder_defaults_match_the_documented_values() {
+        for opts in [IterOpts::gmres(), IterOpts::cg(), IterOpts::bicgstab()] {
+            assert_eq!(opts.iteration_limit(), 2000);
+            assert_eq!(opts.tolerance(), 1e-10);
+            assert_eq!(opts.restart_len(), 50);
+        }
+        let o = IterOpts::gmres().max_iter(7).tol(1e-3).restart(4);
+        assert_eq!(o.iteration_limit(), 7);
+        assert_eq!(o.tolerance(), 1e-3);
+        assert_eq!(o.restart_len(), 4);
+    }
+
+    #[test]
+    fn solve_report_carries_solver_and_preconditioner_names() {
+        let n = 40;
+        let a = poisson_1d(n);
+        let b = DVec::full(n, 1.0);
+        let m = Preconditioner::jacobi_from(&a);
+        let rep = gmres(&a, &b, &m, &IterOpts::gmres()).unwrap();
+        assert_eq!(rep.solver, "gmres");
+        assert_eq!(rep.precond, "jacobi");
+        assert!(rep.breakdown.is_none());
+        assert!(rep.iterations > 0);
+        assert!(rep.residual <= 1e-10);
+        let rep = cg(&a, &b, &Preconditioner::Identity, &IterOpts::cg()).unwrap();
+        assert_eq!((rep.solver, rep.precond), ("cg", "identity"));
+    }
+
+    #[test]
+    fn ilu0_fallback_to_jacobi_on_singular_pivot() {
+        // Zero diagonal in the pattern: ILU(0) must fail, and the documented
+        // construction path falls back to Jacobi rather than erroring.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let a = t.to_csr();
+        assert!(crate::sparse::Ilu0::factor(&a).is_err());
+        let m = Preconditioner::ilu0_from(&a);
+        assert!(matches!(m, Preconditioner::Jacobi(_)));
+        assert_eq!(m.kind_name(), "jacobi");
+        // GMRES still solves the (perfectly regular) permutation system.
+        let b = DVec(vec![2.0, 3.0]);
+        let res = gmres(&a, &b, &m, &IterOpts::gmres()).unwrap();
+        assert!((res.x[0] - 3.0).abs() < 1e-10 && (res.x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_for_all_preconditioners() {
+        let a = poisson_1d(12);
+        let r = DVec::from_fn(12, |i| (i as f64 * 0.7).sin());
+        for m in [
+            Preconditioner::Identity,
+            Preconditioner::jacobi_from(&a),
+            Preconditioner::ilu0_from(&a),
+        ] {
+            let z = m.apply(&r);
+            let mut z2 = DVec::zeros(12);
+            m.apply_into(&r, &mut z2);
+            assert_eq!(z.as_slice(), z2.as_slice(), "{}", m.kind_name());
+        }
     }
 }

@@ -19,12 +19,16 @@
 //! * [`Csr`] — compressed sparse row matrices with parallel SpMV, used by the
 //!   RBF-FD local-stencil path.
 //! * [`iterative`] — CG, BiCGSTAB and restarted GMRES with simple
-//!   preconditioners.
+//!   preconditioners, all reporting a uniform [`SolveReport`].
+//! * [`backend`] — the [`LinearBackend`] abstraction unifying dense LU and
+//!   [`SparseIterative`] (GMRES+ILU0) behind one solve/transpose-solve
+//!   contract, selectable per run via [`BackendKind`].
 //!
 //! All storage is `f64`; the solvers in this workspace are double precision
 //! throughout (RBF collocation matrices are notoriously ill-conditioned and
 //! single precision is not viable).
 
+pub mod backend;
 pub mod dense;
 pub mod error;
 pub mod factor;
@@ -32,10 +36,13 @@ pub mod iterative;
 pub mod sparse;
 pub mod vector;
 
+pub use backend::{BackendKind, LinearBackend, SparseIterative};
 pub use dense::DMat;
 pub use error::{LinalgError, Result};
 pub use factor::{Cholesky, Lu, Qr};
-pub use iterative::{bicgstab, cg, gmres, IterOpts, IterResult, Preconditioner};
+#[allow(deprecated)]
+pub use iterative::IterResult;
+pub use iterative::{bicgstab, cg, gmres, IterOpts, Preconditioner, SolveReport};
 pub use sparse::{Csr, Ilu0, Triplets};
 pub use vector::DVec;
 

@@ -6,6 +6,7 @@
 //! bottleneck (cf. Table 3 of the paper, where dense DP peaks at 45 GB).
 
 use crate::dense::DMat;
+use crate::error::{LinalgError, Result};
 use crate::vector::DVec;
 use meshfree_runtime::par;
 
@@ -123,17 +124,35 @@ impl Csr {
 
     /// Sparse matrix-vector product, parallel over rows for large matrices.
     pub fn matvec(&self, x: &DVec) -> DVec {
+        let mut y = DVec::zeros(self.rows);
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// [`Csr::matvec`] into a caller-owned buffer — the allocation-free form
+    /// the Krylov inner loops use. Parallel over row chunks for large
+    /// matrices; the result is identical for any thread count (each row is
+    /// an independent dot product).
+    pub fn matvec_into(&self, x: &DVec, out: &mut DVec) {
         assert_eq!(x.len(), self.cols, "spmv: length mismatch");
+        assert_eq!(out.len(), self.rows, "spmv: output length mismatch");
         let compute = |i: usize| {
             let (cols, vals) = self.row(i);
             cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum::<f64>()
         };
-        let y: Vec<f64> = if self.nnz() >= 1 << 15 {
-            par::par_map_collect(self.rows, compute)
+        if self.nnz() >= 1 << 15 {
+            const CHUNK: usize = 256;
+            par::par_chunks_mut(out.as_mut_slice(), CHUNK, |ci, chunk| {
+                let base = ci * CHUNK;
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    *o = compute(base + k);
+                }
+            });
         } else {
-            (0..self.rows).map(compute).collect()
-        };
-        DVec(y)
+            for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+                *o = compute(i);
+            }
+        }
     }
 
     /// Transposed sparse matvec `Aᵀ x`.
@@ -292,6 +311,16 @@ mod tests {
         let ys = c.matvec(&x);
         let yd = d.matvec(&x).unwrap();
         assert!((&ys - &yd).norm2() < 1e-14);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let c = sample();
+        let x = DVec(vec![1.0, 2.0, 3.0]);
+        let y = c.matvec(&x);
+        let mut y2 = DVec::full(3, 9.9); // stale values must be overwritten
+        c.matvec_into(&x, &mut y2);
+        assert_eq!(y.as_slice(), y2.as_slice());
     }
 
     #[test]
@@ -476,12 +505,25 @@ pub struct Ilu0 {
 }
 
 impl Ilu0 {
-    /// Computes the factorization; returns `None` if a pivot vanishes.
-    pub fn factor(a: &Csr) -> Option<Ilu0> {
+    /// Computes the factorization. Errors with
+    /// [`LinalgError::SingularMatrix`] (carrying the failing pivot) if a
+    /// pivot vanishes, or [`LinalgError::ShapeMismatch`] for a non-square
+    /// input. Solver code that wants the graceful Jacobi fallback should go
+    /// through [`crate::Preconditioner::ilu0_from`] — the single documented
+    /// construction path.
+    pub fn factor(a: &Csr) -> Result<Ilu0> {
         let n = a.nrows();
         if a.ncols() != n {
-            return None;
+            return Err(LinalgError::ShapeMismatch {
+                op: "ilu0",
+                got: (n, a.ncols()),
+                expected: (n, n),
+            });
         }
+        let singular = |pivot: usize, value: f64| LinalgError::SingularMatrix {
+            pivot,
+            value: value.abs(),
+        };
         let mut lu = a.clone();
         // Gaussian elimination restricted to the existing pattern (IKJ).
         for i in 0..n {
@@ -493,11 +535,11 @@ impl Ilu0 {
                     break; // columns are sorted: only k < i eliminate
                 }
                 // Pivot U[k][k].
-                let ukk = lu.get(k, k)?;
+                let ukk = lu.get(k, k).ok_or_else(|| singular(k, 0.0))?;
                 if ukk.abs() < 1e-300 {
-                    return None;
+                    return Err(singular(k, ukk));
                 }
-                let factor = lu.get(i, k)? / ukk;
+                let factor = lu.get(i, k).expect("k is in row i's pattern") / ukk;
                 lu.set(i, k, factor);
                 // Row update within the pattern of row i.
                 let (k_cols, k_vals): (Vec<usize>, Vec<f64>) = {
@@ -517,16 +559,27 @@ impl Ilu0 {
         for i in 0..n {
             match lu.get(i, i) {
                 Some(d) if d.abs() > 1e-300 => {}
-                _ => return None,
+                other => return Err(singular(i, other.unwrap_or(0.0))),
             }
         }
-        Some(Ilu0 { lu })
+        Ok(Ilu0 { lu })
     }
 
     /// Applies `z = (LU)⁻¹ r` via the two triangular sweeps.
     pub fn solve(&self, r: &DVec) -> DVec {
+        let mut y = DVec::zeros(r.len());
+        self.solve_into(r, &mut y);
+        y
+    }
+
+    /// [`Ilu0::solve`] into a caller-owned buffer (allocation-free; `out`
+    /// must have the same length as `r`).
+    pub fn solve_into(&self, r: &DVec, out: &mut DVec) {
         let n = self.lu.nrows();
-        let mut y = r.clone();
+        assert_eq!(r.len(), n, "ilu0 solve: length mismatch");
+        assert_eq!(out.len(), n, "ilu0 solve: output length mismatch");
+        let y = out;
+        y.as_mut_slice().copy_from_slice(r);
         // Forward: L (unit diagonal) stored strictly below the diagonal.
         for i in 0..n {
             let (cols, vals) = self.lu.row(i);
@@ -552,7 +605,12 @@ impl Ilu0 {
             }
             y[i] = s / diag;
         }
-        y
+    }
+
+    /// Bytes held by the factored values/indices.
+    pub fn memory_bytes(&self) -> usize {
+        self.lu.nnz() * (8 + std::mem::size_of::<usize>())
+            + (self.lu.nrows() + 1) * std::mem::size_of::<usize>()
     }
 }
 
@@ -614,10 +672,7 @@ mod ilu_tests {
         }
         let a = t.to_csr();
         let b = DVec::full(n, 1.0);
-        let opts = IterOpts {
-            rel_tol: 1e-10,
-            ..Default::default()
-        };
+        let opts = IterOpts::gmres().tol(1e-10);
         let plain = gmres(&a, &b, &Preconditioner::jacobi_from(&a), &opts).unwrap();
         let ilu = gmres(&a, &b, &Preconditioner::ilu0_from(&a), &opts).unwrap();
         assert!(
@@ -631,10 +686,33 @@ mod ilu_tests {
 
     #[test]
     fn factor_rejects_structurally_singular_matrices() {
-        // Zero diagonal entry in the pattern.
+        // Zero diagonal entry in the pattern: the error names the pivot.
         let mut t = Triplets::new(2, 2);
         t.push(0, 1, 1.0);
         t.push(1, 0, 1.0);
-        assert!(Ilu0::factor(&t.to_csr()).is_none());
+        assert!(matches!(
+            Ilu0::factor(&t.to_csr()),
+            Err(crate::LinalgError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn factor_rejects_non_square_matrices() {
+        let t = Triplets::new(2, 3);
+        assert!(matches!(
+            Ilu0::factor(&t.to_csr()),
+            Err(crate::LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = poisson_1d(17);
+        let f = Ilu0::factor(&a).unwrap();
+        let r = DVec::from_fn(17, |i| (i as f64 * 0.4).cos());
+        let z = f.solve(&r);
+        let mut z2 = DVec::zeros(17);
+        f.solve_into(&r, &mut z2);
+        assert_eq!(z.as_slice(), z2.as_slice());
     }
 }

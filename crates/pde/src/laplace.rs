@@ -4,17 +4,32 @@
 //! walls; control `u(x,1) = c(x)` on the top wall; cost
 //! `J(c) = ∫₀¹ |∂u/∂y(x,1) − cos πx|² dx`.
 //!
-//! The collocation matrix does not depend on the control (only the RHS
-//! does), so it is factored **once** at construction and reused for every
-//! forward solve, every DAL adjoint solve, and — through the tape's
-//! [`autodiff::Tape::solve_const`] — every DP gradient. This is the
-//! "factor once" fast path that makes 300+ optimization iterations cheap.
+//! The system matrix does not depend on the control (only the RHS does),
+//! so its [`linalg::LinearBackend`] is prepared **once** at construction and
+//! reused for every forward solve, every DAL adjoint solve, and — through
+//! the tape's [`autodiff::Tape::solve_backend`] — every DP gradient. This is
+//! the "factor once" fast path that makes 300+ optimization iterations
+//! cheap.
+//!
+//! Two discretizations share one code path for the cost, DAL, and DP
+//! gradients, selected via [`linalg::BackendKind`]:
+//!
+//! * **`DenseLu`** (the default) — global RBF collocation, unknowns are the
+//!   `N + M` coefficients `[λ; γ]`, solved by the cached dense [`Lu`].
+//! * **`SparseGmres`** — RBF-FD local stencils, unknowns are the `N` nodal
+//!   values, solved by ILU(0)-preconditioned GMRES
+//!   ([`linalg::SparseIterative`]), which unlocks node counts far beyond
+//!   the dense `O((N+M)²)` memory ceiling and reports per-solve iteration
+//!   counts on the `"linsolve"` trace layer.
 
 use autodiff::tensor;
 use autodiff::{Tape, Tensor};
 use geometry::generators::unit_square_grid;
 use geometry::{quadrature, NodeKind, Point2};
-use linalg::{DMat, DVec, LinalgError, Lu};
+use linalg::{
+    BackendKind, DMat, DVec, IterOpts, LinalgError, LinearBackend, Lu, SparseIterative, Triplets,
+};
+use rbf::fd::{fd_matrix, FdConfig};
 use rbf::{DiffOp, GlobalCollocation, RbfKernel};
 use std::f64::consts::PI;
 use std::sync::Arc;
@@ -31,10 +46,24 @@ pub mod tags {
     pub const RIGHT: usize = 4;
 }
 
-/// The assembled, factored Laplace control problem.
-pub struct LaplaceControlProblem {
+/// Dense-only machinery: the global collocation context and the cached LU
+/// factor (kept typed for diagnostics the trait hides, e.g. the 1-norm
+/// condition estimate).
+struct DenseParts {
     ctx: GlobalCollocation,
     lu: Arc<Lu>,
+}
+
+/// The assembled, factored Laplace control problem.
+pub struct LaplaceControlProblem {
+    /// The linear engine behind every forward, adjoint, and tape solve.
+    backend: Arc<dyn LinearBackend>,
+    /// `Some` on the dense (global collocation) discretization; `None` on
+    /// the sparse RBF-FD one.
+    dense: Option<DenseParts>,
+    /// Unknown count: `N + M` coefficients (dense) or `N` nodal values
+    /// (sparse).
+    size: usize,
     /// Top-wall node indices, sorted by `x`.
     top_idx: Vec<usize>,
     /// Top-wall `x` coordinates (sorted).
@@ -57,6 +86,85 @@ impl LaplaceControlProblem {
     /// PHS3 kernel and degree-1 augmentation, exactly as in the paper.
     pub fn new(nx: usize) -> Result<Self, LinalgError> {
         Self::with_kernel(nx, RbfKernel::Phs3, 1)
+    }
+
+    /// Builds with an explicit linear-solver backend: [`BackendKind::DenseLu`]
+    /// is the byte-identical default ([`LaplaceControlProblem::new`]);
+    /// [`BackendKind::SparseGmres`] selects the sparse RBF-FD discretization
+    /// ([`LaplaceControlProblem::new_sparse`]).
+    pub fn with_backend(nx: usize, kind: BackendKind) -> Result<Self, LinalgError> {
+        match kind {
+            BackendKind::DenseLu => Self::new(nx),
+            BackendKind::SparseGmres => Self::new_sparse(nx),
+        }
+    }
+
+    /// Builds the **sparse RBF-FD** variant on an `nx × nx` grid: local
+    /// stencils assemble a `Csr` operator (interior rows the RBF-FD
+    /// Laplacian, boundary rows identity) solved by ILU(0)-preconditioned
+    /// GMRES. Same control problem and gradient code paths as the dense
+    /// form; the unknowns are the `N` nodal values instead of RBF
+    /// coefficients, so memory scales with the stencil size rather than
+    /// `N²`.
+    pub fn new_sparse(nx: usize) -> Result<Self, LinalgError> {
+        let nodes = unit_square_grid(nx, nx, Self::classifier);
+        let fd = FdConfig {
+            stencil_size: 13,
+            degree: 2,
+        };
+        let lap = fd_matrix(&nodes, RbfKernel::Phs3, fd, DiffOp::Lap)?;
+        let dy = fd_matrix(&nodes, RbfKernel::Phs3, fd, DiffOp::Dy)?;
+        let n = nodes.len();
+        let mut t = Triplets::new(n, n);
+        for i in nodes.interior_range() {
+            let (cols, vals) = lap.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                t.push(i, j, v);
+            }
+        }
+        for i in nodes.boundary_indices() {
+            t.push(i, i, 1.0);
+        }
+        let backend: Arc<dyn LinearBackend> = Arc::new(SparseIterative::gmres_ilu0(
+            t.to_csr(),
+            IterOpts::gmres().max_iter(6000).tol(1e-11).restart(80),
+        ));
+
+        let (top_idx, top_x) =
+            quadrature::sort_along(&nodes.indices_with_tag(tags::TOP), |i| nodes.point(i).x);
+        let weights = DVec(quadrature::trapezoid_weights(&top_x));
+        let n_c = top_idx.len();
+        let mut placement = DMat::zeros(n, n_c);
+        for (j, &i) in top_idx.iter().enumerate() {
+            placement[(i, j)] = 1.0;
+        }
+        let mut rhs0 = DMat::zeros(n, 1);
+        for i in nodes.indices_with_tag(tags::BOTTOM) {
+            rhs0[(i, 0)] = (PI * nodes.point(i).x).sin();
+        }
+        // Densified `∂/∂y` rows at the top nodes (`n_c × N`, a thin strip)
+        // so the flux and tape code paths are shared with the dense form.
+        let mut dy_top = DMat::zeros(n_c, n);
+        for (k, &i) in top_idx.iter().enumerate() {
+            let (cols, vals) = dy.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                dy_top[(k, j)] = v;
+            }
+        }
+        let target = DMat::from_fn(n_c, 1, |i, _| (PI * top_x[i]).cos());
+
+        Ok(LaplaceControlProblem {
+            backend,
+            dense: None,
+            size: n,
+            top_idx,
+            top_x,
+            weights,
+            placement: Arc::new(placement),
+            rhs0,
+            dy_top: Arc::new(dy_top),
+            target,
+        })
     }
 
     /// The unit-square boundary classifier shared by all node layouts.
@@ -122,8 +230,9 @@ impl LaplaceControlProblem {
         let target = DMat::from_fn(n_c, 1, |i, _| (PI * top_x[i]).cos());
 
         Ok(LaplaceControlProblem {
-            ctx,
-            lu,
+            backend: Arc::clone(&lu) as Arc<dyn LinearBackend>,
+            dense: Some(DenseParts { ctx, lu }),
+            size,
             top_idx,
             top_x,
             weights,
@@ -132,6 +241,14 @@ impl LaplaceControlProblem {
             dy_top: Arc::new(dy_top),
             target,
         })
+    }
+
+    /// Dense-only internals, with a clear panic for the sparse variant.
+    fn dense_parts(&self) -> &DenseParts {
+        self.dense.as_ref().expect(
+            "dense-only operation on a sparse (RBF-FD) Laplace problem; \
+             construct with BackendKind::DenseLu",
+        )
     }
 
     /// Number of control degrees of freedom (top-wall nodes).
@@ -149,17 +266,34 @@ impl LaplaceControlProblem {
         &self.weights
     }
 
-    /// The underlying collocation context.
+    /// The underlying collocation context (dense discretization only;
+    /// panics on the sparse RBF-FD variant, which has no global context).
     pub fn ctx(&self) -> &GlobalCollocation {
-        &self.ctx
+        &self.dense_parts().ctx
+    }
+
+    /// Which linear-solver backend drives every solve.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// The shared linear backend (forward, adjoint, and tape solves).
+    pub fn backend(&self) -> &Arc<dyn LinearBackend> {
+        &self.backend
+    }
+
+    /// Total unknowns: `N + M` RBF coefficients (dense) or `N` nodal
+    /// values (sparse).
+    pub fn size(&self) -> usize {
+        self.size
     }
 
     /// Condition-number estimate of the collocation matrix (diagnostics; the
-    /// paper compares grid vs scattered conditioning).
+    /// paper compares grid vs scattered conditioning). Dense only.
     pub fn condition_estimate(&self) -> f64 {
         // ‖A‖₁ is not retained; the estimate with norm 1.0 still exposes
         // ‖A⁻¹‖₁, which is the varying factor between node layouts.
-        self.lu.cond_1_estimate(1.0)
+        self.dense_parts().lu.cond_1_estimate(1.0)
     }
 
     /// Assembles the (control-dependent) RHS for boundary data `c`.
@@ -172,19 +306,20 @@ impl LaplaceControlProblem {
         b
     }
 
-    /// Solves the forward problem, returning RBF coefficients `[λ; γ]`.
+    /// Solves the forward problem, returning RBF coefficients `[λ; γ]`
+    /// (dense) or nodal values (sparse).
     pub fn solve_coeffs(&self, c: &DVec) -> Result<DVec, LinalgError> {
-        self.lu.solve(&self.rhs(c))
+        self.backend.solve(&self.rhs(c))
     }
 
     /// Solves a *generic* Dirichlet problem with the same operator: boundary
     /// values given per boundary node index. Used by the DAL adjoint solve.
     pub fn solve_dirichlet(&self, boundary_values: &[(usize, f64)]) -> Result<DVec, LinalgError> {
-        let mut b = DVec::zeros(self.ctx.size());
+        let mut b = DVec::zeros(self.size);
         for &(i, v) in boundary_values {
             b[i] = v;
         }
-        self.lu.solve(&b)
+        self.backend.solve(&b)
     }
 
     /// Top-wall flux `∂u/∂y(x_i, 1)` for a coefficient vector.
@@ -215,9 +350,10 @@ impl LaplaceControlProblem {
     /// `*_uncached` gradient paths must reproduce the cached results exactly
     /// while paying an extra `O(N³)` per call.
     pub fn refactored_lu(&self) -> Result<Lu, LinalgError> {
-        let a = self
+        let d = self.dense_parts();
+        let a = d
             .ctx
-            .assemble_with_bcs(|_, p| self.ctx.row(DiffOp::Lap, p), 0.0);
+            .assemble_with_bcs(|_, p| d.ctx.row(DiffOp::Lap, p), 0.0);
         Lu::factor(&a)
     }
 
@@ -225,25 +361,27 @@ impl LaplaceControlProblem {
     /// and returns `(J, dJ/dc)` by one reverse sweep — the
     /// discretise-then-optimise gradient of the paper's best method.
     pub fn cost_and_grad_dp(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        self.dp_with(c, &self.lu)
+        self.dp_with(c, &self.backend)
     }
 
     /// [`LaplaceControlProblem::cost_and_grad_dp`] with the factorisation
     /// cache disabled: the operator is reassembled and refactored on every
     /// call (the "factor every iteration" baseline in `BENCH_perf.json`).
-    /// Returns exactly the cached result.
+    /// Returns exactly the cached result. Dense only.
     pub fn cost_and_grad_dp_uncached(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        self.dp_with(c, &Arc::new(self.refactored_lu()?))
+        let fresh: Arc<dyn LinearBackend> = Arc::new(self.refactored_lu()?);
+        self.dp_with(c, &fresh)
     }
 
-    /// DP gradient against an explicit factorisation. The tape's
-    /// [`autodiff::Tape::solve_const`] node holds the [`Arc<Lu>`] so the
-    /// reverse sweep reuses the same factor for the transpose solve.
-    fn dp_with(&self, c: &DVec, lu: &Arc<Lu>) -> Result<(f64, DVec), LinalgError> {
+    /// DP gradient against an explicit backend. The tape's
+    /// [`autodiff::Tape::solve_backend`] node holds the backend so the
+    /// reverse sweep reuses the same factorisation (dense) or
+    /// preconditioned operator (sparse) for the transpose solve.
+    fn dp_with(&self, c: &DVec, be: &Arc<dyn LinearBackend>) -> Result<(f64, DVec), LinalgError> {
         let tape = Tape::new();
         let cv = tape.var_col(c);
         let rhs = cv.matmul_const_l(&self.placement).add_const(&self.rhs0);
-        let coeffs = tape.solve_const(lu, rhs)?;
+        let coeffs = tape.solve_backend(be, rhs)?;
         let flux = coeffs.matmul_const_l(&self.dy_top);
         let diff = flux.add_const(&(&self.target * -1.0));
         let j = diff.sq().dot_const(&tensor::from_dvec(&self.weights));
@@ -258,7 +396,7 @@ impl LaplaceControlProblem {
     /// gradient *as an L² function* sampled at the control nodes. Multiply
     /// by the quadrature weights to compare against the DP gradient.
     pub fn cost_and_grad_dal(&self, c: &DVec) -> Result<(f64, DVec), LinalgError> {
-        self.dal_with(c, &self.lu)
+        self.dal_with(c, self.backend.as_ref())
     }
 
     /// [`LaplaceControlProblem::cost_and_grad_dal`] with the factorisation
@@ -269,19 +407,20 @@ impl LaplaceControlProblem {
         self.dal_with(c, &self.refactored_lu()?)
     }
 
-    /// DAL forward + adjoint solves against an explicit factorisation (the
-    /// operator is self-adjoint, so the same factor serves both solves).
-    fn dal_with(&self, c: &DVec, lu: &Lu) -> Result<(f64, DVec), LinalgError> {
-        let coeffs = lu.solve(&self.rhs(c))?;
+    /// DAL forward + adjoint solves against an explicit backend (the
+    /// continuous adjoint of the Laplacian is the Laplacian itself, so the
+    /// same operator serves both solves — no transpose needed).
+    fn dal_with(&self, c: &DVec, be: &dyn LinearBackend) -> Result<(f64, DVec), LinalgError> {
+        let coeffs = be.solve(&self.rhs(c))?;
         let flux = self.flux_top(&coeffs);
         let mut j = 0.0;
-        let mut b = DVec::zeros(self.ctx.size());
+        let mut b = DVec::zeros(self.size);
         for i in 0..flux.len() {
             let d = flux[i] - self.target[(i, 0)];
             j += self.weights[i] * d * d;
             b[self.top_idx[i]] = 2.0 * d;
         }
-        let lambda = lu.solve(&b)?;
+        let lambda = be.solve(&b)?;
         let grad = self.flux_top(&lambda);
         Ok((j, grad))
     }
@@ -304,15 +443,19 @@ impl LaplaceControlProblem {
         Ok((j0, g))
     }
 
-    /// Nodal field values `u` at all nodes for a coefficient vector.
+    /// Nodal field values `u` at all nodes for a solve result (the sparse
+    /// discretization's unknowns are already nodal).
     pub fn nodal_values(&self, coeffs: &DVec) -> DVec {
-        self.ctx
-            .eval_op(DiffOp::Eval, coeffs, self.ctx.nodes().points())
+        match &self.dense {
+            Some(d) => d.ctx.eval_op(DiffOp::Eval, coeffs, d.ctx.nodes().points()),
+            None => coeffs.clone(),
+        }
     }
 
-    /// Evaluates the state at arbitrary points.
+    /// Evaluates the state at arbitrary points (dense only: the sparse
+    /// nodal discretization carries no off-node interpolant).
     pub fn eval_state(&self, coeffs: &DVec, points: &[Point2]) -> DVec {
-        self.ctx.eval_op(DiffOp::Eval, coeffs, points)
+        self.dense_parts().ctx.eval_op(DiffOp::Eval, coeffs, points)
     }
 }
 
@@ -505,5 +648,59 @@ mod tests {
         for w in x.windows(2) {
             assert!(w[1] > w[0]);
         }
+    }
+
+    #[test]
+    fn with_backend_dense_matches_new_bitwise() {
+        let a = LaplaceControlProblem::new(12).unwrap();
+        let b = LaplaceControlProblem::with_backend(12, BackendKind::DenseLu).unwrap();
+        assert_eq!(a.backend_kind(), BackendKind::DenseLu);
+        let c = DVec::from_fn(a.n_controls(), |i| 0.1 * (i as f64 * 0.9).sin());
+        let (ja, ga) = a.cost_and_grad_dp(&c).unwrap();
+        let (jb, gb) = b.cost_and_grad_dp(&c).unwrap();
+        assert_eq!(ja, jb, "dense default must be bitwise-stable");
+        assert_eq!(ga.as_slice(), gb.as_slice());
+    }
+
+    #[test]
+    fn sparse_backend_solves_the_same_control_problem() {
+        let p = LaplaceControlProblem::with_backend(14, BackendKind::SparseGmres).unwrap();
+        assert_eq!(p.backend_kind(), BackendKind::SparseGmres);
+        let c = DVec::from_fn(p.n_controls(), |i| 0.3 * (PI * p.control_x()[i]).sin());
+        let u = p.solve_coeffs(&c).unwrap();
+        let nodal = p.nodal_values(&u);
+        // Boundary rows are identity: the top wall carries the control.
+        for (j, &i) in p.top_idx.iter().enumerate() {
+            assert!((nodal[i] - c[j]).abs() < 1e-8, "top BC at node {i}");
+        }
+        // Both discretizations approximate the same continuum cost.
+        let dense = LaplaceControlProblem::new(14).unwrap();
+        let j_sparse = p.cost(&c).unwrap();
+        let j_dense = dense.cost(&c).unwrap();
+        assert!(
+            (j_sparse - j_dense).abs() < 0.25 * (j_dense.abs() + 1e-3),
+            "sparse J {j_sparse:.4e} vs dense J {j_dense:.4e}"
+        );
+    }
+
+    #[test]
+    fn sparse_dp_gradient_matches_finite_differences() {
+        let p = LaplaceControlProblem::new_sparse(12).unwrap();
+        let c = DVec::from_fn(p.n_controls(), |i| 0.1 * (i as f64 * 0.7).sin());
+        let (j_dp, g_dp) = p.cost_and_grad_dp(&c).unwrap();
+        let (j_fd, g_fd) = p.cost_and_grad_fd(&c, 1e-6).unwrap();
+        assert!((j_dp - j_fd).abs() < 1e-10 * (1.0 + j_fd.abs()));
+        let err = rel_error(g_dp.as_slice(), g_fd.as_slice());
+        assert!(err < 1e-4, "sparse DP vs FD gradient rel error {err:.3e}");
+    }
+
+    #[test]
+    fn sparse_dal_step_decreases_cost() {
+        let p = LaplaceControlProblem::new_sparse(12).unwrap();
+        let c0 = DVec::zeros(p.n_controls());
+        let (j0, g) = p.cost_and_grad_dal(&c0).unwrap();
+        let c1 = &c0 - &g.scaled(1e-2 / g.norm_inf().max(1e-12));
+        let j1 = p.cost(&c1).unwrap();
+        assert!(j1 < j0, "no sparse DAL descent: {j0:.3e} -> {j1:.3e}");
     }
 }

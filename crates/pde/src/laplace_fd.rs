@@ -98,11 +98,7 @@ impl LaplaceFdProblem {
             weights,
             rhs0,
             target,
-            opts: IterOpts {
-                max_iter: 6000,
-                rel_tol: 1e-11,
-                restart: 80,
-            },
+            opts: IterOpts::gmres().max_iter(6000).tol(1e-11).restart(80),
         })
     }
 

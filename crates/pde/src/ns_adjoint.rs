@@ -21,7 +21,7 @@
 //! failure mode the paper reports for DAL on this problem (§3.2, fig. 4b).
 
 use crate::ns::{NsSolver, NsState, NsWorkspace};
-use linalg::{DMat, DVec, LinalgError, Lu};
+use linalg::{DMat, DVec, LinalgError};
 
 /// Adjoint fields at the nodes.
 #[derive(Debug, Clone)]
@@ -117,9 +117,9 @@ impl<'s> NsAdjoint<'s> {
     /// [`NsAdjoint::solve_adjoint`] against a reusable workspace. The
     /// adjoint matrix shares the forward system's shape and storage needs, so
     /// the *same* [`NsWorkspace`] serves the Picard sweeps and the adjoint
-    /// solve: assembly writes over the matrix buffer and [`Lu::refactor`]
-    /// recycles the factor storage. Produces the same adjoint fields as the
-    /// allocating path.
+    /// solve: assembly writes over the matrix buffer and the configured
+    /// backend (dense LU refactor or sparse GMRES+ILU0 refresh) recycles its
+    /// storage. Produces the same adjoint fields as the allocating path.
     pub fn solve_adjoint_with(
         &self,
         state: &NsState,
@@ -128,20 +128,13 @@ impl<'s> NsAdjoint<'s> {
         let s = self.solver;
         let n = s.nodes().len();
         self.adjoint_matrix_into(state, &mut ws.a)?;
-        match &mut ws.lu {
-            Some(lu) => lu.refactor(&ws.a)?,
-            slot => {
-                *slot = Some(Lu::factor(&ws.a)?);
-            }
-        }
-        let lu = ws.lu.as_ref().expect("lu populated above");
         // RHS: outflow mismatch on the ξ_u rows; zero elsewhere.
         let (u_out, _) = s.outflow_profile(state);
         let mut b = DVec::zeros(3 * n);
         for (j, &i) in s.outflow_idx().iter().enumerate() {
             b[i] = -(u_out[j] - s.target_u()[j]);
         }
-        lu.solve_into(&b, &mut ws.x)?;
+        s.solve_assembled(ws, &b)?;
         let x = &ws.x;
         Ok(AdjointState {
             xi_u: DVec(x.as_slice()[..n].to_vec()),

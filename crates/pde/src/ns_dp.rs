@@ -120,7 +120,7 @@ impl<'s> NsDp<'s> {
                 .row_scale_const(s.adv_x())
                 .add(sv.row_scale_const(s.adv_y()))
                 .add_const(s.base());
-            let x_new = tape.solve(a, rhs)?;
+            let x_new = tape.solve_with_kind(s.cfg().backend, a, rhs)?;
             x = x.scale(1.0 - w).add(x_new.scale(w));
         }
 

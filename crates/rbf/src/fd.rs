@@ -489,11 +489,7 @@ mod tests {
             &a,
             &b,
             &Preconditioner::jacobi_from(&a),
-            &IterOpts {
-                max_iter: 4000,
-                rel_tol: 1e-11,
-                restart: 60,
-            },
+            &IterOpts::gmres().max_iter(4000).tol(1e-11).restart(60),
         )
         .unwrap();
         for i in 0..n {

@@ -10,12 +10,14 @@
 //! Kill it mid-flight and run it again: completed specs are skipped, and
 //! the final ledger is byte-identical to an uninterrupted run.
 
-use meshfree_oc::driver::{Campaign, RunSpec, Strategy};
+use meshfree_oc::driver::{BackendKind, Campaign, RunSpec, Strategy};
 use std::time::Duration;
 
-/// A 4-spec synthetic campaign with one injected NaN-diverging spec; used
-/// by CI to prove the retry path end-to-end. Panics (non-zero exit) if the
-/// faulty spec is not retried exactly once or any spec is lost.
+/// A 5-spec campaign — three synthetic, one injected NaN-diverging spec,
+/// and one real Laplace run on the sparse GMRES+ILU0 backend; used by CI
+/// to prove the retry path and the non-default backend plumbing end-to-end.
+/// Panics (non-zero exit) if the faulty spec is not retried exactly once or
+/// any spec is lost.
 fn run_smoke() {
     let path = std::env::temp_dir().join(format!(
         "meshfree-campaign-smoke-{}.jsonl",
@@ -34,6 +36,20 @@ fn run_smoke() {
             .seed(99)
             .iterations(25)
             .label("smoke-faulty")
+            .build(),
+    );
+    // One real-PDE spec on the sparse backend: proves the campaign path
+    // (spec → backend-suffixed run id → ledger) off the dense default. Kept
+    // tiny — the smoke gate is about plumbing, not physics.
+    campaign = campaign.spec(
+        RunSpec::laplace()
+            .nx(12)
+            .backend(BackendKind::SparseGmres)
+            .strategy(Strategy::Dal)
+            .iterations(5)
+            .lr(1e-2)
+            .seed(7)
+            .label("smoke-sparse-laplace")
             .build(),
     );
     let summary = campaign.run().expect("smoke campaign");

@@ -1,0 +1,161 @@
+//! Backend-equivalence gate for the linear-solver redesign.
+//!
+//! Two claims, tested end-to-end through the public façade:
+//!
+//! 1. On the *same* linear system, [`BackendKind::SparseGmres`] reproduces
+//!    the dense LU answer to ≤ 1e-8 relative — judged by the golden-run
+//!    tolerance policy ([`check::golden::GoldenPolicy`]), not ad-hoc
+//!    comparisons, on both the RBF-FD Laplace system and the assembled
+//!    Navier–Stokes Picard system.
+//! 2. A full Laplace control run (DAL *and* DP) completes on the sparse
+//!    backend at `nx = 48` — 2304 nodes, 4× the dense path's perf-suite
+//!    ceiling of `laplace_nx = 24` — while reporting per-solve iteration
+//!    counts on the `"linsolve"` trace layer.
+
+use meshfree_oc::check::golden::{compare, GoldenPolicy, GoldenSnapshot};
+use meshfree_oc::control::api::{execute, BackendKind, RunSpec, Strategy};
+use meshfree_oc::geometry::generators::{unit_square_grid, ChannelConfig};
+use meshfree_oc::linalg::{Csr, DVec, IterOpts, LinearBackend, Lu, SparseIterative, Triplets};
+use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver};
+use meshfree_oc::rbf::fd::{fd_matrix, FdConfig};
+use meshfree_oc::rbf::{DiffOp, RbfKernel};
+use meshfree_oc::runtime::trace::{self, MemorySink, TraceEvent};
+use std::f64::consts::PI;
+
+/// The golden tolerance policy of the equivalence gate: ≤ 1e-8 relative
+/// (with a tiny absolute floor for near-zero entries) on every compared
+/// series.
+fn equivalence_policy() -> GoldenPolicy {
+    GoldenPolicy::default().field("", 1e-8, 1e-12)
+}
+
+fn assert_equivalent(name: &str, dense: &DVec, sparse: &DVec) {
+    let expected = GoldenSnapshot::new(name).with_series("solution", dense.as_slice().to_vec());
+    let actual = GoldenSnapshot::new(name).with_series("solution", sparse.as_slice().to_vec());
+    let violations = compare(&expected, &actual, &equivalence_policy());
+    assert!(
+        violations.is_empty(),
+        "{name}: sparse backend drifted from dense LU:\n{}",
+        violations.join("\n")
+    );
+}
+
+/// The RBF-FD nodal Laplace system (interior Laplacian rows, identity
+/// boundary rows) and a smooth right-hand side.
+fn laplace_fd_system(nx: usize) -> (Csr, DVec) {
+    let nodes = unit_square_grid(nx, nx, LaplaceControlProblem::classifier);
+    let fd = FdConfig {
+        stencil_size: 13,
+        degree: 2,
+    };
+    let lap = fd_matrix(&nodes, RbfKernel::Phs3, fd, DiffOp::Lap).unwrap();
+    let n = nodes.len();
+    let mut t = Triplets::new(n, n);
+    for i in nodes.interior_range() {
+        let (cols, vals) = lap.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            t.push(i, j, v);
+        }
+    }
+    for i in nodes.boundary_indices() {
+        t.push(i, i, 1.0);
+    }
+    let b = DVec::from_fn(n, |i| {
+        let p = nodes.point(i);
+        (PI * p.x).sin() * (0.5 + 0.3 * p.y)
+    });
+    (t.to_csr(), b)
+}
+
+#[test]
+fn sparse_backend_matches_dense_lu_on_the_rbf_fd_laplace_system() {
+    let (a, b) = laplace_fd_system(16);
+    let lu = Lu::factor(&a.to_dense()).unwrap();
+    let x_dense = lu.solve(&b).unwrap();
+    let engine =
+        SparseIterative::gmres_ilu0(a, IterOpts::gmres().max_iter(6000).tol(1e-12).restart(80));
+    let x_sparse = engine.solve(&b).unwrap();
+    assert_equivalent("laplace-fd-backend-equivalence", &x_dense, &x_sparse);
+
+    // Same gate for the transpose solve (the discrete-adjoint path).
+    let xt_dense = lu.solve_transpose(&b).unwrap();
+    let xt_sparse = engine.solve_transpose(&b).unwrap();
+    assert_equivalent("laplace-fd-adjoint-equivalence", &xt_dense, &xt_sparse);
+}
+
+#[test]
+fn sparse_backend_matches_dense_lu_on_the_ns_picard_system() {
+    let mut cfg = NsConfig {
+        channel: ChannelConfig {
+            h: 0.18,
+            ..Default::default()
+        },
+        re: 40.0,
+        slot_velocity: 0.2,
+        ..Default::default()
+    };
+    let dense = NsSolver::new(cfg.clone()).unwrap();
+    cfg.backend = BackendKind::SparseGmres;
+    let sparse = NsSolver::new(cfg).unwrap();
+
+    let c = DVec::from_fn(dense.n_controls(), |i| 0.1 + 0.02 * i as f64);
+    let k = 4;
+    let sd = dense.solve(&c, k, None).unwrap();
+    let ss = sparse.solve(&c, k, None).unwrap();
+    assert_equivalent("ns-picard-backend-equivalence", &sd.stack(), &ss.stack());
+}
+
+#[test]
+fn sparse_backend_completes_control_runs_at_4x_the_dense_ceiling() {
+    // nx = 48 → 2304 nodes: 4× the dense path's perf-suite ceiling
+    // (laplace_nx = 24 → 576 nodes), where the global-collocation matrix
+    // alone would hold (N+M)² ≈ 5.6M doubles.
+    let (sink, events) = MemorySink::new();
+    trace::set_sink(Box::new(sink));
+    for strategy in [Strategy::Dal, Strategy::Dp] {
+        let spec = RunSpec::laplace()
+            .nx(48)
+            .backend(BackendKind::SparseGmres)
+            .strategy(strategy)
+            .iterations(3)
+            .lr(1e-2)
+            .seed(7)
+            .build();
+        let run = execute(&spec)
+            .unwrap_or_else(|e| panic!("{:?} run on the sparse backend failed: {e}", strategy));
+        assert!(
+            run.report.final_cost.is_finite(),
+            "{strategy:?}: non-finite final cost"
+        );
+        assert!(
+            run.spec_id.contains("sparse-gmres"),
+            "sparse run id must carry the backend suffix: {}",
+            run.spec_id
+        );
+    }
+    trace::clear_sink();
+
+    // Every sparse solve must have reported its Krylov iteration count on
+    // the "linsolve" layer. The sink is process-global and other tests may
+    // interleave, so assert on presence and positivity, not exact counts.
+    let events = events.lock().unwrap();
+    let iters: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Solve {
+                layer,
+                solver,
+                event,
+            } if *layer == "linsolve" && solver.starts_with("gmres_ilu0") => Some(event.iter),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !iters.is_empty(),
+        "sparse control runs emitted no linsolve trace events"
+    );
+    assert!(
+        iters.iter().all(|&it| it > 0),
+        "every traced sparse solve must report a positive iteration count: {iters:?}"
+    );
+}

@@ -1,13 +1,15 @@
 //! Wrapper-compatibility gate: the pre-redesign entry points
-//! (`laplace::run`, `ns::run`) must keep compiling and producing the same
-//! results for old call sites, deprecation warnings aside. This file is the
-//! one in-tree call site that intentionally uses them.
+//! (`laplace::run`, `ns::run`, struct-literal [`IterOpts`]) must keep
+//! compiling and producing the same results for old call sites, deprecation
+//! warnings aside. This file is the one in-tree call site that
+//! intentionally uses them.
 #![allow(deprecated)]
 
 use meshfree_oc::control::laplace::{self, GradMethod, LaplaceRunConfig};
 use meshfree_oc::control::ns::{self, NsRunConfig};
 use meshfree_oc::control::RunCtx;
 use meshfree_oc::geometry::generators::ChannelConfig;
+use meshfree_oc::linalg::{gmres, DVec, IterOpts, Preconditioner, Triplets};
 use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver};
 
 #[test]
@@ -27,6 +29,43 @@ fn deprecated_laplace_run_matches_run_ctx_bitwise() {
     );
     for i in 0..old.control.len() {
         assert_eq!(old.control[i].to_bits(), new.control[i].to_bits());
+    }
+}
+
+#[test]
+fn deprecated_iter_opts_literal_matches_builder_bitwise() {
+    // The pre-redesign struct-literal form must keep compiling and drive
+    // the solver to the exact same result as the builder form.
+    let old = IterOpts {
+        max_iter: 500,
+        rel_tol: 1e-9,
+        restart: 25,
+    };
+    let new = IterOpts::gmres().max_iter(500).tol(1e-9).restart(25);
+    assert_eq!(old.iteration_limit(), new.iteration_limit());
+    assert_eq!(old.tolerance().to_bits(), new.tolerance().to_bits());
+    assert_eq!(old.restart_len(), new.restart_len());
+
+    // 1-D advection–diffusion: a small nonsymmetric system.
+    let n = 60;
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 2.4);
+        if i > 0 {
+            t.push(i, i - 1, -1.3);
+        }
+        if i + 1 < n {
+            t.push(i, i + 1, -0.7);
+        }
+    }
+    let a = t.to_csr();
+    let b = DVec::from_fn(n, |i| 1.0 + (i as f64 * 0.2).sin());
+    let m = Preconditioner::ilu0_from(&a);
+    let xo = gmres(&a, &b, &m, &old).unwrap();
+    let xn = gmres(&a, &b, &m, &new).unwrap();
+    assert_eq!(xo.iterations, xn.iterations);
+    for i in 0..n {
+        assert_eq!(xo.x[i].to_bits(), xn.x[i].to_bits());
     }
 }
 
