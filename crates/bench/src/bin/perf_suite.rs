@@ -28,6 +28,7 @@
 //!   trajectory file)
 
 use check::golden::GoldenSnapshot;
+use control::api::{BackendKind, BuiltProblem, ProblemSpec};
 use control::ns::initial_control;
 use geometry::generators::unit_square_grid;
 use linalg::iterative::{gmres, IterOpts, Preconditioner};
@@ -37,6 +38,7 @@ use meshfree_runtime::{num_threads, time_kernel, Rng64, SpanStats};
 use pde::{LaplaceControlProblem, NsConfig, NsSolver};
 use rbf::fd::{fd_matrix, FdConfig};
 use rbf::{DiffOp, RbfKernel};
+use serve::FactorCache;
 use std::f64::consts::PI;
 use std::process::ExitCode;
 
@@ -52,6 +54,8 @@ const REQUIRED_KERNELS: &[&str] = &[
     "dal_laplace_iter",
     "dal_laplace_iter_refactor",
     "dp_laplace_iter",
+    "serve_cache_hit_laplace",
+    "serve_cache_miss_laplace",
     "ns_picard_sweep",
 ];
 
@@ -255,6 +259,40 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
         }),
     );
 
+    // ---- serve request latency: factorization-cache hit vs miss --------
+    // One "request" = cache lookup + one objective evaluation against the
+    // prepared operator. A miss pays the O(N³) assembly + factorization;
+    // a hit pays only the O(N²) triangular solves — the asymmetry the
+    // serve daemon amortizes across clients.
+    let spec = ProblemSpec::Laplace {
+        nx: sz.laplace_nx,
+        backend: BackendKind::DenseLu,
+    };
+    let eval_request = |cache: &FactorCache| {
+        let (built, _) = cache.get_or_build(&spec).expect("cache build");
+        let BuiltProblem::Laplace(p) = built.as_ref() else {
+            unreachable!("a laplace spec builds a laplace problem")
+        };
+        let cost = p.cost(&c).expect("serve eval");
+        std::hint::black_box(cost);
+    };
+    let warm = FactorCache::new(usize::MAX);
+    eval_request(&warm); // populate: every timed rep below is a hit
+    let hit = time_kernel(sz.warmup, sz.reps.max(15), || eval_request(&warm));
+    snap = record(snap, "serve_cache_hit_laplace", n_c, hit);
+    let miss = time_kernel(sz.warmup, sz.reps, || {
+        eval_request(&FactorCache::new(usize::MAX)) // fresh cache every rep
+    });
+    snap = record(snap, "serve_cache_miss_laplace", n_c, miss);
+    let cache_speedup = miss.median_ns as f64 / hit.median_ns.max(1) as f64;
+    println!("{:>28}  {cache_speedup:.2}x", "serve cache-hit speedup");
+    assert!(
+        cache_speedup >= 5.0,
+        "cache-hit requests must be at least 5x faster than cold builds \
+         (measured {cache_speedup:.2}x)"
+    );
+    snap = snap.scalar("serve_cache_hit_speedup", cache_speedup);
+
     // ---- one NS Picard sweep (workspace path) --------------------------
     let solver = NsSolver::new(NsConfig {
         channel: geometry::generators::ChannelConfig {
@@ -303,6 +341,13 @@ fn verify_snapshot(text: &str) -> Vec<String> {
         if snap.get_scalar(&format!("{k}.iters")).is_none() {
             problems.push(format!("missing kernel entry: {k}.iters"));
         }
+    }
+    match snap.get_scalar("serve_cache_hit_speedup") {
+        None => problems.push("missing scalar: serve_cache_hit_speedup".to_string()),
+        Some(v) if !v.is_finite() || v < 5.0 => {
+            problems.push(format!("serve_cache_hit_speedup {v} is below the 5x gate"))
+        }
+        Some(_) => {}
     }
     problems
 }

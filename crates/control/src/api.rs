@@ -1087,6 +1087,19 @@ impl BuiltProblem {
             BuiltProblem::Synthetic => Problem::Synthetic,
         }
     }
+
+    /// Resident bytes this build pins while cached: the prepared linear
+    /// backend (dense factors or sparse pattern + preconditioners) for
+    /// Laplace, the assembled constant operators for Navier–Stokes. This
+    /// is the quantity the serve daemon's `FactorCache` meters against
+    /// `MESHFREE_CACHE_BYTES`.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            BuiltProblem::Laplace(p) => p.backend().memory_bytes(),
+            BuiltProblem::NavierStokes(s) => s.memory_bytes(),
+            BuiltProblem::Synthetic => 0,
+        }
+    }
 }
 
 /// Builds the problem and executes the spec with a fresh [`RunCtx`]

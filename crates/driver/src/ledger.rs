@@ -18,14 +18,16 @@
 //! Crash tolerance: a campaign killed mid-append leaves a torn final line.
 //! [`Ledger::open`] drops a final line that does not parse (and only the
 //! final line — earlier corruption is a hard error) and rewrites the file
-//! clean before appending resumes.
+//! clean before appending resumes. The mechanics of that contract —
+//! append-and-flush writes, non-empty-line reads, last-line-only parse
+//! tolerance — live in [`meshfree_runtime::framing`], shared with the
+//! serve daemon's wire protocol; this module keeps only the ledger's own
+//! schema (meta line, record fields, duplicate detection).
 
 use check::golden::GoldenSnapshot;
 use control::api::ControlError;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use meshfree_runtime::framing::{self, JsonlAppender, LineFault};
+use std::path::Path;
 
 /// Name of the meta line that heads every ledger file.
 const META_NAME: &str = "__campaign__";
@@ -177,12 +179,20 @@ fn meta_line(campaign: &str) -> String {
         .to_json_compact()
 }
 
+/// The meta line plus one line per record, in order — the full byte
+/// content of a clean ledger file.
+fn ledger_lines<'a>(
+    campaign: &str,
+    records: impl Iterator<Item = &'a LedgerRecord> + 'a,
+) -> impl Iterator<Item = String> + 'a {
+    std::iter::once(meta_line(campaign)).chain(records.map(LedgerRecord::to_line))
+}
+
 /// An append-mostly JSONL checkpoint file, shared across worker threads.
 #[derive(Debug)]
 pub struct Ledger {
-    path: PathBuf,
     campaign: String,
-    file: Mutex<File>,
+    file: JsonlAppender,
 }
 
 fn io_err(path: &Path, detail: impl std::fmt::Display) -> ControlError {
@@ -204,66 +214,53 @@ impl Ledger {
     pub fn open(path: &Path, campaign: &str) -> Result<(Ledger, Vec<LedgerRecord>), ControlError> {
         let mut records: Vec<LedgerRecord> = Vec::new();
         if path.exists() {
-            let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
-            let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-            for (i, line) in lines.iter().enumerate() {
-                let last = i + 1 == lines.len();
+            let lines = framing::read_lines(path).map_err(|e| io_err(path, e))?;
+            framing::scan_tolerant(&lines, |i, line| {
                 if i == 0 {
-                    match GoldenSnapshot::from_json(line) {
+                    return match GoldenSnapshot::from_json(line) {
                         Ok(meta) if meta.name == META_NAME => {
                             let found = meta.get_string("campaign").unwrap_or("");
                             if found != sanitize(campaign) {
-                                return Err(io_err(
-                                    path,
-                                    format!(
-                                        "ledger belongs to campaign {found:?}, not {campaign:?}"
-                                    ),
-                                ));
+                                Err(LineFault::fatal(format!(
+                                    "ledger belongs to campaign {found:?}, not {campaign:?}"
+                                )))
+                            } else {
+                                Ok(())
                             }
                         }
-                        Ok(other) => {
-                            return Err(io_err(
-                                path,
-                                format!("first line is {:?}, expected the meta line", other.name),
-                            ));
-                        }
-                        Err(e) if last => {
-                            // Torn meta on a ledger killed during creation:
-                            // nothing recorded yet, start fresh.
-                            let _ = e;
-                            break;
-                        }
-                        Err(e) => return Err(io_err(path, format!("bad meta line: {e}"))),
-                    }
-                    continue;
+                        Ok(other) => Err(LineFault::fatal(format!(
+                            "first line is {:?}, expected the meta line",
+                            other.name
+                        ))),
+                        // Torn only when final: a ledger killed during
+                        // creation recorded nothing yet, start fresh.
+                        Err(e) => Err(LineFault::torn(format!("bad meta line: {e}"))),
+                    };
                 }
                 match LedgerRecord::from_line(line) {
                     Ok(rec) => {
                         if records.iter().any(|r| r.spec_id == rec.spec_id) {
-                            return Err(io_err(
-                                path,
-                                format!("duplicate record for spec {:?}", rec.spec_id),
-                            ));
+                            return Err(LineFault::fatal(format!(
+                                "duplicate record for spec {:?}",
+                                rec.spec_id
+                            )));
                         }
                         records.push(rec);
+                        Ok(())
                     }
-                    Err(_) if last => break, // torn final line: drop it
-                    Err(e) => return Err(io_err(path, format!("line {}: {e}", i + 1))),
+                    Err(e) => Err(LineFault::torn(format!("line {}: {e}", i + 1))),
                 }
-            }
+            })
+            .map_err(|detail| io_err(path, detail))?;
         }
         // Rewrite clean (creates the file, installs the meta line, and
         // removes any torn tail) so appends always start from a valid file.
-        write_all(path, campaign, records.iter())?;
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
+        let file = JsonlAppender::create(path, ledger_lines(campaign, records.iter()))
             .map_err(|e| io_err(path, e))?;
         Ok((
             Ledger {
-                path: path.to_path_buf(),
                 campaign: campaign.to_string(),
-                file: Mutex::new(file),
+                file,
             },
             records,
         ))
@@ -271,15 +268,15 @@ impl Ledger {
 
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.file.path()
     }
 
     /// Appends one record and flushes, so the checkpoint survives a kill
     /// immediately after the run completes.
     pub fn append(&self, rec: &LedgerRecord) -> Result<(), ControlError> {
-        let mut f = self.file.lock().expect("ledger lock poisoned");
-        writeln!(f, "{}", rec.to_line()).map_err(|e| io_err(&self.path, e))?;
-        f.flush().map_err(|e| io_err(&self.path, e))
+        self.file
+            .append(&rec.to_line())
+            .map_err(|e| io_err(self.file.path(), e))
     }
 
     /// Rewrites the whole file as meta + `records` in the order given
@@ -287,30 +284,20 @@ impl Ledger {
     /// independent of completion order and worker count).
     pub fn compact<'a>(
         &self,
-        records: impl Iterator<Item = &'a LedgerRecord>,
+        records: impl Iterator<Item = &'a LedgerRecord> + 'a,
     ) -> Result<(), ControlError> {
-        let _guard = self.file.lock().expect("ledger lock poisoned");
-        write_all(&self.path, &self.campaign, records)
+        self.file
+            .rewrite(ledger_lines(&self.campaign, records))
+            .map_err(|e| io_err(self.file.path(), e))
     }
-}
-
-fn write_all<'a>(
-    path: &Path,
-    campaign: &str,
-    records: impl Iterator<Item = &'a LedgerRecord>,
-) -> Result<(), ControlError> {
-    let mut text = meta_line(campaign);
-    text.push('\n');
-    for rec in records {
-        text.push_str(&rec.to_line());
-        text.push('\n');
-    }
-    std::fs::write(path, text).map_err(|e| io_err(path, e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
+    use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("meshfree-driver-ledger-tests");

@@ -64,6 +64,17 @@ pub trait LinearBackend: Send + Sync {
     fn kind(&self) -> BackendKind;
     /// Solves `A x = b`.
     fn solve(&self, b: &DVec) -> Result<DVec>;
+    /// Solves `A xₖ = bₖ` for a batch of right-hand sides sharing the
+    /// prepared operator.
+    ///
+    /// The default loops [`LinearBackend::solve`] once per column, so every
+    /// backend gets the batched entry point; backends with a genuinely
+    /// blocked path (dense LU) override it. Contract: the result must be
+    /// bitwise identical to the one-at-a-time loop — callers (the serve
+    /// batcher) rely on coalescing being invisible in the answers.
+    fn solve_many(&self, rhs: &[DVec]) -> Result<Vec<DVec>> {
+        rhs.iter().map(|b| self.solve(b)).collect()
+    }
     /// Solves `Aᵀ x = b` (the adjoint/backward solve).
     fn solve_transpose(&self, b: &DVec) -> Result<DVec>;
     /// Bytes held by the prepared operator (factors, sparse pattern,
@@ -80,6 +91,9 @@ impl LinearBackend for Lu {
     }
     fn solve(&self, b: &DVec) -> Result<DVec> {
         Lu::solve(self, b)
+    }
+    fn solve_many(&self, rhs: &[DVec]) -> Result<Vec<DVec>> {
+        Lu::solve_many(self, rhs)
     }
     fn solve_transpose(&self, b: &DVec) -> Result<DVec> {
         Lu::solve_transpose(self, b)

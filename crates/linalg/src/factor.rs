@@ -164,6 +164,77 @@ impl Lu {
         Ok(x)
     }
 
+    /// Solves `A xₖ = bₖ` for a batch of right-hand sides with blocked
+    /// forward/back substitution: the factors stream through cache once
+    /// per block of [`Lu::MULTI_RHS_BLOCK`] columns instead of once per
+    /// column, which is where the serve batcher's coalesced same-operator
+    /// requests win their throughput.
+    ///
+    /// Bitwise contract: every column's floating-point operation sequence
+    /// is identical to a standalone [`Lu::solve`] of that column (columns
+    /// are data-independent; blocking only reorders *between* columns),
+    /// so batched and one-at-a-time answers match exactly.
+    pub fn solve_many(&self, rhs: &[DVec]) -> Result<Vec<DVec>> {
+        let n = self.dim();
+        for b in rhs {
+            if b.len() != n {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "lu_solve_many",
+                    got: (b.len(), 1),
+                    expected: (n, 1),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(rhs.len());
+        for block in rhs.chunks(Lu::MULTI_RHS_BLOCK) {
+            let w = block.len();
+            // Row-major n×w working block: x[i*w + c] is row i of column c.
+            let mut x = vec![0.0; n * w];
+            for (c, b) in block.iter().enumerate() {
+                for i in 0..n {
+                    x[i * w + c] = b[self.perm[i]];
+                }
+            }
+            // Forward substitution with unit-diagonal L, all columns per row.
+            for i in 1..n {
+                let (head, tail) = x.split_at_mut(i * w);
+                let xi = &mut tail[..w];
+                for (j, &lij) in self.lu.row(i)[..i].iter().enumerate() {
+                    let xj = &head[j * w..(j + 1) * w];
+                    for c in 0..w {
+                        xi[c] -= lij * xj[c];
+                    }
+                }
+            }
+            // Back substitution with U.
+            for i in (0..n).rev() {
+                let row = self.lu.row(i);
+                let (head, tail) = x.split_at_mut((i + 1) * w);
+                let xi = &mut head[i * w..];
+                for j in i + 1..n {
+                    let uij = row[j];
+                    let xj = &tail[(j - i - 1) * w..(j - i) * w];
+                    for c in 0..w {
+                        xi[c] -= uij * xj[c];
+                    }
+                }
+                let d = row[i];
+                for v in xi.iter_mut() {
+                    *v /= d;
+                }
+            }
+            for c in 0..w {
+                out.push(DVec::from_fn(n, |i| x[i * w + c]));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Column-block width of [`Lu::solve_many`]: wide enough to amortize
+    /// streaming the `n²` factors, small enough that the `n × block`
+    /// working set stays cache-resident.
+    pub const MULTI_RHS_BLOCK: usize = 8;
+
     /// Solves `A X = B` column by column.
     ///
     /// One right-hand-side buffer and one solution buffer are reused across
@@ -596,6 +667,30 @@ mod tests {
     fn refactor_rejects_wrong_shape() {
         let mut lu = Lu::factor(&random_like_matrix(4, 1)).unwrap();
         assert!(lu.refactor(&DMat::zeros(5, 5)).is_err());
+    }
+
+    #[test]
+    fn solve_many_is_bitwise_identical_to_column_loop() {
+        // More columns than MULTI_RHS_BLOCK so the chunking path runs, and
+        // a system large enough that pivoting genuinely permutes rows.
+        let n = 60;
+        let a = random_like_matrix(n, 13);
+        let lu = Lu::factor(&a).unwrap();
+        let rhs: Vec<DVec> = (0..Lu::MULTI_RHS_BLOCK + 3)
+            .map(|k| DVec::from_fn(n, |i| ((i * 7 + k * 13) % 23) as f64 * 0.4 - 3.0))
+            .collect();
+        let batched = lu.solve_many(&rhs).unwrap();
+        assert_eq!(batched.len(), rhs.len());
+        for (b, x) in rhs.iter().zip(&batched) {
+            assert_eq!(x.as_slice(), lu.solve(b).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn solve_many_rejects_wrong_length_rhs() {
+        let lu = Lu::factor(&random_like_matrix(6, 1)).unwrap();
+        let rhs = [DVec::zeros(6), DVec::zeros(5)];
+        assert!(lu.solve_many(&rhs).is_err());
     }
 
     #[test]

@@ -341,6 +341,32 @@ impl LaplaceControlProblem {
         Ok(j)
     }
 
+    /// Batched [`LaplaceControlProblem::cost`]: one objective value per
+    /// control vector, all sharing the cached operator.
+    ///
+    /// The forward solves go through [`LinearBackend::solve_many`], so on
+    /// the dense backend a batch of controls costs one blocked
+    /// multi-RHS substitution pass instead of `k` separate solves — the
+    /// kernel under the serve daemon's request batcher. Guaranteed to
+    /// return exactly the bits of `k` standalone `cost` calls (the
+    /// backend's batched contract).
+    pub fn cost_many(&self, controls: &[DVec]) -> Result<Vec<f64>, LinalgError> {
+        let rhs: Vec<DVec> = controls.iter().map(|c| self.rhs(c)).collect();
+        let coeffs = self.backend.solve_many(&rhs)?;
+        Ok(coeffs
+            .iter()
+            .map(|co| {
+                let flux = self.flux_top(co);
+                let mut j = 0.0;
+                for i in 0..flux.len() {
+                    let d = flux[i] - self.target[(i, 0)];
+                    j += self.weights[i] * d * d;
+                }
+                j
+            })
+            .collect())
+    }
+
     /// Reassembles the collocation matrix and factors it from scratch — the
     /// per-call cost that the construction-time factorisation (the cached
     /// [`Lu`] shared by every forward, adjoint, and tape solve) avoids.
@@ -467,6 +493,19 @@ mod tests {
 
     fn problem() -> LaplaceControlProblem {
         LaplaceControlProblem::new(12).unwrap()
+    }
+
+    #[test]
+    fn cost_many_matches_standalone_costs_bitwise() {
+        let p = problem();
+        let controls: Vec<DVec> = (0..10)
+            .map(|k| DVec::from_fn(p.n_controls(), |i| 0.1 * (i as f64 + 1.3 * k as f64).sin()))
+            .collect();
+        let batched = p.cost_many(&controls).unwrap();
+        assert_eq!(batched.len(), controls.len());
+        for (c, &j) in controls.iter().zip(&batched) {
+            assert_eq!(j.to_bits(), p.cost(c).unwrap().to_bits());
+        }
     }
 
     #[test]

@@ -418,6 +418,23 @@ impl NsSolver {
         }
     }
 
+    /// Bytes held by the assembled constant operators: the `(3N)²` base
+    /// and advection-embedding matrices plus the `N²` differentiation
+    /// matrices. This is what a cross-request cache pays to keep an NS
+    /// problem build resident (the per-sweep factor lives in the
+    /// [`NsWorkspace`], not here).
+    pub fn memory_bytes(&self) -> usize {
+        let mat = |m: &DMat| m.as_slice().len() * 8;
+        mat(&self.base)
+            + mat(&self.adv_x)
+            + mat(&self.adv_y)
+            + mat(&self.dx_int)
+            + mat(&self.dy_int)
+            + mat(&self.dm.dx)
+            + mat(&self.dm.dy)
+            + mat(&self.dm.lap)
+    }
+
     /// Creates a reusable workspace for repeated Picard sweeps: the
     /// `(3N)²` coupled matrix, its LU storage and the solution buffer are
     /// allocated once and recycled by [`NsSolver::refine_with`] /

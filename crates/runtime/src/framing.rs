@@ -1,0 +1,234 @@
+//! JSONL framing shared by every line-oriented persistence and transport
+//! surface in the workspace: the campaign ledger, and the serve daemon's
+//! request/response protocol.
+//!
+//! The format is deliberately minimal — one self-contained record per
+//! line, appends flushed per record — so a process killed mid-write can
+//! tear at most the final line. The torn-tail contract lives here in one
+//! place: a *non-fatal* parse failure on the final line is a torn append
+//! and is dropped; the same failure anywhere else, or a *fatal* fault on
+//! any line (wrong header, duplicate id), aborts the read. This module is
+//! parse-agnostic: callers supply the per-line parser and decide which
+//! faults are fatal, so the helper carries no JSON knowledge and `runtime`
+//! stays dependency-free.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A fault raised while parsing one line of a JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineFault {
+    /// Human-readable description, ready to surface verbatim.
+    pub detail: String,
+    /// Fatal faults abort the read even on the final line (duplicate
+    /// record, header for the wrong owner). Non-fatal faults on the final
+    /// line are treated as a torn append and dropped silently.
+    pub fatal: bool,
+}
+
+impl LineFault {
+    /// A fault tolerated on the final line (a torn append).
+    pub fn torn(detail: impl Into<String>) -> LineFault {
+        LineFault {
+            detail: detail.into(),
+            fatal: false,
+        }
+    }
+
+    /// A fault that aborts the read wherever it occurs.
+    pub fn fatal(detail: impl Into<String>) -> LineFault {
+        LineFault {
+            detail: detail.into(),
+            fatal: true,
+        }
+    }
+}
+
+/// Reads the non-empty lines of a JSONL file.
+///
+/// Blank lines are invisible to the framing contract (they carry no
+/// record and cannot be torn into a half-record), so they are filtered
+/// here once rather than by every caller.
+pub fn read_lines(path: &Path) -> io::Result<Vec<String>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+/// Visits each line with the torn-tail tolerance contract applied.
+///
+/// `visit` is called with the zero-based line index and the line text; it
+/// accumulates parsed records in captured state. On `Err(fault)`:
+///
+/// * `fault.fatal` → the read aborts with `fault.detail`, wherever the
+///   line sits;
+/// * non-fatal on the **final** line → the line is a torn append from a
+///   killed writer: it is dropped and the scan ends successfully;
+/// * non-fatal anywhere else → earlier corruption, abort with
+///   `fault.detail`.
+pub fn scan_tolerant(
+    lines: &[String],
+    mut visit: impl FnMut(usize, &str) -> Result<(), LineFault>,
+) -> Result<(), String> {
+    for (i, line) in lines.iter().enumerate() {
+        if let Err(fault) = visit(i, line) {
+            let last = i + 1 == lines.len();
+            if fault.fatal || !last {
+                return Err(fault.detail);
+            }
+            break; // torn final line: drop it
+        }
+    }
+    Ok(())
+}
+
+/// An append-mode JSONL file handle shared across worker threads.
+///
+/// Creation rewrites the file from scratch (installing the header and
+/// removing any torn tail a previous owner left), then every [`append`]
+/// writes one line and flushes so the record survives a kill immediately
+/// after it lands. [`rewrite`] replaces the whole file under the same
+/// lock; the `O_APPEND` handle stays valid because appends always seek to
+/// the current end of file.
+///
+/// [`append`]: JsonlAppender::append
+/// [`rewrite`]: JsonlAppender::rewrite
+#[derive(Debug)]
+pub struct JsonlAppender {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+fn write_lines(path: &Path, lines: impl Iterator<Item = String>) -> io::Result<()> {
+    let mut text = String::new();
+    for line in lines {
+        text.push_str(&line);
+        text.push('\n');
+    }
+    std::fs::write(path, text)
+}
+
+impl JsonlAppender {
+    /// Rewrites `path` as `lines` (one per line, each newline-terminated)
+    /// and opens the shared append handle onto the clean file.
+    pub fn create(path: &Path, lines: impl Iterator<Item = String>) -> io::Result<JsonlAppender> {
+        write_lines(path, lines)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JsonlAppender {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one line and flushes it to the OS.
+    pub fn append(&self, line: &str) -> io::Result<()> {
+        let mut f = self.file.lock().expect("jsonl appender lock poisoned");
+        writeln!(f, "{line}")?;
+        f.flush()
+    }
+
+    /// Rewrites the whole file as `lines`, holding the append lock so no
+    /// concurrent [`append`](JsonlAppender::append) interleaves.
+    pub fn rewrite(&self, lines: impl Iterator<Item = String>) -> io::Result<()> {
+        let _guard = self.file.lock().expect("jsonl appender lock poisoned");
+        write_lines(&self.path, lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("meshfree-runtime-framing-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn scan_drops_a_torn_final_line_only() {
+        let lines: Vec<String> = ["ok-1", "ok-2", "torn"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut seen = Vec::new();
+        scan_tolerant(&lines, |_, line| {
+            if line.starts_with("ok") {
+                seen.push(line.to_string());
+                Ok(())
+            } else {
+                Err(LineFault::torn("half-written record"))
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, ["ok-1", "ok-2"]);
+    }
+
+    #[test]
+    fn scan_rejects_interior_corruption() {
+        let lines: Vec<String> = ["ok-1", "torn", "ok-2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = scan_tolerant(&lines, |_, line| {
+            if line.starts_with("ok") {
+                Ok(())
+            } else {
+                Err(LineFault::torn("half-written record"))
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "half-written record");
+    }
+
+    #[test]
+    fn fatal_faults_abort_even_on_the_final_line() {
+        let lines: Vec<String> = ["ok-1", "dup"].iter().map(|s| s.to_string()).collect();
+        let err = scan_tolerant(&lines, |_, line| {
+            if line.starts_with("ok") {
+                Ok(())
+            } else {
+                Err(LineFault::fatal("duplicate record"))
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "duplicate record");
+    }
+
+    #[test]
+    fn appender_create_append_rewrite_round_trip() {
+        let path = tmp("appender");
+        let appender = JsonlAppender::create(&path, ["head".to_string()].into_iter()).unwrap();
+        appender.append("rec-1").unwrap();
+        appender.append("rec-2").unwrap();
+        assert_eq!(read_lines(&path).unwrap(), ["head", "rec-1", "rec-2"]);
+
+        // A rewrite replaces the contents; the append handle stays live.
+        appender
+            .rewrite(["head".to_string(), "rec-2".to_string()].into_iter())
+            .unwrap();
+        appender.append("rec-3").unwrap();
+        assert_eq!(read_lines(&path).unwrap(), ["head", "rec-2", "rec-3"]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn read_lines_filters_blank_lines() {
+        let path = tmp("blank");
+        std::fs::write(&path, "a\n\n  \nb\n").unwrap();
+        assert_eq!(read_lines(&path).unwrap(), ["a", "b"]);
+    }
+}

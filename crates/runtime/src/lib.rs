@@ -18,16 +18,21 @@
 //! * [`cancel`] is the cooperative stop signal (explicit, deadline, or
 //!   inherited from a parent token) that the campaign driver threads
 //!   through every optimizer loop.
+//! * [`framing`] is the JSONL framing contract (append-and-flush writes,
+//!   torn-tail-tolerant reads) shared by the campaign ledger and the serve
+//!   daemon's wire protocol.
 
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod framing;
 pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use cancel::CancelToken;
+pub use framing::{JsonlAppender, LineFault};
 pub use par::{
     num_threads, par_chunks_mut, par_for, par_map_collect, par_map_collect_with, serial_scope,
     with_pool, ThreadPool,

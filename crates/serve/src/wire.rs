@@ -1,0 +1,468 @@
+//! The serve daemon's JSONL wire protocol.
+//!
+//! One request or response per line, each line a [`GoldenSnapshot`] in
+//! its single-line compact form — exactly the `driver::ledger` line
+//! format, parsed by the same restricted-JSON round-trip and framed by
+//! the same torn-tail contract ([`meshfree_runtime::framing`]): a final
+//! line without a newline is a torn write from a killed peer and is
+//! dropped, a malformed *complete* line is answered with a structured
+//! [`Response::Error`] line instead of a disconnect.
+//!
+//! # Protocol grammar
+//!
+//! Requests (client → daemon), discriminated by the `kind` string:
+//!
+//! * `kind = "run"` — a full [`RunSpec`] execution. Carries `problem`
+//!   (`laplace` | `navier-stokes` | `synthetic`), `strategy`
+//!   (`DAL` | `DP` | `FD` | `PINN`), `backend`
+//!   (`dense-lu` | `sparse-gmres`), the string `seed` (u64, exact), the
+//!   scalars `iterations`, `lr`, `log_every`, `omega` and the
+//!   problem-family build scalars (`nx`; `h`, `re`, `slot_velocity`,
+//!   `refinements`, `initial_scale`; `n_controls`, `fail_attempts`).
+//! * `kind = "eval"` — a single Laplace objective evaluation: build
+//!   scalars `nx` + `backend` string and the `control` series. These are
+//!   the requests the daemon's batcher may coalesce into one
+//!   multi-RHS solve.
+//! * `kind = "done"` — graceful end of session.
+//!
+//! Responses (daemon → client):
+//!
+//! * a terminal run record — a [`LedgerRecord`] line (the ledger schema,
+//!   `spec_id` = the request's snapshot name; no `kind` string, which is
+//!   the discriminator against the typed responses);
+//! * `kind = "event"` — streamed progress: `event` ∈
+//!   {`cache_hit`, `cache_miss`} with the resident `cache_bytes` scalar;
+//! * `kind = "cost"` — an eval answer: scalars `cost` and `batch` (how
+//!   many coalesced requests shared the solve);
+//! * `kind = "error"` — structured failure, `detail` string;
+//! * `kind = "done"` — shutdown acknowledgement.
+//!
+//! Every request line names its snapshot with a client-chosen request id;
+//! every response line echoes that id as its own name (errors for
+//! unparseable lines use `"__protocol__"`).
+
+use check::golden::GoldenSnapshot;
+use control::api::{BackendKind, ProblemSpec, RunSpec, Strategy};
+use driver::LedgerRecord;
+use linalg::DVec;
+
+/// Snapshot name used for error responses to lines whose request id could
+/// not be recovered.
+pub const PROTOCOL_ID: &str = "__protocol__";
+
+/// One parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Execute a full [`RunSpec`] and stream back its terminal record.
+    Run {
+        /// Client-chosen request id, echoed on every response line.
+        id: String,
+        /// The run to execute.
+        spec: Box<RunSpec>,
+    },
+    /// Evaluate the Laplace objective for one control vector (batchable).
+    Eval {
+        /// Client-chosen request id.
+        id: String,
+        /// Laplace build parameters (the batch key).
+        nx: usize,
+        /// Linear-solver backend of the build.
+        backend: BackendKind,
+        /// The control vector to evaluate.
+        control: DVec,
+    },
+    /// Graceful end of session.
+    Done {
+        /// Client-chosen request id.
+        id: String,
+    },
+}
+
+/// One parsed daemon response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Terminal record of a `run` request (`spec_id` = request id).
+    Record(Box<LedgerRecord>),
+    /// Streamed progress event (`cache_hit` / `cache_miss`).
+    Event {
+        /// Request id the event belongs to.
+        id: String,
+        /// Event name.
+        event: String,
+        /// Resident cache bytes after the lookup.
+        cache_bytes: f64,
+    },
+    /// Answer to an `eval` request.
+    Cost {
+        /// Request id.
+        id: String,
+        /// Objective value.
+        cost: f64,
+        /// Number of requests coalesced into the same solve.
+        batch: usize,
+    },
+    /// Structured failure.
+    Error {
+        /// Request id, or [`PROTOCOL_ID`] when it could not be recovered.
+        id: String,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Acknowledgement of a `done` request; the daemon closes after it.
+    Done {
+        /// Request id.
+        id: String,
+    },
+}
+
+fn strategy_from_name(name: &str) -> Result<Strategy, String> {
+    Strategy::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown strategy {name:?}"))
+}
+
+fn backend_from_name(name: &str) -> Result<BackendKind, String> {
+    [BackendKind::DenseLu, BackendKind::SparseGmres]
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown backend {name:?}"))
+}
+
+fn get_string(snap: &GoldenSnapshot, key: &str) -> Result<String, String> {
+    snap.get_string(key)
+        .map(str::to_string)
+        .ok_or_else(|| format!("request {:?}: missing string {key:?}", snap.name))
+}
+
+fn get_scalar(snap: &GoldenSnapshot, key: &str) -> Result<f64, String> {
+    snap.get_scalar(key)
+        .ok_or_else(|| format!("request {:?}: missing scalar {key:?}", snap.name))
+}
+
+fn get_count(snap: &GoldenSnapshot, key: &str) -> Result<usize, String> {
+    let v = get_scalar(snap, key)?;
+    if v.is_finite() && v >= 0.0 && v.fract() == 0.0 {
+        Ok(v as usize)
+    } else {
+        Err(format!(
+            "request {:?}: scalar {key:?} = {v} is not a count",
+            snap.name
+        ))
+    }
+}
+
+/// Renders a `run` request line for `spec` under request id `id`.
+pub fn run_request_line(id: &str, spec: &RunSpec) -> String {
+    let mut s = GoldenSnapshot::new(id)
+        .string("kind", "run")
+        .string("problem", spec.problem.name())
+        .string("strategy", spec.strategy.name())
+        .string("backend", spec.problem.backend().name())
+        .string("seed", &spec.seed.to_string())
+        .scalar("iterations", spec.iterations as f64)
+        .scalar("lr", spec.lr)
+        .scalar("log_every", spec.log_every as f64)
+        .scalar("omega", spec.omega);
+    if let Some(label) = &spec.label {
+        s = s.string("label", label);
+    }
+    match &spec.problem {
+        ProblemSpec::Laplace { nx, .. } => {
+            s = s.scalar("nx", *nx as f64);
+        }
+        ProblemSpec::NavierStokes {
+            h,
+            re,
+            slot_velocity,
+            refinements,
+            initial_scale,
+            ..
+        } => {
+            s = s
+                .scalar("h", *h)
+                .scalar("re", *re)
+                .scalar("slot_velocity", *slot_velocity)
+                .scalar("refinements", *refinements as f64)
+                .scalar("initial_scale", *initial_scale);
+        }
+        ProblemSpec::Synthetic {
+            n_controls,
+            fail_attempts,
+        } => {
+            s = s
+                .scalar("n_controls", *n_controls as f64)
+                .scalar("fail_attempts", f64::from(*fail_attempts));
+        }
+    }
+    s.to_json_compact()
+}
+
+/// Renders an `eval` request line.
+pub fn eval_request_line(id: &str, nx: usize, backend: BackendKind, control: &DVec) -> String {
+    GoldenSnapshot::new(id)
+        .string("kind", "eval")
+        .string("backend", backend.name())
+        .scalar("nx", nx as f64)
+        .with_series("control", control.as_slice().to_vec())
+        .to_json_compact()
+}
+
+/// Renders a `done` request line.
+pub fn done_request_line(id: &str) -> String {
+    GoldenSnapshot::new(id)
+        .string("kind", "done")
+        .to_json_compact()
+}
+
+fn parse_problem(snap: &GoldenSnapshot, backend: BackendKind) -> Result<ProblemSpec, String> {
+    match get_string(snap, "problem")?.as_str() {
+        "laplace" => Ok(ProblemSpec::Laplace {
+            nx: get_count(snap, "nx")?,
+            backend,
+        }),
+        "navier-stokes" => Ok(ProblemSpec::NavierStokes {
+            h: get_scalar(snap, "h")?,
+            re: get_scalar(snap, "re")?,
+            slot_velocity: get_scalar(snap, "slot_velocity")?,
+            refinements: get_count(snap, "refinements")?,
+            initial_scale: get_scalar(snap, "initial_scale")?,
+            backend,
+        }),
+        "synthetic" => Ok(ProblemSpec::Synthetic {
+            n_controls: get_count(snap, "n_controls")?,
+            fail_attempts: get_count(snap, "fail_attempts")? as u32,
+        }),
+        other => Err(format!("unknown problem {other:?}")),
+    }
+}
+
+/// Parses one request line. The returned error is ready for a
+/// [`Response::Error`] line; framing-level tolerance (torn final lines)
+/// is the caller's concern.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let snap = GoldenSnapshot::from_json(line)?;
+    let id = snap.name.clone();
+    match get_string(&snap, "kind")?.as_str() {
+        "run" => {
+            let backend = backend_from_name(&get_string(&snap, "backend")?)?;
+            let spec = RunSpec {
+                problem: parse_problem(&snap, backend)?,
+                strategy: strategy_from_name(&get_string(&snap, "strategy")?)?,
+                iterations: get_count(&snap, "iterations")?,
+                lr: get_scalar(&snap, "lr")?,
+                log_every: get_count(&snap, "log_every")?,
+                seed: get_string(&snap, "seed")?
+                    .parse()
+                    .map_err(|e| format!("request {id:?}: bad seed: {e}"))?,
+                omega: get_scalar(&snap, "omega")?,
+                label: snap.get_string("label").map(str::to_string),
+                pinn: None,
+                ns_pinn: None,
+            };
+            spec.validate().map_err(|e| e.to_string())?;
+            Ok(Request::Run {
+                id,
+                spec: Box::new(spec),
+            })
+        }
+        "eval" => {
+            let control = DVec(
+                snap.get_series("control")
+                    .ok_or_else(|| format!("request {id:?}: missing series \"control\""))?
+                    .to_vec(),
+            );
+            Ok(Request::Eval {
+                id,
+                nx: get_count(&snap, "nx")?,
+                backend: backend_from_name(&get_string(&snap, "backend")?)?,
+                control,
+            })
+        }
+        "done" => Ok(Request::Done { id }),
+        other => Err(format!("request {id:?}: unknown kind {other:?}")),
+    }
+}
+
+/// Renders a streamed event line.
+pub fn event_line(id: &str, event: &str, cache_bytes: f64) -> String {
+    GoldenSnapshot::new(id)
+        .string("kind", "event")
+        .string("event", event)
+        .scalar("cache_bytes", cache_bytes)
+        .to_json_compact()
+}
+
+/// Renders an eval answer line.
+pub fn cost_line(id: &str, cost: f64, batch: usize) -> String {
+    let mut s = GoldenSnapshot::new(id)
+        .string("kind", "cost")
+        .scalar("batch", batch as f64);
+    // The golden writer asserts finiteness; a non-finite objective is
+    // recorded by omission, mirroring the ledger's final_cost contract.
+    if cost.is_finite() {
+        s = s.scalar("cost", cost);
+    }
+    s.to_json_compact()
+}
+
+/// Renders a structured error line (`id` = [`PROTOCOL_ID`] when the
+/// request id could not be recovered). The detail is sanitized into the
+/// restricted golden string alphabet.
+pub fn error_line(id: &str, detail: &str) -> String {
+    GoldenSnapshot::new(id)
+        .string("kind", "error")
+        .string("detail", &detail.replace(['"', '\n', '\r'], " "))
+        .to_json_compact()
+}
+
+/// Renders the shutdown acknowledgement line.
+pub fn done_line(id: &str) -> String {
+    GoldenSnapshot::new(id)
+        .string("kind", "done")
+        .to_json_compact()
+}
+
+/// Parses one response line (the client side of the protocol).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let snap = GoldenSnapshot::from_json(line)?;
+    let id = snap.name.clone();
+    match snap.get_string("kind") {
+        None => Ok(Response::Record(Box::new(LedgerRecord::from_snapshot(
+            &snap,
+        )?))),
+        Some("event") => Ok(Response::Event {
+            event: get_string(&snap, "event")?,
+            cache_bytes: get_scalar(&snap, "cache_bytes")?,
+            id,
+        }),
+        Some("cost") => Ok(Response::Cost {
+            cost: snap.get_scalar("cost").unwrap_or(f64::NAN),
+            batch: get_count(&snap, "batch")?,
+            id,
+        }),
+        Some("error") => Ok(Response::Error {
+            detail: get_string(&snap, "detail")?,
+            id,
+        }),
+        Some("done") => Ok(Response::Done { id }),
+        Some(other) => Err(format!("response {id:?}: unknown kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips_every_problem_family() {
+        let specs = [
+            RunSpec::laplace()
+                .nx(12)
+                .strategy(Strategy::Dal)
+                .backend(BackendKind::SparseGmres)
+                .iterations(7)
+                .lr(3e-2)
+                .seed(0xdead_beef_dead_beef)
+                .label("roundtrip")
+                .build(),
+            RunSpec::navier_stokes()
+                .resolution(0.18)
+                .reynolds(40.0)
+                .refinements(3)
+                .iterations(5)
+                .build(),
+            RunSpec::synthetic(9).seed(3).iterations(11).build(),
+        ];
+        for spec in specs {
+            let line = run_request_line("req-1", &spec);
+            match parse_request(&line).unwrap() {
+                Request::Run { id, spec: back } => {
+                    assert_eq!(id, "req-1");
+                    assert_eq!(back.problem, spec.problem);
+                    assert_eq!(back.strategy, spec.strategy);
+                    assert_eq!(back.iterations, spec.iterations);
+                    assert_eq!(back.lr, spec.lr);
+                    assert_eq!(back.log_every, spec.log_every);
+                    assert_eq!(back.seed, spec.seed, "u64 seeds travel exactly");
+                    assert_eq!(back.omega, spec.omega);
+                    assert_eq!(back.label, spec.label);
+                    assert_eq!(back.id(), spec.id());
+                }
+                other => panic!("expected a run request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eval_request_round_trips_the_control_series() {
+        let c = DVec(vec![0.25, -1.5, 3.0e-7]);
+        let line = eval_request_line("e1", 10, BackendKind::DenseLu, &c);
+        match parse_request(&line).unwrap() {
+            Request::Eval {
+                id,
+                nx,
+                backend,
+                control,
+            } => {
+                assert_eq!((id.as_str(), nx, backend), ("e1", 10, BackendKind::DenseLu));
+                assert_eq!(control.as_slice(), c.as_slice());
+            }
+            other => panic!("expected an eval request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_errors_not_panics() {
+        for bad in [
+            "not json at all",
+            "{\"name\": \"x\"}",
+            "{\"name\": \"x\", \"strings\": {\"kind\": \"warp\"}}",
+            "{\"name\": \"x\", \"strings\": {\"kind\": \"run\"}}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_and_records_are_discriminated() {
+        let event = event_line("r", "cache_hit", 1024.0);
+        assert!(matches!(
+            parse_response(&event).unwrap(),
+            Response::Event { event, cache_bytes, .. }
+                if event == "cache_hit" && cache_bytes == 1024.0
+        ));
+        let cost = cost_line("r", 0.5, 3);
+        assert!(matches!(
+            parse_response(&cost).unwrap(),
+            Response::Cost { cost, batch, .. } if cost == 0.5 && batch == 3
+        ));
+        let err = error_line(PROTOCOL_ID, "bad \"line\"\n");
+        match parse_response(&err).unwrap() {
+            Response::Error { id, detail } => {
+                assert_eq!(id, PROTOCOL_ID);
+                assert!(!detail.contains('"') && !detail.contains('\n'));
+            }
+            other => panic!("expected an error, got {other:?}"),
+        }
+        // A ledger record line (no kind string) parses as Record.
+        let rec = LedgerRecord {
+            spec_id: "spec".into(),
+            status: driver::RunStatus::Done,
+            method: "DP".into(),
+            problem: "laplace".into(),
+            attempts: 1,
+            seed: 7,
+            lr: 1e-2,
+            iterations: 4,
+            final_cost: Some(0.25),
+            error: None,
+            cost_history: vec![1.0, 0.25],
+            iter_history: vec![0.0, 3.0],
+        };
+        match parse_response(&rec.to_line()).unwrap() {
+            Response::Record(r) => assert_eq!(*r, rec),
+            other => panic!("expected a record, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Drive a live `meshfree-serve` daemon over its stdin JSONL protocol.
+//!
+//! Spawns the daemon binary, streams several `run` requests that share
+//! one Laplace geometry, and checks the cache amortization end-to-end:
+//! the fleet pays exactly one build, every later request is a cache hit,
+//! and the served records are bitwise identical to direct in-process
+//! execution.
+//!
+//! ```sh
+//! cargo run --release --example serve_client            # demo
+//! cargo run --release --example serve_client -- --smoke # the CI gate
+//! ```
+//!
+//! The daemon binary must already be built (`cargo build --release`
+//! builds every workspace binary; CI runs that first).
+
+use meshfree_oc::control::{execute, RunSpec, Strategy};
+use meshfree_oc::driver::RunStatus;
+use meshfree_oc::serve::wire::{self, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+/// The examples of the root package build to `target/<profile>/examples/`;
+/// the daemon binary sits one directory up.
+fn daemon_path() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    exe.parent()
+        .and_then(|p| p.parent())
+        .expect("examples dir has a parent")
+        .join("meshfree-serve")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let specs: Vec<RunSpec> = (0..6u64)
+        .map(|i| {
+            RunSpec::laplace()
+                .nx(10)
+                .strategy(if i % 2 == 0 {
+                    Strategy::Dal
+                } else {
+                    Strategy::Dp
+                })
+                .iterations(8)
+                .lr(1e-2)
+                .seed(i)
+                .build()
+        })
+        .collect();
+
+    let path = daemon_path();
+    if !path.exists() {
+        eprintln!(
+            "serve_client: daemon binary not found at {} — run `cargo build --release` first",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+    let mut child = Command::new(&path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn meshfree-serve");
+
+    {
+        let mut stdin = child.stdin.take().expect("daemon stdin");
+        for (i, spec) in specs.iter().enumerate() {
+            writeln!(
+                stdin,
+                "{}",
+                wire::run_request_line(&format!("req-{i}"), spec)
+            )
+            .expect("send request");
+        }
+        writeln!(stdin, "{}", wire::done_request_line("client")).expect("send done");
+        // Dropped here: the daemon reads `done`, acknowledges, and exits.
+    }
+
+    let stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
+    let (mut hits, mut misses) = (0usize, 0usize);
+    let mut records = Vec::new();
+    let mut acked = false;
+    for line in stdout.lines() {
+        let line = line.expect("read response");
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::parse_response(&line).expect("daemon wrote an unparseable line") {
+            Response::Event { event, .. } => match event.as_str() {
+                "cache_hit" => hits += 1,
+                "cache_miss" => misses += 1,
+                _ => {}
+            },
+            Response::Record(rec) => records.push(*rec),
+            Response::Done { .. } => acked = true,
+            Response::Cost { .. } => {}
+            Response::Error { id, detail } => panic!("request {id} failed: {detail}"),
+        }
+    }
+    let status = child.wait().expect("daemon exit status");
+
+    println!(
+        "serve_client: {} records back, {misses} build(s), {hits} cache hit(s)",
+        records.len()
+    );
+    for rec in &records {
+        println!(
+            "  {:>6}  {:<4}  final cost {:.6e}",
+            rec.spec_id,
+            rec.method,
+            rec.final_cost.unwrap_or(f64::NAN)
+        );
+    }
+    assert!(status.success(), "daemon exited with {status}");
+    assert!(acked, "daemon must acknowledge `done` before closing");
+    assert_eq!(records.len(), specs.len(), "one record per request");
+    assert_eq!(misses, 1, "six requests on one geometry pay one build");
+    assert!(hits >= 1, "shared geometry must produce cache hits");
+    assert!(records.iter().all(|r| r.status == RunStatus::Done));
+
+    // The serving layer must be invisible in the numbers: the record that
+    // came back over the wire is bitwise identical to running the same
+    // spec directly in this process.
+    let direct = execute(&specs[0]).expect("direct execution");
+    let served = records[0].final_cost.expect("finite served cost");
+    assert_eq!(records[0].spec_id, "req-0");
+    assert_eq!(
+        served.to_bits(),
+        direct.report.final_cost.to_bits(),
+        "served cost must match direct execution bit for bit"
+    );
+    if smoke {
+        println!("serve_client --smoke OK");
+    }
+}

@@ -15,8 +15,8 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (workspace: the serve smoke needs the daemon binary)"
+cargo build --release --workspace
 
 echo "==> cargo test (default features)"
 cargo test -q --workspace
@@ -58,6 +58,14 @@ echo "==> campaign driver smoke (retry path, fault injection)"
 # driver's fault tolerance and the non-default linear-solver backend are
 # exercised end-to-end on every CI run.
 cargo run -q --release --example campaign -- --smoke
+
+echo "==> serve daemon smoke (cache amortization over the wire)"
+# Six run requests sharing one Laplace geometry through a live daemon on
+# the stdin JSONL protocol: the client asserts exactly one build plus
+# cache hits for the rest, one terminal record per request, a `done`
+# acknowledgement, a clean exit, and that the served result is bitwise
+# identical to direct in-process execution.
+cargo run -q --release --example serve_client -- --smoke
 
 echo "==> per-crate test counts"
 total=0

@@ -24,6 +24,9 @@
 //!   instrumentation.
 //! * [`driver`] — the fault-tolerant batch campaign engine: concurrent
 //!   grids, deadlines, damped retries, and a JSONL resume ledger.
+//! * [`serve`] — the control-as-a-service daemon: JSONL requests over
+//!   stdin/Unix-socket, a cross-request factorization cache
+//!   (`MESHFREE_CACHE_BYTES`), and multi-RHS request batching.
 //! * [`runtime`] — the std-only substrate: persistent thread pool
 //!   (`MESHFREE_THREADS`), seeded RNG, and solver telemetry
 //!   (`MESHFREE_TRACE`).
@@ -56,6 +59,7 @@ pub use nn;
 pub use opt;
 pub use pde;
 pub use rbf;
+pub use serve;
 
 /// Workspace version, for reporting in experiment outputs.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

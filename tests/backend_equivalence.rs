@@ -83,6 +83,40 @@ fn sparse_backend_matches_dense_lu_on_the_rbf_fd_laplace_system() {
     assert_equivalent("laplace-fd-adjoint-equivalence", &xt_dense, &xt_sparse);
 }
 
+/// `solve_many` must be invisible in the answers: the serve batcher
+/// coalesces concurrent same-operator requests into one blocked solve, and
+/// a client may not receive different bits depending on who else was
+/// connected. Asserted bitwise (not via the golden policy) on both the
+/// blocked dense-LU override and the sparse backend's default loop.
+#[test]
+fn solve_many_is_bitwise_identical_to_one_at_a_time_on_both_backends() {
+    let (a, b) = laplace_fd_system(12);
+    let n = b.len();
+    // A batch wider than the dense blocking width, so chunking is exercised.
+    let rhs: Vec<DVec> = (0..Lu::MULTI_RHS_BLOCK + 2)
+        .map(|k| DVec::from_fn(n, |i| (0.3 * (i as f64) + 1.7 * k as f64).sin()))
+        .collect();
+
+    let dense: Box<dyn LinearBackend> = Box::new(Lu::factor(&a.to_dense()).unwrap());
+    let sparse: Box<dyn LinearBackend> = Box::new(SparseIterative::gmres_ilu0(
+        a,
+        IterOpts::gmres().max_iter(6000).tol(1e-11).restart(80),
+    ));
+    for backend in [&dense, &sparse] {
+        let batched = backend.solve_many(&rhs).unwrap();
+        assert_eq!(batched.len(), rhs.len());
+        for (k, (b, x)) in rhs.iter().zip(&batched).enumerate() {
+            let one = backend.solve(b).unwrap();
+            assert_eq!(
+                x.as_slice(),
+                one.as_slice(),
+                "{:?} rhs {k}: solve_many drifted from the one-at-a-time path",
+                backend.kind()
+            );
+        }
+    }
+}
+
 #[test]
 fn sparse_backend_matches_dense_lu_on_the_ns_picard_system() {
     let mut cfg = NsConfig {
