@@ -23,9 +23,17 @@
 //!    `jnp.linalg.solve`, and the key to differentiating *through* a PDE
 //!    solver (discretise-then-optimise).
 //!
+//! 4. **Forward-over-reverse** ([`dtape::DualTape`], [`dtape::hvp`]): the
+//!    tensor tape re-run in dual arithmetic, so one reverse sweep yields the
+//!    gradient *and* an exact Hessian-vector product — second-order
+//!    information through the differentiable linear solve with zero extra
+//!    factorizations, feeding the Newton-CG/L-BFGS optimizers in
+//!    `crates/opt`.
+//!
 //! [`gradcheck`] provides central-finite-difference verification used
 //! pervasively in the tests.
 
+pub mod dtape;
 pub mod dual;
 pub mod gradcheck;
 pub mod scalar;
@@ -33,6 +41,7 @@ pub mod stape;
 pub mod tape;
 pub mod tensor;
 
+pub use dtape::{hvp, DVar, DualGrads, DualTape, HvpEval};
 pub use dual::{derivative, derivative2, Dual, Dual2};
 pub use scalar::Scalar;
 pub use stape::{STape, Var};

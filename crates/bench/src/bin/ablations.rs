@@ -142,6 +142,7 @@ fn ablation_kernels() {
                     iterations: 150,
                     lr: 1e-2,
                     log_every: 50,
+                    ..Default::default()
                 };
                 let cond = p.condition_estimate();
                 match laplace_run(&p, &cfg, GradMethod::Dp, &RunCtx::unchecked()) {
@@ -177,6 +178,7 @@ fn ablation_optimizer() {
             iterations: iters,
             lr: 1e-2,
             log_every: 50,
+            ..Default::default()
         },
         GradMethod::Dal,
         &RunCtx::unchecked(),
@@ -319,6 +321,7 @@ fn ablation_sparse() {
             iterations: 120,
             lr: 1e-2,
             log_every: 40,
+            ..Default::default()
         };
         let j_dense = laplace_run(&dense, &cfg, GradMethod::Dp, &RunCtx::unchecked())
             .expect("dense run")
@@ -397,6 +400,7 @@ fn ablation_layouts() {
         iterations: 200,
         lr: 1e-2,
         log_every: 50,
+        ..Default::default()
     };
     let grid = LaplaceControlProblem::new(16).expect("grid");
     let scat = LaplaceControlProblem::new_scattered(14 * 14, 16).expect("scattered");

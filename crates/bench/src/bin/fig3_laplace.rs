@@ -30,6 +30,7 @@ fn main() {
         iterations,
         lr: 1e-2, // Table 1
         log_every: (iterations / 60).max(1),
+        ..Default::default()
     };
 
     let dp = run_ctx(&problem, &cfg, GradMethod::Dp, &RunCtx::unchecked()).expect("DP run");

@@ -9,9 +9,11 @@
 //!
 //! Per kernel the snapshot carries `<kernel>.median_ns`, `<kernel>.nodes`
 //! (problem size) and `<kernel>.iters` (timed repetitions), plus the global
-//! `threads` scalar and the derived `dal_laplace_factor_reuse_speedup` —
-//! the cached-factorisation DAL iteration versus the refactor-every-call
-//! baseline (`cost_and_grad_dal_uncached`).
+//! `threads` scalar and two derived ratios: `dal_laplace_factor_reuse_speedup`
+//! — the cached-factorisation DAL iteration versus the refactor-every-call
+//! baseline (`cost_and_grad_dal_uncached`) — and `newton_vs_adam_iter` — how
+//! many times fewer outer iterations Newton-CG needs than Adam to reach the
+//! Adam-DAL final cost on the fig. 3 Laplace problem (hard-gated at ≥ 5×).
 //!
 //! Usage:
 //!
@@ -28,8 +30,10 @@
 //!   trajectory file)
 
 use check::golden::GoldenSnapshot;
-use control::api::{BackendKind, BuiltProblem, ProblemSpec};
+use control::api::{BackendKind, BuiltProblem, ProblemSpec, RunCtx};
+use control::laplace::{self, GradMethod, LaplaceRunConfig};
 use control::ns::initial_control;
+use control::OptimizerKind;
 use geometry::generators::unit_square_grid;
 use linalg::iterative::{gmres, IterOpts, Preconditioner};
 use linalg::sparse::Triplets;
@@ -54,6 +58,8 @@ const REQUIRED_KERNELS: &[&str] = &[
     "dal_laplace_iter",
     "dal_laplace_iter_refactor",
     "dp_laplace_iter",
+    "hvp_laplace",
+    "dal_laplace_newton",
     "serve_cache_hit_laplace",
     "serve_cache_miss_laplace",
     "ns_picard_sweep",
@@ -259,6 +265,86 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
         }),
     );
 
+    // ---- forward-over-reverse Hessian-vector product --------------------
+    // One cost + gradient + exact HVP through the cached factorization:
+    // the dual tape replays the forward solve with (re, eps) pairs, so the
+    // marginal cost over a plain DP gradient is a second pair of
+    // triangular solves — no refactorisation.
+    let v_hvp = DVec::from_fn(n_c, |i| 0.5 * ((i as f64) * 0.7).cos() - 0.1);
+    snap = record(
+        snap,
+        "hvp_laplace",
+        n_c,
+        time_kernel(sz.warmup, sz.reps, || {
+            let r = problem.cost_grad_hvp(&c, &v_hvp).expect("hvp");
+            std::hint::black_box(&r);
+        }),
+    );
+
+    // ---- second-order DAL: Newton-CG vs Adam iteration counts -----------
+    // The fig. 3 Laplace DAL problem solved twice over the same operator:
+    // the paper's 150-iteration Adam loop, then Newton-CG on the
+    // quadrature-weighted adjoint gradient. `newton_vs_adam_iter` is how
+    // many times fewer outer iterations Newton-CG needs to reach (or beat)
+    // Adam's final cost — the acceptance gate for the second-order
+    // machinery, enforced both here and at `--verify` time.
+    let adam_cfg = LaplaceRunConfig {
+        nx: sz.laplace_nx,
+        iterations: 150,
+        lr: 1e-2,
+        log_every: 150,
+        optimizer: OptimizerKind::Adam,
+    };
+    let adam = laplace::run_ctx(&problem, &adam_cfg, GradMethod::Dal, &RunCtx::unchecked())
+        .expect("adam dal run");
+    let newton_cfg = LaplaceRunConfig {
+        iterations: 20,
+        log_every: 1,
+        optimizer: OptimizerKind::NewtonCg,
+        ..adam_cfg.clone()
+    };
+    let run_newton = || {
+        laplace::run_ctx(&problem, &newton_cfg, GradMethod::Dal, &RunCtx::unchecked())
+            .expect("newton-cg dal run")
+    };
+    snap = record(
+        snap,
+        "dal_laplace_newton",
+        n_c,
+        time_kernel(1, sz.reps.min(5), || {
+            let r = run_newton();
+            std::hint::black_box(&r.report.final_cost);
+        }),
+    );
+    let newton = run_newton();
+    // History entry `iter = k` holds the cost after k optimizer steps, so
+    // the first entry at or below Adam's floor gives iterations-to-target.
+    let newton_iters = newton
+        .report
+        .history
+        .entries
+        .iter()
+        .find(|e| e.cost <= adam.report.final_cost)
+        .map(|e| e.iter.max(1))
+        .unwrap_or_else(|| {
+            panic!(
+                "Newton-CG DAL never reached the Adam-DAL cost {:.3e} within {} iterations \
+                 (got {:.3e})",
+                adam.report.final_cost, newton_cfg.iterations, newton.report.final_cost
+            )
+        });
+    let newton_vs_adam = adam_cfg.iterations as f64 / newton_iters as f64;
+    println!(
+        "{:>28}  {newton_vs_adam:.2}x  ({} vs {} iters to J = {:.3e})",
+        "newton vs adam iterations", newton_iters, adam_cfg.iterations, adam.report.final_cost
+    );
+    assert!(
+        newton_vs_adam >= 5.0,
+        "Newton-CG must reach the Adam-DAL final cost in at least 5x fewer iterations \
+         (measured {newton_vs_adam:.2}x)"
+    );
+    snap = snap.scalar("newton_vs_adam_iter", newton_vs_adam);
+
     // ---- serve request latency: factorization-cache hit vs miss --------
     // One "request" = cache lookup + one objective evaluation against the
     // prepared operator. A miss pays the O(N³) assembly + factorization;
@@ -346,6 +432,13 @@ fn verify_snapshot(text: &str) -> Vec<String> {
         None => problems.push("missing scalar: serve_cache_hit_speedup".to_string()),
         Some(v) if !v.is_finite() || v < 5.0 => {
             problems.push(format!("serve_cache_hit_speedup {v} is below the 5x gate"))
+        }
+        Some(_) => {}
+    }
+    match snap.get_scalar("newton_vs_adam_iter") {
+        None => problems.push("missing scalar: newton_vs_adam_iter".to_string()),
+        Some(v) if !v.is_finite() || v < 5.0 => {
+            problems.push(format!("newton_vs_adam_iter {v} is below the 5x gate"))
         }
         Some(_) => {}
     }

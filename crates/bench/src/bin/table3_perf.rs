@@ -60,6 +60,7 @@ fn main() {
         iterations: laplace_iters,
         lr: 1e-2,
         log_every: 50,
+        ..Default::default()
     };
     for method in [GradMethod::Dal, GradMethod::Dp] {
         reset_peak();

@@ -16,7 +16,12 @@
 //! * DAL vs DP — the optimise-then-discretise gradient differs from the
 //!   discretise-then-optimise one by discretisation error *by design*
 //!   (that gap is the paper's fig. 3b/4b point), so only direction
-//!   (cosine) and rough magnitude are held.
+//!   (cosine) and rough magnitude are held;
+//! * exact HVP vs FD-of-gradient ([`check_laplace_hvp`]) — the
+//!   forward-over-reverse composition differentiates the same discrete
+//!   map twice, so it must match central differences of the tape gradient
+//!   to truncation error (`≤ 1e-6`) and satisfy the bilinear symmetry
+//!   identity `v·H(w) == w·H(v)` to rounding.
 //!
 //! Every comparison emits its worst-offending component through
 //! [`meshfree_runtime::trace`] so a failing run points at the bad entry.
@@ -150,6 +155,14 @@ pub struct ToleranceLadder {
     /// NS DAL vs DP minimum cosine (the paper's biased-gradient regime;
     /// only rough alignment away from the optimum).
     pub ns_dal_vs_dp_cos: f64,
+    /// Forward-over-reverse HVP vs central FD of the tape gradient — both
+    /// differentiate the same discrete map, so the gap is FD truncation
+    /// only (the Laplace objective is quadratic: FD-of-gradient is exact
+    /// up to rounding).
+    pub hvp_vs_fd: f64,
+    /// Symmetry defect `|v·H(w) − w·H(v)| / (1 + |v·H(w)|)` of the exact
+    /// HVP — a bilinear-form identity, rounding-limited.
+    pub hvp_symmetry: f64,
 }
 
 impl Default for ToleranceLadder {
@@ -160,8 +173,94 @@ impl Default for ToleranceLadder {
             dal_vs_dp_cos: 0.9,
             dal_vs_dp_rel: 0.6,
             ns_dal_vs_dp_cos: 0.35,
+            hvp_vs_fd: 1e-6,
+            hvp_symmetry: 1e-9,
         }
     }
+}
+
+/// Outcome of the Hessian-vector-product correctness ladder at one
+/// `(c, v)` probe: the forward-over-reverse HVP against central FD of the
+/// tape gradient, plus the bilinear symmetry identity.
+#[derive(Debug, Clone)]
+pub struct HvpReport {
+    /// Component-wise HVP-vs-FD comparison (pair `"hvp-vs-fd"`), with the
+    /// worst component already located for diagnostics.
+    pub hvp_vs_fd: GradReport,
+    /// Relative symmetry defect `|v·H(w) − w·H(v)| / (1 + |v·H(w)|)` from
+    /// a second, independent seed direction.
+    pub symmetry_gap: f64,
+}
+
+impl HvpReport {
+    /// Asserts both rungs of the HVP ladder and emits the comparison on
+    /// the `"gradcheck"` trace layer (the symmetry defect rides in the
+    /// worst-component slot of a dedicated `"hvp-symmetry"` event).
+    pub fn assert_ladder(&self, ladder: &ToleranceLadder) {
+        self.hvp_vs_fd.assert_rel(ladder.hvp_vs_fd);
+        trace::solve_event(
+            "gradcheck",
+            "hvp-symmetry",
+            0,
+            self.symmetry_gap,
+            1.0,
+            self.symmetry_gap,
+        );
+        assert!(
+            self.symmetry_gap <= ladder.hvp_symmetry,
+            "{}/hvp-symmetry: v·H(w) vs w·H(v) defect {:.3e} > tol {:.1e}",
+            self.hvp_vs_fd.problem,
+            self.symmetry_gap,
+            ladder.hvp_symmetry
+        );
+    }
+}
+
+/// Runs the HVP correctness ladder on the dense Laplace problem at control
+/// `c` along direction `v`:
+///
+/// 1. the forward-over-reverse HVP must match central FD of the *tape*
+///    gradient to [`ToleranceLadder::hvp_vs_fd`] (the objective is
+///    quadratic in `c`, so FD-of-gradient is exact up to rounding);
+/// 2. the bilinear form must be symmetric: `v·H(w) == w·H(v)` for an
+///    independent direction `w` (deterministically derived from `v`).
+pub fn check_laplace_hvp(
+    p: &LaplaceControlProblem,
+    c: &DVec,
+    v: &DVec,
+    ladder: &ToleranceLadder,
+) -> HvpReport {
+    let n = c.len();
+    let (_, _, hv) = p.cost_grad_hvp(c, v).expect("forward-over-reverse HVP");
+
+    // Rung 1: central FD of the DP gradient along v. The step is larger
+    // than the first-order checks use: FD-of-gradient truncation is O(h²)
+    // on the third derivative (zero here — the objective is quadratic),
+    // while the cancellation error grows as 1/h, so a mid-sized step is
+    // strictly more accurate.
+    let h = 1e-4 / (1.0 + v.norm_inf()).max(1.0);
+    let mut cp = c.clone();
+    cp.axpy(h, v);
+    let mut cm = c.clone();
+    cm.axpy(-h, v);
+    let (_, gp) = p.cost_and_grad_dp(&cp).expect("DP gradient at c + hv");
+    let (_, gm) = p.cost_and_grad_dp(&cm).expect("DP gradient at c - hv");
+    let fd: Vec<f64> = (0..n).map(|i| (gp[i] - gm[i]) / (2.0 * h)).collect();
+    let hvp_vs_fd = GradReport::compare("laplace", "hvp-vs-fd", hv.as_slice(), &fd);
+
+    // Rung 2: symmetry against an independent probe direction.
+    let w = DVec::from_fn(n, |i| (0.7 * (i as f64) + 0.3).cos() + v[n - 1 - i]);
+    let (_, _, hw) = p.cost_grad_hvp(c, &w).expect("HVP along w");
+    let vhw = v.dot(&hw);
+    let whv = w.dot(&hv);
+    let symmetry_gap = (vhw - whv).abs() / (1.0 + vhw.abs());
+
+    let report = HvpReport {
+        hvp_vs_fd,
+        symmetry_gap,
+    };
+    report.assert_ladder(ladder);
+    report
 }
 
 /// Central FD gradient of an arbitrary fallible cost — the reference

@@ -3,7 +3,8 @@
 //! under the tolerance ladder (tight DP-vs-FD, loose DAL-vs-DP).
 
 use check::grad::{
-    check_heat, check_laplace_dense, check_laplace_sparse, check_ns, GradReport, ToleranceLadder,
+    check_heat, check_laplace_dense, check_laplace_hvp, check_laplace_sparse, check_ns, GradReport,
+    ToleranceLadder,
 };
 use linalg::DVec;
 use pde::heat::{HeatConfig, HeatControlProblem};
@@ -80,6 +81,39 @@ fn ns_picard_tape_matches_fd_and_aligns_with_dal() {
             .collect(),
     );
     check_ns(&solver, &c, 3, &ToleranceLadder::default());
+}
+
+#[test]
+fn laplace_hvp_ladder_holds() {
+    // The second-order rungs: exact forward-over-reverse HVP vs central FD
+    // of the tape gradient (≤ 1e-6 rel; the quadratic objective makes FD
+    // exact to rounding), plus the bilinear symmetry identity.
+    let p = LaplaceControlProblem::new(14).unwrap();
+    let c = bump(p.control_x());
+    let v = DVec::from_fn(c.len(), |i| 0.6 * ((i as f64) * 0.9).cos() - 0.2);
+    let report = check_laplace_hvp(&p, &c, &v, &ToleranceLadder::default());
+    assert!(
+        report.hvp_vs_fd.rel_err <= 1e-6,
+        "hvp-vs-fd {:.3e}",
+        report.hvp_vs_fd.rel_err
+    );
+    assert!(
+        report.symmetry_gap <= 1e-9,
+        "symmetry {:.3e}",
+        report.symmetry_gap
+    );
+}
+
+#[test]
+#[should_panic(expected = "hvp-symmetry")]
+fn hvp_ladder_rejects_an_asymmetric_form() {
+    // Feed assert_ladder a report whose symmetry defect is far above the
+    // rung; the panic message must name the failing identity.
+    let fake = check::grad::HvpReport {
+        hvp_vs_fd: GradReport::compare("laplace", "hvp-vs-fd", &[1.0, 2.0], &[1.0, 2.0]),
+        symmetry_gap: 1e-3,
+    };
+    fake.assert_ladder(&ToleranceLadder::default());
 }
 
 #[test]

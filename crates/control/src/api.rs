@@ -30,7 +30,10 @@ use linalg::{DVec, LinalgError};
 // grids sweep it next to strategy and seed without importing `linalg`.
 pub use linalg::BackendKind;
 use meshfree_runtime::{CancelToken, Rng64};
-use opt::{Adam, Optimizer, Schedule};
+use opt::CurvatureOracle;
+// Re-exported: the optimizer choice is part of the spec surface — campaign
+// grids sweep it next to strategy and seed without importing `opt`.
+pub use opt::OptimizerKind;
 use pde::heat::HeatControlProblem;
 use pde::laplace_fd::LaplaceFdProblem;
 use pde::ns_dp::NsDp;
@@ -256,17 +259,59 @@ pub trait ControlObjective {
     fn initial_control(&self) -> DVec {
         DVec::zeros(self.n_controls())
     }
+    /// Hessian-vector product `H(c)·v` of the objective this trait
+    /// *reports* — the default is a central finite difference of
+    /// [`ControlObjective::cost_and_grad`], so the curvature is always
+    /// consistent with whatever gradient flavour the objective returns
+    /// (exact for DP, the adjoint approximation for DAL). Objectives with
+    /// an exact forward-over-reverse path override this
+    /// ([`LaplaceDpObjective`] does).
+    fn hvp(&mut self, c: &DVec, v: &DVec) -> Result<DVec, ControlError> {
+        let h = 1e-5 / (1.0 + v.norm_inf()).max(1.0);
+        let mut cp = c.clone();
+        cp.axpy(h, v);
+        let mut cm = c.clone();
+        cm.axpy(-h, v);
+        let (_, gp) = self.cost_and_grad(&cp)?;
+        let (_, gm) = self.cost_and_grad(&cm)?;
+        Ok(DVec::from_fn(c.len(), |i| (gp[i] - gm[i]) / (2.0 * h)))
+    }
+}
+
+/// Adapter exposing a [`ControlObjective`] as the [`CurvatureOracle`] the
+/// second-order optimizers query. Failures collapse to `None` — the
+/// optimizers then take their gradient fallback instead of erroring out.
+struct ObjectiveOracle<'a> {
+    obj: &'a mut dyn ControlObjective,
+    x: DVec,
+}
+
+impl CurvatureOracle for ObjectiveOracle<'_> {
+    fn hvp(&mut self, v: &DVec) -> Option<DVec> {
+        self.obj
+            .hvp(&self.x, v)
+            .ok()
+            .filter(|h| !h.has_non_finite())
+    }
+    fn cost_at(&mut self, c: &DVec) -> Option<f64> {
+        self.obj.cost(c).ok().filter(|j| j.is_finite())
+    }
 }
 
 /// Options for the generic driver.
 #[derive(Debug, Clone)]
 pub struct OptimizeOpts {
-    /// Adam iterations.
+    /// Optimizer iterations.
     pub iterations: usize,
-    /// Initial learning rate (the paper's schedule is applied on top).
+    /// Initial learning rate (Adam applies the paper's schedule on top; the
+    /// second-order methods use it for the fallback gradient step).
     pub lr: f64,
     /// History recording stride.
     pub log_every: usize,
+    /// Which optimizer drives the loop (Adam is the paper-faithful
+    /// default; [`OptimizerKind::NewtonCg`] / [`OptimizerKind::Lbfgs`]
+    /// consume the objective's [`ControlObjective::hvp`] / cost oracle).
+    pub optimizer: OptimizerKind,
 }
 
 impl Default for OptimizeOpts {
@@ -275,6 +320,7 @@ impl Default for OptimizeOpts {
             iterations: 200,
             lr: 1e-2,
             log_every: 10,
+            optimizer: OptimizerKind::Adam,
         }
     }
 }
@@ -311,13 +357,19 @@ impl OptimizeOptsBuilder {
         self.opts.log_every = k.max(1);
         self
     }
+    /// Optimizer selection (default [`OptimizerKind::Adam`]).
+    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.opts.optimizer = kind;
+        self
+    }
     /// Finishes the builder.
     pub fn build(self) -> OptimizeOpts {
         self.opts
     }
 }
 
-/// Runs Adam with the paper's learning-rate schedule on any objective.
+/// Runs the selected optimizer (Adam + the paper's learning-rate schedule
+/// by default) on any objective.
 pub fn optimize(
     obj: &mut dyn ControlObjective,
     opts: &OptimizeOpts,
@@ -334,7 +386,8 @@ pub fn optimize_ctx(
 ) -> Result<(RunReport, DVec), ControlError> {
     let timer = Timer::start();
     let mut c = obj.initial_control();
-    let mut adam = Adam::new(c.len(), Schedule::paper_decay(opts.lr, opts.iterations));
+    let mut optimizer = opts.optimizer.build(c.len(), opts.lr, opts.iterations);
+    let second_order = optimizer.uses_curvature();
     let mut history = ConvergenceHistory::default();
     for it in 0..opts.iterations {
         ctx.check_iteration(it, timer.elapsed_s())?;
@@ -343,7 +396,15 @@ pub fn optimize_ctx(
         if it % opts.log_every == 0 || it + 1 == opts.iterations {
             history.push(it, j, g.norm_inf(), timer.elapsed_s());
         }
-        adam.step(&mut c, &g);
+        if second_order {
+            let mut oracle = ObjectiveOracle {
+                obj: &mut *obj,
+                x: c.clone(),
+            };
+            optimizer.step_with_curvature(&mut c, j, &g, &mut oracle);
+        } else {
+            optimizer.step(&mut c, &g);
+        }
     }
     let final_cost = obj.cost(&c)?;
     ctx.check_cost(opts.iterations, final_cost)?;
@@ -381,6 +442,12 @@ impl ControlObjective for LaplaceDpObjective<'_> {
     }
     fn name(&self) -> &str {
         "laplace-dp"
+    }
+    /// Exact HVP via the forward-over-reverse tape (one dual-valued solve
+    /// on the cached factorization — no finite differencing).
+    fn hvp(&mut self, c: &DVec, v: &DVec) -> Result<DVec, ControlError> {
+        let (_, _, hv) = self.0.cost_grad_hvp(c, v)?;
+        Ok(hv)
     }
 }
 
@@ -701,6 +768,12 @@ pub struct RunSpec {
     /// RNG seed (PINN initialisation / synthetic initial control; the
     /// deterministic solver strategies ignore it).
     pub seed: u64,
+    /// Optimizer driving the run (Adam is the paper-faithful default and
+    /// keeps run identifiers unchanged; the second-order kinds suffix
+    /// [`RunSpec::id`] with their name). Supported on the Laplace solver
+    /// strategies and the synthetic problem; [`RunSpec::validate`] rejects
+    /// second-order Navier–Stokes and PINN specs.
+    pub optimizer: OptimizerKind,
     /// PINN cost weight ω (ignored by the solver strategies).
     pub omega: f64,
     /// Explicit run label; when unset, [`RunSpec::id`] derives one.
@@ -729,6 +802,7 @@ impl RunSpec {
                 lr: 1e-2,
                 log_every: 10,
                 seed: 0,
+                optimizer: OptimizerKind::Adam,
                 omega: 1.0,
                 label: None,
                 pinn: None,
@@ -756,6 +830,7 @@ impl RunSpec {
                 lr: 1e-1,
                 log_every: 5,
                 seed: 0,
+                optimizer: OptimizerKind::Adam,
                 omega: 1.0,
                 label: None,
                 pinn: None,
@@ -778,6 +853,7 @@ impl RunSpec {
                 lr: 5e-2,
                 log_every: 10,
                 seed: 0,
+                optimizer: OptimizerKind::Adam,
                 omega: 1.0,
                 label: None,
                 pinn: None,
@@ -792,13 +868,19 @@ impl RunSpec {
         if let Some(l) = &self.label {
             return l.clone();
         }
+        // Adam stays suffix-free so historical ledger keys keep resolving.
+        let opt_suffix = match self.optimizer {
+            OptimizerKind::Adam => String::new(),
+            other => format!("-{}", other.name()),
+        };
         format!(
-            "{}-{}-it{}-lr{:e}-seed{}",
+            "{}-{}-it{}-lr{:e}-seed{}{}",
             self.problem.build_key(),
             self.strategy.name(),
             self.iterations,
             self.lr,
-            self.seed
+            self.seed,
+            opt_suffix
         )
     }
 
@@ -817,6 +899,20 @@ impl RunSpec {
         }
         if !self.omega.is_finite() || self.omega < 0.0 {
             return bad(format!("omega must be finite and >= 0, got {}", self.omega));
+        }
+        if self.optimizer.is_second_order() {
+            if matches!(self.problem, ProblemSpec::NavierStokes { .. }) {
+                return bad(format!(
+                    "optimizer {} is not supported on Navier-Stokes runs (Adam only)",
+                    self.optimizer.name()
+                ));
+            }
+            if self.strategy == Strategy::Pinn {
+                return bad(format!(
+                    "optimizer {} is not supported for the PINN strategy (Adam only)",
+                    self.optimizer.name()
+                ));
+            }
         }
         match &self.problem {
             ProblemSpec::Laplace { nx, .. } => {
@@ -888,6 +984,14 @@ impl RunSpecBuilder {
     /// RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
+        self
+    }
+    /// Optimizer selection. The default [`OptimizerKind::Adam`] keeps run
+    /// identifiers byte-identical; the second-order kinds suffix the id
+    /// with their name so campaign grids can sweep
+    /// `optimizer ∈ {Adam, NewtonCg, Lbfgs}` next to strategy and seed.
+    pub fn optimizer(mut self, kind: OptimizerKind) -> Self {
+        self.spec.optimizer = kind;
         self
     }
     /// PINN cost weight ω.
@@ -1135,6 +1239,7 @@ pub fn execute_on(
                 iterations: spec.iterations,
                 lr: spec.lr,
                 log_every: spec.log_every,
+                optimizer: spec.optimizer,
             };
             let method = s.grad_method().expect("PINN handled above");
             let run = crate::laplace::run_ctx(p, &cfg, method, ctx)?;
@@ -1184,6 +1289,7 @@ pub fn execute_on(
                 iterations: spec.iterations,
                 lr: spec.lr,
                 log_every: spec.log_every,
+                optimizer: spec.optimizer,
             };
             let (mut report, control) = optimize_ctx(&mut obj, &opts, ctx)?;
             report.problem = "synthetic".to_string();
@@ -1353,6 +1459,7 @@ mod tests {
             iterations: 60,
             lr: 1e-2,
             log_every: 10,
+            ..Default::default()
         };
         let (rep_gen, c_gen) = optimize(&mut LaplaceDpObjective(&p), &opts).unwrap();
         let spec = crate::laplace::run_ctx(
@@ -1362,6 +1469,7 @@ mod tests {
                 iterations: 60,
                 lr: 1e-2,
                 log_every: 10,
+                ..Default::default()
             },
             crate::laplace::GradMethod::Dp,
             &RunCtx::unchecked(),
@@ -1455,6 +1563,7 @@ mod tests {
                 iterations: 400,
                 lr: 5e-2,
                 log_every: 100,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1542,6 +1651,7 @@ mod tests {
                 iterations: 60,
                 lr: 1e-2,
                 log_every: 10,
+                ..Default::default()
             },
             GradMethod::Dp,
             &RunCtx::unchecked(),

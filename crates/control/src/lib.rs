@@ -31,6 +31,6 @@ pub mod validate;
 
 pub use api::{
     execute, execute_ctx, execute_on, BackendKind, BuiltProblem, ControlError, ControlObjective,
-    OptimizeOpts, Problem, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy,
+    OptimizeOpts, OptimizerKind, Problem, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy,
 };
 pub use metrics::{ConvergenceHistory, RunReport};

@@ -52,4 +52,4 @@ pub use ledger::{Ledger, LedgerRecord, RunStatus};
 // Re-exported so driver users can match on errors / build specs without a
 // separate `meshfree_control` import. `BackendKind` rides along so campaign
 // grids can sweep the linear-solver backend next to strategy and seed.
-pub use control::api::{BackendKind, ControlError, ProblemSpec, RunSpec, Strategy};
+pub use control::api::{BackendKind, ControlError, OptimizerKind, ProblemSpec, RunSpec, Strategy};

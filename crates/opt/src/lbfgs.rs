@@ -1,0 +1,305 @@
+//! Limited-memory BFGS with the standard two-loop recursion and Armijo
+//! backtracking.
+//!
+//! L-BFGS rebuilds an approximation of the inverse Hessian from the last
+//! `m` gradient differences — no Hessian-vector products needed, only the
+//! cost oracle for its line search. Curvature pairs `(s, y)` with
+//! `sᵀy ≤ 0` (possible on the inexact DAL gradient) are skipped, keeping
+//! the implicit inverse Hessian positive definite. If the line search
+//! exhausts its backtracks the step degrades to the lr-scaled gradient
+//! step, mirroring [`crate::NewtonCg`]'s fallback contract.
+//!
+//! Every reduction is a fixed-order scalar loop: runs are bitwise
+//! reproducible across thread-pool widths.
+
+use crate::{CurvatureOracle, Optimizer};
+use linalg::DVec;
+use std::collections::VecDeque;
+
+/// Limited-memory BFGS (two-loop recursion, Armijo backtracking).
+#[derive(Debug, Clone)]
+pub struct Lbfgs {
+    lr: f64,
+    memory: usize,
+    c1: f64,
+    max_backtracks: usize,
+    s: VecDeque<DVec>,
+    y: VecDeque<DVec>,
+    rho: VecDeque<f64>,
+    prev_x: Option<DVec>,
+    prev_g: Option<DVec>,
+    t: usize,
+    fallback_steps: usize,
+}
+
+impl Lbfgs {
+    /// Creates L-BFGS with memory 10; `lr` scales the first step and the
+    /// gradient fallback.
+    pub fn new(lr: f64) -> Lbfgs {
+        Lbfgs {
+            lr,
+            memory: 10,
+            c1: 1e-4,
+            max_backtracks: 25,
+            s: VecDeque::new(),
+            y: VecDeque::new(),
+            rho: VecDeque::new(),
+            prev_x: None,
+            prev_g: None,
+            t: 0,
+            fallback_steps: 0,
+        }
+    }
+
+    /// Overrides the number of stored curvature pairs (default 10).
+    pub fn with_memory(mut self, memory: usize) -> Lbfgs {
+        self.memory = memory.max(1);
+        self
+    }
+
+    /// How many steps so far degraded to the gradient fallback.
+    pub fn fallback_steps(&self) -> usize {
+        self.fallback_steps
+    }
+
+    /// Stored curvature pairs.
+    pub fn pairs(&self) -> usize {
+        self.s.len()
+    }
+
+    fn push_pair(&mut self, s: DVec, y: DVec) {
+        let sy = s.dot(&y);
+        // Curvature guard: only store pairs that keep the implicit inverse
+        // Hessian positive definite.
+        if sy <= 1e-12 * s.norm2() * y.norm2() {
+            return;
+        }
+        if self.s.len() == self.memory {
+            self.s.pop_front();
+            self.y.pop_front();
+            self.rho.pop_front();
+        }
+        self.rho.push_back(1.0 / sy);
+        self.s.push_back(s);
+        self.y.push_back(y);
+    }
+
+    /// Two-loop recursion: returns the quasi-Newton direction `−Hₖ⁻¹ g`.
+    fn direction(&self, grad: &DVec) -> DVec {
+        if self.s.is_empty() {
+            return grad.scaled(-self.lr);
+        }
+        let k = self.s.len();
+        let mut q = grad.clone();
+        let mut alpha = vec![0.0; k];
+        for i in (0..k).rev() {
+            alpha[i] = self.rho[i] * self.s[i].dot(&q);
+            q.axpy(-alpha[i], &self.y[i]);
+        }
+        // Initial scaling γ = sᵀy / yᵀy from the most recent pair.
+        let gamma = {
+            let y = &self.y[k - 1];
+            (1.0 / self.rho[k - 1]) / y.dot(y)
+        };
+        let mut r = q.scaled(gamma);
+        for (i, &a) in alpha.iter().enumerate() {
+            let beta = self.rho[i] * self.y[i].dot(&r);
+            r.axpy(a - beta, &self.s[i]);
+        }
+        r.scale_mut(-1.0);
+        r
+    }
+}
+
+impl Optimizer for Lbfgs {
+    fn step(&mut self, params: &mut DVec, grad: &DVec) {
+        // Without a cost oracle there is no safe line search: plain
+        // gradient descent at the fallback rate.
+        self.t += 1;
+        params.axpy(-self.lr, grad);
+    }
+
+    fn iteration(&self) -> usize {
+        self.t
+    }
+
+    fn current_lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn uses_curvature(&self) -> bool {
+        true
+    }
+
+    fn step_with_curvature(
+        &mut self,
+        params: &mut DVec,
+        cost: f64,
+        grad: &DVec,
+        oracle: &mut dyn CurvatureOracle,
+    ) {
+        self.t += 1;
+        if grad.norm_inf() == 0.0 {
+            return;
+        }
+        // Harvest the curvature pair from the previous accepted step.
+        if let (Some(px), Some(pg)) = (&self.prev_x, &self.prev_g) {
+            let mut s = params.clone();
+            s.axpy(-1.0, px);
+            let mut y = grad.clone();
+            y.axpy(-1.0, pg);
+            self.push_pair(s, y);
+        }
+        self.prev_x = Some(params.clone());
+        self.prev_g = Some(grad.clone());
+
+        let d = self.direction(grad);
+        let slope = grad.dot(&d);
+        if slope < 0.0 && !d.has_non_finite() {
+            // Armijo backtracking: accept the first a with
+            // J(x + a·d) ≤ J(x) + c₁·a·gᵀd.
+            let mut a = 1.0;
+            for _ in 0..self.max_backtracks {
+                let mut trial = params.clone();
+                trial.axpy(a, &d);
+                match oracle.cost_at(&trial) {
+                    Some(j) if j.is_finite() && j <= cost + self.c1 * a * slope => {
+                        *params = trial;
+                        return;
+                    }
+                    _ => a *= 0.5,
+                }
+            }
+        }
+        // Fallback: lr-scaled gradient step.
+        self.fallback_steps += 1;
+        params.axpy(-self.lr, grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle over an explicit cost function; gradients supplied by tests.
+    struct CostOracle<F: Fn(&DVec) -> f64> {
+        f: F,
+        calls: usize,
+    }
+
+    impl<F: Fn(&DVec) -> f64> CurvatureOracle for CostOracle<F> {
+        fn hvp(&mut self, _v: &DVec) -> Option<DVec> {
+            None // L-BFGS never asks.
+        }
+        fn cost_at(&mut self, c: &DVec) -> Option<f64> {
+            self.calls += 1;
+            Some((self.f)(c))
+        }
+    }
+
+    fn rosenbrock(x: &DVec) -> f64 {
+        (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+    }
+
+    fn rosenbrock_grad(x: &DVec) -> DVec {
+        DVec(vec![
+            -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]),
+            200.0 * (x[1] - x[0] * x[0]),
+        ])
+    }
+
+    #[test]
+    fn lbfgs_minimises_rosenbrock() {
+        let mut oracle = CostOracle {
+            f: rosenbrock,
+            calls: 0,
+        };
+        let mut opt = Lbfgs::new(1e-3);
+        let mut x = DVec(vec![-1.2, 1.0]);
+        for _ in 0..120 {
+            let j = rosenbrock(&x);
+            let g = rosenbrock_grad(&x);
+            opt.step_with_curvature(&mut x, j, &g, &mut oracle);
+        }
+        assert!(
+            (x[0] - 1.0).abs() < 1e-4 && (x[1] - 1.0).abs() < 1e-4,
+            "x = ({}, {})",
+            x[0],
+            x[1]
+        );
+    }
+
+    #[test]
+    fn lbfgs_beats_the_iteration_count_of_plain_descent_on_a_quadratic() {
+        // Badly scaled quadratic: f = ½(x₀² + 100 x₁²).
+        let f = |x: &DVec| 0.5 * (x[0] * x[0] + 100.0 * x[1] * x[1]);
+        let g = |x: &DVec| DVec(vec![x[0], 100.0 * x[1]]);
+        let mut oracle = CostOracle { f, calls: 0 };
+        let mut opt = Lbfgs::new(1e-2);
+        let mut x = DVec(vec![8.0, 1.0]);
+        let mut iters = 0;
+        while f(&x) > 1e-12 && iters < 60 {
+            let (j, gr) = (f(&x), g(&x));
+            opt.step_with_curvature(&mut x, j, &gr, &mut oracle);
+            iters += 1;
+        }
+        assert!(
+            iters < 40,
+            "L-BFGS needed {iters} iterations on a 2-d quadratic"
+        );
+    }
+
+    #[test]
+    fn cost_never_increases_along_the_run() {
+        let f = |x: &DVec| (x[0] - 2.0).powi(4) + (x[1] + 1.0).powi(2);
+        let g = |x: &DVec| DVec(vec![4.0 * (x[0] - 2.0).powi(3), 2.0 * (x[1] + 1.0)]);
+        let mut oracle = CostOracle { f, calls: 0 };
+        let mut opt = Lbfgs::new(1e-2);
+        let mut x = DVec(vec![5.0, 3.0]);
+        let mut last = f(&x);
+        for _ in 0..50 {
+            let (j, gr) = (f(&x), g(&x));
+            opt.step_with_curvature(&mut x, j, &gr, &mut oracle);
+            let now = f(&x);
+            assert!(now <= last + 1e-12, "cost rose from {last} to {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn non_descent_direction_falls_back_to_gradient() {
+        // An oracle that rejects every trial forces the fallback path.
+        struct Reject;
+        impl CurvatureOracle for Reject {
+            fn hvp(&mut self, _v: &DVec) -> Option<DVec> {
+                None
+            }
+            fn cost_at(&mut self, _c: &DVec) -> Option<f64> {
+                None
+            }
+        }
+        let lr = 0.1;
+        let mut opt = Lbfgs::new(lr);
+        let mut x = DVec(vec![1.0, 1.0]);
+        let g = DVec(vec![2.0, -1.0]);
+        opt.step_with_curvature(&mut x, 5.0, &g, &mut Reject);
+        assert_eq!(opt.fallback_steps(), 1);
+        assert!((x[0] - (1.0 - lr * 2.0)).abs() < 1e-15);
+        assert!((x[1] - (1.0 + lr)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let f = |x: &DVec| x.dot(x);
+        let g = |x: &DVec| x.scaled(2.0);
+        let mut oracle = CostOracle { f, calls: 0 };
+        let mut opt = Lbfgs::new(1e-2).with_memory(3);
+        let mut x = DVec(vec![4.0, -3.0, 2.0, -1.0]);
+        for _ in 0..20 {
+            let (j, gr) = (f(&x), g(&x));
+            opt.step_with_curvature(&mut x, j, &gr, &mut oracle);
+        }
+        assert!(opt.pairs() <= 3);
+        assert!(f(&x) < 1e-6, "quadratic not minimised: {}", f(&x));
+    }
+}

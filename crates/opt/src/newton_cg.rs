@@ -1,0 +1,363 @@
+//! Matrix-free trust-region Newton: conjugate gradients on exact
+//! Hessian-vector products (Steihaug–Toint).
+//!
+//! Each outer step solves the Newton system `H p = −g` approximately with
+//! CG, never forming `H` — every CG iteration costs one
+//! [`CurvatureOracle::hvp`] query, which the forward-over-reverse tape
+//! answers with four triangular solves on a cached factorization. Three
+//! safeguards keep the step robust on imperfect curvature:
+//!
+//! 1. **Negative curvature** truncates CG at the trust-region boundary
+//!    along the offending direction (Steihaug).
+//! 2. **Trust region**: a candidate step is accepted only if the oracle
+//!    confirms the cost does not increase; rejected steps shrink onto a
+//!    smaller radius (deterministic quartering) before retrying.
+//! 3. **Gradient fallback**: if the HVP fails, CG makes no progress, or
+//!    every shrink is rejected, the step degrades to the plain lr-scaled
+//!    gradient step — the optimizer never stalls or diverges.
+//!
+//! All inner products are fixed-order scalar loops, so a Newton-CG run is
+//! bitwise reproducible regardless of thread-pool width.
+
+use crate::{CurvatureOracle, Optimizer};
+use linalg::DVec;
+
+/// Trust-region Newton-CG over exact Hessian-vector products.
+#[derive(Debug, Clone)]
+pub struct NewtonCg {
+    lr: f64,
+    cg_tol: f64,
+    cg_max: usize,
+    radius: f64,
+    max_rejects: usize,
+    t: usize,
+    last_cg_iters: usize,
+    fallback_steps: usize,
+}
+
+impl NewtonCg {
+    /// Creates Newton-CG; `lr` scales the gradient-descent fallback step.
+    pub fn new(lr: f64) -> NewtonCg {
+        NewtonCg {
+            lr,
+            cg_tol: 1e-10,
+            cg_max: 250,
+            radius: 1e3,
+            max_rejects: 8,
+            t: 0,
+            last_cg_iters: 0,
+            fallback_steps: 0,
+        }
+    }
+
+    /// Overrides the relative CG residual tolerance (default `1e-10`).
+    pub fn with_cg_tol(mut self, tol: f64) -> NewtonCg {
+        self.cg_tol = tol;
+        self
+    }
+
+    /// Overrides the CG iteration cap (default 250).
+    pub fn with_cg_max(mut self, cg_max: usize) -> NewtonCg {
+        self.cg_max = cg_max;
+        self
+    }
+
+    /// Overrides the initial trust radius (default `1e3` — effectively
+    /// inactive until a step is rejected).
+    pub fn with_radius(mut self, radius: f64) -> NewtonCg {
+        self.radius = radius;
+        self
+    }
+
+    /// CG iterations spent by the most recent step.
+    pub fn last_cg_iters(&self) -> usize {
+        self.last_cg_iters
+    }
+
+    /// How many steps so far degraded to the gradient fallback.
+    pub fn fallback_steps(&self) -> usize {
+        self.fallback_steps
+    }
+
+    /// Steihaug-CG on `H p = −g`, capped at trust radius `delta`.
+    /// Returns `None` if the very first HVP fails.
+    fn steihaug_cg(
+        &mut self,
+        grad: &DVec,
+        delta: f64,
+        oracle: &mut dyn CurvatureOracle,
+    ) -> Option<DVec> {
+        let n = grad.len();
+        let mut p = DVec::zeros(n);
+        let mut r = grad.clone(); // residual of Hp + g; r = g at p = 0
+        let mut d = grad.scaled(-1.0);
+        let g_norm2 = grad.dot(grad);
+        if g_norm2 == 0.0 {
+            return Some(p);
+        }
+        let stop2 = (self.cg_tol * self.cg_tol) * g_norm2;
+        let mut r2 = g_norm2;
+        self.last_cg_iters = 0;
+        for _ in 0..self.cg_max {
+            let hd = match oracle.hvp(&d) {
+                Some(h) if !h.has_non_finite() => h,
+                _ => {
+                    // HVP failed mid-flight: keep whatever progress p holds
+                    // (possibly zero — caller falls back on the gradient).
+                    return if self.last_cg_iters == 0 {
+                        None
+                    } else {
+                        Some(p)
+                    };
+                }
+            };
+            self.last_cg_iters += 1;
+            let dhd = d.dot(&hd);
+            if dhd <= 0.0 {
+                // Negative curvature: march to the trust boundary along d.
+                let tau = boundary_tau(&p, &d, delta);
+                p.axpy(tau, &d);
+                return Some(p);
+            }
+            let alpha = r2 / dhd;
+            let mut p_next = p.clone();
+            p_next.axpy(alpha, &d);
+            if p_next.norm2() > delta {
+                let tau = boundary_tau(&p, &d, delta);
+                p.axpy(tau, &d);
+                return Some(p);
+            }
+            p = p_next;
+            r.axpy(alpha, &hd);
+            let r2_next = r.dot(&r);
+            if r2_next <= stop2 {
+                return Some(p);
+            }
+            let beta = r2_next / r2;
+            r2 = r2_next;
+            for i in 0..n {
+                d[i] = -r[i] + beta * d[i];
+            }
+        }
+        Some(p)
+    }
+}
+
+/// Positive root `τ` of `‖p + τ·d‖ = delta` (largest feasible move along
+/// `d` from inside the trust region).
+fn boundary_tau(p: &DVec, d: &DVec, delta: f64) -> f64 {
+    let dd = d.dot(d);
+    if dd == 0.0 {
+        return 0.0;
+    }
+    let pd = p.dot(d);
+    let pp = p.dot(p);
+    let disc = (pd * pd + dd * (delta * delta - pp)).max(0.0);
+    (-pd + disc.sqrt()) / dd
+}
+
+impl Optimizer for NewtonCg {
+    fn step(&mut self, params: &mut DVec, grad: &DVec) {
+        // Without curvature this is plain gradient descent at the fallback
+        // rate — a usable (if slow) degradation.
+        self.t += 1;
+        params.axpy(-self.lr, grad);
+    }
+
+    fn iteration(&self) -> usize {
+        self.t
+    }
+
+    fn current_lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn uses_curvature(&self) -> bool {
+        true
+    }
+
+    fn step_with_curvature(
+        &mut self,
+        params: &mut DVec,
+        cost: f64,
+        grad: &DVec,
+        oracle: &mut dyn CurvatureOracle,
+    ) {
+        self.t += 1;
+        if grad.norm_inf() == 0.0 {
+            return;
+        }
+        let mut delta = self.radius;
+        for _ in 0..=self.max_rejects {
+            let Some(p) = self.steihaug_cg(grad, delta, oracle) else {
+                break;
+            };
+            let p_norm = p.norm2();
+            if p_norm == 0.0 || p.has_non_finite() {
+                break;
+            }
+            let mut trial = params.clone();
+            trial.axpy(1.0, &p);
+            match oracle.cost_at(&trial) {
+                Some(j) if j.is_finite() && j <= cost => {
+                    *params = trial;
+                    // A clean acceptance re-opens the trust region.
+                    self.radius = (2.0 * p_norm).max(self.radius);
+                    return;
+                }
+                _ => {
+                    // Reject: shrink well inside the failed step and retry.
+                    delta = p_norm * 0.25;
+                    self.radius = delta;
+                    if delta == 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+        // Trust-region fallback: the lr-scaled gradient step.
+        self.fallback_steps += 1;
+        params.axpy(-self.lr, grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dense quadratic ½xᵀQx − bᵀx with analytic gradient/HVP oracle.
+    struct Quadratic {
+        q: Vec<Vec<f64>>,
+        b: DVec,
+        x: DVec,
+        hvp_calls: usize,
+        fail_hvp: bool,
+    }
+
+    impl Quadratic {
+        fn matvec(&self, v: &DVec) -> DVec {
+            DVec::from_fn(v.len(), |i| {
+                self.q[i].iter().zip(v.iter()).map(|(a, x)| a * x).sum()
+            })
+        }
+        fn grad(&self) -> DVec {
+            let mut g = self.matvec(&self.x);
+            g.axpy(-1.0, &self.b);
+            g
+        }
+        fn cost(&self, x: &DVec) -> f64 {
+            let qx = DVec::from_fn(x.len(), |i| {
+                self.q[i].iter().zip(x.iter()).map(|(a, y)| a * y).sum()
+            });
+            0.5 * x.dot(&qx) - self.b.dot(x)
+        }
+    }
+
+    impl CurvatureOracle for Quadratic {
+        fn hvp(&mut self, v: &DVec) -> Option<DVec> {
+            if self.fail_hvp {
+                return None;
+            }
+            self.hvp_calls += 1;
+            Some(self.matvec(v))
+        }
+        fn cost_at(&mut self, c: &DVec) -> Option<f64> {
+            Some(self.cost(c))
+        }
+    }
+
+    fn spd_problem() -> Quadratic {
+        Quadratic {
+            q: vec![
+                vec![4.0, 1.0, 0.0],
+                vec![1.0, 3.0, 0.5],
+                vec![0.0, 0.5, 2.0],
+            ],
+            b: DVec(vec![1.0, -2.0, 0.5]),
+            x: DVec(vec![5.0, -4.0, 3.0]),
+            hvp_calls: 0,
+            fail_hvp: false,
+        }
+    }
+
+    #[test]
+    fn newton_cg_solves_spd_quadratic_in_one_step() {
+        let mut prob = spd_problem();
+        let mut opt = NewtonCg::new(1e-2);
+        let g = prob.grad();
+        let j = prob.cost(&prob.x.clone());
+        let mut x = prob.x.clone();
+        opt.step_with_curvature(&mut x, j, &g, &mut prob);
+        prob.x = x.clone();
+        // One exact Newton step lands on the minimiser of a quadratic.
+        let g_after = prob.grad();
+        assert!(
+            g_after.norm_inf() < 1e-8,
+            "gradient after one Newton step: {:.3e}",
+            g_after.norm_inf()
+        );
+        assert_eq!(opt.fallback_steps(), 0);
+        assert!(opt.last_cg_iters() <= 3, "CG finished within n iterations");
+    }
+
+    #[test]
+    fn hvp_failure_falls_back_to_gradient_step() {
+        let mut prob = spd_problem();
+        prob.fail_hvp = true;
+        let lr = 0.05;
+        let mut opt = NewtonCg::new(lr);
+        let g = prob.grad();
+        let j = prob.cost(&prob.x.clone());
+        let mut x = prob.x.clone();
+        let expected = {
+            let mut e = x.clone();
+            e.axpy(-lr, &g);
+            e
+        };
+        opt.step_with_curvature(&mut x, j, &g, &mut prob);
+        assert_eq!(opt.fallback_steps(), 1);
+        for i in 0..x.len() {
+            assert_eq!(x[i].to_bits(), expected[i].to_bits(), "exact fallback");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_is_a_no_op() {
+        let mut prob = spd_problem();
+        let mut opt = NewtonCg::new(0.1);
+        let mut x = DVec(vec![1.0, 2.0, 3.0]);
+        let before = x.clone();
+        opt.step_with_curvature(&mut x, 0.0, &DVec::zeros(3), &mut prob);
+        assert_eq!(x.as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn negative_curvature_is_truncated_not_followed() {
+        // Indefinite Q: CG must stop at the trust boundary, and the
+        // cost-decrease guard must still hold via the fallback.
+        let mut prob = Quadratic {
+            q: vec![vec![-2.0, 0.0], vec![0.0, 1.0]],
+            b: DVec(vec![0.0, 1.0]),
+            x: DVec(vec![0.5, 4.0]),
+            hvp_calls: 0,
+            fail_hvp: false,
+        };
+        let mut opt = NewtonCg::new(0.1).with_radius(1.0);
+        let g = prob.grad();
+        let j = prob.cost(&prob.x.clone());
+        let mut x = prob.x.clone();
+        opt.step_with_curvature(&mut x, j, &g, &mut prob);
+        let j_after = prob.cost(&x);
+        assert!(j_after <= j, "cost must not increase: {j_after} vs {j}");
+    }
+
+    #[test]
+    fn first_order_step_is_plain_gradient_descent() {
+        let mut opt = NewtonCg::new(0.1);
+        let mut x = DVec(vec![1.0]);
+        opt.step(&mut x, &DVec(vec![2.0]));
+        assert!((x[0] - 0.8).abs() < 1e-15);
+        assert_eq!(opt.iteration(), 1);
+        assert!(opt.uses_curvature());
+    }
+}

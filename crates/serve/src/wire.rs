@@ -15,7 +15,9 @@
 //! * `kind = "run"` — a full [`RunSpec`] execution. Carries `problem`
 //!   (`laplace` | `navier-stokes` | `synthetic`), `strategy`
 //!   (`DAL` | `DP` | `FD` | `PINN`), `backend`
-//!   (`dense-lu` | `sparse-gmres`), the string `seed` (u64, exact), the
+//!   (`dense-lu` | `sparse-gmres`), optionally `optimizer`
+//!   (`adam` | `newton-cg` | `lbfgs`; absent means `adam`), the string
+//!   `seed` (u64, exact), the
 //!   scalars `iterations`, `lr`, `log_every`, `omega` and the
 //!   problem-family build scalars (`nx`; `h`, `re`, `slot_velocity`,
 //!   `refinements`, `initial_scale`; `n_controls`, `fail_attempts`).
@@ -42,7 +44,7 @@
 //! unparseable lines use `"__protocol__"`).
 
 use check::golden::GoldenSnapshot;
-use control::api::{BackendKind, ProblemSpec, RunSpec, Strategy};
+use control::api::{BackendKind, OptimizerKind, ProblemSpec, RunSpec, Strategy};
 use driver::LedgerRecord;
 use linalg::DVec;
 
@@ -129,6 +131,13 @@ fn backend_from_name(name: &str) -> Result<BackendKind, String> {
         .ok_or_else(|| format!("unknown backend {name:?}"))
 }
 
+fn optimizer_from_name(name: &str) -> Result<OptimizerKind, String> {
+    OptimizerKind::ALL
+        .into_iter()
+        .find(|o| o.name() == name)
+        .ok_or_else(|| format!("unknown optimizer {name:?}"))
+}
+
 fn get_string(snap: &GoldenSnapshot, key: &str) -> Result<String, String> {
     snap.get_string(key)
         .map(str::to_string)
@@ -159,6 +168,7 @@ pub fn run_request_line(id: &str, spec: &RunSpec) -> String {
         .string("problem", spec.problem.name())
         .string("strategy", spec.strategy.name())
         .string("backend", spec.problem.backend().name())
+        .string("optimizer", spec.optimizer.name())
         .string("seed", &spec.seed.to_string())
         .scalar("iterations", spec.iterations as f64)
         .scalar("lr", spec.lr)
@@ -255,6 +265,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 seed: get_string(&snap, "seed")?
                     .parse()
                     .map_err(|e| format!("request {id:?}: bad seed: {e}"))?,
+                // Optional for wire compatibility with pre-optimizer clients.
+                optimizer: match snap.get_string("optimizer") {
+                    Some(name) => optimizer_from_name(name)?,
+                    None => OptimizerKind::Adam,
+                },
                 omega: get_scalar(&snap, "omega")?,
                 label: snap.get_string("label").map(str::to_string),
                 pinn: None,

@@ -4,20 +4,21 @@
 //!
 //! ```sh
 //! cargo run --release --example campaign            # the Table 3 grid
-//! cargo run --release --example campaign -- --smoke # 4-spec CI smoke
+//! cargo run --release --example campaign -- --smoke # 6-spec CI smoke
 //! ```
 //!
 //! Kill it mid-flight and run it again: completed specs are skipped, and
 //! the final ledger is byte-identical to an uninterrupted run.
 
-use meshfree_oc::driver::{BackendKind, Campaign, RunSpec, Strategy};
+use meshfree_oc::driver::{BackendKind, Campaign, OptimizerKind, RunSpec, Strategy};
 use std::time::Duration;
 
-/// A 5-spec campaign — three synthetic, one injected NaN-diverging spec,
-/// and one real Laplace run on the sparse GMRES+ILU0 backend; used by CI
-/// to prove the retry path and the non-default backend plumbing end-to-end.
-/// Panics (non-zero exit) if the faulty spec is not retried exactly once or
-/// any spec is lost.
+/// A 6-spec campaign — three synthetic, one injected NaN-diverging spec,
+/// one real Laplace run on the sparse GMRES+ILU0 backend, and one
+/// second-order (Newton-CG) Laplace DAL run; used by CI to prove the retry
+/// path, the non-default backend plumbing and the optimizer selection
+/// end-to-end. Panics (non-zero exit) if the faulty spec is not retried
+/// exactly once or any spec is lost.
 fn run_smoke() {
     let path = std::env::temp_dir().join(format!(
         "meshfree-campaign-smoke-{}.jsonl",
@@ -50,6 +51,21 @@ fn run_smoke() {
             .lr(1e-2)
             .seed(7)
             .label("smoke-sparse-laplace")
+            .build(),
+    );
+    // One second-order spec: Newton-CG on the weighted-adjoint DAL
+    // gradient, exercising the optimizer selection (spec → `-newton-cg`
+    // run id → curvature oracle) through the campaign path. A handful of
+    // outer iterations suffices — Newton's floor is below Adam's here.
+    campaign = campaign.spec(
+        RunSpec::laplace()
+            .nx(12)
+            .strategy(Strategy::Dal)
+            .optimizer(OptimizerKind::NewtonCg)
+            .iterations(5)
+            .lr(1e-2)
+            .seed(7)
+            .label("smoke-newton-cg-dal")
             .build(),
     );
     let summary = campaign.run().expect("smoke campaign");

@@ -44,6 +44,7 @@ fn main() {
         iterations: 150,
         lr: 2e-2,
         log_every: 30,
+        ..Default::default()
     };
 
     println!(

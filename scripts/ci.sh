@@ -52,10 +52,11 @@ if [[ -n "$(git status --porcelain -- tests/golden)" ]]; then
 fi
 
 echo "==> campaign driver smoke (retry path, fault injection)"
-# A 5-spec campaign with one injected NaN-diverging spec and one Laplace
-# run on the sparse GMRES+ILU0 backend: the example asserts exactly one
-# spec was retried and none were lost, exiting non-zero otherwise — the
-# driver's fault tolerance and the non-default linear-solver backend are
+# A 6-spec campaign with one injected NaN-diverging spec, one Laplace run
+# on the sparse GMRES+ILU0 backend and one second-order (Newton-CG DAL)
+# Laplace run: the example asserts exactly one spec was retried and none
+# were lost, exiting non-zero otherwise — the driver's fault tolerance,
+# the non-default linear-solver backend and the optimizer selection are
 # exercised end-to-end on every CI run.
 cargo run -q --release --example campaign -- --smoke
 

@@ -20,6 +20,7 @@ fn deprecated_laplace_run_matches_run_ctx_bitwise() {
         iterations: 12,
         lr: 1e-2,
         log_every: 4,
+        ..Default::default()
     };
     let old = laplace::run(&problem, &cfg, GradMethod::Dp).unwrap();
     let new = laplace::run_ctx(&problem, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();

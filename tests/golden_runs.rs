@@ -19,7 +19,7 @@ use meshfree_oc::control::laplace::{self, GradMethod, LaplaceRunConfig};
 use meshfree_oc::control::metrics::RunReport;
 use meshfree_oc::control::ns::{self, NsRunConfig};
 use meshfree_oc::control::pinn::{LaplacePinn, PinnConfig};
-use meshfree_oc::control::RunCtx;
+use meshfree_oc::control::{OptimizerKind, RunCtx};
 use meshfree_oc::geometry::generators::ChannelConfig;
 use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver};
 
@@ -56,17 +56,27 @@ fn report_snapshot(name: &str, report: &RunReport, control: &[f64]) -> GoldenSna
         .with_series("control", control.to_vec())
 }
 
-fn laplace_golden(method: GradMethod, name: &str) {
+fn laplace_golden_with(
+    method: GradMethod,
+    optimizer: OptimizerKind,
+    iterations: usize,
+    name: &str,
+) {
     let cfg = LaplaceRunConfig {
         nx: 12,
-        iterations: 30,
+        iterations,
         lr: 1e-2,
         log_every: 5,
+        optimizer,
     };
     let problem = LaplaceControlProblem::new(cfg.nx).unwrap();
     let run = laplace::run_ctx(&problem, &cfg, method, &RunCtx::unchecked()).unwrap();
     let snap = report_snapshot(name, &run.report, run.control.as_slice());
     check_or_bless(&golden_path(name), &snap, &policy()).unwrap();
+}
+
+fn laplace_golden(method: GradMethod, name: &str) {
+    laplace_golden_with(method, OptimizerKind::Adam, 30, name);
 }
 
 #[test]
@@ -77,6 +87,24 @@ fn fig3_laplace_dal_matches_golden() {
 #[test]
 fn fig3_laplace_dp_matches_golden() {
     laplace_golden(GradMethod::Dp, "fig3_laplace_dp");
+}
+
+#[test]
+fn laplace_newton_cg_dal_matches_golden() {
+    // Second-order DAL: Newton-CG on the weighted-adjoint gradient reaches
+    // its floor in a handful of iterations; the snapshot pins the whole
+    // (deterministic) trajectory, not just the endpoint.
+    laplace_golden_with(
+        GradMethod::Dal,
+        OptimizerKind::NewtonCg,
+        10,
+        "laplace_newton_cg_dal",
+    );
+}
+
+#[test]
+fn laplace_lbfgs_dp_matches_golden() {
+    laplace_golden_with(GradMethod::Dp, OptimizerKind::Lbfgs, 25, "laplace_lbfgs_dp");
 }
 
 fn ns_golden(method: GradMethod, name: &str) {

@@ -32,6 +32,7 @@ fn sparse_and_dense_laplace_agree_on_the_problem_they_solve() {
         iterations: 120,
         lr: 1e-2,
         log_every: 40,
+        ..Default::default()
     };
     let (_, c_sparse) = optimize(&mut LaplaceFdObjective(&sparse), &opts).unwrap();
     let verdict = validate_laplace_control(&dense, &c_sparse).unwrap();

@@ -16,6 +16,7 @@ fn cfg(iterations: usize) -> LaplaceRunConfig {
         iterations,
         lr: 1e-2,
         log_every: 10,
+        ..Default::default()
     }
 }
 
@@ -81,6 +82,7 @@ fn recovered_control_tracks_the_series_minimiser_mid_wall() {
             iterations: 300,
             lr: 1e-2,
             log_every: 50,
+            ..Default::default()
         },
         GradMethod::Dp,
         &RunCtx::unchecked(),

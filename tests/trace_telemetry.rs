@@ -29,6 +29,7 @@ fn laplace_run_traces_all_three_layers() {
         iterations: 40,
         lr: 1e-2,
         log_every: 10,
+        ..Default::default()
     };
     let dal = run_ctx(&problem, &cfg, GradMethod::Dal, &RunCtx::unchecked()).unwrap();
     let dp = run_ctx(&problem, &cfg, GradMethod::Dp, &RunCtx::unchecked()).unwrap();
