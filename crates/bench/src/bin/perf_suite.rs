@@ -37,7 +37,7 @@ use control::OptimizerKind;
 use geometry::generators::unit_square_grid;
 use linalg::iterative::{gmres, IterOpts, Preconditioner};
 use linalg::sparse::Triplets;
-use linalg::{DMat, DVec, Lu};
+use linalg::{DMat, DVec, LinearBackend, Lu, SparseIterative};
 use meshfree_runtime::{num_threads, time_kernel, Rng64, SpanStats};
 use pde::{LaplaceControlProblem, NsConfig, NsSolver};
 use rbf::fd::{fd_matrix, FdConfig};
@@ -63,6 +63,8 @@ const REQUIRED_KERNELS: &[&str] = &[
     "serve_cache_hit_laplace",
     "serve_cache_miss_laplace",
     "ns_picard_sweep",
+    "ns_saddle_assembly_fd",
+    "gmres_schur_ns",
 ];
 
 struct Sizes {
@@ -400,6 +402,48 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
         time_kernel(sz.warmup, sz.reps, || {
             let next = solver.refine_with(&state, &c_ns, &mut ws).expect("picard");
             std::hint::black_box(&next);
+        }),
+    );
+
+    // ---- sparse NS: saddle assembly + Schur-preconditioned GMRES -------
+    // The per-sweep costs of the RBF-FD saddle path: composing the 3×3
+    // block-CSR Picard operator from the constant operator set (row
+    // scaling + a sparse add, never a dense matrix), then one coupled
+    // solve through block-ILU(0) + SIMPLE-Schur GMRES.
+    let sparse_solver = NsSolver::new(NsConfig {
+        channel: geometry::generators::ChannelConfig {
+            h: sz.ns_h,
+            ..Default::default()
+        },
+        re: 50.0,
+        slot_velocity: 0.2,
+        backend: BackendKind::SparseGmres,
+        ..Default::default()
+    })
+    .expect("sparse ns assembly");
+    let c_sp = initial_control(&sparse_solver);
+    let state_sp = sparse_solver
+        .solve(&c_sp, 3, None)
+        .expect("sparse ns warm state");
+    snap = record(
+        snap,
+        "ns_saddle_assembly_fd",
+        sparse_solver.nodes().len(),
+        time_kernel(sz.warmup, sz.reps.max(15), || {
+            let blocks = sparse_solver.picard_blocks(&state_sp);
+            std::hint::black_box(&blocks);
+        }),
+    );
+    let blocks = sparse_solver.picard_blocks(&state_sp);
+    let be = SparseIterative::gmres_saddle(&blocks, NsSolver::sparse_opts());
+    let b_ns = sparse_solver.rhs(&c_sp);
+    snap = record(
+        snap,
+        "gmres_schur_ns",
+        sparse_solver.nodes().len(),
+        time_kernel(sz.warmup, sz.reps, || {
+            let x = be.solve(&b_ns).expect("gmres_schur_ns");
+            std::hint::black_box(&x);
         }),
     );
     snap

@@ -66,6 +66,9 @@ pub enum Preconditioner {
     Jacobi(DVec),
     /// Incomplete LU with zero fill-in, on the matrix's own sparsity.
     Ilu0(crate::sparse::Ilu0),
+    /// Block lower-triangular sweep with a Schur-complement approximation
+    /// for 3×3 `u|v|p` saddle-point systems ([`crate::saddle::SaddlePrecond`]).
+    Saddle(Box<crate::saddle::SaddlePrecond>),
 }
 
 impl Preconditioner {
@@ -79,10 +82,24 @@ impl Preconditioner {
     /// construction path for ILU(0) in solver code — [`crate::Ilu0::factor`]
     /// is the raw factorization and reports the failing pivot instead of
     /// falling back.
+    /// The fallback is *observable*: it emits an `ilu0_jacobi_fallback`
+    /// counter and a `"linsolve"`-layer solve event, so campaign telemetry
+    /// shows when a solve silently ran on the weaker preconditioner.
     pub fn ilu0_from(a: &Csr) -> Self {
         match crate::sparse::Ilu0::factor(a) {
             Ok(f) => Preconditioner::Ilu0(f),
-            Err(_) => Preconditioner::jacobi_from(a),
+            Err(_) => {
+                trace::counter("ilu0_jacobi_fallback", 1.0);
+                trace::solve_event(
+                    "linsolve",
+                    "ilu0_fallback_jacobi",
+                    0,
+                    f64::NAN,
+                    f64::NAN,
+                    f64::NAN,
+                );
+                Preconditioner::jacobi_from(a)
+            }
         }
     }
 
@@ -93,6 +110,7 @@ impl Preconditioner {
             Preconditioner::Identity => "identity",
             Preconditioner::Jacobi(_) => "jacobi",
             Preconditioner::Ilu0(_) => "ilu0",
+            Preconditioner::Saddle(_) => "schur-ilu0",
         }
     }
 
@@ -118,6 +136,7 @@ impl Preconditioner {
                 }
             }
             Preconditioner::Ilu0(f) => f.solve_into(r, out),
+            Preconditioner::Saddle(s) => s.apply_into(r, out),
         }
     }
 }
@@ -252,7 +271,8 @@ pub struct SolveReport {
     pub residual: f64,
     /// Solver name (`"cg"`, `"bicgstab"`, `"gmres"`).
     pub solver: &'static str,
-    /// Preconditioner kind (`"identity"`, `"jacobi"`, `"ilu0"`).
+    /// Preconditioner kind (`"identity"`, `"jacobi"`, `"ilu0"`,
+    /// `"schur-ilu0"`).
     pub precond: &'static str,
     /// Benign early-termination reason, if any (e.g. a lucky GMRES
     /// breakdown). `None` for a plain tolerance-reached exit.
@@ -734,6 +754,33 @@ mod tests {
         let b = DVec(vec![2.0, 3.0]);
         let res = gmres(&a, &b, &m, &IterOpts::gmres()).unwrap();
         assert!((res.x[0] - 3.0).abs() < 1e-10 && (res.x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ilu0_fallback_is_surfaced_on_the_trace_layer() {
+        use meshfree_runtime::trace::{self, MemorySink, TraceEvent};
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let a = t.to_csr();
+        let (sink, events) = MemorySink::new();
+        trace::set_sink(Box::new(sink));
+        let m = Preconditioner::ilu0_from(&a);
+        trace::clear_sink();
+        assert!(matches!(m, Preconditioner::Jacobi(_)));
+        let events = events.lock().unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e,
+                TraceEvent::Counter { name, value }
+                    if *name == "ilu0_jacobi_fallback" && *value == 1.0)),
+            "fallback must bump the counter: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e,
+                TraceEvent::Solve { layer, solver, .. }
+                    if *layer == "linsolve" && *solver == "ilu0_fallback_jacobi")),
+            "fallback must emit a linsolve event: {events:?}"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod dense;
 pub mod error;
 pub mod factor;
 pub mod iterative;
+pub mod saddle;
 pub mod sparse;
 pub mod vector;
 
@@ -43,6 +44,7 @@ pub use factor::{Cholesky, Lu, Qr};
 #[allow(deprecated)]
 pub use iterative::IterResult;
 pub use iterative::{bicgstab, cg, gmres, IterOpts, Preconditioner, SolveReport};
+pub use saddle::{BlockCsr, SaddlePrecond};
 pub use sparse::{Csr, Ilu0, Triplets};
 pub use vector::DVec;
 

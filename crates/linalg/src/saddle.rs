@@ -1,0 +1,420 @@
+//! Block-CSR saddle-point systems and a SIMPLE-style Schur preconditioner.
+//!
+//! The Navier–Stokes Picard linearisation is a 3×3 block operator over the
+//! stacked unknown vector `[u | v | p]` (block ordering is fixed —
+//! velocity-x, velocity-y, pressure — and every index convention in this
+//! module follows it):
+//!
+//! ```text
+//!         ┌ A_uu   0     G_u ┐   block (0,0) convection–diffusion of u
+//!   K  =  │ 0      A_vv  G_v │   block (1,1) convection–diffusion of v
+//!         └ D_u    D_v   A_pp┘   row 2: continuity + pressure BC rows
+//! ```
+//!
+//! [`BlockCsr`] stores each block as an independent [`Csr`] (absent blocks
+//! are structural zeros) so the `3N×3N` system is held in `O(k·N)` memory —
+//! the dense `(3N)²` matrix is never materialised. [`BlockCsr::flatten`]
+//! emits the equivalent monolithic CSR for Krylov matvecs.
+//!
+//! Plain ILU(0) does not converge this system: the interior continuity rows
+//! have **no pressure diagonal** (the operator is indefinite with a zero
+//! (2,2) interior block), so the incomplete factorisation hits structural
+//! zero pivots and degrades to Jacobi, which stalls. [`SaddlePrecond`]
+//! instead applies a SIMPLE-style block lower-triangular sweep with a
+//! diagonal Schur-complement approximation — see its docs for the exact
+//! recipe.
+
+use crate::iterative::Preconditioner;
+use crate::sparse::{Csr, Triplets};
+use crate::vector::DVec;
+
+/// A square block matrix with `nb × nb` sparse blocks of uniform dimension
+/// `n` (total operator dimension `nb·n`).
+///
+/// Blocks are stored row-major ([`BlockCsr::set_block`]`(bi, bj, ...)` is
+/// the block in block-row `bi`, block-column `bj`); a `None` block is an
+/// exact structural zero and costs nothing. For the Navier–Stokes saddle
+/// system `nb = 3` with the `u | v | p` ordering documented at the module
+/// level: global index `bi·n + i` is component `bi` at node `i`.
+#[derive(Debug, Clone)]
+pub struct BlockCsr {
+    n: usize,
+    nb: usize,
+    blocks: Vec<Option<Csr>>,
+}
+
+impl BlockCsr {
+    /// An all-zero block matrix of `nb × nb` blocks, each `n × n`.
+    pub fn new(nb: usize, n: usize) -> BlockCsr {
+        BlockCsr {
+            n,
+            nb,
+            blocks: (0..nb * nb).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of blocks per side.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Dimension of each (square) block.
+    pub fn block_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total operator dimension `nb · n`.
+    pub fn dim(&self) -> usize {
+        self.nb * self.n
+    }
+
+    /// Installs block `(bi, bj)`; panics if the block is not `n × n`.
+    pub fn set_block(&mut self, bi: usize, bj: usize, block: Csr) {
+        assert!(bi < self.nb && bj < self.nb, "block index out of range");
+        assert_eq!(
+            (block.nrows(), block.ncols()),
+            (self.n, self.n),
+            "block ({bi},{bj}) has the wrong shape"
+        );
+        self.blocks[bi * self.nb + bj] = Some(block);
+    }
+
+    /// Block `(bi, bj)`, or `None` for a structural zero.
+    pub fn block(&self, bi: usize, bj: usize) -> Option<&Csr> {
+        self.blocks[bi * self.nb + bj].as_ref()
+    }
+
+    /// Total stored nonzeros across all blocks.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().flatten().map(|b| b.nnz()).sum()
+    }
+
+    /// Composes the blocks into one monolithic `nb·n × nb·n` CSR matrix
+    /// (global row `bi·n + i`, global column `bj·n + j`).
+    ///
+    /// Row-by-row concatenation: block columns are visited in increasing
+    /// `bj`, so the output inherits sorted column order from the blocks and
+    /// the construction is deterministic (no thread-count dependence).
+    pub fn flatten(&self) -> Csr {
+        let dim = self.dim();
+        let mut t = Triplets::new(dim, dim);
+        for bi in 0..self.nb {
+            for i in 0..self.n {
+                for bj in 0..self.nb {
+                    if let Some(b) = self.block(bi, bj) {
+                        let (cols, vals) = b.row(i);
+                        for (&j, &v) in cols.iter().zip(vals) {
+                            t.push(bi * self.n + i, bj * self.n + j, v);
+                        }
+                    }
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// The block transpose: block `(bi, bj)` of the result is the CSR
+    /// transpose of block `(bj, bi)`. `flatten()` of the result equals the
+    /// transpose of `flatten()` of `self`.
+    pub fn transpose(&self) -> BlockCsr {
+        let mut out = BlockCsr::new(self.nb, self.n);
+        for bi in 0..self.nb {
+            for bj in 0..self.nb {
+                if let Some(b) = self.block(bi, bj) {
+                    out.set_block(bj, bi, b.transpose());
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes held by the stored blocks (values + index arrays).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .map(|b| {
+                b.nnz() * (8 + std::mem::size_of::<usize>())
+                    + (b.nrows() + 1) * std::mem::size_of::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// SIMPLE-style preconditioner for the 3×3 `u | v | p` saddle system.
+///
+/// Setup (from a [`BlockCsr`] with `nb = 3`):
+///
+/// 1. ILU(0) factorisations of the velocity diagonal blocks `A_uu`, `A_vv`
+///    (these are convection–diffusion operators with healthy diagonals).
+/// 2. A sparse Schur-complement approximation for the pressure block,
+///    `Ŝ = A_pp − D_u·diag(A_uu)⁻¹·G_u − D_v·diag(A_vv)⁻¹·G_v`
+///    (the SIMPLE recipe: the exact Schur complement with `A⁻¹` replaced by
+///    its diagonal), then ILU(0) of `Ŝ`. The triple products are sparse
+///    row-walks — `Ŝ` has `O(k²·N)` nonzeros, never dense. This is what
+///    fills the structurally zero interior pressure diagonal that makes
+///    plain ILU(0) on the flattened system fail.
+///
+/// Application is one block lower-triangular sweep per Krylov iteration:
+///
+/// ```text
+/// z_u = M_uu⁻¹ r_u
+/// z_v = M_vv⁻¹ r_v
+/// z_p = M_S⁻¹ (r_p − D_u z_u − D_v z_v)
+/// ```
+///
+/// For transpose solves, build a second `SaddlePrecond` from
+/// [`BlockCsr::transpose`] — the transposed saddle system has the same
+/// shape with the gradient/divergence roles exchanged, so the same
+/// construction applies verbatim.
+#[derive(Debug, Clone)]
+pub struct SaddlePrecond {
+    n: usize,
+    m_u: Box<Preconditioner>,
+    m_v: Box<Preconditioner>,
+    m_s: Box<Preconditioner>,
+    d_u: Option<Csr>,
+    d_v: Option<Csr>,
+}
+
+/// Sparse `out ← out − d · diag_inv · g` (row-walk triple product appended
+/// into triplets). `diag_inv[k]` is `1/diag(A)[k]` with vanishing diagonals
+/// skipped.
+fn subtract_scaled_product(t: &mut Triplets, d: &Csr, diag_inv: &[f64], g: &Csr) {
+    for i in 0..d.nrows() {
+        let (cols, vals) = d.row(i);
+        for (&k, &dik) in cols.iter().zip(vals) {
+            let scale = dik * diag_inv[k];
+            if scale == 0.0 {
+                continue;
+            }
+            let (gcols, gvals) = g.row(k);
+            for (&j, &gkj) in gcols.iter().zip(gvals) {
+                t.push(i, j, -scale * gkj);
+            }
+        }
+    }
+}
+
+impl SaddlePrecond {
+    /// Builds the preconditioner from a 3×3 saddle [`BlockCsr`] (panics on
+    /// any other block count). Missing blocks are treated as zero.
+    pub fn build(blocks: &BlockCsr) -> SaddlePrecond {
+        assert_eq!(blocks.nb(), 3, "SaddlePrecond expects a 3x3 u|v|p system");
+        let n = blocks.block_dim();
+        let ilu_or_identity = |b: Option<&Csr>| match b {
+            Some(m) => Preconditioner::ilu0_from(m),
+            None => Preconditioner::Identity,
+        };
+        let m_u = ilu_or_identity(blocks.block(0, 0));
+        let m_v = ilu_or_identity(blocks.block(1, 1));
+        // Ŝ = A_pp − D_u diag(A_uu)⁻¹ G_u − D_v diag(A_vv)⁻¹ G_v.
+        let inv_diag = |b: Option<&Csr>| -> Vec<f64> {
+            match b {
+                Some(m) => m
+                    .diagonal()
+                    .as_slice()
+                    .iter()
+                    .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 0.0 })
+                    .collect(),
+                None => vec![0.0; n],
+            }
+        };
+        let mut t = Triplets::new(n, n);
+        if let Some(app) = blocks.block(2, 2) {
+            for i in 0..n {
+                let (cols, vals) = app.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    t.push(i, j, v);
+                }
+            }
+        }
+        if let (Some(d), Some(g)) = (blocks.block(2, 0), blocks.block(0, 2)) {
+            subtract_scaled_product(&mut t, d, &inv_diag(blocks.block(0, 0)), g);
+        }
+        if let (Some(d), Some(g)) = (blocks.block(2, 1), blocks.block(1, 2)) {
+            subtract_scaled_product(&mut t, d, &inv_diag(blocks.block(1, 1)), g);
+        }
+        let schur = t.to_csr();
+        let m_s = Preconditioner::ilu0_from(&schur);
+        SaddlePrecond {
+            n,
+            m_u: Box::new(m_u),
+            m_v: Box::new(m_v),
+            m_s: Box::new(m_s),
+            d_u: blocks.block(2, 0).cloned(),
+            d_v: blocks.block(2, 1).cloned(),
+        }
+    }
+
+    /// Dimension of the full operator this preconditions (`3n`).
+    pub fn dim(&self) -> usize {
+        3 * self.n
+    }
+
+    /// Applies the block lower-triangular sweep: `out = M⁻¹ r` with `r` and
+    /// `out` of length `3n` in the `u | v | p` stacking.
+    ///
+    /// Allocates three block-sized scratch vectors per call; the dominant
+    /// cost is the three ILU(0) triangular solves and two divergence
+    /// matvecs, so the allocations are noise at any realistic `n`.
+    pub fn apply_into(&self, r: &DVec, out: &mut DVec) {
+        let n = self.n;
+        assert_eq!(r.len(), 3 * n, "saddle preconditioner: rhs length");
+        let r_u = DVec(r.as_slice()[..n].to_vec());
+        let r_v = DVec(r.as_slice()[n..2 * n].to_vec());
+        let mut z = DVec::zeros(n);
+        self.m_u.apply_into(&r_u, &mut z);
+        out.as_mut_slice()[..n].copy_from_slice(z.as_slice());
+        let mut t = DVec(r.as_slice()[2 * n..].to_vec());
+        if let Some(d) = &self.d_u {
+            let du_z = d.matvec(&z);
+            t -= &du_z;
+        }
+        self.m_v.apply_into(&r_v, &mut z);
+        out.as_mut_slice()[n..2 * n].copy_from_slice(z.as_slice());
+        if let Some(d) = &self.d_v {
+            let dv_z = d.matvec(&z);
+            t -= &dv_z;
+        }
+        self.m_s.apply_into(&t, &mut z);
+        out.as_mut_slice()[2 * n..].copy_from_slice(z.as_slice());
+    }
+
+    /// Bytes held by the block factorisations and divergence blocks.
+    pub fn memory_bytes(&self) -> usize {
+        let pre = |p: &Preconditioner| match p {
+            Preconditioner::Identity => 0,
+            Preconditioner::Jacobi(d) => d.len() * 8,
+            Preconditioner::Ilu0(f) => f.memory_bytes(),
+            Preconditioner::Saddle(s) => s.memory_bytes(),
+        };
+        let csr = |c: &Option<Csr>| {
+            c.as_ref().map_or(0, |c| {
+                c.nnz() * (8 + std::mem::size_of::<usize>())
+                    + (c.nrows() + 1) * std::mem::size_of::<usize>()
+            })
+        };
+        pre(&self.m_u) + pre(&self.m_v) + pre(&self.m_s) + csr(&self.d_u) + csr(&self.d_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::{gmres, IterOpts};
+    use crate::Lu;
+
+    /// Tiny Stokes-like saddle system on a 1-D chain: A = tridiagonal
+    /// diffusion for u and v, G = forward difference, D = Gᵀ-ish backward
+    /// difference, zero interior pressure block with one pinned pressure row.
+    fn chain_saddle(n: usize) -> BlockCsr {
+        let tri = |shift: f64| {
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 2.0 + shift);
+                if i > 0 {
+                    t.push(i, i - 1, -1.0 - 0.1 * shift);
+                }
+                if i + 1 < n {
+                    t.push(i, i + 1, -1.0);
+                }
+            }
+            t.to_csr()
+        };
+        let diff = {
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                if i + 1 < n {
+                    t.push(i, i, -1.0);
+                    t.push(i, i + 1, 1.0);
+                }
+            }
+            t.to_csr()
+        };
+        let app = {
+            let mut t = Triplets::new(n, n);
+            // Pin the last pressure dof so the system is nonsingular.
+            t.push(n - 1, n - 1, 1.0);
+            t.to_csr()
+        };
+        let mut k = BlockCsr::new(3, n);
+        k.set_block(0, 0, tri(0.3));
+        k.set_block(1, 1, tri(0.7));
+        k.set_block(0, 2, diff.clone());
+        k.set_block(1, 2, diff.clone());
+        k.set_block(2, 0, diff.clone());
+        k.set_block(2, 1, diff);
+        k.set_block(2, 2, app);
+        k
+    }
+
+    #[test]
+    fn flatten_matches_dense_block_placement() {
+        let n = 6;
+        let k = chain_saddle(n);
+        let flat = k.flatten();
+        assert_eq!(flat.nrows(), 3 * n);
+        let dense = flat.to_dense();
+        for bi in 0..3 {
+            for bj in 0..3 {
+                for i in 0..n {
+                    for j in 0..n {
+                        let expect = k.block(bi, bj).map_or(0.0, |b| b.to_dense()[(i, j)]);
+                        assert_eq!(dense[(bi * n + i, bj * n + j)], expect);
+                    }
+                }
+            }
+        }
+        assert_eq!(flat.nnz(), k.nnz());
+    }
+
+    #[test]
+    fn block_transpose_flattens_to_the_flat_transpose() {
+        let k = chain_saddle(5);
+        let a = k.flatten().transpose().to_dense();
+        let b = k.transpose().flatten().to_dense();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schur_preconditioned_gmres_converges_where_ilu0_degrades() {
+        let n = 24;
+        let k = chain_saddle(n);
+        let flat = k.flatten();
+        let b = DVec::from_fn(3 * n, |i| ((i + 1) as f64 * 0.13).sin());
+        // The interior pressure diagonal is structurally zero, so plain
+        // ILU(0) on the flattened system cannot factor (falls back to
+        // Jacobi). The saddle preconditioner must converge.
+        assert!(crate::sparse::Ilu0::factor(&flat).is_err());
+        let m = Preconditioner::Saddle(Box::new(SaddlePrecond::build(&k)));
+        let opts = IterOpts::gmres().max_iter(4000).tol(1e-12).restart(80);
+        let res = gmres(&flat, &b, &m, &opts).unwrap();
+        let xd = Lu::factor(&flat.to_dense()).unwrap().solve(&b).unwrap();
+        assert!((&res.x - &xd).norm2() < 1e-8 * xd.norm2().max(1.0));
+        assert_eq!(m.kind_name(), "schur-ilu0");
+    }
+
+    #[test]
+    fn transposed_preconditioner_solves_the_transposed_system() {
+        let n = 18;
+        let k = chain_saddle(n);
+        let kt = k.transpose();
+        let flat_t = kt.flatten();
+        let b = DVec::from_fn(3 * n, |i| 1.0 - 0.01 * i as f64);
+        let m = Preconditioner::Saddle(Box::new(SaddlePrecond::build(&kt)));
+        let opts = IterOpts::gmres().max_iter(4000).tol(1e-12).restart(80);
+        let res = gmres(&flat_t, &b, &m, &opts).unwrap();
+        let r = &flat_t.matvec(&res.x) - &b;
+        assert!(r.norm2() < 1e-8 * b.norm2());
+    }
+
+    #[test]
+    fn memory_accounting_is_nonzero_and_blockwise() {
+        let k = chain_saddle(10);
+        assert!(k.memory_bytes() > 0);
+        let p = SaddlePrecond::build(&k);
+        assert!(p.memory_bytes() > 0);
+        assert_eq!(p.dim(), 30);
+    }
+}

@@ -21,7 +21,8 @@
 //! failure mode the paper reports for DAL on this problem (§3.2, fig. 4b).
 
 use crate::ns::{NsSolver, NsState, NsWorkspace};
-use linalg::{DMat, DVec, LinalgError};
+use geometry::generators::channel_tags;
+use linalg::{BlockCsr, DMat, DVec, LinalgError, Triplets};
 
 /// Adjoint fields at the nodes.
 #[derive(Debug, Clone)]
@@ -80,10 +81,10 @@ impl<'s> NsAdjoint<'s> {
         }
 
         // Production terms (∇u)ᵀξ — diagonal couplings frozen at the state.
-        let dxu = s.dm.dx.matvec(&state.u)?;
-        let dxv = s.dm.dx.matvec(&state.v)?;
-        let dyu = s.dm.dy.matvec(&state.u)?;
-        let dyv = s.dm.dy.matvec(&state.v)?;
+        let dxu = s.dm().dx.matvec(&state.u)?;
+        let dxv = s.dm().dx.matvec(&state.v)?;
+        let dyu = s.dm().dy.matvec(&state.u)?;
+        let dyv = s.dm().dy.matvec(&state.v)?;
         for i in nodes.interior_range() {
             a[(i, i)] += dxu[i];
             a[(i, n + i)] += dxv[i];
@@ -94,7 +95,7 @@ impl<'s> NsAdjoint<'s> {
         // Adjoint outflow Robin rows for ξ_u: ν ∂/∂x + u·e.
         for &i in s.outflow_idx() {
             for j in 0..n {
-                a[(i, j)] = nu * s.dm.dx[(i, j)];
+                a[(i, j)] = nu * s.dm().dx[(i, j)];
             }
             a[(i, i)] += state.u[i];
             // Clear any pressure-gradient coupling on this boundary row.
@@ -103,6 +104,86 @@ impl<'s> NsAdjoint<'s> {
             }
         }
         Ok(())
+    }
+
+    /// Assembles the coupled adjoint operator as a `3 × 3` block-CSR
+    /// matrix (sparse mode only) — the same equations as the dense
+    /// [`NsAdjoint::solve_adjoint`] assembly, built from the RBF-FD
+    /// stencil operators without any `O(N²)` storage. Block ordering is
+    /// `ξ_u | ξ_v | q`: reversed advection `−(u·∇)` plus the diagonal
+    /// `(∇u)ᵀξ` production couplings on the interior momentum rows, the
+    /// Robin `ν∂x + u·e` rows for `ξ_u` at the outflow, and the forward
+    /// problem's pressure-gradient / continuity / pressure-BC blocks.
+    ///
+    /// # Panics
+    /// Panics under [`linalg::BackendKind::DenseLu`].
+    pub fn adjoint_blocks(&self, state: &NsState) -> BlockCsr {
+        let s = self.solver;
+        let ops = s
+            .sparse_ops()
+            .expect("adjoint_blocks requires BackendKind::SparseGmres");
+        let nodes = s.nodes();
+        let n = nodes.len();
+        let nu = s.nu_eff();
+
+        // Production terms (∇u)ᵀξ — diagonal couplings frozen at the state.
+        let dxu = ops.dx.matvec(&state.u);
+        let dxv = ops.dx.matvec(&state.v);
+        let dyu = ops.dy.matvec(&state.u);
+        let dyv = ops.dy.matvec(&state.v);
+
+        let push_row = |t: &mut Triplets, i: usize, cols: &[usize], vals: &[f64], scale: f64| {
+            for (&j, &v) in cols.iter().zip(vals) {
+                t.push(i, j, scale * v);
+            }
+        };
+
+        let mut t_uu = Triplets::new(n, n);
+        let mut t_uv = Triplets::new(n, n);
+        let mut t_vu = Triplets::new(n, n);
+        let mut t_vv = Triplets::new(n, n);
+        for i in nodes.interior_range() {
+            // Diffusion −ν∇²: a_u0's interior rows hold exactly that.
+            let (ca, va) = ops.a_u0.row(i);
+            push_row(&mut t_uu, i, ca, va, 1.0);
+            push_row(&mut t_vv, i, ca, va, 1.0);
+            // Reversed advection −(u·∇) on both momentum blocks.
+            let (cx, vx) = ops.dx_int.row(i);
+            push_row(&mut t_uu, i, cx, vx, -state.u[i]);
+            push_row(&mut t_vv, i, cx, vx, -state.u[i]);
+            let (cy, vy) = ops.dy_int.row(i);
+            push_row(&mut t_uu, i, cy, vy, -state.v[i]);
+            push_row(&mut t_vv, i, cy, vy, -state.v[i]);
+            // Production couplings.
+            t_uu.push(i, i, dxu[i]);
+            t_uv.push(i, i, dxv[i]);
+            t_vu.push(i, i, dyu[i]);
+            t_vv.push(i, i, dyv[i]);
+        }
+        for i in nodes.boundary_indices() {
+            if nodes.tag(i) == channel_tags::OUTFLOW {
+                // Robin row for ξ_u: ν ∂x + u·e; no pressure coupling
+                // (the (ξ_u, q) block has empty boundary rows already).
+                let (cx, vx) = ops.dx.row(i);
+                push_row(&mut t_uu, i, cx, vx, nu);
+                t_uu.push(i, i, state.u[i]);
+            } else {
+                t_uu.push(i, i, 1.0); // ξ_u = 0
+            }
+            t_vv.push(i, i, 1.0); // ξ_v = 0
+        }
+
+        let mut blocks = BlockCsr::new(3, n);
+        blocks.set_block(0, 0, t_uu.to_csr());
+        blocks.set_block(0, 1, t_uv.to_csr());
+        blocks.set_block(1, 0, t_vu.to_csr());
+        blocks.set_block(1, 1, t_vv.to_csr());
+        blocks.set_block(0, 2, ops.dx_int.clone());
+        blocks.set_block(1, 2, ops.dy_int.clone());
+        blocks.set_block(2, 0, ops.dx_int.clone());
+        blocks.set_block(2, 1, ops.dy_int.clone());
+        blocks.set_block(2, 2, ops.a_p.clone());
+        blocks
     }
 
     /// Solves the coupled adjoint system for the given forward state.
@@ -118,8 +199,9 @@ impl<'s> NsAdjoint<'s> {
     /// adjoint matrix shares the forward system's shape and storage needs, so
     /// the *same* [`NsWorkspace`] serves the Picard sweeps and the adjoint
     /// solve: assembly writes over the matrix buffer and the configured
-    /// backend (dense LU refactor or sparse GMRES+ILU0 refresh) recycles its
-    /// storage. Produces the same adjoint fields as the allocating path.
+    /// backend (dense LU refactor or sparse Schur-preconditioned GMRES
+    /// refresh) recycles its storage. Produces the same adjoint fields as
+    /// the allocating path.
     pub fn solve_adjoint_with(
         &self,
         state: &NsState,
@@ -127,14 +209,19 @@ impl<'s> NsAdjoint<'s> {
     ) -> Result<AdjointState, LinalgError> {
         let s = self.solver;
         let n = s.nodes().len();
-        self.adjoint_matrix_into(state, &mut ws.a)?;
         // RHS: outflow mismatch on the ξ_u rows; zero elsewhere.
         let (u_out, _) = s.outflow_profile(state);
         let mut b = DVec::zeros(3 * n);
         for (j, &i) in s.outflow_idx().iter().enumerate() {
             b[i] = -(u_out[j] - s.target_u()[j]);
         }
-        s.solve_assembled(ws, &b)?;
+        if s.sparse_ops().is_some() {
+            let blocks = self.adjoint_blocks(state);
+            s.solve_saddle(ws, &blocks, &b)?;
+        } else {
+            self.adjoint_matrix_into(state, &mut ws.a)?;
+            s.solve_assembled(ws, &b)?;
+        }
         let x = &ws.x;
         Ok(AdjointState {
             xi_u: DVec(x.as_slice()[..n].to_vec()),
@@ -148,7 +235,10 @@ impl<'s> NsAdjoint<'s> {
     /// convention; validated against the exact DP gradient in the tests).
     pub fn gradient(&self, adj: &AdjointState) -> Result<DVec, LinalgError> {
         let s = self.solver;
-        let dx_xi = s.dm.dx.matvec(&adj.xi_u)?;
+        let dx_xi = match s.sparse_ops() {
+            Some(ops) => ops.dx.matvec(&adj.xi_u),
+            None => s.dm().dx.matvec(&adj.xi_u)?,
+        };
         let nu = s.nu_eff();
         Ok(DVec(
             s.inflow_idx()

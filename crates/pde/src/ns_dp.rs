@@ -12,11 +12,19 @@
 //! the paper reports for DP in Table 3 and §4 ("DP as conceived in this
 //! study can be memory inefficient due to storage … of a computational
 //! graph").
+//!
+//! Under [`linalg::BackendKind::SparseGmres`] each refinement instead
+//! records a [`Tape::solve_scaled`] node: the saddle operator is the fixed
+//! decomposition `A₀ + diag(s_u)·C_x + diag(s_v)·C_y` (structure matrices
+//! from [`crate::ns::NsSparseOps`]), solved by Schur-preconditioned GMRES,
+//! and the reverse sweep uses one transpose solve per refinement — the
+//! dense `(3N)²` matrix and its `Ā = −s xᵀ` outer product are never
+//! materialised.
 
 use crate::ns::{NsSolver, NsState};
 use autodiff::tensor::{self, Tensor};
 use autodiff::Tape;
-use linalg::{DMat, DVec, LinalgError};
+use linalg::{BackendKind, DMat, DVec, LinalgError, LinearBackend, SparseIterative};
 use std::sync::Arc;
 
 /// Statistics captured from the DP tape — feeds the Table 3 reproduction.
@@ -33,6 +41,11 @@ pub struct NsDp<'s> {
     solver: &'s NsSolver,
     /// `3N × n_c` placement of inflow control values into the stacked RHS.
     placement_in: Arc<Tensor>,
+    /// `3N × n_c` placement of the cold-start state: rows `0..N` carry
+    /// [`NsSolver::initial_placement`] (the `u` transport of the control),
+    /// the `v`/`p` rows are zero. Recording `x₀ = P₀·c` keeps the
+    /// `∂x₀/∂c` path on the tape.
+    placement_init: Arc<Tensor>,
     /// Constant stacked RHS (slot data), `3N × 1`.
     rhs0: Tensor,
     /// `−target` at the outflow nodes.
@@ -54,6 +67,13 @@ impl<'s> NsDp<'s> {
         for (j, &i) in solver.inflow_idx().iter().enumerate() {
             placement[(i, j)] = 1.0;
         }
+        let p0 = solver.initial_placement();
+        let mut placement_init = DMat::zeros(3 * n, n_c);
+        for i in 0..n {
+            for j in 0..n_c {
+                placement_init[(i, j)] = p0[(i, j)];
+            }
+        }
         let rhs0 = tensor::from_dvec(solver.rhs0());
         let t = solver.target_u();
         let neg_target = DMat::from_fn(t.len(), 1, |i, _| -t[i]);
@@ -64,6 +84,7 @@ impl<'s> NsDp<'s> {
         NsDp {
             solver,
             placement_in: Arc::new(placement),
+            placement_init: Arc::new(placement_init),
             rhs0,
             neg_target,
             half_weights,
@@ -98,15 +119,12 @@ impl<'s> NsDp<'s> {
         let n = s.nodes().len();
         let tape = Tape::new();
         let cv = tape.var_col(c);
-        let owned_init;
-        let init = match init {
-            Some(st) => st,
-            None => {
-                owned_init = s.initial_state(c);
-                &owned_init
-            }
+        // A warm start is a constant of the map; a cold start is `P₀·c`
+        // and must stay differentiable (see `placement_init`).
+        let mut x = match init {
+            Some(st) => tape.var_col(&st.stack()),
+            None => cv.matmul_const_l(&self.placement_init),
         };
-        let mut x = tape.var_col(&init.stack());
         let zeros_n = tape.var_col(&vec![0.0; n]);
         let rhs = cv.matmul_const_l(&self.placement_in).add_const(&self.rhs0);
         let w = s.cfg().picard_damping;
@@ -116,11 +134,35 @@ impl<'s> NsDp<'s> {
             let v_slice = x.slice_rows(n, n);
             let su = tape.concat_rows(&[u_slice, u_slice, zeros_n]);
             let sv = tape.concat_rows(&[v_slice, v_slice, zeros_n]);
-            let a = su
-                .row_scale_const(s.adv_x())
-                .add(sv.row_scale_const(s.adv_y()))
-                .add_const(s.base());
-            let x_new = tape.solve_with_kind(s.cfg().backend, a, rhs)?;
+            let x_new = match s.cfg().backend {
+                BackendKind::DenseLu => {
+                    let a = su
+                        .row_scale_const(s.adv_x())
+                        .add(sv.row_scale_const(s.adv_y()))
+                        .add_const(s.base());
+                    tape.solve_with_kind(s.cfg().backend, a, rhs)?
+                }
+                BackendKind::SparseGmres => {
+                    // The saddle operator for the current iterate is
+                    // assembled untaped (it is A₀ + diag(su)·C_x +
+                    // diag(sv)·C_y, and `solve_scaled` differentiates
+                    // through exactly that decomposition), so the dense
+                    // (3N)² matrix never exists on this path either.
+                    let state_now = NsState::unstack(&tensor::to_dvec(&x.value()));
+                    let blocks = s.picard_blocks(&state_now);
+                    let be: Arc<dyn LinearBackend> = Arc::new(SparseIterative::gmres_saddle(
+                        &blocks,
+                        NsSolver::sparse_opts(),
+                    ));
+                    let ops = s.sparse_ops().expect("sparse backend has sparse ops");
+                    tape.solve_scaled(
+                        &be,
+                        &[su, sv],
+                        &[Arc::clone(&ops.adv3_x), Arc::clone(&ops.adv3_y)],
+                        rhs,
+                    )?
+                }
+            };
             x = x.scale(1.0 - w).add(x_new.scale(w));
         }
 

@@ -112,6 +112,29 @@ pub fn fd_weights_into(
     ws: &mut FdWorkspace,
     out: &mut Vec<f64>,
 ) -> Result<(), LinalgError> {
+    let mut outs = [std::mem::take(out)];
+    let res = fd_weights_multi_into(center, neighbours, kernel, degree, &[op], ws, &mut outs);
+    *out = std::mem::take(&mut outs[0]);
+    res
+}
+
+/// Multi-operator form of [`fd_weights_into`]: one local fit system
+/// `[Φ P; Pᵀ 0]`, assembled and factored **once**, then back-solved for
+/// every operator in `ops` (`outs[q]` receives the `k` weights of
+/// `ops[q]`). The factorisation depends only on the stencil geometry, so
+/// each weight set is bitwise identical to a standalone [`fd_weights_into`]
+/// call for that operator — this is the cost lever for saddle-point
+/// assembly, which needs `∂x`, `∂y` and `∇²` on every stencil.
+pub fn fd_weights_multi_into(
+    center: Point2,
+    neighbours: &[Point2],
+    kernel: RbfKernel,
+    degree: i32,
+    ops: &[DiffOp],
+    ws: &mut FdWorkspace,
+    outs: &mut [Vec<f64>],
+) -> Result<(), LinalgError> {
+    assert_eq!(ops.len(), outs.len(), "one output buffer per operator");
     let k = neighbours.len();
     let basis = PolyBasis::new(degree);
     let m = basis.len();
@@ -149,34 +172,37 @@ pub fn fd_weights_into(
             ws.a[(k + j, i)] = v;
         }
     }
-    // RHS: the operator applied to each basis function at the centre.
-    ws.rhs.0.resize(size, 0.0);
-    for (j, p) in local.iter().enumerate().take(k) {
-        let r = origin.dist(p);
-        ws.rhs[j] = match op {
-            DiffOp::Eval => kernel.eval(r),
-            DiffOp::Dx => (origin.x - p.x) * kernel.d1_over_r(r),
-            DiffOp::Dy => (origin.y - p.y) * kernel.d1_over_r(r),
-            DiffOp::Lap => kernel.laplacian2d(r),
-        };
-    }
-    let poly_rhs = match op {
-        DiffOp::Eval => basis.eval(origin),
-        DiffOp::Dx => basis.eval_dx(origin),
-        DiffOp::Dy => basis.eval_dy(origin),
-        DiffOp::Lap => basis.eval_lap(origin),
-    };
-    for (j, v) in poly_rhs.into_iter().enumerate() {
-        ws.rhs[k + j] = v;
-    }
     match &mut ws.lu {
         Some(lu) if lu.dim() == size => lu.refactor(&ws.a)?,
         slot => *slot = Some(Lu::factor(&ws.a)?),
     }
     let lu = ws.lu.as_ref().expect("lu populated above");
-    lu.solve_into(&ws.rhs, &mut ws.sol)?;
-    out.clear();
-    out.extend_from_slice(&ws.sol.as_slice()[..k]);
+    // One back-solve per operator against the shared factors.
+    ws.rhs.0.resize(size, 0.0);
+    for (&op, out) in ops.iter().zip(outs.iter_mut()) {
+        // RHS: the operator applied to each basis function at the centre.
+        for (j, p) in local.iter().enumerate().take(k) {
+            let r = origin.dist(p);
+            ws.rhs[j] = match op {
+                DiffOp::Eval => kernel.eval(r),
+                DiffOp::Dx => (origin.x - p.x) * kernel.d1_over_r(r),
+                DiffOp::Dy => (origin.y - p.y) * kernel.d1_over_r(r),
+                DiffOp::Lap => kernel.laplacian2d(r),
+            };
+        }
+        let poly_rhs = match op {
+            DiffOp::Eval => basis.eval(origin),
+            DiffOp::Dx => basis.eval_dx(origin),
+            DiffOp::Dy => basis.eval_dy(origin),
+            DiffOp::Lap => basis.eval_lap(origin),
+        };
+        for (j, v) in poly_rhs.into_iter().enumerate() {
+            ws.rhs[k + j] = v;
+        }
+        lu.solve_into(&ws.rhs, &mut ws.sol)?;
+        out.clear();
+        out.extend_from_slice(&ws.sol.as_slice()[..k]);
+    }
     Ok(())
 }
 
@@ -298,6 +324,56 @@ pub fn fd_matrix_from_stencils(
         }
     }
     Ok(t.to_csr())
+}
+
+/// Assembles several sparse global operators in one parallel sweep over the
+/// stencils: each node's local fit system is factored **once** and
+/// back-solved for every operator in `ops`, so assembling `{∂x, ∂y, ∇²}`
+/// costs one factorisation pass instead of three.
+///
+/// Returns one CSR per operator, in the order of `ops`. Each returned
+/// matrix is bitwise identical to the corresponding
+/// [`fd_matrix_from_stencils`] call (the local factors depend only on the
+/// stencil geometry), and the assembly is deterministic across pool widths
+/// (fixed per-node work decomposition, same as the single-operator path).
+/// This is the saddle-point assembly primitive: the Navier–Stokes block
+/// operator needs all three derivatives on every stencil.
+pub fn fd_matrices_multi(
+    nodes: &NodeSet,
+    stencils: &StencilSet,
+    kernel: RbfKernel,
+    degree: i32,
+    ops: &[DiffOp],
+) -> Result<Vec<Csr>, LinalgError> {
+    assert_eq!(
+        stencils.len(),
+        nodes.len(),
+        "stencils built for other nodes"
+    );
+    let n = nodes.len();
+    let nops = ops.len();
+    let per_row: Vec<Result<Vec<Vec<f64>>, LinalgError>> = par::par_map_collect_with(
+        n,
+        || (FdWorkspace::new(), Vec::new()),
+        |(ws, pts), i| {
+            let center = nodes.point(i);
+            pts.clear();
+            pts.extend(stencils.neighbours(i).iter().map(|&j| nodes.point(j)));
+            let mut outs = vec![Vec::with_capacity(pts.len()); nops];
+            fd_weights_multi_into(center, pts, kernel, degree, ops, ws, &mut outs)?;
+            Ok(outs)
+        },
+    );
+    let mut triplets: Vec<Triplets> = (0..nops).map(|_| Triplets::new(n, n)).collect();
+    for (i, row) in per_row.into_iter().enumerate() {
+        let weight_sets = row?;
+        for (t, w) in triplets.iter_mut().zip(weight_sets) {
+            for (&j, wj) in stencils.neighbours(i).iter().zip(w) {
+                t.push(i, j, wj);
+            }
+        }
+    }
+    Ok(triplets.into_iter().map(|t| t.to_csr()).collect())
 }
 
 /// Normal-derivative sparse operator (`n·∇`) using each boundary node's
@@ -565,6 +641,36 @@ mod tests {
             let reused =
                 fd_matrix_from_stencils(&ns, &stencils, RbfKernel::Phs3, cfg.degree, op).unwrap();
             assert_eq!(fresh.to_dense(), reused.to_dense(), "{op:?} diverged");
+        }
+    }
+
+    #[test]
+    fn multi_op_assembly_is_bitwise_identical_to_single_op_assemblies() {
+        let ns = unit_square_scattered(90, 13, all_dirichlet);
+        let cfg = FdConfig::default();
+        let stencils = StencilSet::build(&ns, cfg.stencil_size);
+        let ops = [DiffOp::Dx, DiffOp::Dy, DiffOp::Lap];
+        let multi = fd_matrices_multi(&ns, &stencils, RbfKernel::Phs3, cfg.degree, &ops).unwrap();
+        assert_eq!(multi.len(), 3);
+        for (op, m) in ops.iter().zip(&multi) {
+            let single =
+                fd_matrix_from_stencils(&ns, &stencils, RbfKernel::Phs3, cfg.degree, *op).unwrap();
+            assert_eq!(m.to_dense(), single.to_dense(), "{op:?} diverged");
+        }
+    }
+
+    #[test]
+    fn multi_op_assembly_is_deterministic_across_thread_counts() {
+        let ns = unit_square_grid(9, 9, all_dirichlet);
+        let cfg = FdConfig::default();
+        let stencils = StencilSet::build(&ns, cfg.stencil_size);
+        let ops = [DiffOp::Dx, DiffOp::Lap];
+        let par_run = fd_matrices_multi(&ns, &stencils, RbfKernel::Phs3, cfg.degree, &ops).unwrap();
+        let seq = par::serial_scope(|| {
+            fd_matrices_multi(&ns, &stencils, RbfKernel::Phs3, cfg.degree, &ops).unwrap()
+        });
+        for (a, b) in par_run.iter().zip(&seq) {
+            assert_eq!(a.to_dense(), b.to_dense());
         }
     }
 

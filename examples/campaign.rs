@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release --example campaign            # the Table 3 grid
-//! cargo run --release --example campaign -- --smoke # 6-spec CI smoke
+//! cargo run --release --example campaign -- --smoke # 7-spec CI smoke
 //! ```
 //!
 //! Kill it mid-flight and run it again: completed specs are skipped, and
@@ -13,12 +13,13 @@
 use meshfree_oc::driver::{BackendKind, Campaign, OptimizerKind, RunSpec, Strategy};
 use std::time::Duration;
 
-/// A 6-spec campaign — three synthetic, one injected NaN-diverging spec,
-/// one real Laplace run on the sparse GMRES+ILU0 backend, and one
-/// second-order (Newton-CG) Laplace DAL run; used by CI to prove the retry
-/// path, the non-default backend plumbing and the optimizer selection
-/// end-to-end. Panics (non-zero exit) if the faulty spec is not retried
-/// exactly once or any spec is lost.
+/// A 7-spec campaign — three synthetic, one injected NaN-diverging spec,
+/// one real Laplace run on the sparse GMRES+ILU0 backend, one sparse-NS
+/// run on the RBF-FD saddle + Schur-GMRES path, and one second-order
+/// (Newton-CG) Laplace DAL run; used by CI to prove the retry path, the
+/// non-default backend plumbing (for both PDEs) and the optimizer
+/// selection end-to-end. Panics (non-zero exit) if the faulty spec is not
+/// retried exactly once or any spec is lost.
 fn run_smoke() {
     let path = std::env::temp_dir().join(format!(
         "meshfree-campaign-smoke-{}.jsonl",
@@ -51,6 +52,23 @@ fn run_smoke() {
             .lr(1e-2)
             .seed(7)
             .label("smoke-sparse-laplace")
+            .build(),
+    );
+    // One sparse Navier–Stokes spec: the RBF-FD saddle assembly and the
+    // Schur-preconditioned GMRES engine behind `BackendKind::SparseGmres`
+    // on the coupled problem, again sized for plumbing rather than
+    // physics.
+    campaign = campaign.spec(
+        RunSpec::navier_stokes()
+            .resolution(0.2)
+            .reynolds(40.0)
+            .refinements(2)
+            .backend(BackendKind::SparseGmres)
+            .strategy(Strategy::Dal)
+            .iterations(2)
+            .lr(5e-2)
+            .seed(7)
+            .label("smoke-sparse-ns")
             .build(),
     );
     // One second-order spec: Newton-CG on the weighted-adjoint DAL

@@ -52,12 +52,13 @@ if [[ -n "$(git status --porcelain -- tests/golden)" ]]; then
 fi
 
 echo "==> campaign driver smoke (retry path, fault injection)"
-# A 6-spec campaign with one injected NaN-diverging spec, one Laplace run
-# on the sparse GMRES+ILU0 backend and one second-order (Newton-CG DAL)
+# A 7-spec campaign with one injected NaN-diverging spec, one Laplace run
+# on the sparse GMRES+ILU0 backend, one Navier–Stokes run on the RBF-FD
+# saddle + Schur-GMRES backend, and one second-order (Newton-CG DAL)
 # Laplace run: the example asserts exactly one spec was retried and none
 # were lost, exiting non-zero otherwise — the driver's fault tolerance,
-# the non-default linear-solver backend and the optimizer selection are
-# exercised end-to-end on every CI run.
+# the non-default linear-solver backends (both PDEs) and the optimizer
+# selection are exercised end-to-end on every CI run.
 cargo run -q --release --example campaign -- --smoke
 
 echo "==> serve daemon smoke (cache amortization over the wire)"

@@ -1,24 +1,34 @@
 //! Backend-equivalence gate for the linear-solver redesign.
 //!
-//! Two claims, tested end-to-end through the public façade:
+//! Three claims, tested end-to-end through the public façade:
 //!
 //! 1. On the *same* linear system, [`BackendKind::SparseGmres`] reproduces
 //!    the dense LU answer to ≤ 1e-8 relative — judged by the golden-run
 //!    tolerance policy ([`check::golden::GoldenPolicy`]), not ad-hoc
-//!    comparisons, on both the RBF-FD Laplace system and the assembled
-//!    Navier–Stokes Picard system.
-//! 2. A full Laplace control run (DAL *and* DP) completes on the sparse
-//!    backend at `nx = 48` — 2304 nodes, 4× the dense path's perf-suite
-//!    ceiling of `laplace_nx = 24` — while reporting per-solve iteration
-//!    counts on the `"linsolve"` trace layer.
+//!    comparisons, on the RBF-FD Laplace system and on every saddle system
+//!    of a full Navier–Stokes DAL run (forward Picard sweep *and* coupled
+//!    adjoint).
+//! 2. Full control runs complete on the sparse backend beyond the dense
+//!    path's perf-suite ceilings — Laplace at `nx = 48` (4× the dense
+//!    `laplace_nx = 24` node count) and Navier–Stokes at ≥ 2× the dense
+//!    `ns_h = 0.14` node count — while reporting per-solve iteration
+//!    counts on the `"linsolve"` trace layer (`gmres_ilu0` for Laplace,
+//!    `gmres_schur` for the saddle systems).
+//! 3. The sparse NS saddle assembly is exact (its action matches its own
+//!    densified image and the taped-DP `A₀ + Σ diag(sₖ)Cₖ` decomposition
+//!    to ≤ 1e-10) and bitwise deterministic across pool widths.
 
+use meshfree_oc::autodiff::gradcheck::rel_error;
 use meshfree_oc::check::golden::{compare, GoldenPolicy, GoldenSnapshot};
 use meshfree_oc::control::api::{execute, BackendKind, RunSpec, Strategy};
-use meshfree_oc::geometry::generators::{unit_square_grid, ChannelConfig};
+use meshfree_oc::geometry::generators::{channel_cloud, unit_square_grid, ChannelConfig};
 use meshfree_oc::linalg::{Csr, DVec, IterOpts, LinearBackend, Lu, SparseIterative, Triplets};
-use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver};
+use meshfree_oc::pde::ns_adjoint::NsAdjoint;
+use meshfree_oc::pde::ns_dp::NsDp;
+use meshfree_oc::pde::{LaplaceControlProblem, NsConfig, NsSolver, NsState};
 use meshfree_oc::rbf::fd::{fd_matrix, FdConfig};
 use meshfree_oc::rbf::{DiffOp, RbfKernel};
+use meshfree_oc::runtime::par;
 use meshfree_oc::runtime::trace::{self, MemorySink, TraceEvent};
 use std::f64::consts::PI;
 
@@ -117,26 +127,228 @@ fn solve_many_is_bitwise_identical_to_one_at_a_time_on_both_backends() {
     }
 }
 
-#[test]
-fn sparse_backend_matches_dense_lu_on_the_ns_picard_system() {
-    let mut cfg = NsConfig {
+/// A genuinely sparse (RBF-FD saddle-point) Navier–Stokes solver.
+fn sparse_ns_solver(h: f64) -> NsSolver {
+    NsSolver::new(NsConfig {
         channel: ChannelConfig {
-            h: 0.18,
+            h,
             ..Default::default()
         },
         re: 40.0,
         slot_velocity: 0.2,
+        backend: BackendKind::SparseGmres,
         ..Default::default()
-    };
-    let dense = NsSolver::new(cfg.clone()).unwrap();
-    cfg.backend = BackendKind::SparseGmres;
-    let sparse = NsSolver::new(cfg).unwrap();
+    })
+    .unwrap()
+}
 
-    let c = DVec::from_fn(dense.n_controls(), |i| 0.1 + 0.02 * i as f64);
+fn test_control(s: &NsSolver) -> DVec {
+    DVec::from_fn(s.n_controls(), |i| 0.1 + 0.02 * i as f64)
+}
+
+#[test]
+fn ns_saddle_assembly_matches_its_dense_image_and_the_dp_decomposition() {
+    let s = sparse_ns_solver(0.18);
+    let n = s.nodes().len();
+    let c = test_control(&s);
+    let state = s.initial_state(&c);
+    let a = s.picard_blocks(&state).flatten();
+    let x = DVec::from_fn(3 * n, |i| (0.17 * i as f64).sin());
+
+    // Sparse-assembled vs dense-assembled action of the same operator.
+    let y_sparse = a.matvec(&x);
+    let y_dense = a.to_dense().matvec(&x).unwrap();
+    for i in 0..3 * n {
+        assert!(
+            (y_sparse[i] - y_dense[i]).abs() <= 1e-10 * (1.0 + y_dense[i].abs()),
+            "operator action drifts at row {i}: {} vs {}",
+            y_sparse[i],
+            y_dense[i]
+        );
+    }
+
+    // The taped-DP decomposition A = A₀ + diag(s_u)·C_x + diag(s_v)·C_y
+    // must reproduce the Picard assembly exactly (this identity is what
+    // makes the sparse DP gradient exact).
+    let zero = NsState {
+        u: DVec::zeros(n),
+        v: DVec::zeros(n),
+        p: DVec::zeros(n),
+    };
+    let base = s.picard_blocks(&zero).flatten();
+    let ops = s.sparse_ops().expect("sparse solver has sparse ops");
+    let cx = ops.adv3_x.matvec(&x);
+    let cy = ops.adv3_y.matvec(&x);
+    let mut y_dec = base.matvec(&x);
+    for i in 0..n {
+        // s_u = [u; u; 0] and s_v = [v; v; 0] in the u|v|p block ordering.
+        y_dec[i] += state.u[i] * cx[i] + state.v[i] * cy[i];
+        y_dec[n + i] += state.u[i] * cx[n + i] + state.v[i] * cy[n + i];
+    }
+    for i in 0..3 * n {
+        assert!(
+            (y_sparse[i] - y_dec[i]).abs() <= 1e-10 * (1.0 + y_sparse[i].abs()),
+            "DP decomposition drifts at row {i}: {} vs {}",
+            y_dec[i],
+            y_sparse[i]
+        );
+    }
+}
+
+#[test]
+fn sparse_ns_dal_run_matches_dense_lu_of_the_same_saddle_systems() {
+    // Same-system equivalence through a full DAL evaluation: every saddle
+    // system the sparse engine solves (k Picard refinements + the coupled
+    // adjoint) is densified and LU-solved as the reference. ≤ 1e-8
+    // relative under the golden policy — this is the backend contract, not
+    // a discretisation comparison.
+    let s = sparse_ns_solver(0.18);
+    let n = s.nodes().len();
+    let c = test_control(&s);
     let k = 4;
-    let sd = dense.solve(&c, k, None).unwrap();
-    let ss = sparse.solve(&c, k, None).unwrap();
-    assert_equivalent("ns-picard-backend-equivalence", &sd.stack(), &ss.stack());
+
+    let b = s.rhs(&c);
+    let mut ref_state = s.initial_state(&c);
+    for _ in 0..k {
+        let a = s.picard_blocks(&ref_state).flatten().to_dense();
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        ref_state = NsState::unstack(&x); // picard_damping = 1
+    }
+    let st = s.solve(&c, k, None).unwrap();
+    assert_equivalent(
+        "ns-saddle-forward-equivalence",
+        &ref_state.stack(),
+        &st.stack(),
+    );
+
+    let dal = NsAdjoint::new(&s);
+    let adj = dal.solve_adjoint(&st).unwrap();
+    let adj_stack = NsState {
+        u: adj.xi_u.clone(),
+        v: adj.xi_v.clone(),
+        p: adj.q.clone(),
+    }
+    .stack();
+    let at = dal.adjoint_blocks(&st).flatten().to_dense();
+    let (u_out, _) = s.outflow_profile(&st);
+    let mut ba = DVec::zeros(3 * n);
+    for (j, &i) in s.outflow_idx().iter().enumerate() {
+        ba[i] = -(u_out[j] - s.target_u()[j]);
+    }
+    let xa = Lu::factor(&at).unwrap().solve(&ba).unwrap();
+    assert_equivalent("ns-saddle-adjoint-equivalence", &xa, &adj_stack);
+}
+
+#[test]
+fn sparse_ns_dp_run_is_consistent_and_its_gradient_is_exact() {
+    let s = sparse_ns_solver(0.2);
+    let c = test_control(&s);
+    let k = 3;
+    let dp = NsDp::new(&s);
+    let (j_dp, g_dp, _) = dp.cost_and_grad(&c, k, None).unwrap();
+    // The taped forward performs the same saddle solves as the plain
+    // sparse solver.
+    let j_plain = s.cost(&s.solve(&c, k, None).unwrap());
+    assert!(
+        (j_dp - j_plain).abs() <= 1e-10 * (1.0 + j_plain.abs()),
+        "taped sparse J {j_dp} vs plain {j_plain}"
+    );
+    // And the reverse sweep (transpose saddle solves through
+    // `solve_scaled`) reproduces finite differences of the same discrete
+    // cost.
+    let (_, g_fd) = dp.cost_and_grad_fd(&c, k, 1e-6).unwrap();
+    let err = rel_error(g_dp.as_slice(), g_fd.as_slice());
+    assert!(err < 1e-4, "sparse DP vs FD rel error {err:.3e}");
+}
+
+#[test]
+fn sparse_ns_assembly_is_bitwise_deterministic_across_pool_widths() {
+    let build = || {
+        let s = sparse_ns_solver(0.2);
+        let c = test_control(&s);
+        let state = s.initial_state(&c);
+        s.picard_blocks(&state).flatten()
+    };
+    let wide = build();
+    let narrow = par::serial_scope(build);
+    assert_eq!(wide.nnz(), narrow.nnz(), "nnz differs across pool widths");
+    assert_eq!(
+        wide.to_dense().as_slice(),
+        narrow.to_dense().as_slice(),
+        "sparse NS assembly is not bitwise deterministic across pool widths"
+    );
+}
+
+#[test]
+fn sparse_ns_control_runs_complete_at_twice_the_dense_ceiling() {
+    // The dense NS perf-suite ceiling is ns_h = 0.14; at h = 0.09 the
+    // channel cloud carries ≥ 2× those nodes and the dense (3N)² matrix is
+    // never allocated. Full DAL and DP control runs must complete there,
+    // every saddle solve reporting on the "linsolve" layer under the
+    // gmres_schur label.
+    let ceiling = channel_cloud(&ChannelConfig {
+        h: 0.14,
+        ..Default::default()
+    })
+    .len();
+    let h = 0.09;
+    let nodes = channel_cloud(&ChannelConfig {
+        h,
+        ..Default::default()
+    })
+    .len();
+    assert!(
+        nodes >= 2 * ceiling,
+        "h = {h} carries only {nodes} nodes (< 2 × {ceiling})"
+    );
+
+    let (sink, events) = MemorySink::new();
+    trace::set_sink(Box::new(sink));
+    for strategy in [Strategy::Dal, Strategy::Dp] {
+        let spec = RunSpec::navier_stokes()
+            .resolution(h)
+            .reynolds(40.0)
+            .refinements(3)
+            .backend(BackendKind::SparseGmres)
+            .strategy(strategy)
+            .iterations(2)
+            .lr(5e-2)
+            .seed(7)
+            .build();
+        let run =
+            execute(&spec).unwrap_or_else(|e| panic!("{:?} sparse NS run failed: {e}", strategy));
+        assert!(
+            run.report.final_cost.is_finite(),
+            "{strategy:?}: non-finite final cost"
+        );
+        assert!(
+            run.spec_id.contains("sparse-gmres"),
+            "sparse run id must carry the backend suffix: {}",
+            run.spec_id
+        );
+    }
+    trace::clear_sink();
+
+    let events = events.lock().unwrap();
+    let iters: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Solve {
+                layer,
+                solver,
+                event,
+            } if *layer == "linsolve" && solver.starts_with("gmres_schur") => Some(event.iter),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !iters.is_empty(),
+        "sparse NS control runs emitted no gmres_schur linsolve events"
+    );
+    assert!(
+        iters.iter().all(|&it| it > 0),
+        "every traced saddle solve must report a positive iteration count: {iters:?}"
+    );
 }
 
 #[test]
