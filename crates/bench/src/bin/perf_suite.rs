@@ -11,9 +11,12 @@
 //! (problem size) and `<kernel>.iters` (timed repetitions), plus the global
 //! `threads` scalar and two derived ratios: `dal_laplace_factor_reuse_speedup`
 //! — the cached-factorisation DAL iteration versus the refactor-every-call
-//! baseline (`cost_and_grad_dal_uncached`) — and `newton_vs_adam_iter` — how
+//! baseline (`cost_and_grad_dal_uncached`) — `newton_vs_adam_iter` — how
 //! many times fewer outer iterations Newton-CG needs than Adam to reach the
-//! Adam-DAL final cost on the fig. 3 Laplace problem (hard-gated at ≥ 5×).
+//! Adam-DAL final cost on the fig. 3 Laplace problem (hard-gated at ≥ 5×) —
+//! and `neural_op_vs_dp_eval` — one frozen-surrogate cost + gradient versus
+//! one DP solve-and-differentiate iteration (hard-gated at ≥ 10×; the
+//! amortization claim behind `Strategy::NeuralOp`).
 //!
 //! Usage:
 //!
@@ -30,9 +33,10 @@
 //!   trajectory file)
 
 use check::golden::GoldenSnapshot;
-use control::api::{BackendKind, BuiltProblem, ProblemSpec, RunCtx};
+use control::api::{BackendKind, ProblemSpec, RunCtx};
 use control::laplace::{self, GradMethod, LaplaceRunConfig};
 use control::ns::initial_control;
+use control::surrogate::{LaplaceSurrogate, SurrogateSpec};
 use control::OptimizerKind;
 use geometry::generators::unit_square_grid;
 use linalg::iterative::{gmres, IterOpts, Preconditioner};
@@ -58,6 +62,7 @@ const REQUIRED_KERNELS: &[&str] = &[
     "dal_laplace_iter",
     "dal_laplace_iter_refactor",
     "dp_laplace_iter",
+    "neural_op_eval",
     "hvp_laplace",
     "dal_laplace_newton",
     "serve_cache_hit_laplace",
@@ -257,15 +262,39 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
     let speedup = dal_refactor.median_ns as f64 / dal.median_ns.max(1) as f64;
     println!("{:>28}  {speedup:.2}x", "dal factor-reuse speedup");
     snap = snap.scalar("dal_laplace_factor_reuse_speedup", speedup);
-    snap = record(
-        snap,
-        "dp_laplace_iter",
-        n_c,
-        time_kernel(sz.warmup, sz.reps, || {
-            let r = problem.cost_and_grad_dp(&c).expect("dp");
-            std::hint::black_box(&r);
-        }),
+    let dp = time_kernel(sz.warmup, sz.reps, || {
+        let r = problem.cost_and_grad_dp(&c).expect("dp");
+        std::hint::black_box(&r);
+    });
+    snap = record(snap, "dp_laplace_iter", n_c, dp);
+
+    // ---- amortized control: frozen-surrogate objective evaluation ------
+    // Train once (untimed — the training cost is amortized across every
+    // later evaluation), then time one objective evaluation through the
+    // frozen network against one through the PDE solver — the same
+    // comparison the serve daemon's `eval` vs `neural-eval` request kinds
+    // expose. The measured gap is the entire case for
+    // `Strategy::NeuralOp`, hard-gated at >= 10x both here and at
+    // `--verify` time.
+    let surrogate =
+        LaplaceSurrogate::train(&problem, &SurrogateSpec::default(), 0).expect("surrogate train");
+    let neural = time_kernel(sz.warmup, sz.reps.max(15), || {
+        let j = surrogate.cost(&c);
+        std::hint::black_box(j);
+    });
+    snap = record(snap, "neural_op_eval", n_c, neural);
+    let dp_eval = time_kernel(sz.warmup, sz.reps.max(15), || {
+        let j = problem.cost(&c).expect("dp eval");
+        std::hint::black_box(j);
+    });
+    let amortized = dp_eval.median_ns as f64 / neural.median_ns.max(1) as f64;
+    println!("{:>28}  {amortized:.2}x", "neural-op vs dp eval");
+    assert!(
+        amortized >= 10.0,
+        "a frozen-surrogate evaluation must be at least 10x faster than a PDE-solve \
+         evaluation (measured {amortized:.2}x)"
     );
+    snap = snap.scalar("neural_op_vs_dp_eval", amortized);
 
     // ---- forward-over-reverse Hessian-vector product --------------------
     // One cost + gradient + exact HVP through the cached factorization:
@@ -358,7 +387,7 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
     };
     let eval_request = |cache: &FactorCache| {
         let (built, _) = cache.get_or_build(&spec).expect("cache build");
-        let BuiltProblem::Laplace(p) = built.as_ref() else {
+        let Some(p) = built.laplace() else {
             unreachable!("a laplace spec builds a laplace problem")
         };
         let cost = p.cost(&c).expect("serve eval");
@@ -483,6 +512,13 @@ fn verify_snapshot(text: &str) -> Vec<String> {
         None => problems.push("missing scalar: newton_vs_adam_iter".to_string()),
         Some(v) if !v.is_finite() || v < 5.0 => {
             problems.push(format!("newton_vs_adam_iter {v} is below the 5x gate"))
+        }
+        Some(_) => {}
+    }
+    match snap.get_scalar("neural_op_vs_dp_eval") {
+        None => problems.push("missing scalar: neural_op_vs_dp_eval".to_string()),
+        Some(v) if !v.is_finite() || v < 10.0 => {
+            problems.push(format!("neural_op_vs_dp_eval {v} is below the 10x gate"))
         }
         Some(_) => {}
     }

@@ -3,9 +3,10 @@
 //! under the tolerance ladder (tight DP-vs-FD, loose DAL-vs-DP).
 
 use check::grad::{
-    check_heat, check_laplace_dense, check_laplace_hvp, check_laplace_sparse, check_ns, GradReport,
-    ToleranceLadder,
+    check_heat, check_laplace_dense, check_laplace_hvp, check_laplace_neural_op,
+    check_laplace_sparse, check_ns, GradReport, ToleranceLadder,
 };
+use control::surrogate::{LaplaceSurrogate, SurrogateSpec};
 use linalg::DVec;
 use pde::heat::{HeatConfig, HeatControlProblem};
 use pde::laplace_fd::LaplaceFdProblem;
@@ -101,6 +102,25 @@ fn laplace_hvp_ladder_holds() {
         report.symmetry_gap <= 1e-9,
         "symmetry {:.3e}",
         report.symmetry_gap
+    );
+}
+
+#[test]
+fn laplace_neural_op_ladder_holds() {
+    // The amortized-control rung: a surrogate trained once on the default
+    // budget must (1) differentiate its own frozen net to FD truncation
+    // and (2) point its gradient along the true DP gradient — otherwise
+    // optimizing through the frozen network would descend the wrong
+    // objective and the post-run audit could not rescue it.
+    let p = LaplaceControlProblem::new(10).unwrap();
+    let surrogate = LaplaceSurrogate::train(&p, &SurrogateSpec::default(), 0).unwrap();
+    let c = bump(p.control_x());
+    let reports = check_laplace_neural_op(&p, &surrogate, &c, &ToleranceLadder::default());
+    assert_eq!(reports.len(), 2);
+    assert!(
+        reports[1].cosine >= 0.9,
+        "surrogate-vs-dp cos {:.3}",
+        reports[1].cosine
     );
 }
 

@@ -24,6 +24,7 @@ use crate::laplace::GradMethod;
 use crate::metrics::{ConvergenceHistory, RunReport, Timer};
 use crate::pinn::{LaplacePinn, PinnConfig};
 use crate::pinn_ns::{NsPinn, NsPinnConfig};
+use crate::surrogate::{LaplaceSurrogate, SurrogateObjective, SurrogateSpec};
 use geometry::generators::ChannelConfig;
 use linalg::{DVec, LinalgError};
 // Re-exported: the backend choice is part of the spec surface — campaign
@@ -38,8 +39,10 @@ use pde::heat::HeatControlProblem;
 use pde::laplace_fd::LaplaceFdProblem;
 use pde::ns_dp::NsDp;
 use pde::{LaplaceControlProblem, NsConfig, NsSolver, NsState};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // ControlError
@@ -172,8 +175,8 @@ pub struct RunCtx {
     /// Cooperative stop signal (deadline and/or explicit cancellation).
     pub cancel: CancelToken,
     /// When true, a non-finite cost aborts the run with
-    /// [`ControlError::Diverged`]. The deprecated legacy entry points keep
-    /// this off to preserve their historical freeze-and-report behaviour.
+    /// [`ControlError::Diverged`]. [`RunCtx::unchecked`] keeps this off to
+    /// preserve the historical freeze-and-report behaviour.
     pub check_divergence: bool,
     /// Zero-based attempt index; the campaign driver increments it on each
     /// damped retry (fault-injecting objectives key off it).
@@ -616,7 +619,7 @@ impl ControlObjective for SyntheticObjective {
 // ---------------------------------------------------------------------------
 
 /// The paper's three control strategies, plus the finite-difference
-/// baseline (footnote 11).
+/// baseline (footnote 11) and the amortized operator-learning surrogate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Direct-adjoint looping (optimise-then-discretise).
@@ -627,35 +630,50 @@ pub enum Strategy {
     FiniteDiff,
     /// Physics-informed neural network with the two-step ω strategy.
     Pinn,
+    /// DeepONet surrogate: train/freeze the operator network once, then
+    /// optimize the control through the frozen net and audit the result
+    /// with one DP re-solve (see `control::surrogate`).
+    NeuralOp,
 }
 
 impl Strategy {
-    /// All strategies, in the paper's comparison order.
-    pub const ALL: [Strategy; 4] = [
+    /// All strategies, in the paper's comparison order (surrogate last).
+    pub const ALL: [Strategy; 5] = [
         Strategy::Dal,
         Strategy::Dp,
         Strategy::FiniteDiff,
         Strategy::Pinn,
+        Strategy::NeuralOp,
     ];
 
-    /// Display name (matches the legacy `GradMethod::name` values).
+    /// Display name (matches the legacy `GradMethod::name` values; also
+    /// the token embedded in derived [`RunSpec::id`]s).
     pub fn name(&self) -> &'static str {
         match self {
             Strategy::Dal => "DAL",
             Strategy::Dp => "DP",
             Strategy::FiniteDiff => "FD",
             Strategy::Pinn => "PINN",
+            Strategy::NeuralOp => "neural-op",
         }
     }
 
+    /// Inverse of [`Strategy::name`] — the same lookup-by-name parity API
+    /// that `OptimizerKind::build` provides, used by spec-id parsers (the
+    /// serve wire, campaign tooling) instead of ad-hoc string matches.
+    pub fn build(name: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// The gradient source for solver-in-the-loop strategies (`None` for
-    /// the PINN, which never calls the solver during training).
+    /// the PINN and the NeuralOp surrogate, which never call the solver
+    /// inside the optimization loop).
     pub fn grad_method(&self) -> Option<GradMethod> {
         match self {
             Strategy::Dal => Some(GradMethod::Dal),
             Strategy::Dp => Some(GradMethod::Dp),
             Strategy::FiniteDiff => Some(GradMethod::FiniteDiff),
-            Strategy::Pinn => None,
+            Strategy::Pinn | Strategy::NeuralOp => None,
         }
     }
 }
@@ -785,6 +803,10 @@ pub struct RunSpec {
     pub pinn: Option<PinnConfig>,
     /// Full PINN hyperparameters for Navier–Stokes runs (same rules).
     pub ns_pinn: Option<NsPinnConfig>,
+    /// Surrogate architecture / training budget / dataset source for
+    /// [`Strategy::NeuralOp`] runs. When unset, [`SurrogateSpec::default`]
+    /// applies; ignored by the other strategies.
+    pub surrogate: Option<SurrogateSpec>,
 }
 
 impl RunSpec {
@@ -807,6 +829,7 @@ impl RunSpec {
                 label: None,
                 pinn: None,
                 ns_pinn: None,
+                surrogate: None,
             },
         }
     }
@@ -835,6 +858,7 @@ impl RunSpec {
                 label: None,
                 pinn: None,
                 ns_pinn: None,
+                surrogate: None,
             },
         }
     }
@@ -858,6 +882,7 @@ impl RunSpec {
                 label: None,
                 pinn: None,
                 ns_pinn: None,
+                surrogate: None,
             },
         }
     }
@@ -913,6 +938,17 @@ impl RunSpec {
                     self.optimizer.name()
                 ));
             }
+        }
+        if self.strategy == Strategy::NeuralOp
+            && !matches!(self.problem, ProblemSpec::Laplace { .. })
+        {
+            return bad(format!(
+                "strategy neural-op is only supported on Laplace runs, got {}",
+                self.problem.name()
+            ));
+        }
+        if let Some(surrogate) = &self.surrogate {
+            surrogate.validate()?;
         }
         match &self.problem {
             ProblemSpec::Laplace { nx, .. } => {
@@ -1012,6 +1048,12 @@ impl RunSpecBuilder {
     /// Full NS-PINN hyperparameters.
     pub fn ns_pinn_config(mut self, cfg: NsPinnConfig) -> Self {
         self.spec.ns_pinn = Some(cfg);
+        self
+    }
+    /// Surrogate architecture / training budget for
+    /// [`Strategy::NeuralOp`] runs.
+    pub fn surrogate(mut self, cfg: SurrogateSpec) -> Self {
+        self.spec.surrogate = Some(cfg);
         self
     }
 
@@ -1142,8 +1184,8 @@ pub enum Problem<'a> {
     Synthetic,
 }
 
-/// An owned, built problem instance (see [`BuiltProblem::build`]).
-pub enum BuiltProblem {
+/// The substrate variants a [`BuiltProblem`] can hold.
+enum BuiltKind {
     /// Dense Laplace control problem.
     Laplace(Box<LaplaceControlProblem>),
     /// Navier–Stokes solver.
@@ -1152,57 +1194,124 @@ pub enum BuiltProblem {
     Synthetic,
 }
 
+/// An owned, built problem instance (see [`BuiltProblem::build`]) plus the
+/// trained artifacts that amortize across runs: NeuralOp surrogates, keyed
+/// by [`SurrogateSpec::fingerprint`] so a cached surrogate is only ever
+/// reused where retraining would reproduce it bitwise — results are
+/// independent of request order and worker count.
+pub struct BuiltProblem {
+    kind: BuiltKind,
+    surrogates: Mutex<HashMap<String, Arc<LaplaceSurrogate>>>,
+}
+
 impl BuiltProblem {
     /// Builds the substrate a spec needs (the expensive part: assembly,
     /// factorization symbolics). Shareable across every spec with the same
     /// [`ProblemSpec::build_key`].
     pub fn build(spec: &ProblemSpec) -> Result<BuiltProblem, ControlError> {
-        match spec {
-            ProblemSpec::Laplace { nx, backend } => Ok(BuiltProblem::Laplace(Box::new(
+        let kind = match spec {
+            ProblemSpec::Laplace { nx, backend } => BuiltKind::Laplace(Box::new(
                 LaplaceControlProblem::with_backend(*nx, *backend)?,
-            ))),
+            )),
             ProblemSpec::NavierStokes {
                 h,
                 re,
                 slot_velocity,
                 backend,
                 ..
-            } => Ok(BuiltProblem::NavierStokes(Box::new(NsSolver::new(
-                NsConfig {
-                    channel: ChannelConfig {
-                        h: *h,
-                        ..Default::default()
-                    },
-                    re: *re,
-                    slot_velocity: *slot_velocity,
-                    backend: *backend,
+            } => BuiltKind::NavierStokes(Box::new(NsSolver::new(NsConfig {
+                channel: ChannelConfig {
+                    h: *h,
                     ..Default::default()
                 },
-            )?))),
-            ProblemSpec::Synthetic { .. } => Ok(BuiltProblem::Synthetic),
-        }
+                re: *re,
+                slot_velocity: *slot_velocity,
+                backend: *backend,
+                ..Default::default()
+            })?)),
+            ProblemSpec::Synthetic { .. } => BuiltKind::Synthetic,
+        };
+        Ok(BuiltProblem {
+            kind,
+            surrogates: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Borrows the built problem for [`execute_on`].
     pub fn as_problem(&self) -> Problem<'_> {
-        match self {
-            BuiltProblem::Laplace(p) => Problem::Laplace(p),
-            BuiltProblem::NavierStokes(s) => Problem::NavierStokes(s),
-            BuiltProblem::Synthetic => Problem::Synthetic,
+        match &self.kind {
+            BuiltKind::Laplace(p) => Problem::Laplace(p),
+            BuiltKind::NavierStokes(s) => Problem::NavierStokes(s),
+            BuiltKind::Synthetic => Problem::Synthetic,
         }
+    }
+
+    /// The Laplace substrate, when this build holds one (batched cost
+    /// evaluation and the surrogate lifecycle are Laplace-only).
+    pub fn laplace(&self) -> Option<&LaplaceControlProblem> {
+        match &self.kind {
+            BuiltKind::Laplace(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The trained surrogate for a NeuralOp spec — trained on first use,
+    /// then shared by every spec whose surrogate fingerprint
+    /// (architecture, training budget, dataset seeds, spec seed) matches.
+    /// This is the "train once per problem, optimize many times"
+    /// amortization.
+    pub fn surrogate_for(&self, spec: &RunSpec) -> Result<Arc<LaplaceSurrogate>, ControlError> {
+        let p = self.laplace().ok_or_else(|| {
+            ControlError::BadConfig(format!(
+                "strategy neural-op is only supported on Laplace runs, got {}",
+                spec.problem.name()
+            ))
+        })?;
+        let cfg = spec.surrogate.clone().unwrap_or_default();
+        let key = cfg.fingerprint(spec.seed);
+        let mut cache = self.surrogates.lock().expect("surrogate cache poisoned");
+        if let Some(s) = cache.get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let trained = Arc::new(LaplaceSurrogate::train(p, &cfg, spec.seed)?);
+        cache.insert(key, Arc::clone(&trained));
+        Ok(trained)
+    }
+
+    /// Executes a spec against this build. NeuralOp runs go through the
+    /// per-build surrogate cache (train once, reuse across specs and serve
+    /// requests); everything else delegates to [`execute_on`].
+    pub fn execute(&self, spec: &RunSpec, ctx: &RunCtx) -> Result<SpecRun, ControlError> {
+        spec.validate()?;
+        if spec.strategy == Strategy::NeuralOp {
+            let p = self
+                .laplace()
+                .ok_or_else(|| mismatch("Laplace", &spec.problem))?;
+            let surrogate = self.surrogate_for(spec)?;
+            return execute_laplace_neural_op(p, &surrogate, spec, ctx);
+        }
+        execute_on(self.as_problem(), spec, ctx)
     }
 
     /// Resident bytes this build pins while cached: the prepared linear
     /// backend (dense factors or sparse pattern + preconditioners) for
-    /// Laplace, the assembled constant operators for Navier–Stokes. This
-    /// is the quantity the serve daemon's `FactorCache` meters against
-    /// `MESHFREE_CACHE_BYTES`.
+    /// Laplace, the assembled constant operators for Navier–Stokes, plus
+    /// any trained surrogates. This is the quantity the serve daemon's
+    /// `FactorCache` meters against `MESHFREE_CACHE_BYTES`.
     pub fn memory_bytes(&self) -> usize {
-        match self {
-            BuiltProblem::Laplace(p) => p.backend().memory_bytes(),
-            BuiltProblem::NavierStokes(s) => s.memory_bytes(),
-            BuiltProblem::Synthetic => 0,
-        }
+        let base = match &self.kind {
+            BuiltKind::Laplace(p) => p.backend().memory_bytes(),
+            BuiltKind::NavierStokes(s) => s.memory_bytes(),
+            BuiltKind::Synthetic => 0,
+        };
+        let surrogates: usize = self
+            .surrogates
+            .lock()
+            .expect("surrogate cache poisoned")
+            .values()
+            .map(|s| s.memory_bytes())
+            .sum();
+        base + surrogates
     }
 }
 
@@ -1229,6 +1338,14 @@ pub fn execute_on(
     spec.validate()?;
     match (problem, spec.strategy) {
         (Problem::Laplace(p), Strategy::Pinn) => execute_laplace_pinn(p, spec, ctx),
+        (Problem::Laplace(p), Strategy::NeuralOp) => {
+            // Uncached entry point: train a fresh surrogate for this run.
+            // Callers holding a `BuiltProblem` should prefer
+            // `BuiltProblem::execute`, which reuses trained surrogates.
+            let cfg = spec.surrogate.clone().unwrap_or_default();
+            let surrogate = LaplaceSurrogate::train(p, &cfg, spec.seed)?;
+            execute_laplace_neural_op(p, &surrogate, spec, ctx)
+        }
         (Problem::Laplace(p), s) => {
             let nx = match spec.problem {
                 ProblemSpec::Laplace { nx, .. } => nx,
@@ -1325,6 +1442,45 @@ fn laplace_pinn_cfg(spec: &RunSpec) -> PinnConfig {
     cfg.seed = spec.seed;
     cfg.lr = spec.lr;
     cfg
+}
+
+/// Optimizes the control through a frozen surrogate, then audits the
+/// result with one DP re-solve of the true problem. The audited cost is
+/// what lands in `final_cost` (and hence reports and campaign ledgers);
+/// the optimizer's own surrogate cost stays as the penultimate history
+/// entry, so the audit gap `|J_audit − Ĵ|` is recoverable from the record.
+fn execute_laplace_neural_op(
+    p: &LaplaceControlProblem,
+    surrogate: &LaplaceSurrogate,
+    spec: &RunSpec,
+    ctx: &RunCtx,
+) -> Result<SpecRun, ControlError> {
+    let timer = Timer::start();
+    let mut obj = SurrogateObjective::new(surrogate);
+    let opts = OptimizeOpts {
+        iterations: spec.iterations,
+        lr: spec.lr,
+        log_every: spec.log_every,
+        optimizer: spec.optimizer,
+    };
+    let (mut report, control) = optimize_ctx(&mut obj, &opts, ctx)?;
+    // Referee: re-solve the PDE with the surrogate's control — the
+    // solver-side score, independent of how well the network fit.
+    let audited = p.cost(&control)?;
+    ctx.check_cost(spec.iterations, audited)?;
+    report
+        .history
+        .push(spec.iterations, audited, 0.0, timer.elapsed_s());
+    report.problem = "laplace".to_string();
+    report.final_cost = audited;
+    report.wall_s = timer.elapsed_s();
+    report.emit_trace();
+    Ok(SpecRun {
+        spec_id: spec.id(),
+        report,
+        control,
+        ns_state: None,
+    })
 }
 
 fn execute_laplace_pinn(
@@ -1751,5 +1907,108 @@ mod tests {
         assert_eq!(a.problem.build_key(), b.problem.build_key());
         let c = RunSpec::navier_stokes().reynolds(75.0).build();
         assert_ne!(a.problem.build_key(), c.problem.build_key());
+    }
+
+    #[test]
+    fn strategy_name_round_trips_through_build() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::build(s.name()), Some(s));
+        }
+        assert_eq!(Strategy::build("bogus"), None);
+    }
+
+    #[test]
+    fn neural_op_spec_ids_are_stable() {
+        let spec = RunSpec::laplace()
+            .nx(10)
+            .strategy(Strategy::NeuralOp)
+            .iterations(150)
+            .seed(3)
+            .build();
+        assert_eq!(spec.id(), "laplace-nx10-neural-op-it150-lr1e-2-seed3");
+    }
+
+    #[test]
+    fn neural_op_is_laplace_only() {
+        let syn = RunSpec::synthetic(4).strategy(Strategy::NeuralOp).build();
+        assert!(matches!(syn.validate(), Err(ControlError::BadConfig(_))));
+        let ns = RunSpec::navier_stokes()
+            .strategy(Strategy::NeuralOp)
+            .build();
+        assert!(ns.validate().is_err());
+        let bad_surrogate = RunSpec::laplace()
+            .strategy(Strategy::NeuralOp)
+            .surrogate(crate::surrogate::SurrogateSpec {
+                epochs: 0,
+                ..Default::default()
+            })
+            .build();
+        assert!(bad_surrogate.validate().is_err());
+    }
+
+    #[test]
+    fn neural_op_run_ends_with_a_dp_audit() {
+        let spec = RunSpec::laplace()
+            .nx(10)
+            .strategy(Strategy::NeuralOp)
+            .iterations(150)
+            .lr(2e-2)
+            .build();
+        let run = execute(&spec).unwrap();
+        assert_eq!(run.report.method, "neural-op");
+        assert_eq!(run.report.problem, "laplace");
+        let h = &run.report.history.entries;
+        assert!(h.len() >= 2);
+        let surrogate_cost = h[h.len() - 2].cost;
+        let audited = h[h.len() - 1].cost;
+        // The report's final cost IS the audit re-solve, and the gap to the
+        // optimizer's own surrogate cost is bounded.
+        assert_eq!(audited.to_bits(), run.report.final_cost.to_bits());
+        let p = LaplaceControlProblem::new(10).unwrap();
+        let resolved = p.cost(&run.control).unwrap();
+        assert_eq!(audited.to_bits(), resolved.to_bits());
+        let gap = (audited - surrogate_cost).abs();
+        assert!(
+            gap < 0.2 * (1.0 + audited),
+            "audit gap {gap:.3e} too large (J_audit {audited:.3e}, Ĵ {surrogate_cost:.3e})"
+        );
+        // The surrogate optimum should land near the solver optimum.
+        let dp = execute(&RunSpec::laplace().nx(10).iterations(150).lr(2e-2).build()).unwrap();
+        assert!(
+            audited < 5.0 * dp.report.final_cost.max(1e-3) + 0.1,
+            "audited neural-op cost {audited:.3e} far from DP {:.3e}",
+            dp.report.final_cost
+        );
+    }
+
+    #[test]
+    fn built_problem_caches_surrogates_by_fingerprint() {
+        let spec = RunSpec::laplace()
+            .nx(8)
+            .strategy(Strategy::NeuralOp)
+            .iterations(40)
+            .build();
+        let built = BuiltProblem::build(&spec.problem).unwrap();
+        let bytes_before = built.memory_bytes();
+        let s1 = built.surrogate_for(&spec).unwrap();
+        let s2 = built.surrogate_for(&spec).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "same fingerprint must share");
+        let other_seed = RunSpec::laplace()
+            .nx(8)
+            .strategy(Strategy::NeuralOp)
+            .iterations(40)
+            .seed(9)
+            .build();
+        let s3 = built.surrogate_for(&other_seed).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3), "different seed must retrain");
+        assert!(built.memory_bytes() > bytes_before);
+
+        // The cached path and the uncached execute_on path agree bitwise.
+        let via_built = built.execute(&spec, &RunCtx::new()).unwrap();
+        let via_execute = execute(&spec).unwrap();
+        assert_eq!(
+            via_built.report.final_cost.to_bits(),
+            via_execute.report.final_cost.to_bits()
+        );
     }
 }

@@ -142,24 +142,9 @@ impl CurvatureOracle for LaplaceOracle<'_> {
     }
 }
 
-/// Runs Adam on the Laplace control problem with the chosen gradient.
-///
-/// Thin wrapper around [`run_ctx`] with legacy (unsupervised) semantics.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `api::RunSpec::laplace()` + `api::execute`, or `run_ctx`"
-)]
-pub fn run(
-    problem: &LaplaceControlProblem,
-    cfg: &LaplaceRunConfig,
-    method: GradMethod,
-) -> Result<LaplaceRun, ControlError> {
-    run_ctx(problem, cfg, method, &RunCtx::unchecked())
-}
-
-/// [`run`] under a supervision context (deadline / cancellation /
-/// divergence detection). The float operations are identical to the legacy
-/// entry point for any run that finishes.
+/// Runs Adam on the Laplace control problem with the chosen gradient,
+/// under a supervision context (deadline / cancellation / divergence
+/// detection).
 pub fn run_ctx(
     problem: &LaplaceControlProblem,
     cfg: &LaplaceRunConfig,

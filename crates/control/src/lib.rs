@@ -5,10 +5,12 @@
 //! The paper's contribution layer: the three optimal-control strategies —
 //! **DAL** (direct-adjoint looping), **DP** (differentiable programming) and
 //! **PINN** (physics-informed neural networks with the two-step ω line
-//! search) — driven over the Laplace and Navier–Stokes substrates from
-//! `meshfree-pde`, with Adam and the paper's learning-rate schedule from
-//! `meshfree-opt`, plus the instrumentation (wall time, peak-allocation
-//! tracking, convergence histories) behind the Table 3 reproduction.
+//! search) — plus the **NeuralOp** amortized surrogate (a DeepONet trained
+//! on forward solves, frozen, then optimized through) — driven over the
+//! Laplace and Navier–Stokes substrates from `meshfree-pde`, with Adam and
+//! the paper's learning-rate schedule from `meshfree-opt`, plus the
+//! instrumentation (wall time, peak-allocation tracking, convergence
+//! histories) behind the Table 3 reproduction.
 //!
 //! Experiment configurations mirror the paper's Tables 1 and 2; every
 //! driver returns a [`metrics::RunReport`] with the full convergence
@@ -18,8 +20,9 @@
 //! run with [`api::RunSpec`]'s builders
 //! (`RunSpec::laplace().strategy(Strategy::Dal).iterations(200).seed(7).build()`),
 //! execute it with [`api::execute`], and match on [`api::ControlError`] for
-//! failures. The per-problem `laplace::run` / `ns::run` entry points remain
-//! as deprecated wrappers.
+//! failures. NeuralOp runs follow the train/freeze/optimize lifecycle in
+//! [`surrogate`] and end with a DP audit re-solve of the surrogate's final
+//! control.
 
 pub mod api;
 pub mod laplace;
@@ -27,6 +30,7 @@ pub mod metrics;
 pub mod ns;
 pub mod pinn;
 pub mod pinn_ns;
+pub mod surrogate;
 pub mod validate;
 
 pub use api::{
@@ -34,3 +38,4 @@ pub use api::{
     OptimizeOpts, OptimizerKind, Problem, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy,
 };
 pub use metrics::{ConvergenceHistory, RunReport};
+pub use surrogate::{LaplaceSurrogate, SurrogateObjective, SurrogateSpec};

@@ -68,24 +68,9 @@ pub fn initial_control(solver: &NsSolver) -> DVec {
     )
 }
 
-/// Runs Adam on the Navier–Stokes control problem with the chosen gradient.
-///
-/// Thin wrapper around [`run_ctx`] with legacy (unsupervised) semantics.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `api::RunSpec::navier_stokes()` + `api::execute`, or `run_ctx`"
-)]
-pub fn run(
-    solver: &NsSolver,
-    cfg: &NsRunConfig,
-    method: GradMethod,
-) -> Result<NsRun, ControlError> {
-    run_ctx(solver, cfg, method, &RunCtx::unchecked())
-}
-
-/// [`run`] under a supervision context (deadline / cancellation /
-/// divergence detection). The float operations are identical to the legacy
-/// entry point for any run that finishes.
+/// Runs Adam on the Navier–Stokes control problem with the chosen
+/// gradient, under a supervision context (deadline / cancellation /
+/// divergence detection).
 pub fn run_ctx(
     solver: &NsSolver,
     cfg: &NsRunConfig,

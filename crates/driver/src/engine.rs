@@ -24,7 +24,7 @@
 //!    on the way out the ledger is compacted into campaign-spec order.
 
 use crate::ledger::{Ledger, LedgerRecord, RunStatus};
-use control::api::{execute_on, BuiltProblem, ControlError, RunCtx, RunSpec, SpecRun};
+use control::api::{BuiltProblem, ControlError, RunCtx, RunSpec, SpecRun};
 use meshfree_runtime::rng::SplitMix64;
 use meshfree_runtime::{par, trace, CancelToken};
 use std::collections::HashMap;
@@ -352,7 +352,7 @@ fn run_one(
         let problem = problems
             .get(&current.problem.build_key())
             .expect("every pending spec's problem is prebuilt");
-        let outcome = execute_on(problem.as_problem(), &current, &ctx);
+        let outcome = problem.execute(&current, &ctx);
         let record = match outcome {
             Ok(run) => {
                 trace::solve_event(

@@ -43,9 +43,11 @@
 //! assert_eq!(summary.done, 2);
 //! ```
 
+pub mod dataset;
 pub mod engine;
 pub mod ledger;
 
+pub use dataset::{harvest_seeds, harvested_spec, training_pairs};
 pub use engine::{run_campaign, Campaign, CampaignConfig, CampaignSummary};
 pub use ledger::{Ledger, LedgerRecord, RunStatus};
 

@@ -154,33 +154,19 @@ impl Preconditioner {
 ///
 /// Defaults (all constructors): `max_iter = 2000` (for GMRES: total inner
 /// iterations), `rel_tol = 1e-10`, `restart = 50` (ignored by CG and
-/// BiCGSTAB). The public fields are deprecated; they remain only so
-/// pre-builder call sites keep compiling (see `tests/deprecated_wrappers.rs`
-/// for the equivalence gate).
+/// BiCGSTAB). Read back through [`IterOpts::iteration_limit`] /
+/// [`IterOpts::tolerance`] / [`IterOpts::restart_len`].
 #[derive(Debug, Clone)]
 pub struct IterOpts {
     /// Maximum iterations (for GMRES: total inner iterations).
-    #[deprecated(
-        since = "0.6.0",
-        note = "construct via IterOpts::gmres()/cg()/bicgstab() and the max_iter() setter"
-    )]
-    pub max_iter: usize,
+    max_iter: usize,
     /// Relative residual tolerance `‖r‖/‖b‖`.
-    #[deprecated(
-        since = "0.6.0",
-        note = "construct via IterOpts::gmres()/cg()/bicgstab() and the tol() setter"
-    )]
-    pub rel_tol: f64,
+    rel_tol: f64,
     /// GMRES restart length.
-    #[deprecated(
-        since = "0.6.0",
-        note = "construct via IterOpts::gmres()/cg()/bicgstab() and the restart() setter"
-    )]
-    pub restart: usize,
+    restart: usize,
 }
 
 impl IterOpts {
-    #[allow(deprecated)]
     fn documented_defaults() -> Self {
         IterOpts {
             max_iter: 2000,
@@ -208,40 +194,34 @@ impl IterOpts {
     }
 
     /// Sets the iteration cap (for GMRES: total inner iterations).
-    #[allow(deprecated)]
     pub fn max_iter(mut self, n: usize) -> Self {
         self.max_iter = n;
         self
     }
 
     /// Sets the relative residual tolerance `‖r‖/‖b‖`.
-    #[allow(deprecated)]
     pub fn tol(mut self, t: f64) -> Self {
         self.rel_tol = t;
         self
     }
 
     /// Sets the GMRES restart length (ignored by CG and BiCGSTAB).
-    #[allow(deprecated)]
     pub fn restart(mut self, m: usize) -> Self {
         self.restart = m;
         self
     }
 
-    /// Iteration cap (reader for the deprecated public field).
-    #[allow(deprecated)]
+    /// Iteration cap.
     pub fn iteration_limit(&self) -> usize {
         self.max_iter
     }
 
-    /// Relative residual tolerance (reader for the deprecated public field).
-    #[allow(deprecated)]
+    /// Relative residual tolerance.
     pub fn tolerance(&self) -> f64 {
         self.rel_tol
     }
 
-    /// GMRES restart length (reader for the deprecated public field).
-    #[allow(deprecated)]
+    /// GMRES restart length.
     pub fn restart_len(&self) -> usize {
         self.restart
     }
@@ -278,10 +258,6 @@ pub struct SolveReport {
     /// breakdown). `None` for a plain tolerance-reached exit.
     pub breakdown: Option<&'static str>,
 }
-
-/// Former name of [`SolveReport`].
-#[deprecated(since = "0.6.0", note = "renamed to SolveReport")]
-pub type IterResult = SolveReport;
 
 /// Conjugate gradients for symmetric positive definite operators.
 pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<SolveReport> {

@@ -41,8 +41,6 @@ pub use backend::{BackendKind, LinearBackend, SparseIterative};
 pub use dense::DMat;
 pub use error::{LinalgError, Result};
 pub use factor::{Cholesky, Lu, Qr};
-#[allow(deprecated)]
-pub use iterative::IterResult;
 pub use iterative::{bicgstab, cg, gmres, IterOpts, Preconditioner, SolveReport};
 pub use saddle::{BlockCsr, SaddlePrecond};
 pub use sparse::{Csr, Ilu0, Triplets};

@@ -1,0 +1,332 @@
+//! Branch/trunk operator networks (DeepONet, Lu et al. 2021): learn a map
+//! from an input *function* (here: a discretised boundary control `c`) to
+//! an output *function* evaluated at query coordinates.
+//!
+//! The branch net encodes the control sample `c ∈ ℝⁿ` into a latent vector
+//! `B(c) ∈ ℝᵖ`; the trunk net encodes a query coordinate `x` into
+//! `T(x) ∈ ℝᵖ`; the operator output is the inner product
+//! `u(c)(x) = Σₖ Bₖ(c) · Tₖ(x)`. Trained once per problem family, the
+//! network amortizes the PDE solve: evaluating (and differentiating) the
+//! surrogate costs a few small matrix products instead of a linear solve.
+//!
+//! [`DeepONet::freeze`] specialises the operator to a fixed query grid:
+//! the trunk collapses into a constant `p × m` matrix, leaving a
+//! control-to-profile map that the tensor tape can differentiate with
+//! respect to its *input* ([`FrozenDeepONet::forward_control`]) — the
+//! train/freeze/optimize lifecycle behind `Strategy::NeuralOp`.
+
+use crate::mlp::{Activation, Mlp, MlpParams};
+use crate::module::Module;
+use autodiff::tape::{TGrads, TVar, Tape};
+use autodiff::tensor::Tensor;
+use linalg::{DMat, DVec};
+use std::sync::Arc;
+
+/// Seed offset separating the trunk's weight stream from the branch's
+/// (both are derived from one user-facing seed).
+const TRUNK_SEED_OFFSET: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A branch/trunk operator network. Both sub-networks are plain [`Mlp`]s
+/// sharing the crate's seeded Xavier initialisation; their final widths
+/// must agree (the latent dimension `p`).
+#[derive(Debug, Clone)]
+pub struct DeepONet {
+    branch: Mlp,
+    trunk: Mlp,
+}
+
+/// Tape handles for one registration of a [`DeepONet`]'s parameters.
+pub struct DeepONetParams<'t> {
+    /// Branch-net handles.
+    pub branch: MlpParams<'t>,
+    /// Trunk-net handles.
+    pub trunk: MlpParams<'t>,
+}
+
+impl DeepONet {
+    /// Creates a DeepONet from full branch and trunk layer lists (both
+    /// including input and output widths). The two output widths must be
+    /// equal — they are the latent dimension. The branch draws its weights
+    /// from `seed`, the trunk from a fixed offset of it, so one seed
+    /// reproduces the whole operator.
+    pub fn new(branch_layers: &[usize], trunk_layers: &[usize], seed: u64) -> DeepONet {
+        assert_eq!(
+            branch_layers.last(),
+            trunk_layers.last(),
+            "branch and trunk must share the latent output width"
+        );
+        DeepONet {
+            branch: Mlp::new(branch_layers, Activation::Tanh, seed),
+            trunk: Mlp::new(
+                trunk_layers,
+                Activation::Tanh,
+                seed.wrapping_add(TRUNK_SEED_OFFSET),
+            ),
+        }
+    }
+
+    /// The branch network (control encoder).
+    pub fn branch(&self) -> &Mlp {
+        &self.branch
+    }
+
+    /// The trunk network (query-coordinate encoder).
+    pub fn trunk(&self) -> &Mlp {
+        &self.trunk
+    }
+
+    /// Latent dimension `p` shared by both sub-networks.
+    pub fn latent(&self) -> usize {
+        *self.branch.layers().last().expect("mlp has layers")
+    }
+
+    /// Batched forward on the tape (training mode: weights are live,
+    /// inputs constant): `c` is `batch × n_controls`, `x` is
+    /// `m × trunk_in` query coordinates; the result is the `batch × m`
+    /// operator output `B(c) · T(x)ᵀ`.
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        p: &DeepONetParams<'t>,
+        c: &Tensor,
+        x: &Tensor,
+    ) -> TVar<'t> {
+        let b = self.branch.forward(tape, &p.branch, c);
+        let t = self.trunk.forward(tape, &p.trunk, x);
+        b.matmul(t.transpose())
+    }
+
+    /// Tape-free forward: `batch × m` outputs for controls `c` and query
+    /// coordinates `x`.
+    pub fn eval(&self, c: &Tensor, x: &Tensor) -> Tensor {
+        let b = self.branch.eval(c);
+        let t = self.trunk.eval(x);
+        b.matmul(&t.transpose()).expect("deeponet eval: shape")
+    }
+
+    /// Specialises the operator to the fixed query grid `x` (`m × trunk_in`):
+    /// the trunk is evaluated once and baked into a constant matrix,
+    /// yielding a control-to-profile map that costs one small MLP pass per
+    /// evaluation.
+    pub fn freeze(&self, x: &Tensor) -> FrozenDeepONet {
+        let t = self.trunk.eval(x); // m × p
+        FrozenDeepONet {
+            branch: self.branch.clone(),
+            trunk_t: Arc::new(t.transpose()), // p × m
+        }
+    }
+}
+
+impl Module for DeepONet {
+    type Params<'t> = DeepONetParams<'t>;
+
+    fn n_params(&self) -> usize {
+        self.branch.n_params() + self.trunk.n_params()
+    }
+
+    /// Layout: all branch parameters, then all trunk parameters (each in
+    /// [`Mlp`]'s per-layer weights-then-biases layout).
+    fn params_flat(&self) -> DVec {
+        let mut out = Vec::with_capacity(self.n_params());
+        out.extend_from_slice(self.branch.params().as_slice());
+        out.extend_from_slice(self.trunk.params().as_slice());
+        DVec(out)
+    }
+
+    fn set_params_flat(&mut self, flat: &DVec) {
+        let nb = self.branch.n_params();
+        assert_eq!(flat.len(), self.n_params(), "set_params_flat: length");
+        self.branch
+            .params_mut()
+            .as_mut_slice()
+            .copy_from_slice(&flat.as_slice()[..nb]);
+        self.trunk
+            .params_mut()
+            .as_mut_slice()
+            .copy_from_slice(&flat.as_slice()[nb..]);
+    }
+
+    fn params_on_tape<'t>(&self, tape: &'t Tape) -> DeepONetParams<'t> {
+        DeepONetParams {
+            branch: self.branch.params_on_tape(tape),
+            trunk: self.trunk.params_on_tape(tape),
+        }
+    }
+
+    fn grad_vector(&self, grads: &TGrads, handles: &DeepONetParams<'_>) -> DVec {
+        let gb = self.branch.grad_vector(grads, &handles.branch);
+        let gt = self.trunk.grad_vector(grads, &handles.trunk);
+        let mut out = Vec::with_capacity(gb.len() + gt.len());
+        out.extend_from_slice(gb.as_slice());
+        out.extend_from_slice(gt.as_slice());
+        DVec(out)
+    }
+}
+
+/// A [`DeepONet`] frozen on a fixed query grid: the trunk is a constant
+/// `p × m` matrix, the branch a plain (frozen-weight) MLP. The network is
+/// immutable from here on; it is differentiated with respect to its
+/// *input* via [`FrozenDeepONet::forward_control`].
+#[derive(Debug, Clone)]
+pub struct FrozenDeepONet {
+    branch: Mlp,
+    trunk_t: Arc<Tensor>,
+}
+
+impl FrozenDeepONet {
+    /// Control dimension the branch expects.
+    pub fn n_controls(&self) -> usize {
+        self.branch.layers()[0]
+    }
+
+    /// Number of query-grid outputs `m`.
+    pub fn n_outputs(&self) -> usize {
+        self.trunk_t.ncols()
+    }
+
+    /// Taped forward with the control as the live variable (`batch × n`)
+    /// and every weight constant; result is `batch × m`. One reverse sweep
+    /// from a scalar of the result yields `dJ/dc` through the frozen net.
+    pub fn forward_control<'t>(&self, c: TVar<'t>) -> TVar<'t> {
+        self.branch.forward_frozen(c).matmul_const_r(&self.trunk_t)
+    }
+
+    /// Tape-free profile prediction for one control vector.
+    pub fn eval(&self, c: &DVec) -> DVec {
+        let cin = DMat::from_vec(1, c.len(), c.as_slice().to_vec());
+        let b = self.branch.eval(&cin); // 1 × p
+        let out = b.matmul(&self.trunk_t).expect("frozen eval: shape");
+        DVec(out.row(0).to_vec())
+    }
+
+    /// Resident bytes of the frozen operator (branch parameters plus the
+    /// baked trunk matrix) — what a cache pins while holding it.
+    pub fn memory_bytes(&self) -> usize {
+        (self.branch.n_params() + self.trunk_t.nrows() * self.trunk_t.ncols())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::fit;
+    use autodiff::gradcheck::{fd_gradient, rel_error};
+
+    fn tiny() -> DeepONet {
+        DeepONet::new(&[3, 8, 4], &[1, 8, 4], 21)
+    }
+
+    fn grid(m: usize) -> Tensor {
+        DMat::from_fn(m, 1, |i, _| i as f64 / (m - 1) as f64)
+    }
+
+    #[test]
+    fn taped_forward_matches_eval() {
+        let net = tiny();
+        let c = DMat::from_rows(&[vec![0.2, -0.4, 0.7], vec![0.0, 0.3, -0.1]]);
+        let x = grid(5);
+        let tape = Tape::new();
+        let p = net.params_on_tape(&tape);
+        let y = net.forward(&tape, &p, &c, &x);
+        let y_plain = net.eval(&c, &x);
+        for i in 0..2 {
+            for j in 0..5 {
+                assert!(
+                    (y.value()[(i, j)] - y_plain[(i, j)]).abs() < 1e-13,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_forward_matches_unfrozen_eval() {
+        let net = tiny();
+        let x = grid(6);
+        let frozen = net.freeze(&x);
+        let c = DVec(vec![0.5, -0.2, 0.1]);
+        let via_frozen = frozen.eval(&c);
+        let via_full = net.eval(&DMat::from_rows(&[c.as_slice().to_vec()]), &x);
+        assert_eq!(via_frozen.len(), 6);
+        for j in 0..6 {
+            assert!((via_frozen[j] - via_full[(0, j)]).abs() < 1e-13, "{j}");
+        }
+    }
+
+    #[test]
+    fn frozen_control_gradient_matches_fd() {
+        let net = tiny();
+        let frozen = net.freeze(&grid(4));
+        let c0 = vec![0.3, -0.6, 0.2];
+        // Scalar head: sum of squared outputs.
+        let f = |c: &[f64]| {
+            let out = frozen.eval(&DVec(c.to_vec()));
+            out.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        let fd = fd_gradient(f, &c0, 1e-6);
+        let tape = Tape::new();
+        let cv = tape.var(DMat::from_rows(std::slice::from_ref(&c0)));
+        let j = frozen.forward_control(cv).sq().sum();
+        let grads = tape.backward(j);
+        let err = rel_error(grads.wrt(cv).as_slice(), &fd);
+        assert!(err < 1e-6, "frozen dJ/dc rel error {err:.3e}");
+    }
+
+    #[test]
+    fn param_gradient_of_operator_loss_matches_fd() {
+        let net = DeepONet::new(&[2, 5, 3], &[1, 5, 3], 9);
+        let c = DMat::from_rows(&[vec![0.1, 0.7], vec![-0.3, 0.2]]);
+        let x = grid(4);
+        let target = DMat::from_fn(2, 4, |i, j| (i as f64 - j as f64) * 0.1);
+        let neg_t = &target * -1.0;
+        let loss_at = |theta: &[f64]| {
+            let mut n2 = net.clone();
+            n2.set_params_flat(&DVec(theta.to_vec()));
+            let tape = Tape::new();
+            let p = n2.params_on_tape(&tape);
+            n2.forward(&tape, &p, &c, &x)
+                .add_const(&neg_t)
+                .sq()
+                .mean()
+                .scalar_value()
+        };
+        let theta0 = net.params_flat();
+        let fd = fd_gradient(loss_at, theta0.as_slice(), 1e-5);
+        let tape = Tape::new();
+        let p = net.params_on_tape(&tape);
+        let loss = net.forward(&tape, &p, &c, &x).add_const(&neg_t).sq().mean();
+        let grads = tape.backward(loss);
+        let g = net.grad_vector(&grads, &p);
+        let err = rel_error(g.as_slice(), &fd);
+        assert!(err < 1e-4, "operator param gradient rel error {err:.3e}");
+    }
+
+    #[test]
+    fn fit_learns_a_linear_operator() {
+        // Ground truth: u(c)(x_j) = c · a(x_j) for a smooth coefficient
+        // profile — the shape of the Laplace control-to-flux map.
+        let m = 6;
+        let x = grid(m);
+        let n_c = 3;
+        let a = |xj: f64, k: usize| ((k + 1) as f64 * xj).cos();
+        let n_samples = 24;
+        let c = DMat::from_fn(n_samples, n_c, |i, k| {
+            (0.7 * (i as f64 + 1.0) * (k as f64 + 2.0)).sin()
+        });
+        let u = DMat::from_fn(n_samples, m, |i, j| {
+            (0..n_c).map(|k| c[(i, k)] * a(x[(j, 0)], k)).sum::<f64>()
+        });
+        let neg_u = &u * -1.0;
+        let mut net = DeepONet::new(&[n_c, 16, 8], &[1, 16, 8], 4);
+        let report = fit(&mut net, 600, 2e-2, |net, tape, p| {
+            net.forward(tape, p, &c, &x).add_const(&neg_u).sq().mean()
+        });
+        assert!(
+            report.final_loss < 0.01 * report.initial_loss,
+            "operator fit stalled: {:.3e} -> {:.3e}",
+            report.initial_loss,
+            report.final_loss
+        );
+    }
+}

@@ -238,6 +238,44 @@ impl Mlp {
         }
     }
 
+    /// Forward pass with the roles of [`Mlp::forward`] inverted: the
+    /// *input* `x` (`batch × in`) is a live tape variable and the weights
+    /// enter as constants, so one reverse sweep yields `∂out/∂x` — the
+    /// frozen-network mode behind the NeuralOp strategy, where a trained
+    /// surrogate is differentiated with respect to the control rather than
+    /// its parameters.
+    pub fn forward_frozen<'t>(&self, x: TVar<'t>) -> TVar<'t> {
+        assert_eq!(
+            x.shape().1,
+            self.layers[0],
+            "forward_frozen: wrong input width"
+        );
+        let batch = x.shape().0;
+        let n_layers = self.layers.len() - 1;
+        let mut a = x;
+        let mut off = 0;
+        for (l, w) in self.layers.windows(2).enumerate() {
+            let (nin, nout) = (w[0], w[1]);
+            let wmat = Arc::new(DMat::from_vec(
+                nin,
+                nout,
+                self.params.as_slice()[off..off + nin * nout].to_vec(),
+            ));
+            off += nin * nout;
+            let b = &self.params.as_slice()[off..off + nout];
+            off += nout;
+            // The bias broadcast is materialised as a constant (the taped
+            // `broadcast_add_row` takes a live bias variable, which the
+            // frozen path deliberately avoids).
+            let bmat = DMat::from_fn(batch, nout, |_, j| b[j]);
+            a = a.matmul_const_r(&wmat).add_const(&bmat);
+            if l + 1 < n_layers {
+                a = self.activate(a);
+            }
+        }
+        a
+    }
+
     /// Plain `f64` forward pass without a tape (for evaluation and plots).
     pub fn eval(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.ncols(), self.layers[0], "eval: wrong input width");
@@ -351,6 +389,27 @@ activation: {}
         );
         let out = self.eval(&x);
         DVec(out.col(0).as_slice().to_vec())
+    }
+}
+
+impl crate::module::Module for Mlp {
+    type Params<'t> = MlpParams<'t>;
+
+    fn n_params(&self) -> usize {
+        Mlp::n_params(self)
+    }
+    fn params_flat(&self) -> DVec {
+        self.params.clone()
+    }
+    fn set_params_flat(&mut self, flat: &DVec) {
+        assert_eq!(flat.len(), self.params.len(), "set_params_flat: length");
+        self.params.as_mut_slice().copy_from_slice(flat.as_slice());
+    }
+    fn params_on_tape<'t>(&self, tape: &'t Tape) -> MlpParams<'t> {
+        Mlp::params_on_tape(self, tape)
+    }
+    fn grad_vector(&self, grads: &TGrads, handles: &MlpParams<'_>) -> DVec {
+        Mlp::grad_vector(self, grads, handles)
     }
 }
 
@@ -524,6 +583,25 @@ mod tests {
             }
             last
         }
+    }
+
+    #[test]
+    fn frozen_forward_matches_eval_and_fd_input_gradient() {
+        let m = tiny();
+        let x0 = vec![0.35, -0.15];
+        // Value parity with the tape-free eval.
+        let tape = Tape::new();
+        let xv = tape.var(DMat::from_rows(std::slice::from_ref(&x0)));
+        let y = m.forward_frozen(xv);
+        let y_plain = m.eval(&DMat::from_rows(std::slice::from_ref(&x0)));
+        assert!((y.value()[(0, 0)] - y_plain[(0, 0)]).abs() < 1e-13);
+        // Input gradient vs central FD of the tape-free eval.
+        let f = |x: &[f64]| m.eval(&DMat::from_rows(&[x.to_vec()]))[(0, 0)];
+        let fd = fd_gradient(|x| f(x), &x0, 1e-6);
+        let grads = tape.backward(y.sum());
+        let g = grads.wrt(xv);
+        let err = rel_error(g.as_slice(), &fd);
+        assert!(err < 1e-6, "frozen input gradient rel error {err:.3e}");
     }
 
     #[test]

@@ -266,6 +266,17 @@ impl LaplaceControlProblem {
         &self.weights
     }
 
+    /// Target flux profile `cos πxᵢ` at the control nodes — the reference
+    /// the cost integral penalises deviations from. Exposed so surrogate
+    /// objectives can reproduce the exact discrete cost without a solve.
+    pub fn flux_target(&self) -> DVec {
+        DVec(
+            (0..self.target.nrows())
+                .map(|i| self.target[(i, 0)])
+                .collect(),
+        )
+    }
+
     /// The underlying collocation context (dense discretization only;
     /// panics on the sparse RBF-FD variant, which has no global context).
     pub fn ctx(&self) -> &GlobalCollocation {

@@ -175,8 +175,8 @@ fn solve_batches(drained: Vec<Pending>) {
     for key in order {
         let group = groups.remove(&key).expect("key registered above");
         let size = group.len();
-        match group[0].problem.as_ref() {
-            BuiltProblem::Laplace(problem) => {
+        match group[0].problem.laplace() {
+            Some(problem) => {
                 let controls: Vec<DVec> = group.iter().map(|p| p.control.clone()).collect();
                 match problem.cost_many(&controls) {
                     Ok(costs) => {
@@ -191,7 +191,7 @@ fn solve_batches(drained: Vec<Pending>) {
                     }
                 }
             }
-            _ => {
+            None => {
                 for p in &group {
                     let _ = p
                         .reply
@@ -218,10 +218,9 @@ mod tests {
     #[test]
     fn concurrent_evals_coalesce_and_match_standalone_costs_bitwise() {
         let (key, built) = laplace_built(8);
-        let problem = match built.as_ref() {
-            BuiltProblem::Laplace(p) => p,
-            _ => unreachable!(),
-        };
+        let problem = built
+            .laplace()
+            .expect("laplace spec builds a laplace problem");
         let n = problem.n_controls();
         let batcher = Batcher::new(Duration::from_millis(40));
         let controls: Vec<DVec> = (0..6)

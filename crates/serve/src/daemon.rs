@@ -10,6 +10,10 @@
 //!   outcome streams back as a ledger-schema record line.
 //! * `eval` requests go through the [`Batcher`], which may coalesce them
 //!   with other clients' same-operator evaluations.
+//! * `neural-eval` requests (protocol v2) answer with the frozen
+//!   surrogate's predicted cost — the surrogate is trained on first use
+//!   and cached on the built problem, so steady-state answers never
+//!   touch the PDE solver.
 //! * malformed lines are answered with a structured error line — the
 //!   daemon never disconnects over a bad request.
 //!
@@ -35,7 +39,7 @@
 use crate::batch::Batcher;
 use crate::cache::{FactorCache, Lookup};
 use crate::wire::{self, Request};
-use control::api::{execute_on, BackendKind, ControlError, ProblemSpec, RunCtx, RunSpec, SpecRun};
+use control::api::{BackendKind, ControlError, ProblemSpec, RunCtx, RunSpec, SpecRun, Strategy};
 use driver::{LedgerRecord, RunStatus};
 use linalg::DVec;
 use meshfree_runtime::CancelToken;
@@ -151,6 +155,26 @@ impl Server {
                     backend,
                     control,
                 }) => self.handle_eval(&id, nx, backend, control, &mut writer, &mut summary),
+                Ok(Request::NeuralEval {
+                    id,
+                    nx,
+                    backend,
+                    seed,
+                    control,
+                }) => {
+                    // Wire neural evals always use the default surrogate
+                    // architecture; the (nx, backend, seed) triple plus the
+                    // default fingerprint fully determines the network, so
+                    // every client hitting the same triple shares one
+                    // trained-and-frozen surrogate from the build's cache.
+                    let spec = RunSpec::laplace()
+                        .nx(nx)
+                        .backend(backend)
+                        .strategy(Strategy::NeuralOp)
+                        .seed(seed)
+                        .build();
+                    self.handle_neural_eval(&id, &spec, control, &mut writer, &mut summary)
+                }
             };
             if outcome.and_then(|()| writer.flush()).is_err() {
                 // The client is gone mid-session: stop accepting work.
@@ -183,7 +207,7 @@ impl Server {
             }
         };
         let ctx = RunCtx::supervised(client.child(), 1);
-        let record = match execute_on(built.as_problem(), spec, &ctx) {
+        let record = match built.execute(spec, &ctx) {
             Ok(run) => {
                 summary.runs += 1;
                 done_record(id, spec, &run)
@@ -224,6 +248,36 @@ impl Server {
             Ok((cost, batch)) => {
                 summary.evals += 1;
                 writeln!(writer, "{}", wire::cost_line(id, cost, batch))
+            }
+            Err(detail) => {
+                summary.errors += 1;
+                writeln!(writer, "{}", wire::error_line(id, &detail))
+            }
+        }
+    }
+
+    fn handle_neural_eval<W: Write>(
+        &self,
+        id: &str,
+        spec: &RunSpec,
+        control: DVec,
+        writer: &mut W,
+        summary: &mut ClientSummary,
+    ) -> std::io::Result<()> {
+        let answer = match self.cache.get_or_build(&spec.problem) {
+            Ok((built, lookup)) => {
+                self.note_lookup(id, lookup, writer, summary)?;
+                built
+                    .surrogate_for(spec)
+                    .map(|surrogate| surrogate.cost(&control))
+                    .map_err(|e| e.to_string())
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        match answer {
+            Ok(cost) => {
+                summary.evals += 1;
+                writeln!(writer, "{}", wire::cost_line(id, cost, 1))
             }
             Err(detail) => {
                 summary.errors += 1;

@@ -14,7 +14,7 @@
 //!
 //! * `kind = "run"` — a full [`RunSpec`] execution. Carries `problem`
 //!   (`laplace` | `navier-stokes` | `synthetic`), `strategy`
-//!   (`DAL` | `DP` | `FD` | `PINN`), `backend`
+//!   (`DAL` | `DP` | `FD` | `PINN` | `neural-op`), `backend`
 //!   (`dense-lu` | `sparse-gmres`), optionally `optimizer`
 //!   (`adam` | `newton-cg` | `lbfgs`; absent means `adam`), the string
 //!   `seed` (u64, exact), the
@@ -25,7 +25,21 @@
 //!   scalars `nx` + `backend` string and the `control` series. These are
 //!   the requests the daemon's batcher may coalesce into one
 //!   multi-RHS solve.
+//! * `kind = "neural-eval"` — a Laplace objective evaluation answered by
+//!   the daemon's trained NeuralOp surrogate instead of a solve: the
+//!   `eval` fields plus the string `seed` selecting the surrogate's
+//!   training seed. Proto ≥ 2 only.
 //! * `kind = "done"` — graceful end of session.
+//!
+//! # Protocol versioning
+//!
+//! Lines may carry a `proto` scalar. Absent means version 1 — every
+//! pre-versioning client and daemon is a valid version-1 peer, and
+//! version-1 request kinds are emitted without the field, byte-identical
+//! to the old wire. The NeuralOp additions (`neural-eval`; `run` with
+//! `strategy = "neural-op"`) are version 2: emitters stamp `proto = 2`
+//! on exactly those lines, and parsers reject `proto` values above
+//! [`PROTO_VERSION`] with a structured error instead of misreading them.
 //!
 //! Responses (daemon → client):
 //!
@@ -52,6 +66,10 @@ use linalg::DVec;
 /// not be recovered.
 pub const PROTOCOL_ID: &str = "__protocol__";
 
+/// Highest wire-protocol version this build speaks. Version 1 lines carry
+/// no `proto` field; version 2 adds the NeuralOp request kinds.
+pub const PROTO_VERSION: f64 = 2.0;
+
 /// One parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -70,6 +88,21 @@ pub enum Request {
         nx: usize,
         /// Linear-solver backend of the build.
         backend: BackendKind,
+        /// The control vector to evaluate.
+        control: DVec,
+    },
+    /// Evaluate the Laplace objective through the daemon's trained
+    /// NeuralOp surrogate (proto ≥ 2; no solve on the hot path).
+    NeuralEval {
+        /// Client-chosen request id.
+        id: String,
+        /// Laplace build parameters (the surrogate-cache key's problem
+        /// half).
+        nx: usize,
+        /// Linear-solver backend of the build.
+        backend: BackendKind,
+        /// Surrogate training seed (the cache key's training half).
+        seed: u64,
         /// The control vector to evaluate.
         control: DVec,
     },
@@ -118,10 +151,7 @@ pub enum Response {
 }
 
 fn strategy_from_name(name: &str) -> Result<Strategy, String> {
-    Strategy::ALL
-        .into_iter()
-        .find(|s| s.name() == name)
-        .ok_or_else(|| format!("unknown strategy {name:?}"))
+    Strategy::build(name).ok_or_else(|| format!("unknown strategy {name:?}"))
 }
 
 fn backend_from_name(name: &str) -> Result<BackendKind, String> {
@@ -177,6 +207,10 @@ pub fn run_request_line(id: &str, spec: &RunSpec) -> String {
     if let Some(label) = &spec.label {
         s = s.string("label", label);
     }
+    if spec.strategy == Strategy::NeuralOp {
+        // Version-2 request kind; v1 lines stay byte-identical by omission.
+        s = s.scalar("proto", PROTO_VERSION);
+    }
     match &spec.problem {
         ProblemSpec::Laplace { nx, .. } => {
             s = s.scalar("nx", *nx as f64);
@@ -218,6 +252,24 @@ pub fn eval_request_line(id: &str, nx: usize, backend: BackendKind, control: &DV
         .to_json_compact()
 }
 
+/// Renders a `neural-eval` request line (proto 2).
+pub fn neural_eval_request_line(
+    id: &str,
+    nx: usize,
+    backend: BackendKind,
+    seed: u64,
+    control: &DVec,
+) -> String {
+    GoldenSnapshot::new(id)
+        .string("kind", "neural-eval")
+        .string("backend", backend.name())
+        .string("seed", &seed.to_string())
+        .scalar("proto", PROTO_VERSION)
+        .scalar("nx", nx as f64)
+        .with_series("control", control.as_slice().to_vec())
+        .to_json_compact()
+}
+
 /// Renders a `done` request line.
 pub fn done_request_line(id: &str) -> String {
     GoldenSnapshot::new(id)
@@ -253,6 +305,14 @@ fn parse_problem(snap: &GoldenSnapshot, backend: BackendKind) -> Result<ProblemS
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let snap = GoldenSnapshot::from_json(line)?;
     let id = snap.name.clone();
+    // Absent proto = version 1 (every pre-versioning line); anything newer
+    // than this build speaks is an explicit error, not a misparse.
+    let proto = snap.get_scalar("proto").unwrap_or(1.0);
+    if proto > PROTO_VERSION {
+        return Err(format!(
+            "request {id:?}: proto {proto} is newer than this daemon (max {PROTO_VERSION})"
+        ));
+    }
     match get_string(&snap, "kind")?.as_str() {
         "run" => {
             let backend = backend_from_name(&get_string(&snap, "backend")?)?;
@@ -274,6 +334,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 label: snap.get_string("label").map(str::to_string),
                 pinn: None,
                 ns_pinn: None,
+                // The wire always requests the default surrogate; custom
+                // architectures are a local-API affair.
+                surrogate: None,
             };
             spec.validate().map_err(|e| e.to_string())?;
             Ok(Request::Run {
@@ -292,6 +355,27 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 nx: get_count(&snap, "nx")?,
                 backend: backend_from_name(&get_string(&snap, "backend")?)?,
                 control,
+            })
+        }
+        "neural-eval" => {
+            if proto < 2.0 {
+                return Err(format!(
+                    "request {id:?}: kind \"neural-eval\" requires proto >= 2"
+                ));
+            }
+            let control = DVec(
+                snap.get_series("control")
+                    .ok_or_else(|| format!("request {id:?}: missing series \"control\""))?
+                    .to_vec(),
+            );
+            Ok(Request::NeuralEval {
+                nx: get_count(&snap, "nx")?,
+                backend: backend_from_name(&get_string(&snap, "backend")?)?,
+                seed: get_string(&snap, "seed")?
+                    .parse()
+                    .map_err(|e| format!("request {id:?}: bad seed: {e}"))?,
+                control,
+                id,
             })
         }
         "done" => Ok(Request::Done { id }),
@@ -479,5 +563,83 @@ mod tests {
             Response::Record(r) => assert_eq!(*r, rec),
             other => panic!("expected a record, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v1_request_lines_never_carry_a_proto_field() {
+        // Pre-versioning clients must keep receiving byte-identical lines:
+        // proto is stamped only on the request kinds that need v2.
+        let spec = RunSpec::laplace().nx(12).build();
+        assert!(!run_request_line("r", &spec).contains("proto"));
+        let c = DVec(vec![0.5]);
+        assert!(!eval_request_line("e", 8, BackendKind::DenseLu, &c).contains("proto"));
+    }
+
+    #[test]
+    fn neural_op_runs_stamp_and_round_trip_proto_v2() {
+        let spec = RunSpec::laplace()
+            .nx(10)
+            .strategy(Strategy::NeuralOp)
+            .iterations(5)
+            .seed(3)
+            .build();
+        let line = run_request_line("n1", &spec);
+        assert!(line.contains("proto"), "neural-op runs are a v2 feature");
+        match parse_request(&line).unwrap() {
+            Request::Run { id, spec: back } => {
+                assert_eq!(id, "n1");
+                assert_eq!(back.strategy, Strategy::NeuralOp);
+                assert_eq!(back.id(), spec.id());
+                // The wire always requests the default surrogate.
+                assert_eq!(back.surrogate, None);
+            }
+            other => panic!("expected a run request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn neural_eval_round_trips_and_requires_proto_v2() {
+        let c = DVec(vec![0.1, -0.2, 0.3]);
+        let line = neural_eval_request_line("ne", 9, BackendKind::DenseLu, 42, &c);
+        match parse_request(&line).unwrap() {
+            Request::NeuralEval {
+                id,
+                nx,
+                backend,
+                seed,
+                control,
+            } => {
+                assert_eq!(
+                    (id.as_str(), nx, backend, seed),
+                    ("ne", 9, BackendKind::DenseLu, 42)
+                );
+                assert_eq!(control.as_slice(), c.as_slice());
+            }
+            other => panic!("expected a neural-eval request, got {other:?}"),
+        }
+        // The same request without the proto stamp is a v1 line claiming
+        // a v2 kind — an explicit error, not a misparse.
+        let v1 = GoldenSnapshot::new("ne")
+            .string("kind", "neural-eval")
+            .string("backend", BackendKind::DenseLu.name())
+            .string("seed", "42")
+            .scalar("nx", 9.0)
+            .with_series("control", c.as_slice().to_vec())
+            .to_json_compact();
+        let err = parse_request(&v1).unwrap_err();
+        assert!(err.contains("proto"), "{err}");
+    }
+
+    #[test]
+    fn requests_from_a_newer_protocol_are_rejected() {
+        let spec = RunSpec::laplace().nx(8).build();
+        let line = run_request_line("future", &spec);
+        let future = line.replace("\"scalars\": {", "\"scalars\": {\"proto\": 3, ");
+        assert!(
+            future.contains("\"proto\": 3"),
+            "injection failed: {future}"
+        );
+        let err = parse_request(&future).unwrap_err();
+        assert!(err.contains("newer than this daemon"), "{err}");
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! cargo run --release --example campaign            # the Table 3 grid
-//! cargo run --release --example campaign -- --smoke # 7-spec CI smoke
+//! cargo run --release --example campaign -- --smoke # 8-spec CI smoke
 //! ```
 //!
 //! Kill it mid-flight and run it again: completed specs are skipped, and
@@ -13,13 +13,14 @@
 use meshfree_oc::driver::{BackendKind, Campaign, OptimizerKind, RunSpec, Strategy};
 use std::time::Duration;
 
-/// A 7-spec campaign — three synthetic, one injected NaN-diverging spec,
+/// An 8-spec campaign — three synthetic, one injected NaN-diverging spec,
 /// one real Laplace run on the sparse GMRES+ILU0 backend, one sparse-NS
-/// run on the RBF-FD saddle + Schur-GMRES path, and one second-order
-/// (Newton-CG) Laplace DAL run; used by CI to prove the retry path, the
-/// non-default backend plumbing (for both PDEs) and the optimizer
-/// selection end-to-end. Panics (non-zero exit) if the faulty spec is not
-/// retried exactly once or any spec is lost.
+/// run on the RBF-FD saddle + Schur-GMRES path, one second-order
+/// (Newton-CG) Laplace DAL run, and one amortized (neural-op) Laplace
+/// run; used by CI to prove the retry path, the non-default backend
+/// plumbing (for both PDEs), the optimizer selection and the surrogate
+/// train/freeze/optimize lifecycle end-to-end. Panics (non-zero exit) if
+/// the faulty spec is not retried exactly once or any spec is lost.
 fn run_smoke() {
     let path = std::env::temp_dir().join(format!(
         "meshfree-campaign-smoke-{}.jsonl",
@@ -84,6 +85,19 @@ fn run_smoke() {
             .lr(1e-2)
             .seed(7)
             .label("smoke-newton-cg-dal")
+            .build(),
+    );
+    // One amortized spec: train a DeepONet surrogate on forward solves,
+    // freeze it, optimize through the frozen tape, audit with one real
+    // solve — the `-neural-op` run id through the campaign path.
+    campaign = campaign.spec(
+        RunSpec::laplace()
+            .nx(12)
+            .strategy(Strategy::NeuralOp)
+            .iterations(60)
+            .lr(1e-2)
+            .seed(7)
+            .label("smoke-neural-op")
             .build(),
     );
     let summary = campaign.run().expect("smoke campaign");

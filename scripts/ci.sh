@@ -52,13 +52,14 @@ if [[ -n "$(git status --porcelain -- tests/golden)" ]]; then
 fi
 
 echo "==> campaign driver smoke (retry path, fault injection)"
-# A 7-spec campaign with one injected NaN-diverging spec, one Laplace run
+# An 8-spec campaign with one injected NaN-diverging spec, one Laplace run
 # on the sparse GMRES+ILU0 backend, one Navier–Stokes run on the RBF-FD
-# saddle + Schur-GMRES backend, and one second-order (Newton-CG DAL)
-# Laplace run: the example asserts exactly one spec was retried and none
-# were lost, exiting non-zero otherwise — the driver's fault tolerance,
-# the non-default linear-solver backends (both PDEs) and the optimizer
-# selection are exercised end-to-end on every CI run.
+# saddle + Schur-GMRES backend, one second-order (Newton-CG DAL) Laplace
+# run, and one amortized (neural-op surrogate) Laplace run: the example
+# asserts exactly one spec was retried and none were lost, exiting
+# non-zero otherwise — the driver's fault tolerance, the non-default
+# linear-solver backends (both PDEs), the optimizer selection and the
+# surrogate lifecycle are exercised end-to-end on every CI run.
 cargo run -q --release --example campaign -- --smoke
 
 echo "==> serve daemon smoke (cache amortization over the wire)"

@@ -20,13 +20,16 @@
 //! * [`nn`] — tape-native MLPs with Taylor-mode input derivatives (PINNs).
 //! * [`opt`] — Adam/SGD with the paper's learning-rate schedule.
 //! * [`control`] — the DAL/DP/PINN drivers, the two-step ω line search,
-//!   the unified `RunSpec`/`Strategy` front door, and the Table 3
+//!   the unified `RunSpec`/`Strategy` front door (including the
+//!   `Strategy::NeuralOp` DeepONet surrogate with its
+//!   train/freeze/optimize/audit lifecycle), and the Table 3
 //!   instrumentation.
 //! * [`driver`] — the fault-tolerant batch campaign engine: concurrent
 //!   grids, deadlines, damped retries, and a JSONL resume ledger.
 //! * [`serve`] — the control-as-a-service daemon: JSONL requests over
-//!   stdin/Unix-socket, a cross-request factorization cache
-//!   (`MESHFREE_CACHE_BYTES`), and multi-RHS request batching.
+//!   stdin/Unix-socket, a cross-request factorization + surrogate cache
+//!   (`MESHFREE_CACHE_BYTES`), multi-RHS request batching, and
+//!   microsecond `neural-eval` answers (wire protocol v2).
 //! * [`runtime`] — the std-only substrate: persistent thread pool
 //!   (`MESHFREE_THREADS`), seeded RNG, and solver telemetry
 //!   (`MESHFREE_TRACE`).

@@ -3,7 +3,12 @@
 //! JSONL ledger re-running only the unfinished specs, and the final ledger
 //! bytes are identical to an uninterrupted run at any worker count.
 
-use meshfree_oc::driver::{Campaign, LedgerRecord, RunSpec, Strategy};
+use meshfree_oc::control::api::BuiltProblem;
+use meshfree_oc::control::{LaplaceSurrogate, SurrogateSpec};
+use meshfree_oc::driver::{
+    harvest_seeds, harvested_spec, training_pairs, Campaign, Ledger, LedgerRecord, RunSpec,
+    RunStatus, Strategy,
+};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -101,4 +106,109 @@ fn killed_campaign_resumes_exactly_and_ledger_is_worker_count_invariant() {
         assert_eq!(rec.attempts, 1);
         assert!(rec.final_cost.unwrap().is_finite());
     }
+}
+
+/// Satellite gate for the surrogate lifecycle: a finished campaign's
+/// ledger harvests into `(c, flux, J)` training pairs — including a
+/// record that survived retries — while torn tails, failed runs and
+/// non-Laplace substrates are excluded. The harvested seeds extend the
+/// surrogate's dataset and change its fingerprint, and the enriched
+/// surrogate still trains.
+#[test]
+fn campaign_ledger_harvests_into_surrogate_training_pairs() {
+    let path = tmp("harvest");
+    let specs = vec![
+        RunSpec::laplace().nx(8).seed(5).iterations(6).build(),
+        RunSpec::laplace().nx(8).seed(6).iterations(6).build(),
+        RunSpec::laplace()
+            .nx(8)
+            .strategy(Strategy::NeuralOp)
+            .seed(7)
+            .iterations(10)
+            .build(),
+        RunSpec::synthetic(6).seed(8).iterations(10).build(),
+    ];
+    let summary = Campaign::new("harvest", &path)
+        .extend(specs.clone())
+        .run()
+        .unwrap();
+    assert!(summary.all_done(), "{}", summary.table());
+
+    // Adversarial tail: a failed run, a record that needed a retry
+    // (attempts = 2), then a torn half-written line from a kill.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        let failed = LedgerRecord {
+            spec_id: "laplace-nx8-DP-it6-lr1e-2-seed41".into(),
+            status: RunStatus::Failed,
+            method: "DP".into(),
+            problem: "laplace".into(),
+            attempts: 1,
+            seed: 41,
+            lr: 1e-2,
+            iterations: 0,
+            final_cost: None,
+            error: Some("diverged".into()),
+            cost_history: Vec::new(),
+            iter_history: Vec::new(),
+        };
+        writeln!(f, "{}", failed.to_line()).unwrap();
+        let retried = LedgerRecord {
+            spec_id: "laplace-nx8-DP-it6-lr1e-2-seed42".into(),
+            status: RunStatus::Done,
+            method: "DP".into(),
+            problem: "laplace".into(),
+            attempts: 2,
+            seed: 42,
+            lr: 1e-2,
+            iterations: 6,
+            final_cost: Some(0.75),
+            error: None,
+            cost_history: vec![1.0, 0.75],
+            iter_history: vec![0.0, 5.0],
+        };
+        writeln!(f, "{}", retried.to_line()).unwrap();
+        write!(f, "{{\"name\": \"laplace-nx8-DP-it6-lr1e-2-seed4").unwrap();
+    }
+
+    // Recovery path: the torn tail is dropped, everything whole survives.
+    let (_ledger, records) = Ledger::open(&path, "harvest").unwrap();
+    assert_eq!(records.len(), specs.len() + 2);
+
+    // Done + laplace only (the neural-op audit records problem =
+    // "laplace" too), retried records included, dedup by seed.
+    assert_eq!(harvest_seeds(&records), vec![5, 6, 7, 42]);
+
+    let base = SurrogateSpec::default();
+    let spec = harvested_spec(&base, &records);
+    assert_eq!(spec.extra_seeds, vec![5, 6, 7, 42]);
+    assert_ne!(spec.fingerprint(0), base.fingerprint(0));
+
+    // The materialized dataset: probing controls plus one per harvest.
+    let built = BuiltProblem::build(&RunSpec::laplace().nx(8).build().problem).unwrap();
+    let p = built.laplace().unwrap();
+    let pairs = training_pairs(&built, &spec, 0).unwrap();
+    assert_eq!(
+        pairs.len(),
+        1 + p.n_controls() + spec.n_samples + spec.extra_seeds.len(),
+        "zero + unit directions + random draws + harvested seeds"
+    );
+    for pair in &pairs {
+        assert_eq!(pair.control.len(), p.n_controls());
+        assert_eq!(pair.flux.len(), p.n_controls());
+        assert!(pair.cost.is_finite());
+        // Each pair is a real forward solve, not a surrogate guess.
+        assert_eq!(
+            pair.cost.to_bits(),
+            p.cost(&pair.control).unwrap().to_bits()
+        );
+    }
+
+    // The enriched dataset still trains a usable surrogate.
+    let surrogate = LaplaceSurrogate::train(p, &spec, 0).unwrap();
+    assert_eq!(surrogate.n_training_pairs(), pairs.len());
+    assert!(surrogate.cost(&pairs[0].control).is_finite());
 }

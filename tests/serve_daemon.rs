@@ -4,7 +4,9 @@
 //! poisoning the shared cache, and malformed request lines must be
 //! answered with structured errors rather than disconnects.
 
-use meshfree_oc::control::{execute, BackendKind, RunSpec, Strategy};
+use meshfree_oc::control::{
+    execute, BackendKind, LaplaceSurrogate, RunSpec, Strategy, SurrogateSpec,
+};
 use meshfree_oc::linalg::DVec;
 use meshfree_oc::pde::LaplaceControlProblem;
 use meshfree_oc::serve::wire::{self, Response, PROTOCOL_ID};
@@ -213,6 +215,65 @@ fn malformed_lines_get_structured_errors_and_the_session_continues() {
         responses.last(),
         Some(Response::Done { id }) if id == "bye"
     ));
+}
+
+/// Protocol v2 over the wire: a `neural-op` run and a `neural-eval` in
+/// one session both answer bitwise identically to running the same
+/// train/freeze/optimize lifecycle locally — the daemon adds caching,
+/// never different numbers.
+#[test]
+fn neural_op_runs_and_neural_evals_match_local_surrogate_execution() {
+    let server = test_server();
+    let spec = RunSpec::laplace()
+        .nx(10)
+        .strategy(Strategy::NeuralOp)
+        .iterations(40)
+        .seed(3)
+        .build();
+    let problem = LaplaceControlProblem::new(10).expect("reference problem");
+    let control = DVec::from_fn(problem.n_controls(), |i| 0.3 * (i as f64 * 0.7).sin());
+    let requests = format!(
+        "{}\n{}\n{}\n",
+        wire::run_request_line("nop", &spec),
+        wire::neural_eval_request_line("ne", 10, BackendKind::DenseLu, 3, &control),
+        wire::done_request_line("bye")
+    );
+    let (responses, summary) = piped_session(&server, requests);
+    assert_eq!(
+        (summary.runs, summary.evals, summary.errors),
+        (1, 1, 0),
+        "{summary:?}"
+    );
+
+    let record = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Record(rec) => Some(rec.as_ref().clone()),
+            _ => None,
+        })
+        .expect("the run answers with a terminal record");
+    let direct = execute(&spec).expect("direct neural-op execution");
+    assert_eq!(
+        record.final_cost.expect("audited cost is finite").to_bits(),
+        direct.report.final_cost.to_bits(),
+        "served neural-op audit must be bitwise identical to local execution"
+    );
+
+    let surrogate =
+        LaplaceSurrogate::train(&problem, &SurrogateSpec::default(), 3).expect("local training");
+    let (cost, batch) = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Cost { id, cost, batch } if id == "ne" => Some((*cost, *batch)),
+            _ => None,
+        })
+        .expect("the neural-eval answers with a cost line");
+    assert_eq!(batch, 1, "neural evals do not ride the solve batcher");
+    assert_eq!(
+        cost.to_bits(),
+        surrogate.cost(&control).to_bits(),
+        "served surrogate cost must be bitwise identical to a local frozen net"
+    );
 }
 
 /// stdin mode: EOF without `done` is the graceful end of a piped request
