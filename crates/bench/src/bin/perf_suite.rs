@@ -18,19 +18,47 @@
 //! one DP solve-and-differentiate iteration (hard-gated at ≥ 10×; the
 //! amortization claim behind `Strategy::NeuralOp`).
 //!
+//! The suite additionally sweeps the blocked dense kernels (`lu_factor`,
+//! `matmul`, `gmres_ilu0_laplace`) over pool widths {1, 2, 8}, recording
+//! `<kernel>.t<w>.median_ns` per width plus derived
+//! `<kernel>_speedup_8t` / `<kernel>_scaling_eff_8t` ratios and the
+//! measuring machine's `host_threads`. Two of those numbers are hard
+//! gates, enforced both when measuring and at `verify` time:
+//!
+//! * `lu_factor.t1.median_ns` must beat the committed pre-blocking
+//!   baseline ([`LU_FACTOR_BASELINE_NS`]) by at least
+//!   [`LU_T1_IMPROVEMENT`]× — the single-thread win of the tiled kernels;
+//! * `lu_factor_speedup_8t` must clear a scaling floor derived from the
+//!   snapshot's own `host_threads` ([`speedup_floor_8t`]): a genuine
+//!   ≥2× scaling requirement on ≥8-core machines, degrading to a
+//!   0.5× pool-overhead sanity bound on single-core runners (where no
+//!   true speedup is physically possible).
+//!
 //! Usage:
 //!
 //! ```text
-//! perf_suite [--quick] [--out PATH] [--baseline PATH] [--verify PATH]
+//! perf_suite measure [--quick] [--out PATH] [--baseline PATH]
+//! perf_suite sweep  [--quick] [--threads 1,2,8] [--out PATH]
+//! perf_suite verify PATH
 //! ```
 //!
-//! * `--quick` — smaller problems / fewer reps (the CI smoke mode)
-//! * `--out PATH` — write the snapshot to PATH (default `BENCH_perf.json`)
-//! * `--baseline P` — soft regression report against a previous snapshot
-//!   (prints ratios; never fails the run)
-//! * `--verify PATH` — no timing: check that PATH parses and contains every
-//!   required kernel entry; exit 1 otherwise (the CI gate for the committed
-//!   trajectory file)
+//! * `measure` — time every kernel (thread sweep included) and write the
+//!   snapshot (default `BENCH_perf.json`); `--quick` shrinks the
+//!   non-swept problems / rep counts (the CI smoke mode — the swept
+//!   dense kernels always run at full size so the gates stay
+//!   comparable), `--baseline P` prints a soft regression report against
+//!   a previous snapshot (ratios only; never fails the run).
+//! * `sweep` — run only the thread sweep, writing a `perf_sweep`
+//!   snapshot (default `BENCH_sweep.json`); `--threads` takes a comma
+//!   list of pool widths.
+//! * `verify` — no timing: check that PATH parses, carries every
+//!   required entry, and clears every hard gate; exit 1 otherwise (the
+//!   CI gate for the committed trajectory file). Accepts both
+//!   `perf_suite` and `perf_sweep` snapshots.
+//!
+//! The pre-subcommand spellings (`--quick`, `--out`, `--baseline`,
+//! `--verify PATH` at top level) keep working as hidden aliases for
+//! `measure` / `verify`.
 
 use check::golden::GoldenSnapshot;
 use control::api::{BackendKind, ProblemSpec, RunCtx};
@@ -42,6 +70,7 @@ use geometry::generators::unit_square_grid;
 use linalg::iterative::{gmres, IterOpts, Preconditioner};
 use linalg::sparse::Triplets;
 use linalg::{DMat, DVec, LinearBackend, Lu, SparseIterative};
+use meshfree_runtime::par::{with_pool, ThreadPool};
 use meshfree_runtime::{num_threads, time_kernel, Rng64, SpanStats};
 use pde::{LaplaceControlProblem, NsConfig, NsSolver};
 use rbf::fd::{fd_matrix, FdConfig};
@@ -54,6 +83,7 @@ use std::process::ExitCode;
 const REQUIRED_KERNELS: &[&str] = &[
     "lu_factor",
     "lu_solve",
+    "matmul",
     "spmv",
     "rbf_fd_assembly",
     "csr_assembly_fd",
@@ -71,6 +101,35 @@ const REQUIRED_KERNELS: &[&str] = &[
     "ns_saddle_assembly_fd",
     "gmres_schur_ns",
 ];
+
+/// Kernels the thread sweep re-times at every pool width.
+const SWEPT_KERNELS: &[&str] = &["lu_factor", "matmul", "gmres_ilu0_laplace"];
+
+/// Pool widths the sweep visits by default.
+const SWEEP_THREADS_DEFAULT: &[usize] = &[1, 2, 8];
+
+/// Committed single-thread `lu_factor` median (n = 400) from the last
+/// pre-blocking `BENCH_perf.json` — the fixed reference the tiled kernel
+/// is gated against.
+const LU_FACTOR_BASELINE_NS: f64 = 8.713273e6;
+
+/// Required single-thread improvement of the tiled LU over
+/// [`LU_FACTOR_BASELINE_NS`].
+const LU_T1_IMPROVEMENT: f64 = 1.5;
+
+/// Scaling floor for `lu_factor_speedup_8t`, derived from the measuring
+/// machine's core count: `max(0.5, 0.25 · min(8, host_threads))`. On an
+/// 8-core (or wider) host that demands a genuine ≥2× speedup at 8
+/// workers; on a single-core runner — where no true speedup is
+/// physically possible — it degrades to a 0.5× bound that still catches
+/// pathological pool overhead.
+fn speedup_floor_8t(host_threads: f64) -> f64 {
+    (0.25 * host_threads.min(8.0)).max(0.5)
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 struct Sizes {
     /// Dense LU dimension.
@@ -107,6 +166,143 @@ impl Sizes {
             reps: 3,
         }
     }
+}
+
+/// The RBF-FD nodal Laplace system behind `BackendKind::SparseGmres`:
+/// interior Laplacian rows, identity boundary rows. Shared by the main
+/// suite and the thread sweep so both time the same operator.
+fn laplace_fd_csr(nodes: &geometry::NodeSet, lap: &linalg::Csr) -> linalg::Csr {
+    let mut t = Triplets::new(nodes.len(), nodes.len());
+    for i in nodes.interior_range() {
+        let (cols, vals) = lap.row(i);
+        for (&j, &w) in cols.iter().zip(vals) {
+            t.push(i, j, w);
+        }
+    }
+    for i in nodes.boundary_indices() {
+        t.push(i, i, 1.0);
+    }
+    t.to_csr()
+}
+
+/// Times the swept dense kernels at every requested pool width,
+/// recording `<kernel>.t<w>.median_ns` plus the derived speedup and
+/// scaling-efficiency scalars, and (when widths 1 and 8 are both swept)
+/// asserting the two hard gates. The dense problems always run at full
+/// size — and every sweep timing at the full warmup/rep counts — so the
+/// gated medians are comparable (and noise-robust) across `--quick` and
+/// full runs; only the sparse GMRES problem size follows `sz` (it gates
+/// nothing).
+fn run_sweep(threads: &[usize], sz: &Sizes, mut snap: GoldenSnapshot) -> GoldenSnapshot {
+    let host = host_threads();
+    snap = snap.scalar("host_threads", host as f64);
+
+    let full = Sizes::full();
+    let n = full.lu_n;
+    let mut rng = Rng64::seed_from_u64(42);
+    let mut a = DMat::zeros(n, n);
+    rng.fill_uniform(a.as_mut_slice(), -1.0..1.0);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    let mut bm = DMat::zeros(n, n);
+    rng.fill_uniform(bm.as_mut_slice(), -1.0..1.0);
+
+    let nodes = unit_square_grid(sz.fd_nx, sz.fd_nx, LaplaceControlProblem::classifier);
+    let lap = fd_matrix(&nodes, RbfKernel::Phs3, FdConfig::default(), DiffOp::Lap)
+        .expect("sweep assembly");
+    let a_lap = laplace_fd_csr(&nodes, &lap);
+    let m_lap = Preconditioner::ilu0_from(&a_lap);
+    let opts_lap = IterOpts::gmres().max_iter(2000).tol(1e-10).restart(60);
+    let b_lap = DVec::from_fn(nodes.len(), |i| (PI * nodes.point(i).x).sin());
+
+    type SweepKernel<'a> = (&'a str, usize, Box<dyn FnMut() + 'a>);
+    let mut kernels: Vec<SweepKernel> = vec![
+        (
+            "lu_factor",
+            n,
+            Box::new(|| {
+                let lu = Lu::factor(&a).expect("sweep lu_factor");
+                std::hint::black_box(&lu);
+            }),
+        ),
+        (
+            "matmul",
+            n,
+            Box::new(|| {
+                let c = a.matmul(&bm).expect("sweep matmul");
+                std::hint::black_box(&c);
+            }),
+        ),
+        (
+            "gmres_ilu0_laplace",
+            nodes.len(),
+            Box::new(|| {
+                let r = gmres(&a_lap, &b_lap, &m_lap, &opts_lap).expect("sweep gmres");
+                std::hint::black_box(&r.x);
+            }),
+        ),
+    ];
+
+    let mut medians: Vec<(String, usize, f64)> = Vec::new();
+    for &t in threads {
+        let pool = std::sync::Arc::new(ThreadPool::new(t));
+        for (name, size, body) in kernels.iter_mut() {
+            let stats = with_pool(&pool, || time_kernel(full.warmup, full.reps, &mut *body));
+            println!(
+                "{:>28}  n={size:<6} median {:>12} ns  ({} threads)",
+                format!("{name}.t{t}"),
+                stats.median_ns,
+                t
+            );
+            snap = snap.scalar(&format!("{name}.t{t}.median_ns"), stats.median_ns as f64);
+            medians.push((name.to_string(), t, stats.median_ns as f64));
+        }
+    }
+
+    let median_of = |name: &str, t: usize| {
+        medians
+            .iter()
+            .find(|(k, w, _)| k == name && *w == t)
+            .map(|&(_, _, m)| m)
+    };
+    for &name in SWEPT_KERNELS {
+        let Some(t1) = median_of(name, 1) else {
+            continue;
+        };
+        if let Some(t2) = median_of(name, 2) {
+            snap = snap.scalar(&format!("{name}_speedup_2t"), t1 / t2.max(1.0));
+        }
+        if let Some(t8) = median_of(name, 8) {
+            let speedup = t1 / t8.max(1.0);
+            let eff = speedup / (host.min(8) as f64).max(1.0);
+            println!(
+                "{:>28}  {speedup:.2}x (efficiency {eff:.2})",
+                format!("{name} 8t speedup")
+            );
+            snap = snap
+                .scalar(&format!("{name}_speedup_8t"), speedup)
+                .scalar(&format!("{name}_scaling_eff_8t"), eff);
+        }
+    }
+
+    if let (Some(t1), Some(speedup)) = (
+        snap.get_scalar("lu_factor.t1.median_ns"),
+        snap.get_scalar("lu_factor_speedup_8t"),
+    ) {
+        assert!(
+            t1 <= LU_FACTOR_BASELINE_NS / LU_T1_IMPROVEMENT,
+            "single-thread lu_factor ({t1} ns) must beat the committed pre-blocking \
+             baseline ({LU_FACTOR_BASELINE_NS} ns) by >= {LU_T1_IMPROVEMENT}x"
+        );
+        let floor = speedup_floor_8t(host as f64);
+        assert!(
+            speedup >= floor,
+            "lu_factor_speedup_8t ({speedup:.2}) is below the scaling floor {floor:.2} \
+             for a {host}-core host"
+        );
+    }
+    snap
 }
 
 fn record(snap: GoldenSnapshot, kernel: &str, nodes: usize, s: SpanStats) -> GoldenSnapshot {
@@ -152,6 +348,17 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
             std::hint::black_box(&x);
         }),
     );
+    let mut bm = DMat::zeros(n, n);
+    rng.fill_uniform(bm.as_mut_slice(), -1.0..1.0);
+    snap = record(
+        snap,
+        "matmul",
+        n,
+        time_kernel(sz.warmup, sz.reps, || {
+            let c = a.matmul(&bm).expect("matmul");
+            std::hint::black_box(&c);
+        }),
+    );
 
     // ---- RBF-FD assembly + SpMV + GMRES --------------------------------
     let nodes = unit_square_grid(sz.fd_nx, sz.fd_nx, LaplaceControlProblem::classifier);
@@ -176,32 +383,18 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
             std::hint::black_box(&y);
         }),
     );
-    // The RBF-FD nodal Laplace system behind `BackendKind::SparseGmres`:
-    // interior Laplacian rows, identity boundary rows — first the
-    // triplet→CSR conversion, then the preconditioned solve itself.
-    let assemble_laplace = || {
-        let mut t = Triplets::new(nodes.len(), nodes.len());
-        for i in nodes.interior_range() {
-            let (cols, vals) = lap.row(i);
-            for (&j, &w) in cols.iter().zip(vals) {
-                t.push(i, j, w);
-            }
-        }
-        for i in nodes.boundary_indices() {
-            t.push(i, i, 1.0);
-        }
-        t.to_csr()
-    };
+    // First the triplet→CSR conversion ([`laplace_fd_csr`]), then the
+    // preconditioned solve itself.
     snap = record(
         snap,
         "csr_assembly_fd",
         nodes.len(),
         time_kernel(sz.warmup, sz.reps.max(15), || {
-            let a = assemble_laplace();
+            let a = laplace_fd_csr(&nodes, &lap);
             std::hint::black_box(&a);
         }),
     );
-    let a_lap = assemble_laplace();
+    let a_lap = laplace_fd_csr(&nodes, &lap);
     let m_lap = Preconditioner::ilu0_from(&a_lap);
     let opts_lap = IterOpts::gmres().max_iter(2000).tol(1e-10).restart(60);
     let b_lap = DVec::from_fn(nodes.len(), |i| (PI * nodes.point(i).x).sin());
@@ -475,17 +668,27 @@ fn run_suite(sz: &Sizes) -> GoldenSnapshot {
             std::hint::black_box(&x);
         }),
     );
-    snap
+
+    // ---- pool-width scaling sweep over the blocked dense kernels --------
+    println!("\n# thread sweep");
+    run_sweep(SWEEP_THREADS_DEFAULT, sz, snap)
 }
 
-/// Validates a written snapshot: parseable, and every required kernel has a
-/// finite positive `median_ns`. Returns the offending messages.
+/// Validates a written snapshot: parseable, carries every required entry
+/// for its kind, and clears every hard gate. Returns the offending
+/// messages. A `perf_suite` snapshot (from `measure`) must carry the full
+/// kernel set plus the default thread sweep; a `perf_sweep` snapshot
+/// (from `sweep`, possibly with custom `--threads`) is held only to the
+/// sweep entries it actually contains.
 fn verify_snapshot(text: &str) -> Vec<String> {
-    let mut problems = Vec::new();
     let snap = match GoldenSnapshot::from_json(text) {
         Ok(s) => s,
         Err(e) => return vec![format!("unparseable snapshot: {e}")],
     };
+    if snap.name == "perf_sweep" {
+        return verify_sweep_entries(&snap, false);
+    }
+    let mut problems = Vec::new();
     if snap.get_scalar("threads").is_none() {
         problems.push("missing scalar: threads".to_string());
     }
@@ -522,6 +725,62 @@ fn verify_snapshot(text: &str) -> Vec<String> {
         }
         Some(_) => {}
     }
+    problems.extend(verify_sweep_entries(&snap, true));
+    problems
+}
+
+/// The sweep half of snapshot verification: `host_threads` plus the
+/// per-width timings and scaling gates. With `require_defaults` (the
+/// `perf_suite` snapshot, which always sweeps [`SWEEP_THREADS_DEFAULT`])
+/// every default-width entry and derived ratio must exist; without it
+/// (a standalone `perf_sweep` with possibly custom widths) the gates
+/// apply only to the entries present. The `lu_factor_speedup_8t` floor
+/// is computed from the snapshot's own `host_threads` — the machine that
+/// measured it, not the machine running `verify`.
+fn verify_sweep_entries(snap: &GoldenSnapshot, require_defaults: bool) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(host) = snap.get_scalar("host_threads") else {
+        problems.push("missing scalar: host_threads".to_string());
+        return problems;
+    };
+    if !host.is_finite() || host < 1.0 {
+        problems.push(format!("bad host_threads: {host}"));
+        return problems;
+    }
+    if require_defaults {
+        for k in SWEPT_KERNELS {
+            for t in SWEEP_THREADS_DEFAULT {
+                let key = format!("{k}.t{t}.median_ns");
+                match snap.get_scalar(&key) {
+                    None => problems.push(format!("missing sweep entry: {key}")),
+                    Some(v) if !v.is_finite() || v <= 0.0 => {
+                        problems.push(format!("bad median for {key}: {v}"))
+                    }
+                    Some(_) => {}
+                }
+            }
+            if snap.get_scalar(&format!("{k}_speedup_8t")).is_none() {
+                problems.push(format!("missing scalar: {k}_speedup_8t"));
+            }
+        }
+    }
+    if let Some(t1) = snap.get_scalar("lu_factor.t1.median_ns") {
+        if t1 > LU_FACTOR_BASELINE_NS / LU_T1_IMPROVEMENT {
+            problems.push(format!(
+                "lu_factor.t1.median_ns {t1} misses the {LU_T1_IMPROVEMENT}x improvement gate \
+                 over the {LU_FACTOR_BASELINE_NS} ns baseline"
+            ));
+        }
+    }
+    if let Some(s) = snap.get_scalar("lu_factor_speedup_8t") {
+        let floor = speedup_floor_8t(host);
+        if !s.is_finite() || s < floor {
+            problems.push(format!(
+                "lu_factor_speedup_8t {s} is below the scaling floor {floor} \
+                 for a {host}-thread host"
+            ));
+        }
+    }
     problems
 }
 
@@ -552,19 +811,78 @@ fn baseline_report(new: &GoldenSnapshot, baseline_text: &str) {
     }
 }
 
+fn run_verify(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_suite verify: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = verify_snapshot(&text);
+    if problems.is_empty() {
+        println!("perf_suite verify: {path} OK");
+        return ExitCode::SUCCESS;
+    }
+    for p in &problems {
+        eprintln!("perf_suite verify: {p}");
+    }
+    ExitCode::FAILURE
+}
+
+/// Self-checks the snapshot through [`verify_snapshot`] and writes it:
+/// never commit a trajectory file `verify` would reject.
+fn write_snapshot(snap: &GoldenSnapshot, out: &str) -> ExitCode {
+    let json = snap.to_json();
+    let problems = verify_snapshot(&json);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("perf_suite: produced invalid snapshot: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("perf_suite: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn parse_thread_list(s: &str) -> Vec<usize> {
+    let widths: Vec<usize> = s
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("--threads takes a comma list of widths, got {t:?}"))
+        })
+        .collect();
+    assert!(!widths.is_empty(), "--threads needs at least one width");
+    widths
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sub = match args.first().map(String::as_str) {
+        Some("measure" | "sweep" | "verify") => args.remove(0),
+        // Hidden legacy spelling: bare flags mean `measure`, with
+        // top-level `--verify PATH` redirecting to `verify`.
+        _ => "measure".to_string(),
+    };
+
     let mut quick = false;
-    let mut out = "BENCH_perf.json".to_string();
+    let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
-    let mut verify: Option<String> = None;
+    let mut verify_path: Option<String> = None;
+    let mut threads: Vec<usize> = SWEEP_THREADS_DEFAULT.to_vec();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--out" => {
                 i += 1;
-                out = args.get(i).expect("--out needs a path").clone();
+                out = Some(args.get(i).expect("--out needs a path").clone());
             }
             "--baseline" => {
                 i += 1;
@@ -572,7 +890,14 @@ fn main() -> ExitCode {
             }
             "--verify" => {
                 i += 1;
-                verify = Some(args.get(i).expect("--verify needs a path").clone());
+                verify_path = Some(args.get(i).expect("--verify needs a path").clone());
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse_thread_list(args.get(i).expect("--threads needs a comma list"));
+            }
+            other if sub == "verify" && !other.starts_with("--") && verify_path.is_none() => {
+                verify_path = Some(other.to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -582,46 +907,32 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    if let Some(path) = verify {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("perf_suite --verify: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let problems = verify_snapshot(&text);
-        if problems.is_empty() {
-            println!("perf_suite --verify: {path} OK");
-            return ExitCode::SUCCESS;
-        }
-        for p in &problems {
-            eprintln!("perf_suite --verify: {p}");
-        }
-        return ExitCode::FAILURE;
-    }
-
     let sz = if quick { Sizes::quick() } else { Sizes::full() };
-    let snap = run_suite(&sz);
-    if let Some(path) = baseline {
-        match std::fs::read_to_string(&path) {
-            Ok(text) => baseline_report(&snap, &text),
-            Err(e) => println!("no baseline at {path} ({e}); skipping report"),
+    match sub.as_str() {
+        "verify" => {
+            let Some(path) = verify_path else {
+                eprintln!("usage: perf_suite verify PATH");
+                return ExitCode::FAILURE;
+            };
+            run_verify(&path)
+        }
+        "sweep" => {
+            let snap = run_sweep(&threads, &sz, GoldenSnapshot::new("perf_sweep"));
+            write_snapshot(&snap, out.as_deref().unwrap_or("BENCH_sweep.json"))
+        }
+        _ => {
+            // `measure`, including the pre-subcommand bare-flag spelling.
+            if let Some(path) = verify_path {
+                return run_verify(&path); // legacy `--verify PATH` alias
+            }
+            let snap = run_suite(&sz);
+            if let Some(path) = baseline {
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => baseline_report(&snap, &text),
+                    Err(e) => println!("no baseline at {path} ({e}); skipping report"),
+                }
+            }
+            write_snapshot(&snap, out.as_deref().unwrap_or("BENCH_perf.json"))
         }
     }
-    let json = snap.to_json();
-    // Self-check before writing: never commit a malformed trajectory file.
-    let problems = verify_snapshot(&json);
-    if !problems.is_empty() {
-        for p in &problems {
-            eprintln!("perf_suite: produced invalid snapshot: {p}");
-        }
-        return ExitCode::FAILURE;
-    }
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("perf_suite: cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
-    println!("\nwrote {out}");
-    ExitCode::SUCCESS
 }

@@ -464,12 +464,10 @@ pub enum GoldenOutcome {
     Blessed,
 }
 
-/// Returns true when `MESHFREE_BLESS` requests re-blessing.
+/// Returns true when `MESHFREE_BLESS` requests re-blessing, as resolved
+/// by the process-wide [`meshfree_runtime::RuntimeConfig`].
 pub fn bless_requested() -> bool {
-    matches!(
-        std::env::var("MESHFREE_BLESS").as_deref(),
-        Ok("1") | Ok("true") | Ok("yes")
-    )
+    meshfree_runtime::RuntimeConfig::global().bless
 }
 
 /// Compares `actual` against the snapshot at `path`, honoring the bless

@@ -349,6 +349,11 @@ mod tests {
     #[test]
     fn second_order_history_never_increases() {
         // Both safeguarded methods only accept non-increasing trial costs.
+        // The absolute 1e-18 slack covers machine-zero wobble: once the
+        // cost hits the ~1e-27 floor, trust-region trials are rejected by
+        // rounding noise and the lr-fallback step can move the recorded
+        // cost by a few 1e-28 — far below the ~1e-15 convergence plateau
+        // this test is meant to protect.
         let p = LaplaceControlProblem::new(12).unwrap();
         for kind in [OptimizerKind::NewtonCg, OptimizerKind::Lbfgs] {
             let mut cfg = with_optimizer(quick_cfg(15), kind);
@@ -357,7 +362,7 @@ mod tests {
             let h = &run.report.history.entries;
             for pair in h.windows(2) {
                 assert!(
-                    pair[1].cost <= pair[0].cost * (1.0 + 1e-12),
+                    pair[1].cost <= pair[0].cost * (1.0 + 1e-12) + 1e-18,
                     "{}: cost rose {:.6e} -> {:.6e}",
                     kind.name(),
                     pair[0].cost,

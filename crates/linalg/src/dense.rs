@@ -1,5 +1,6 @@
 //! Row-major dense matrices and BLAS-2/3 style kernels.
 
+use crate::blocking::{dot8, fused_madd4, MULAD_UNROLL, PAR_BLOCKS};
 use crate::error::{LinalgError, Result};
 use crate::vector::DVec;
 use meshfree_runtime::par;
@@ -140,9 +141,9 @@ impl DMat {
         }
         let work = self.rows * self.cols;
         let y = if work >= Self::PAR_THRESHOLD {
-            par::par_map_collect(self.rows, |i| dot(self.row(i), x))
+            par::par_map_collect(self.rows, |i| dot8(self.row(i), x))
         } else {
-            (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+            (0..self.rows).map(|i| dot8(self.row(i), x)).collect()
         };
         Ok(DVec(y))
     }
@@ -179,23 +180,48 @@ impl DMat {
         }
         let (m, k, n) = (self.rows, self.cols, b.cols);
         let mut out = vec![0.0; m * n];
-        let body = |(i, orow): (usize, &mut [f64])| {
+        let body = |i: usize, orow: &mut [f64]| {
             // i-k-j loop order: streams through B's rows, vectorizes the
-            // inner j loop, and touches each output row once.
-            for p in 0..k {
-                let a = self.data[i * k + p];
+            // inner j loop, and touches each output row once. Four of A's
+            // multipliers are fused per pass over the output row
+            // (MULAD_UNROLL), quartering output traffic and handing the
+            // compiler independent mul-add chains; the summation order is
+            // a pure function of k, so results are deterministic.
+            let arow = &self.data[i * k..(i + 1) * k];
+            let mut p = 0;
+            while p + MULAD_UNROLL <= k {
+                let mul = [arow[p], arow[p + 1], arow[p + 2], arow[p + 3]];
+                let r0 = &b.data[p * n..(p + 1) * n];
+                let r1 = &b.data[(p + 1) * n..(p + 2) * n];
+                let r2 = &b.data[(p + 2) * n..(p + 3) * n];
+                let r3 = &b.data[(p + 3) * n..(p + 4) * n];
+                fused_madd4(orow, mul, r0, r1, r2, r3);
+                p += MULAD_UNROLL;
+            }
+            while p < k {
+                let a = arow[p];
                 if a != 0.0 {
                     let brow = &b.data[p * n..(p + 1) * n];
                     for (o, &bv) in orow.iter_mut().zip(brow) {
                         *o += a * bv;
                     }
                 }
+                p += 1;
             }
         };
         if m * k * n >= Self::PAR_THRESHOLD {
-            par::par_chunks_mut(&mut out, n, |i, orow| body((i, orow)));
+            // Fixed row-block decomposition (at most PAR_BLOCKS blocks),
+            // independent of the pool width.
+            let rows_per = m.div_ceil(PAR_BLOCKS).max(1);
+            par::par_chunks_mut(&mut out, rows_per * n, |c, piece| {
+                for (r, orow) in piece.chunks_mut(n).enumerate() {
+                    body(c * rows_per + r, orow);
+                }
+            });
         } else {
-            out.chunks_mut(n).enumerate().for_each(body);
+            out.chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, orow)| body(i, orow));
         }
         Ok(DMat {
             rows: m,
@@ -286,11 +312,6 @@ impl DMat {
     pub fn outer(x: &DVec, y: &DVec) -> DMat {
         DMat::from_fn(x.len(), y.len(), |i, j| x[i] * y[j])
     }
-}
-
-#[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 impl Index<(usize, usize)> for DMat {
@@ -406,6 +427,33 @@ mod tests {
                     s += a[(i, p)] * b[(p, j)];
                 }
                 assert!(approx(c[(i, j)], s, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        // Shapes straddling MULAD_UNROLL: ragged k (fused + scalar tail),
+        // exact multiples, and a size crossing the parallel threshold.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (5, 7, 6),
+            (33, 48, 50),
+            (40, 41, 42),
+            (70, 70, 70),
+        ] {
+            let a = DMat::from_fn(m, k, |i, j| ((i * 7 + j * 13) % 11) as f64 * 0.3 - 1.5);
+            let b = DMat::from_fn(k, n, |i, j| ((i * 3 + j * 5) % 7) as f64 * 0.7 - 2.1);
+            let c = a.matmul(&b).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    let mut s = 0.0;
+                    for p in 0..k {
+                        s += a[(i, p)] * b[(p, j)];
+                    }
+                    let rel = (c[(i, j)] - s).abs() / s.abs().max(1.0);
+                    assert!(rel <= 1e-13, "({m},{k},{n}) at ({i},{j}): rel {rel}");
+                }
             }
         }
     }

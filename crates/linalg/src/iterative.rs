@@ -274,7 +274,7 @@ pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Resul
     let mut ap = DVec::zeros(n);
     let mut rz = r.dot(&z);
     for it in 0..max_iter {
-        let rel = r.norm2() / bnorm;
+        let rel = r.par_norm2() / bnorm;
         trace::solve_event("linear", "cg", it, rel, f64::NAN, f64::NAN);
         if rel <= rel_tol {
             return Ok(SolveReport {
@@ -305,7 +305,7 @@ pub fn cg(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Resul
         p.scale_mut(beta);
         p += &z;
     }
-    let rel = r.norm2() / bnorm;
+    let rel = r.par_norm2() / bnorm;
     if rel <= rel_tol {
         Ok(SolveReport {
             x,
@@ -356,7 +356,7 @@ pub fn bicgstab(
         breakdown: None,
     };
     for it in 0..max_iter {
-        let rel = r.norm2() / bnorm;
+        let rel = r.par_norm2() / bnorm;
         trace::solve_event("linear", "bicgstab", it, rel, f64::NAN, f64::NAN);
         if rel <= rel_tol {
             return Ok(report(x, it, rel));
@@ -388,7 +388,7 @@ pub fn bicgstab(
         r.axpy(-alpha, &v);
         if r.norm2() / bnorm <= rel_tol {
             x.axpy(alpha, &phat);
-            let rel = r.norm2() / bnorm;
+            let rel = r.par_norm2() / bnorm;
             return Ok(report(x, it + 1, rel));
         }
         m.apply_into(&r, &mut shat);
@@ -405,7 +405,7 @@ pub fn bicgstab(
         x.axpy(omega, &shat);
         r.axpy(-omega, &t);
     }
-    let rel = r.norm2() / bnorm;
+    let rel = r.par_norm2() / bnorm;
     Err(LinalgError::NotConverged {
         solver: "bicgstab",
         iterations: max_iter,
@@ -414,6 +414,14 @@ pub fn bicgstab(
 }
 
 /// Restarted GMRES(m) with Givens rotations, left-preconditioned.
+///
+/// The Arnoldi inner loop is pool-parallel end to end: the operator
+/// application goes through the CSR SpMV's fixed row blocks, and every
+/// orthogonalization reduction (the `h[i][j] = ⟨w, vᵢ⟩` dots and the
+/// basis/residual norms) runs through [`DVec::par_dot`] /
+/// [`DVec::par_norm2`], whose fixed-block summation keeps the iteration —
+/// and therefore the returned solution — bitwise invariant to the pool
+/// width.
 pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Result<SolveReport> {
     let _span = trace::span("gmres_solve");
     let n = a.dim();
@@ -428,7 +436,7 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
     let mut r = DVec::zeros(n); // preconditioned residual
     let mut aw = DVec::zeros(n); // A v_j
     m.apply_into(b, &mut r);
-    let bnorm = r.norm2().max(1e-300);
+    let bnorm = r.par_norm2().max(1e-300);
     let report = |x: DVec, iterations: usize, residual: f64, breakdown| SolveReport {
         x,
         iterations,
@@ -444,7 +452,7 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
         scratch.scale_mut(-1.0);
         scratch += b;
         m.apply_into(&scratch, &mut r);
-        let beta = r.norm2();
+        let beta = r.par_norm2();
         let rel0 = beta / bnorm;
         if rel0 <= rel_tol {
             return Ok(report(x, total_iters, rel0, breakdown));
@@ -466,10 +474,10 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
             let mut w = DVec::zeros(n);
             m.apply_into(&aw, &mut w);
             for (i, vi) in v.iter().enumerate() {
-                h[i][j] = w.dot(vi);
+                h[i][j] = w.par_dot(vi);
                 w.axpy(-h[i][j], vi);
             }
-            h[j + 1][j] = w.norm2();
+            h[j + 1][j] = w.par_norm2();
             // Apply the accumulated Givens rotations to column j.
             for i in 0..j {
                 let tmp = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
@@ -490,7 +498,7 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
             if rel <= rel_tol {
                 break;
             }
-            let norm = w.norm2();
+            let norm = w.par_norm2();
             if norm < 1e-300 {
                 // Lucky breakdown: exact solution in the Krylov space.
                 breakdown = Some("lucky breakdown: Krylov space contains the solution");
@@ -516,7 +524,7 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
         scratch.scale_mut(-1.0);
         scratch += b;
         m.apply_into(&scratch, &mut r);
-        let rel = r.norm2() / bnorm;
+        let rel = r.par_norm2() / bnorm;
         if rel <= rel_tol {
             return Ok(report(x, total_iters, rel, breakdown));
         }
@@ -525,7 +533,7 @@ pub fn gmres(a: &dyn LinOp, b: &DVec, m: &Preconditioner, opts: &IterOpts) -> Re
     scratch.scale_mut(-1.0);
     scratch += b;
     m.apply_into(&scratch, &mut r);
-    let rel = r.norm2() / bnorm;
+    let rel = r.par_norm2() / bnorm;
     Err(LinalgError::NotConverged {
         solver: "gmres",
         iterations: total_iters,
@@ -757,6 +765,37 @@ mod tests {
                     if *layer == "linsolve" && *solver == "ilu0_fallback_jacobi")),
             "fallback must emit a linsolve event: {events:?}"
         );
+    }
+
+    #[test]
+    fn gmres_is_bitwise_invariant_to_pool_width() {
+        use meshfree_runtime::par::{serial_scope, with_pool, ThreadPool};
+        use std::sync::Arc;
+        // Large enough that the par_dot/par_norm2 reductions span several
+        // REDUCE_BLOCK blocks and the SpMV crosses its parallel threshold.
+        let n = 3000;
+        let a = advdiff_1d(n, 0.3);
+        let b = DVec::from_fn(n, |i| (i as f64 * 0.01).sin() + 0.5);
+        let m = Preconditioner::ilu0_from(&a);
+        let opts = IterOpts::gmres().restart(30).tol(1e-9);
+        let want = serial_scope(|| gmres(&a, &b, &m, &opts).unwrap());
+        for threads in [1usize, 2, 8] {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let got = with_pool(&pool, || gmres(&a, &b, &m, &opts).unwrap());
+            assert_eq!(got.iterations, want.iterations, "pool {threads}");
+            assert_eq!(
+                got.residual.to_bits(),
+                want.residual.to_bits(),
+                "pool {threads} changed the residual bits"
+            );
+            for i in 0..n {
+                assert_eq!(
+                    got.x[i].to_bits(),
+                    want.x[i].to_bits(),
+                    "pool {threads} diverged at entry {i}"
+                );
+            }
+        }
     }
 
     #[test]

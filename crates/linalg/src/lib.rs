@@ -23,12 +23,16 @@
 //! * [`backend`] — the [`LinearBackend`] abstraction unifying dense LU and
 //!   [`SparseIterative`] (GMRES+ILU0) behind one solve/transpose-solve
 //!   contract, selectable per run via [`BackendKind`].
+//! * [`blocking`] — the unified blocking constants (LU tile, SIMD lane
+//!   count, multi-RHS block, fixed parallel block count) and the
+//!   chunks-of-8 dot kernel shared by every dense hot loop.
 //!
 //! All storage is `f64`; the solvers in this workspace are double precision
 //! throughout (RBF collocation matrices are notoriously ill-conditioned and
 //! single precision is not viable).
 
 pub mod backend;
+pub mod blocking;
 pub mod dense;
 pub mod error;
 pub mod factor;

@@ -237,9 +237,9 @@ impl StencilSet {
         let k = stencil_size.min(n);
         let mut idx = vec![0usize; n * k];
         if k > 0 {
-            // Fixed node-block decomposition (at most 64 blocks), so chunk
-            // boundaries never depend on the thread count.
-            let block = n.div_ceil(64).max(1);
+            // Fixed node-block decomposition (at most PAR_BLOCKS blocks),
+            // so chunk boundaries never depend on the thread count.
+            let block = n.div_ceil(linalg::blocking::PAR_BLOCKS).max(1);
             par::par_chunks_mut(&mut idx, block * k, |c, piece| {
                 let mut scratch = Vec::new();
                 let mut out = Vec::new();

@@ -174,9 +174,9 @@ impl GlobalCollocation {
         if np == 0 {
             return out;
         }
-        // Fixed row-block decomposition (at most 64 blocks), independent of
-        // the thread count.
-        let block = np.div_ceil(64).max(1);
+        // Fixed row-block decomposition (at most PAR_BLOCKS blocks),
+        // independent of the thread count.
+        let block = np.div_ceil(linalg::blocking::PAR_BLOCKS).max(1);
         par::par_chunks_mut(out.as_mut_slice(), block * size, |c, piece| {
             let mut buf = Vec::with_capacity(size);
             let base = c * block;
@@ -259,7 +259,7 @@ impl GlobalCollocation {
         if n > 0 {
             // Rows land straight in the output storage (no Vec<Vec> +
             // block-copy round trip); fixed row-block decomposition.
-            let block = n.div_ceil(64).max(1);
+            let block = n.div_ceil(linalg::blocking::PAR_BLOCKS).max(1);
             par::par_chunks_mut(
                 &mut full.as_mut_slice()[..n * size],
                 block * size,

@@ -21,10 +21,16 @@
 //! * [`framing`] is the JSONL framing contract (append-and-flush writes,
 //!   torn-tail-tolerant reads) shared by the campaign ledger and the serve
 //!   daemon's wire protocol.
+//! * [`config`] is the unified [`RuntimeConfig`]: one builder-style struct
+//!   resolved once at startup behind every `MESHFREE_*` environment knob
+//!   (pool width, serve cache budget and batch window, trace sink, golden
+//!   blessing), with the historical variable names kept as an override
+//!   layer.
 
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod config;
 pub mod framing;
 pub mod par;
 pub mod rng;
@@ -32,10 +38,11 @@ pub mod stats;
 pub mod trace;
 
 pub use cancel::CancelToken;
+pub use config::RuntimeConfig;
 pub use framing::{JsonlAppender, LineFault};
 pub use par::{
-    num_threads, par_chunks_mut, par_for, par_map_collect, par_map_collect_with, serial_scope,
-    with_pool, ThreadPool,
+    num_threads, par_block_sums, par_chunks_mut, par_for, par_map_collect, par_map_collect_with,
+    serial_scope, with_pool, ThreadPool,
 };
 pub use rng::Rng64;
 pub use stats::{time_kernel, SpanStats};

@@ -1,8 +1,9 @@
 //! Persistent scoped thread pool with deterministic chunk ordering.
 //!
 //! A single global [`ThreadPool`] is initialised lazily on first use; its
-//! size comes from `MESHFREE_THREADS` (falling back to
-//! `std::thread::available_parallelism`). Work is submitted as a fixed set
+//! size comes from [`crate::RuntimeConfig::global`] (`MESHFREE_THREADS`,
+//! falling back to `std::thread::available_parallelism`). Work is
+//! submitted as a fixed set
 //! of index chunks; workers and the submitting thread claim chunks from a
 //! shared atomic counter, so every chunk runs exactly once and results
 //! written by index are bit-identical for any thread count.
@@ -117,7 +118,8 @@ impl ThreadPool {
         }
     }
 
-    /// The pool size chosen from `MESHFREE_THREADS` or the machine.
+    /// The pool size chosen from [`crate::RuntimeConfig::global`]
+    /// (`MESHFREE_THREADS`, the builder layer, or the machine).
     pub fn global() -> &'static ThreadPool {
         static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
         GLOBAL.get_or_init(|| ThreadPool::new(threads_from_env()))
@@ -235,13 +237,7 @@ fn claim_chunks(shared: &Shared, task: &(dyn Fn(usize) + Sync), chunks: usize, n
 }
 
 fn threads_from_env() -> usize {
-    match std::env::var("MESHFREE_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => 1,
-        },
-        Err(_) => thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    crate::config::RuntimeConfig::global().threads
 }
 
 fn in_parallel() -> bool {
@@ -328,6 +324,38 @@ where
     F: Fn(usize) -> R + Sync,
 {
     with_current(|p| p.par_map_collect(n, f))
+}
+
+/// Sums `f(lo, hi)` over a *fixed-block* partition of `0..n`: the range is
+/// cut into consecutive blocks of exactly `block` indices (the last one
+/// ragged), each block's partial is computed independently (in parallel
+/// across the current pool when there is more than one block), and the
+/// partials are added **in block order** on the calling thread.
+///
+/// This is the determinism contract for parallel reductions: the block
+/// decomposition and the final summation order depend only on `n` and
+/// `block`, never on the pool width, so the result is bit-identical at any
+/// thread count — including the forced-serial [`serial_scope`] baseline,
+/// which computes the same partials in the same order inline. The parallel
+/// GMRES orthogonalization reductions in `linalg` ride this helper.
+pub fn par_block_sums<F>(n: usize, block: usize, f: F) -> f64
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    assert!(block > 0, "reduction block size must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let blocks = n.div_ceil(block);
+    if blocks == 1 {
+        return f(0, n);
+    }
+    let partials = par_map_collect(blocks, |c| {
+        let lo = c * block;
+        f(lo, (lo + block).min(n))
+    });
+    // Fixed left-to-right summation of the per-block partials.
+    partials.into_iter().sum()
 }
 
 /// [`par_map_collect`] with a reusable per-chunk workspace: `init()` runs
@@ -632,6 +660,33 @@ mod tests {
         assert_eq!(got, (0..n).map(|i| i * 2).collect::<Vec<_>>());
         // One workspace per claimed chunk, far fewer than one per element.
         assert!(inits.load(Ordering::Relaxed) <= 4 * CHUNKS_PER_THREAD);
+    }
+
+    #[test]
+    fn block_sums_are_pool_width_invariant() {
+        let n = 10_007;
+        let block = 256;
+        let term = |i: usize| (i as f64 * 0.61).sin() / (1.0 + i as f64);
+        let partial = |lo: usize, hi: usize| (lo..hi).map(term).sum::<f64>();
+        let want = serial_scope(|| par_block_sums(n, block, partial));
+        for threads in [1usize, 2, 8] {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let got = with_pool(&pool, || par_block_sums(n, block, partial));
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "pool size {threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn block_sums_edge_cases() {
+        assert_eq!(par_block_sums(0, 8, |_, _| panic!("must not run")), 0.0);
+        // Single block: computed inline, no partial vector.
+        assert_eq!(par_block_sums(5, 8, |lo, hi| (hi - lo) as f64), 5.0);
+        // Ragged tail block.
+        assert_eq!(par_block_sums(10, 4, |lo, hi| (hi - lo) as f64), 10.0);
     }
 
     #[test]

@@ -100,16 +100,15 @@ fn registry() -> &'static Mutex<Option<Box<dyn Sink>>> {
     &SINK
 }
 
-/// Installs `MESHFREE_TRACE`-configured sinks on first call. `enabled()`
-/// runs it, so instrumented code needs no explicit initialisation.
+/// Installs the [`crate::RuntimeConfig`]-configured sinks on first call
+/// (the `MESHFREE_TRACE` environment variable remains the override layer).
+/// `enabled()` runs it, so instrumented code needs no explicit
+/// initialisation.
 pub fn init_from_env() {
     ENV_INIT.call_once(|| {
-        let Ok(path) = std::env::var("MESHFREE_TRACE") else {
+        let Some(path) = crate::config::RuntimeConfig::global().trace.clone() else {
             return;
         };
-        if path.is_empty() {
-            return;
-        }
         let sink: Option<Box<dyn Sink>> = if path.ends_with(".csv") {
             CsvSink::create(&path).ok().map(|s| Box::new(s) as _)
         } else {

@@ -33,11 +33,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Environment variable holding the batching window in milliseconds.
-pub const BATCH_WINDOW_ENV: &str = "MESHFREE_BATCH_WINDOW_MS";
+/// Environment variable holding the batching window in milliseconds
+/// (re-exported from [`meshfree_runtime::config`], where all
+/// `MESHFREE_*` knobs now resolve).
+pub const BATCH_WINDOW_ENV: &str = meshfree_runtime::config::BATCH_WINDOW_ENV;
 
 /// Default batching window when [`BATCH_WINDOW_ENV`] is unset.
-pub const DEFAULT_BATCH_WINDOW: Duration = Duration::from_millis(2);
+pub const DEFAULT_BATCH_WINDOW: Duration = meshfree_runtime::config::DEFAULT_BATCH_WINDOW;
 
 /// One batched evaluation answer: the objective value and the size of
 /// the batch that computed it.
@@ -88,15 +90,11 @@ impl Batcher {
         }
     }
 
-    /// Starts the worker with the window from [`BATCH_WINDOW_ENV`]
-    /// (default [`DEFAULT_BATCH_WINDOW`]).
+    /// Starts the worker with the window from the process-wide
+    /// [`RuntimeConfig`](meshfree_runtime::RuntimeConfig) — i.e.
+    /// [`BATCH_WINDOW_ENV`] when set, [`DEFAULT_BATCH_WINDOW`] otherwise.
     pub fn from_env() -> Batcher {
-        let window = std::env::var(BATCH_WINDOW_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .map(Duration::from_millis)
-            .unwrap_or(DEFAULT_BATCH_WINDOW);
-        Batcher::new(window)
+        Batcher::new(meshfree_runtime::RuntimeConfig::global().batch_window)
     }
 
     /// The configured batching window.

@@ -34,11 +34,13 @@ use control::api::{BuiltProblem, ControlError, ProblemSpec};
 use meshfree_runtime::trace;
 use std::sync::{Arc, Mutex};
 
-/// Environment variable holding the cache budget in bytes.
-pub const CACHE_BYTES_ENV: &str = "MESHFREE_CACHE_BYTES";
+/// Environment variable holding the cache budget in bytes (re-exported
+/// from [`meshfree_runtime::config`], where all `MESHFREE_*` knobs now
+/// resolve).
+pub const CACHE_BYTES_ENV: &str = meshfree_runtime::config::CACHE_BYTES_ENV;
 
 /// Default budget when [`CACHE_BYTES_ENV`] is unset: 256 MiB.
-pub const DEFAULT_CACHE_BYTES: usize = 256 * 1024 * 1024;
+pub const DEFAULT_CACHE_BYTES: usize = meshfree_runtime::config::DEFAULT_CACHE_BYTES;
 
 /// Outcome of one cache lookup, for per-client event reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,14 +86,11 @@ impl FactorCache {
         }
     }
 
-    /// Creates a cache budgeted from [`CACHE_BYTES_ENV`] (default
-    /// [`DEFAULT_CACHE_BYTES`]).
+    /// Creates a cache budgeted from the process-wide
+    /// [`RuntimeConfig`](meshfree_runtime::RuntimeConfig) — i.e.
+    /// [`CACHE_BYTES_ENV`] when set, [`DEFAULT_CACHE_BYTES`] otherwise.
     pub fn from_env() -> FactorCache {
-        let budget = std::env::var(CACHE_BYTES_ENV)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_CACHE_BYTES);
-        FactorCache::new(budget)
+        FactorCache::new(meshfree_runtime::RuntimeConfig::global().cache_bytes)
     }
 
     /// The configured byte budget.

@@ -60,11 +60,14 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// Reads `MESHFREE_CACHE_BYTES` and `MESHFREE_BATCH_WINDOW_MS`.
+    /// Snapshot of the process-wide
+    /// [`RuntimeConfig`](meshfree_runtime::RuntimeConfig) — the resolved
+    /// `MESHFREE_CACHE_BYTES` / `MESHFREE_BATCH_WINDOW_MS` values.
     pub fn from_env() -> ServeConfig {
+        let cfg = meshfree_runtime::RuntimeConfig::global();
         ServeConfig {
-            cache_bytes: FactorCache::from_env().budget(),
-            batch_window: Batcher::from_env().window(),
+            cache_bytes: cfg.cache_bytes,
+            batch_window: cfg.batch_window,
         }
     }
 }

@@ -8,10 +8,13 @@
 //! meshfree-serve --socket /tmp/meshfree.sock
 //! ```
 //!
-//! Knobs (environment): `MESHFREE_CACHE_BYTES` (factorization-cache
-//! budget, default 256 MiB), `MESHFREE_BATCH_WINDOW_MS` (eval batching
-//! window, default 2 ms), `MESHFREE_THREADS` (solver pool width).
-//! `--cache-bytes N` overrides the cache budget from the command line.
+//! Knobs (environment, resolved once at startup through
+//! `meshfree_runtime::RuntimeConfig`): `MESHFREE_CACHE_BYTES`
+//! (factorization-cache budget, default 256 MiB),
+//! `MESHFREE_BATCH_WINDOW_MS` (eval batching window, default 2 ms),
+//! `MESHFREE_THREADS` (solver pool width). Environment values override
+//! builder-supplied defaults; `--cache-bytes N` overrides the cache
+//! budget from the command line (strongest, being explicit per-process).
 
 use serve::{ServeConfig, Server};
 use std::sync::Arc;

@@ -25,15 +25,27 @@ echo "==> rustdoc (no-deps, deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> perf suite smoke + trajectory gate"
-# Quick run exercises every timed kernel end-to-end; its output goes to
-# target/ so CI never dirties the committed trajectory. The --verify pass
-# gates the committed BENCH_perf.json: it must parse and carry an entry for
-# every required kernel. Timings themselves are a soft report (hardware
-# varies); the structure is the hard contract.
+# Quick measure exercises every timed kernel end-to-end (including the
+# {1,2,8} thread sweep, whose dense kernels always run at full size and
+# rep counts); its output goes to target/ so CI never dirties the
+# committed trajectory. The verify passes gate both snapshots: every
+# required entry present, and the two hard sweep gates — the 1.5x
+# single-thread lu_factor improvement over the committed pre-blocking
+# baseline, and the host-aware 8-thread scaling floor — cleared. Most
+# timings are a soft report (hardware varies); the structure plus those
+# gates are the hard contract.
 cargo run -q --release -p meshfree-bench --bin perf_suite -- \
-    --quick --out target/BENCH_perf_ci.json --baseline BENCH_perf.json
-cargo run -q --release -p meshfree-bench --bin perf_suite -- --verify BENCH_perf.json
-cargo run -q --release -p meshfree-bench --bin perf_suite -- --verify target/BENCH_perf_ci.json
+    measure --quick --out target/BENCH_perf_ci.json --baseline BENCH_perf.json
+cargo run -q --release -p meshfree-bench --bin perf_suite -- verify BENCH_perf.json
+cargo run -q --release -p meshfree-bench --bin perf_suite -- verify target/BENCH_perf_ci.json
+
+echo "==> thread-sweep scaling gate"
+# A standalone sweep snapshot through the `sweep` subcommand, then the
+# same verify gate: proves the sweep CLI path works and re-checks the
+# scaling floors on the machine actually running CI.
+cargo run -q --release -p meshfree-bench --bin perf_suite -- \
+    sweep --quick --out target/BENCH_sweep_ci.json
+cargo run -q --release -p meshfree-bench --bin perf_suite -- verify target/BENCH_sweep_ci.json
 
 echo "==> golden-run regression gate"
 # The workspace test pass above already ran the comparator; this explicit
